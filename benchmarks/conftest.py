@@ -1,0 +1,48 @@
+"""Shared fixtures for the benchmark suite.
+
+Each benchmark module regenerates one table or figure of the paper
+(DESIGN.md Section 3 maps them).  The datasets are synthetic stand-ins for
+the Last.fm and Flixster crawls (DESIGN.md Section 4), scaled so the whole
+suite runs on a laptop in minutes:
+
+- ``lastfm_bench``   — Last.fm-shaped at ~15% scale (~280 users).
+- ``flixster_bench`` — Flixster-shaped, denser social graph (~1.1K users).
+
+Absolute NDCG values differ from the paper (different data); the suite
+asserts and reports the *shapes*: orderings, degradation curves, and
+crossovers.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.datasets.synthetic import SyntheticDatasetSpec
+from repro.similarity.adamic_adar import AdamicAdar
+from repro.similarity.common_neighbors import CommonNeighbors
+from repro.similarity.graph_distance import GraphDistance
+from repro.similarity.katz import Katz
+
+
+@pytest.fixture(scope="session")
+def lastfm_bench():
+    """The Last.fm stand-in used by Figures 1, 3, 4 and Table 1."""
+    return SyntheticDatasetSpec.lastfm_like(scale=0.15).generate(seed=1001)
+
+
+@pytest.fixture(scope="session")
+def flixster_bench():
+    """The Flixster stand-in used by Figure 2 and Table 1 (denser graph)."""
+    return SyntheticDatasetSpec.flixster_like(scale=0.008).generate(seed=1002)
+
+
+@pytest.fixture(scope="session")
+def all_measures():
+    """The paper's four framework instantiations: AA, CN, GD, KZ."""
+    return [AdamicAdar(), CommonNeighbors(), GraphDistance(), Katz()]
+
+
+def print_banner(title: str) -> None:
+    """Uniform banner so benchmark output reads like the paper's artifacts."""
+    line = "=" * max(60, len(title) + 4)
+    print(f"\n{line}\n  {title}\n{line}")

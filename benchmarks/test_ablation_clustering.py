@@ -1,0 +1,100 @@
+"""Ablation 1: how much does *community* clustering actually matter?
+
+The paper attributes the framework's accuracy to clustering along the
+social graph's community structure (Section 5.1.2).  This benchmark holds
+the mechanism fixed and swaps the clustering:
+
+- louvain (the paper's choice)        - label propagation (another
+- random-k (same granularity)           community detector)
+- degree buckets (non-community)      - single cluster / singletons
+
+Expected shape: the two community detectors lead; random and degree
+buckets trail at eps = inf (pure approximation error); singletons collapse
+at strong privacy (they are NOE); the single cluster has the worst
+approximation error.
+"""
+
+import math
+
+import pytest
+
+from benchmarks.conftest import print_banner
+from repro.experiments.ablation import (
+    build_strategy_clusterings,
+    run_clustering_ablation,
+)
+from repro.similarity.common_neighbors import CommonNeighbors
+
+
+@pytest.fixture(scope="module")
+def strategies(lastfm_bench):
+    return build_strategy_clusterings(lastfm_bench.social, seed=0)
+
+
+@pytest.fixture(scope="module")
+def noiseless_cells(lastfm_bench, strategies):
+    return run_clustering_ablation(
+        lastfm_bench,
+        CommonNeighbors(),
+        epsilon=math.inf,
+        n=50,
+        repeats=1,
+        strategies=strategies,
+        seed=0,
+    )
+
+
+@pytest.fixture(scope="module")
+def strong_privacy_cells(lastfm_bench, strategies):
+    return run_clustering_ablation(
+        lastfm_bench,
+        CommonNeighbors(),
+        epsilon=0.1,
+        n=50,
+        repeats=3,
+        strategies=strategies,
+        seed=0,
+    )
+
+
+def _scores(cells):
+    return {c.strategy: c.ndcg_mean for c in cells}
+
+
+class TestClusteringAblation:
+    def test_print_ablation(self, noiseless_cells, strong_privacy_cells):
+        print_banner("Ablation: clustering strategy (CN, NDCG@50, Last.fm-like)")
+        header = f"{'strategy':<20} {'#clusters':>9} {'Q':>7} {'eps=inf':>8} {'eps=0.1':>8}"
+        print(header)
+        strong = {c.strategy: c for c in strong_privacy_cells}
+        for cell in noiseless_cells:
+            s = strong[cell.strategy]
+            print(
+                f"{cell.strategy:<20} {cell.num_clusters:>9} "
+                f"{cell.modularity:>7.3f} {cell.ndcg_mean:>8.3f} "
+                f"{s.ndcg_mean:>8.3f}"
+            )
+
+    def test_louvain_beats_random_on_approximation(self, noiseless_cells):
+        scores = _scores(noiseless_cells)
+        assert scores["louvain"] > scores["random-k"]
+
+    def test_community_detectors_lead_at_eps_inf(self, noiseless_cells):
+        scores = _scores(noiseless_cells)
+        community_best = max(scores["louvain"], scores["label-propagation"])
+        assert community_best >= scores["random-k"]
+        assert community_best >= scores["single-cluster"]
+
+    def test_singletons_perfect_without_noise(self, noiseless_cells):
+        """Singleton clusters have zero approximation error by Eq. 6."""
+        assert _scores(noiseless_cells)["singleton"] == pytest.approx(1.0)
+
+    def test_singletons_collapse_at_strong_privacy(self, strong_privacy_cells):
+        """...but at eps = 0.1 they degenerate to NOE and lose badly."""
+        scores = _scores(strong_privacy_cells)
+        assert scores["louvain"] > scores["singleton"] + 0.1
+
+    def test_louvain_top_two_at_strong_privacy(self, strong_privacy_cells):
+        scores = _scores(strong_privacy_cells)
+        ranked = sorted(scores, key=scores.get, reverse=True)
+        assert "louvain" in ranked[:2]

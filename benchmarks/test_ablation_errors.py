@@ -1,0 +1,80 @@
+"""Ablation 2: the Eq. 5/6 error decomposition, measured directly.
+
+The framework's design rests on one claim: community clustering trades a
+large amount of perturbation error for a small amount of approximation
+error.  This benchmark measures both components for each clustering
+strategy and verifies the trade:
+
+- singletons: zero approximation error, maximal perturbation error;
+- single cluster: minimal perturbation error, maximal approximation error;
+- louvain: perturbation error within a small factor of the single-cluster
+  floor, while keeping approximation error well below the single-cluster
+  ceiling.
+"""
+
+import pytest
+
+from benchmarks.conftest import print_banner
+from repro.experiments.ablation import (
+    build_strategy_clusterings,
+    run_error_decomposition,
+)
+from repro.similarity.common_neighbors import CommonNeighbors
+
+
+@pytest.fixture(scope="module")
+def rows(lastfm_bench):
+    strategies = build_strategy_clusterings(lastfm_bench.social, seed=0)
+    return {
+        r.strategy: r
+        for r in run_error_decomposition(
+            lastfm_bench,
+            CommonNeighbors(),
+            epsilon=0.1,
+            max_users=60,
+            max_items=25,
+            strategies=strategies,
+            seed=0,
+        )
+    }
+
+
+class TestErrorDecomposition:
+    def test_print_decomposition(self, rows):
+        print_banner(
+            "Ablation: error decomposition at eps = 0.1 "
+            "(mean |AE| vs mean expected PE per utility estimate)"
+        )
+        print(f"{'strategy':<20} {'#clusters':>9} {'|AE|':>10} {'E[PE]':>10}")
+        for name, row in sorted(rows.items()):
+            print(
+                f"{name:<20} {row.num_clusters:>9} "
+                f"{row.mean_abs_approximation:>10.4f} "
+                f"{row.mean_expected_perturbation:>10.4f}"
+            )
+
+    def test_singleton_has_zero_approximation_error(self, rows):
+        assert rows["singleton"].mean_abs_approximation == pytest.approx(0.0)
+
+    def test_perturbation_error_ordering(self, rows):
+        assert (
+            rows["singleton"].mean_expected_perturbation
+            > rows["louvain"].mean_expected_perturbation
+            > rows["single-cluster"].mean_expected_perturbation
+        )
+
+    def test_louvain_trade_is_favourable(self, rows):
+        """Louvain must remove more perturbation error than the
+        approximation error it introduces (the paper's core claim)."""
+        saved = (
+            rows["singleton"].mean_expected_perturbation
+            - rows["louvain"].mean_expected_perturbation
+        )
+        paid = rows["louvain"].mean_abs_approximation
+        assert saved > paid
+
+    def test_random_pays_more_approximation_than_louvain(self, rows):
+        assert (
+            rows["random-k"].mean_abs_approximation
+            >= rows["louvain"].mean_abs_approximation
+        )

@@ -1,0 +1,61 @@
+"""Ablation 3: Louvain protocol choices (refinement and restarts).
+
+The paper runs Louvain 10 times with multi-level refinement and keeps the
+most modular result.  This benchmark quantifies both choices:
+
+- refinement: mean/std modularity across restarts, with and without the
+  Rotta-Noack refinement pass (the paper added it for stability);
+- restarts: modularity of best-of-R as R grows (diminishing returns).
+"""
+
+import numpy as np
+import pytest
+
+from benchmarks.conftest import print_banner
+from repro.community.louvain import best_louvain_clustering, louvain
+from repro.experiments.ablation import run_refinement_ablation
+
+
+class TestRefinementAblation:
+    @pytest.fixture(scope="class")
+    def result(self, lastfm_bench):
+        return run_refinement_ablation(lastfm_bench.social, runs=8, seed=0)
+
+    def test_print_refinement(self, result):
+        print_banner("Ablation: Louvain multi-level refinement (8 restarts)")
+        print(
+            f"  with refinement:    Q = {result.refined_mean_modularity:.4f} "
+            f"(std {result.refined_std_modularity:.4f})"
+        )
+        print(
+            f"  without refinement: Q = {result.unrefined_mean_modularity:.4f} "
+            f"(std {result.unrefined_std_modularity:.4f})"
+        )
+
+    def test_refinement_no_worse(self, result):
+        assert (
+            result.refined_mean_modularity
+            >= result.unrefined_mean_modularity - 1e-9
+        )
+
+
+class TestRestartAblation:
+    def test_print_restart_curve(self, lastfm_bench):
+        print_banner("Ablation: best-of-R Louvain restarts")
+        values = {}
+        for runs in (1, 2, 5, 10):
+            q = best_louvain_clustering(
+                lastfm_bench.social, runs=runs, seed=0
+            ).modularity
+            values[runs] = q
+            print(f"  best of {runs:>2} restarts: Q = {q:.4f}")
+        # Best-of-R is monotone in R for nested restart sets (same seed
+        # sequence prefix property does not hold exactly, so allow slack).
+        assert values[10] >= values[1] - 1e-6
+
+    def test_benchmark_louvain_runtime(self, lastfm_bench, benchmark):
+        """pytest-benchmark: one Louvain run on the bench social graph."""
+        result = benchmark(
+            lambda: louvain(lastfm_bench.social, rng=np.random.default_rng(0))
+        )
+        assert result.modularity > 0.3

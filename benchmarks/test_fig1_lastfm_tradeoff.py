@@ -1,0 +1,119 @@
+"""Figure 1: privacy-accuracy trade-off on the Last.fm-like dataset.
+
+Regenerates the paper's Figure 1: average NDCG@{10,50,100} of the four
+framework instantiations (AA, CN, GD, KZ) across
+eps in {inf, 1.0, 0.6, 0.1, 0.05, 0.01}.
+
+Shape assertions (paper Section 6.3):
+- eps = inf isolates approximation error; the loss versus a perfect score
+  is bounded.
+- eps in {1.0, 0.6} stays close to the eps = inf ceiling.
+- accuracy falls as eps shrinks; eps = 0.01 is heavily degraded.
+"""
+
+import math
+
+import pytest
+
+from benchmarks.conftest import print_banner
+from repro.experiments.tradeoff import format_tradeoff_table, run_tradeoff
+
+EPSILONS = (math.inf, 1.0, 0.6, 0.1, 0.05, 0.01)
+NS = (10, 50, 100)
+
+
+@pytest.fixture(scope="module")
+def cells(lastfm_bench, all_measures):
+    return run_tradeoff(
+        lastfm_bench,
+        measures=all_measures,
+        epsilons=EPSILONS,
+        ns=NS,
+        repeats=3,
+        seed=0,
+    )
+
+
+def _score(cells, measure, eps, n):
+    for c in cells:
+        if c.measure == measure and c.epsilon == eps and c.n == n:
+            return c.ndcg_mean
+    raise KeyError((measure, eps, n))
+
+
+class TestFigure1:
+    def test_print_figure1_tables(self, cells):
+        print_banner("Figure 1: NDCG@N vs epsilon, Last.fm-like dataset")
+        for n in NS:
+            print(format_tradeoff_table(cells, n))
+            print()
+
+    @pytest.mark.parametrize("measure", ["aa", "cn", "gd", "kz"])
+    def test_approximation_error_bounded(self, cells, measure):
+        """eps = inf: the paper reports accuracy loss of 0.13-0.19 due to
+        approximation alone on Last.fm; ours must also stay a usable
+        recommender (NDCG@50 >= 0.75)."""
+        assert _score(cells, measure, math.inf, 50) >= 0.75
+
+    @pytest.mark.parametrize("measure", ["aa", "cn", "gd", "kz"])
+    def test_weak_privacy_near_ceiling(self, cells, measure):
+        """eps in {1.0, 0.6} had 'very little effect' vs eps = inf."""
+        ceiling = _score(cells, measure, math.inf, 50)
+        assert _score(cells, measure, 1.0, 50) >= ceiling - 0.05
+        assert _score(cells, measure, 0.6, 50) >= ceiling - 0.08
+
+    @pytest.mark.parametrize("measure", ["aa", "cn", "gd", "kz"])
+    def test_monotone_degradation(self, cells, measure):
+        """NDCG@50 must not increase as privacy strengthens (small
+        tolerance for noise in the repeats)."""
+        scores = [_score(cells, measure, e, 50) for e in EPSILONS]
+        for weaker, stronger in zip(scores, scores[1:]):
+            assert stronger <= weaker + 0.04
+
+    @pytest.mark.parametrize("measure", ["aa", "cn", "gd", "kz"])
+    def test_strong_privacy_degrades(self, cells, measure):
+        """Privacy below 0.1 'led to poor accuracy in general'."""
+        assert _score(cells, measure, 0.01, 50) < _score(
+            cells, measure, math.inf, 50
+        ) - 0.15
+
+    def test_n_effect_reported(self, cells):
+        """Paper: on Last.fm the NDCG generally decreased with N, most
+        visibly at small epsilon.  The direction of the N-effect depends on
+        the utility distribution of the dataset (our synthetic stand-in
+        shows the opposite sign at eps = 0.05 — recorded in
+        EXPERIMENTS.md), so this benchmark *reports* the deltas and only
+        asserts that N barely matters when there is no noise."""
+        print_banner("Figure 1 N-effect: NDCG@100 - NDCG@10 per epsilon (CN)")
+        for eps in EPSILONS:
+            delta = _score(cells, "cn", eps, 100) - _score(cells, "cn", eps, 10)
+            label = "inf" if math.isinf(eps) else f"{eps:g}"
+            print(f"  eps={label:>5}: delta = {delta:+.3f}")
+        noiseless_delta = abs(
+            _score(cells, "cn", math.inf, 100) - _score(cells, "cn", math.inf, 10)
+        )
+        assert noiseless_delta < 0.05
+
+
+class TestFigure1Timing:
+    def test_benchmark_one_tradeoff_cell(self, lastfm_bench, benchmark):
+        """pytest-benchmark: the cost of one Figure 1 cell — fit the
+        private recommender and rank every user once at eps = 0.1."""
+        from repro.core.private import PrivateSocialRecommender, louvain_strategy
+        from repro.similarity.common_neighbors import CommonNeighbors
+
+        clustering = louvain_strategy(runs=1, seed=0)(lastfm_bench.social)
+
+        def one_cell():
+            rec = PrivateSocialRecommender(
+                CommonNeighbors(),
+                epsilon=0.1,
+                n=50,
+                clustering_strategy=lambda g: clustering,
+                seed=0,
+            )
+            rec.fit(lastfm_bench.social, lastfm_bench.preferences)
+            return [rec.recommend(u) for u in lastfm_bench.social.users()[:60]]
+
+        result = benchmark(one_cell)
+        assert len(result) == 60

@@ -1,0 +1,131 @@
+"""Figure 2: privacy-accuracy trade-off on the Flixster-like dataset.
+
+Regenerates the paper's Figure 2 on the denser stand-in: NDCG@{10,50,100}
+across eps in {inf, 1.0, 0.6, 0.1, 0.05, 0.01} for all four measures,
+with the evaluation restricted to a random user sample (the paper
+evaluated 10K of 137K Flixster users while clustering on the full graph).
+
+Shape assertions (paper Section 6.3):
+- the denser graph is far more noise-resistant than Last.fm at every
+  finite epsilon;
+- accuracy at eps = 0.1 stays close to the eps = inf ceiling.
+
+Scale caveat (recorded in EXPERIMENTS.md): the paper's eps = 0.01 result
+(NDCG >= 0.79) rides on Flixster's enormous clusters — 46 clusters
+averaging ~2,986 users each, i.e. noise of scale 1/(2986 x 0.01) ~ 0.03
+per average.  Our laptop-scale stand-in has ~40-user clusters (noise scale
+~2.5 at eps = 0.01), so the absolute eps = 0.01 number cannot transfer;
+the cross-dataset *ordering* does, and that is what we assert.
+"""
+
+import math
+
+import pytest
+
+from benchmarks.conftest import print_banner
+from repro.experiments.tradeoff import format_tradeoff_table, run_tradeoff
+
+EPSILONS = (math.inf, 1.0, 0.6, 0.1, 0.05, 0.01)
+NS = (10, 50, 100)
+SAMPLE = 250
+
+
+@pytest.fixture(scope="module")
+def cells(flixster_bench, all_measures):
+    return run_tradeoff(
+        flixster_bench,
+        measures=all_measures,
+        epsilons=EPSILONS,
+        ns=NS,
+        repeats=3,
+        sample_size=SAMPLE,
+        seed=0,
+    )
+
+
+def _score(cells, measure, eps, n):
+    for c in cells:
+        if c.measure == measure and c.epsilon == eps and c.n == n:
+            return c.ndcg_mean
+    raise KeyError((measure, eps, n))
+
+
+class TestFigure2:
+    def test_print_figure2_tables(self, cells):
+        print_banner(
+            f"Figure 2: NDCG@N vs epsilon, Flixster-like dataset "
+            f"(evaluation sample of {SAMPLE} users)"
+        )
+        for n in NS:
+            print(format_tradeoff_table(cells, n))
+            print()
+
+    @pytest.mark.parametrize("measure", ["aa", "cn", "gd", "kz"])
+    def test_noise_resistance_at_moderate_privacy(self, cells, measure):
+        """Paper: on Flixster the noise has little impact down to moderate
+        epsilon; at eps = 0.1 the score stays near the eps = inf ceiling
+        (on the Last.fm-like dataset the same setting costs ~0.3)."""
+        ceiling = _score(cells, measure, math.inf, 50)
+        assert _score(cells, measure, 0.1, 50) >= ceiling - 0.15
+
+    @pytest.mark.parametrize("measure", ["aa", "cn", "gd", "kz"])
+    def test_still_useful_at_eps_005(self, cells, measure):
+        """eps = 0.05 must remain a clearly useful recommender."""
+        assert _score(cells, measure, 0.05, 50) >= 0.6
+
+    @pytest.mark.parametrize("measure", ["aa", "cn", "gd", "kz"])
+    def test_monotone_degradation(self, cells, measure):
+        scores = [_score(cells, measure, e, 50) for e in EPSILONS]
+        for weaker, stronger in zip(scores, scores[1:]):
+            assert stronger <= weaker + 0.04
+
+
+class TestFigure2VsFigure1:
+    def test_flixster_more_noise_resistant_than_lastfm(
+        self, cells, lastfm_bench, all_measures
+    ):
+        """The paper's cross-dataset claim: the denser social graph forms
+        larger clusters, so accuracy at strong privacy (eps = 0.05) drops
+        far less than on Last.fm."""
+        lastfm_cells = run_tradeoff(
+            lastfm_bench,
+            measures=[m for m in all_measures if m.name == "cn"],
+            epsilons=(math.inf, 0.05),
+            ns=(50,),
+            repeats=3,
+            seed=0,
+        )
+
+        def drop(cell_list):
+            by_eps = {c.epsilon: c.ndcg_mean for c in cell_list}
+            return by_eps[math.inf] - by_eps[0.05]
+
+        flixster_drop = _score(cells, "cn", math.inf, 50) - _score(
+            cells, "cn", 0.05, 50
+        )
+        lastfm_drop = drop(lastfm_cells)
+        print_banner("Cross-dataset noise resistance (CN, eps inf -> 0.05)")
+        print(f"  Last.fm-like accuracy drop:  {lastfm_drop:.3f}")
+        print(f"  Flixster-like accuracy drop: {flixster_drop:.3f}")
+        assert flixster_drop < lastfm_drop
+
+
+class TestFigure2Timing:
+    def test_benchmark_dense_graph_recommendation(self, flixster_bench, benchmark):
+        """pytest-benchmark: per-user recommendation cost on the denser
+        Flixster-like graph (larger similarity sets, bigger clusters)."""
+        from repro.core.private import PrivateSocialRecommender, louvain_strategy
+        from repro.similarity.common_neighbors import CommonNeighbors
+
+        clustering = louvain_strategy(runs=1, seed=0)(flixster_bench.social)
+        rec = PrivateSocialRecommender(
+            CommonNeighbors(),
+            epsilon=0.1,
+            n=50,
+            clustering_strategy=lambda g: clustering,
+            seed=0,
+        )
+        rec.fit(flixster_bench.social, flixster_bench.preferences)
+        users = flixster_bench.social.users()[:40]
+        result = benchmark(lambda: [rec.recommend(u) for u in users])
+        assert len(result) == 40

@@ -1,0 +1,125 @@
+"""Figure 4: the cluster framework vs NOU, NOE, LRM, and GS.
+
+Regenerates the paper's Figure 4 on the Last.fm-like dataset: NDCG@50 of
+each mechanism at eps in {1.0, 0.1}, for the four similarity measures.
+
+Shape assertions (paper Sections 6.3-6.4):
+- the cluster framework beats every other mechanism at both levels;
+- NOE beats NOU at eps = 1.0 ('NOE performed much better than NOU under
+  low noise'), and NOU is near the random-guessing floor;
+- LRM and GS — both NOU-style mechanisms — fail to beat even NOE.
+"""
+
+import pytest
+
+from benchmarks.conftest import print_banner
+from repro.experiments.comparison import format_comparison_table, run_comparison
+
+EPSILONS = (1.0, 0.1)
+
+
+@pytest.fixture(scope="module")
+def cells(lastfm_bench, all_measures):
+    return run_comparison(
+        lastfm_bench,
+        measures=all_measures,
+        epsilons=EPSILONS,
+        n=50,
+        repeats=3,
+        seed=0,
+    )
+
+
+def _score(cells, mechanism, measure, eps):
+    for c in cells:
+        if c.mechanism == mechanism and c.measure == measure and c.epsilon == eps:
+            return c.ndcg_mean
+    raise KeyError((mechanism, measure, eps))
+
+
+class TestFigure4:
+    def test_print_figure4(self, cells):
+        print_banner("Figure 4: mechanism comparison, NDCG@50, Last.fm-like")
+        print(format_comparison_table(cells))
+        print(
+            "\npaper shape: cluster >> NOE > {GS, LRM} > NOU "
+            "(both eps = 1.0 and 0.1)"
+        )
+
+    @pytest.mark.parametrize("measure", ["aa", "cn", "gd", "kz"])
+    @pytest.mark.parametrize("eps", EPSILONS)
+    def test_cluster_framework_wins(self, cells, measure, eps):
+        cluster = _score(cells, "cluster", measure, eps)
+        for other in ("noe", "nou", "lrm", "gs"):
+            assert cluster > _score(cells, other, measure, eps), (other, eps)
+
+    @pytest.mark.parametrize("measure", ["aa", "cn", "gd", "kz"])
+    def test_noe_beats_nou_under_low_noise(self, cells, measure):
+        assert _score(cells, "noe", measure, 1.0) > _score(
+            cells, "nou", measure, 1.0
+        )
+
+    @pytest.mark.parametrize("measure", ["cn"])
+    def test_nou_near_random_floor(self, cells, measure):
+        """Paper: NOU recommendations were 'essentially no better than
+        random guessing' even at eps = 1.0."""
+        assert _score(cells, "nou", measure, 1.0) < 0.35
+
+    @pytest.mark.parametrize("eps", EPSILONS)
+    def test_lrm_and_gs_fail_to_beat_noe_margin(self, cells, eps):
+        """Paper: 'both approaches were outperformed by the NOE baseline.'
+        We assert the weaker directional form: neither NOU-style mechanism
+        beats the cluster framework, and neither clears NOE by a wide
+        margin."""
+        for mech in ("lrm", "gs"):
+            assert _score(cells, mech, "cn", eps) < _score(
+                cells, "noe", "cn", eps
+            ) + 0.1, (mech, eps)
+
+    def test_cluster_advantage_grows_with_privacy(self, cells):
+        """The gap between the framework and NOE must widen as eps drops —
+        averaging pays off exactly when the noise is large."""
+        gap_weak = _score(cells, "cluster", "cn", 1.0) - _score(
+            cells, "noe", "cn", 1.0
+        )
+        gap_strong = _score(cells, "cluster", "cn", 0.1) - _score(
+            cells, "noe", "cn", 0.1
+        )
+        assert gap_strong > gap_weak
+
+
+class TestFigure4Timing:
+    def test_benchmark_lrm_fit(self, benchmark):
+        """pytest-benchmark: LRM's workload SVD — the dominant cost of the
+        Figure 4 competitor sweep."""
+        from repro.competitors.lrm import LowRankMechanism
+        from repro.datasets.synthetic import SyntheticDatasetSpec
+        from repro.similarity.common_neighbors import CommonNeighbors
+
+        dataset = SyntheticDatasetSpec.lastfm_like(scale=0.05).generate(seed=5)
+
+        def fit():
+            lrm = LowRankMechanism(CommonNeighbors(), epsilon=0.5, n=20, seed=0)
+            lrm.fit(dataset.social, dataset.preferences)
+            return lrm
+
+        result = benchmark(fit)
+        assert result.is_fitted
+
+    def test_benchmark_gs_fit(self, benchmark):
+        """pytest-benchmark: GS's grouping pass over all items."""
+        from repro.competitors.gs import GroupAndSmooth
+        from repro.datasets.synthetic import SyntheticDatasetSpec
+        from repro.similarity.common_neighbors import CommonNeighbors
+
+        dataset = SyntheticDatasetSpec.lastfm_like(scale=0.05).generate(seed=5)
+
+        def fit():
+            gs = GroupAndSmooth(
+                CommonNeighbors(), epsilon=0.5, n=20, group_size=8, seed=0
+            )
+            gs.fit(dataset.social, dataset.preferences)
+            return gs
+
+        result = benchmark(fit)
+        assert result.is_fitted

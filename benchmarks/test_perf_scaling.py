@@ -1,0 +1,96 @@
+"""Scaling study: pipeline cost as the dataset grows.
+
+The paper stresses that Louvain runs in time linear in the number of
+edges and that module A_w is linear in ``|I| x |clusters|``.  This module
+times the three pipeline phases — clustering, fit (A_w), and batch
+recommendation — at three dataset scales and prints the scaling table.
+The assertion is deliberately loose (no super-quadratic blowup) because
+wall-clock ratios are machine-dependent; the table is the artifact.
+"""
+
+import time
+
+import numpy as np
+import pytest
+
+from benchmarks.conftest import print_banner
+from repro.community.louvain import louvain
+from repro.core.batch import batch_recommend_all
+from repro.core.private import PrivateSocialRecommender
+from repro.datasets.synthetic import SyntheticDatasetSpec
+from repro.similarity.common_neighbors import CommonNeighbors
+
+SCALES = (0.05, 0.1, 0.2)
+
+
+@pytest.fixture(scope="module")
+def timings():
+    rows = []
+    for scale in SCALES:
+        dataset = SyntheticDatasetSpec.lastfm_like(scale=scale).generate(seed=9)
+
+        start = time.perf_counter()
+        clustering = louvain(
+            dataset.social, rng=np.random.default_rng(0)
+        ).clustering
+        louvain_s = time.perf_counter() - start
+
+        start = time.perf_counter()
+        rec = PrivateSocialRecommender(
+            CommonNeighbors(),
+            epsilon=0.1,
+            n=20,
+            clustering_strategy=lambda g, c=clustering: c,
+            seed=0,
+        )
+        rec.fit(dataset.social, dataset.preferences)
+        fit_s = time.perf_counter() - start
+
+        start = time.perf_counter()
+        results = batch_recommend_all(rec, n=20)
+        batch_s = time.perf_counter() - start
+
+        rows.append(
+            {
+                "scale": scale,
+                "users": dataset.social.num_users,
+                "edges": dataset.social.num_edges,
+                "items": dataset.preferences.num_items,
+                "louvain_s": louvain_s,
+                "fit_s": fit_s,
+                "batch_s": batch_s,
+                "recommended": len(results),
+            }
+        )
+    return rows
+
+
+class TestScaling:
+    def test_print_scaling_table(self, timings):
+        print_banner("Scaling: pipeline wall-clock vs dataset size")
+        print(
+            f"{'scale':>6} {'users':>6} {'edges':>7} {'items':>6} "
+            f"{'louvain':>9} {'fit(A_w)':>9} {'batch-rec':>10}"
+        )
+        for row in timings:
+            print(
+                f"{row['scale']:>6} {row['users']:>6} {row['edges']:>7} "
+                f"{row['items']:>6} {row['louvain_s']:>8.3f}s "
+                f"{row['fit_s']:>8.3f}s {row['batch_s']:>9.3f}s"
+            )
+
+    def test_everyone_got_recommendations(self, timings):
+        for row in timings:
+            assert row["recommended"] == row["users"]
+
+    def test_no_superquadratic_blowup(self, timings):
+        """4x the users must not cost more than ~40x in any phase (a very
+        loose near-linear envelope that still catches accidental O(n^3)
+        regressions)."""
+        first, last = timings[0], timings[-1]
+        growth = last["users"] / first["users"]
+        budget = max(40.0, 2.5 * growth**2)
+        for phase in ("louvain_s", "fit_s", "batch_s"):
+            if first[phase] < 0.005:
+                continue  # too fast to ratio meaningfully
+            assert last[phase] / first[phase] < budget, phase

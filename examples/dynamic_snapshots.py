@@ -1,0 +1,96 @@
+#!/usr/bin/env python
+"""Scenario: a service re-computing recommendations as the graphs evolve.
+
+The paper assumes a single static snapshot (Section 2.3) and names dynamic
+graphs its main future-work direction (Section 7).  The library's
+composition-based treatment: a :class:`DynamicPrivateRecommender` holds a
+total privacy budget and charges each snapshot under sequential
+composition.  This example simulates a growing social network across four
+weekly snapshots and shows the two allocation policies side by side.
+
+Run:  python examples/dynamic_snapshots.py
+"""
+
+import numpy as np
+
+from repro import (
+    CommonNeighbors,
+    DynamicPrivateRecommender,
+    decay_allocation,
+    uniform_allocation,
+)
+from repro.datasets import SyntheticDatasetSpec
+
+
+def evolve(dataset, week: int, rng):
+    """A later snapshot: the same graphs plus some new edges."""
+    social = dataset.social.copy()
+    prefs = dataset.preferences.copy()
+    users = social.users()
+    for _ in range(15 * week):
+        u, v = rng.choice(len(users), size=2, replace=False)
+        u, v = users[int(u)], users[int(v)]
+        if not social.has_edge(u, v):
+            social.add_edge(u, v)
+    items = prefs.items()
+    for _ in range(40 * week):
+        u = users[int(rng.integers(len(users)))]
+        i = items[int(rng.integers(len(items)))]
+        if not prefs.has_edge(u, i):
+            prefs.add_edge(u, i)
+    return social, prefs
+
+
+def main() -> None:
+    dataset = SyntheticDatasetSpec.lastfm_like(scale=0.08).generate(seed=31)
+    rng = np.random.default_rng(32)
+    snapshots = [(dataset.social, dataset.preferences)] + [
+        evolve(dataset, week, rng) for week in (1, 2, 3)
+    ]
+    user = dataset.social.users()[0]
+    total = 1.0
+
+    print(f"total privacy budget: epsilon = {total}\n")
+
+    print("uniform allocation over 4 planned snapshots:")
+    uniform = DynamicPrivateRecommender(
+        CommonNeighbors(),
+        total_epsilon=total,
+        allocation=uniform_allocation(total, num_snapshots=4),
+        n=5,
+        seed=7,
+    )
+    for week, (social, prefs) in enumerate(snapshots):
+        uniform.fit_snapshot(social, prefs)
+        print(
+            f"  week {week}: eps_t = {uniform.current.epsilon:.3f}, "
+            f"spent = {uniform.spent_epsilon():.2f}, "
+            f"top-5 = {uniform.recommend(user).item_ids()}"
+        )
+
+    print("\ngeometric decay (supports an unbounded stream):")
+    decaying = DynamicPrivateRecommender(
+        CommonNeighbors(),
+        total_epsilon=total,
+        allocation=decay_allocation(total, factor=0.5),
+        n=5,
+        seed=7,
+    )
+    for week, (social, prefs) in enumerate(snapshots):
+        decaying.fit_snapshot(social, prefs)
+        print(
+            f"  week {week}: eps_t = {decaying.current.epsilon:.3f}, "
+            f"spent = {decaying.spent_epsilon():.3f}, "
+            f"top-5 = {decaying.recommend(user).item_ids()}"
+        )
+
+    print(
+        "\nUniform gives each snapshot equal accuracy but exhausts after "
+        "the planned count; decay never exhausts but later snapshots get "
+        "noisier.  Both are conservative sequential composition — "
+        "exploiting snapshot overlap is the open problem the paper left."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,50 @@
+#!/usr/bin/env python
+"""Scenario: a social movie site choosing a privacy mechanism.
+
+A Flixster-style service is evaluating five ways to privatise its
+friend-based movie recommendations: the paper's cluster framework, the two
+naïve baselines (noise-on-utility, noise-on-edges), and the two literature
+competitors (Low-Rank Mechanism, Group-and-Smooth).  This example runs the
+paper's Figure 4 comparison and prints the ranking of mechanisms.
+
+Run:  python examples/movie_mechanism_comparison.py
+"""
+
+from repro import CommonNeighbors
+from repro.datasets import SyntheticDatasetSpec
+from repro.experiments.comparison import format_comparison_table, run_comparison
+
+
+def main() -> None:
+    dataset = SyntheticDatasetSpec.flixster_like(scale=0.005).generate(seed=5)
+    print(f"dataset: {dataset}\n")
+
+    cells = run_comparison(
+        dataset,
+        measures=[CommonNeighbors()],
+        epsilons=(1.0, 0.1),
+        n=50,
+        repeats=3,
+        seed=5,
+    )
+    print(format_comparison_table(cells))
+
+    # Rank mechanisms at the strong privacy setting.
+    strong = sorted(
+        (c for c in cells if c.epsilon == 0.1),
+        key=lambda c: c.ndcg_mean,
+        reverse=True,
+    )
+    print("\nranking at eps=0.1 (strong privacy):")
+    for place, cell in enumerate(strong, start=1):
+        print(f"  {place}. {cell.mechanism:<8} NDCG@50 = {cell.ndcg_mean:.3f}")
+    winner = strong[0]
+    print(
+        f"\nThe {winner.mechanism!r} mechanism wins, as the paper predicts: "
+        f"community clustering converts most of the Laplace noise into a "
+        f"small amount of averaging error."
+    )
+
+
+if __name__ == "__main__":
+    main()

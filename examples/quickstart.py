@@ -1,0 +1,56 @@
+#!/usr/bin/env python
+"""Quickstart: private social recommendations in ~40 lines.
+
+Builds a small synthetic social-music dataset, fits the non-private
+recommender and the differentially private framework side by side, and
+prints both top-10 lists plus the NDCG agreement between them.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import (
+    CommonNeighbors,
+    PrivateSocialRecommender,
+    SocialRecommender,
+    SyntheticDatasetSpec,
+    ndcg_at_n,
+)
+
+
+def main() -> None:
+    # A Last.fm-shaped dataset at 10% scale: ~190 users, ~350 items.
+    dataset = SyntheticDatasetSpec.lastfm_like(scale=0.1).generate(seed=42)
+    print(f"dataset: {dataset}\n")
+
+    measure = CommonNeighbors()
+
+    # The exact, non-private recommender (Definition 4 of the paper).
+    exact = SocialRecommender(measure, n=10)
+    exact.fit(dataset.social, dataset.preferences)
+
+    # The private framework (Algorithm 1): Louvain clustering over the
+    # public social graph + noisy per-cluster average preference weights.
+    private = PrivateSocialRecommender(measure, epsilon=0.6, n=10, seed=7)
+    private.fit(dataset.social, dataset.preferences)
+    print(
+        f"clustering: {private.clustering_.num_clusters} communities, "
+        f"end-to-end privacy cost epsilon = {private.total_epsilon():g}\n"
+    )
+
+    user = dataset.social.users()[0]
+    exact_list = exact.recommend(user)
+    private_list = private.recommend(user)
+    print(f"top-10 for user {user!r} (non-private): {exact_list.item_ids()}")
+    print(f"top-10 for user {user!r} (eps=0.6):     {private_list.item_ids()}")
+
+    score = ndcg_at_n(
+        private_list.item_ids(),
+        exact_list.item_ids(),
+        exact.utilities(user),
+        n=10,
+    )
+    print(f"\nNDCG@10 of the private list for this user: {score:.3f}")
+
+
+if __name__ == "__main__":
+    main()

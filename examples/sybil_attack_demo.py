@@ -1,0 +1,71 @@
+#!/usr/bin/env python
+"""Scenario: the Section 2.3 Sybil attack, and why DP stops it.
+
+An attacker wants to learn which items a victim privately prefers.  They
+befriend (or fabricate) a degree-one neighbor of the victim with a fake
+account, then read the fake account's recommendations: against the
+non-private recommender every positive-utility recommendation is one of the
+victim's private edges.  This demo runs the attack against the non-private
+recommender and against the private framework at several privacy levels,
+printing the attacker's precision/recall at each.
+
+Run:  python examples/sybil_attack_demo.py
+"""
+
+from repro import CommonNeighbors, PrivateSocialRecommender, SocialRecommender
+from repro.attacks import run_attack_experiment
+from repro.datasets import SyntheticDatasetSpec
+
+
+def main() -> None:
+    dataset = SyntheticDatasetSpec.lastfm_like(scale=0.1).generate(seed=9)
+    print(f"dataset: {dataset}\n")
+
+    # Target the highest-preference-count user so the attack has something
+    # substantial to steal.
+    victim = max(
+        (u for u in dataset.social.users() if dataset.preferences.has_user(u)),
+        key=dataset.preferences.user_degree,
+    )
+    n_secrets = dataset.preferences.user_degree(victim)
+    print(f"victim: user {victim!r} with {n_secrets} private preference edges\n")
+
+    report = run_attack_experiment(
+        dataset.social,
+        dataset.preferences,
+        victim,
+        lambda: SocialRecommender(CommonNeighbors(), n=100),
+        top_n=100,
+    )
+    print(
+        f"non-private recommender: the attacker recovers "
+        f"{len(set(report.inferred) & set(report.actual))}/{n_secrets} edges "
+        f"(precision={report.precision:.2f}, recall={report.recall:.2f})"
+    )
+
+    for epsilon in (1.0, 0.5, 0.1):
+        report = run_attack_experiment(
+            dataset.social,
+            dataset.preferences,
+            victim,
+            lambda eps=epsilon: PrivateSocialRecommender(
+                CommonNeighbors(), epsilon=eps, n=100, seed=13
+            ),
+            top_n=100,
+        )
+        hits = len(set(report.inferred) & set(report.actual))
+        print(
+            f"private, eps={epsilon:<4}: attacker recovers {hits}/{n_secrets} "
+            f"(precision={report.precision:.2f}, recall={report.recall:.2f}) "
+            f"- mostly cluster-popular guesses, not the victim's edges"
+        )
+
+    print(
+        "\nUnder differential privacy the attacker's channel still exists, "
+        "but Theorem 4 bounds what flows through it: the observer's "
+        "recommendations are dominated by cluster-level averages and noise."
+    )
+
+
+if __name__ == "__main__":
+    main()

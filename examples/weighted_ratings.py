@@ -1,0 +1,74 @@
+#!/usr/bin/env python
+"""Scenario: weighted (ratings-style) preferences — the §7 extension.
+
+The paper's model is unweighted, but its Section 7 proposes extending the
+framework to weighted preference edges (e.g. star ratings).  The library
+supports this through the ``max_weight`` cap: edges are clipped to the cap
+and the per-cluster noise is calibrated to ``max_weight / |c|``.
+
+This example builds a movie-ratings dataset (weights 0.5-5.0), runs the
+private framework with ``max_weight=5.0``, and shows that (a) rating
+intensity influences the rankings, and (b) the privacy cost is still
+exactly epsilon while noise scales with the cap.
+
+Run:  python examples/weighted_ratings.py
+"""
+
+import numpy as np
+
+from repro import CommonNeighbors, PrivateSocialRecommender, SocialRecommender
+from repro.datasets import SyntheticDatasetSpec
+from repro.graph.preference_graph import PreferenceGraph
+
+
+def with_synthetic_ratings(dataset, seed: int) -> PreferenceGraph:
+    """Replace the 0/1 weights with ratings in {0.5, 1, ..., 5}."""
+    rng = np.random.default_rng(seed)
+    rated = PreferenceGraph()
+    rated.add_users(dataset.preferences.users())
+    for item in dataset.preferences.items():
+        rated.add_item(item)
+    for user, item, _weight in dataset.preferences.edges():
+        # Ratings skew positive, like real rating data.
+        rating = min(5.0, max(0.5, rng.normal(3.8, 1.0)))
+        rated.add_edge(user, item, weight=round(rating * 2) / 2)
+    return rated
+
+
+def main() -> None:
+    dataset = SyntheticDatasetSpec.flixster_like(scale=0.002).generate(seed=21)
+    ratings = with_synthetic_ratings(dataset, seed=22)
+    print(f"dataset: {dataset.name} with ratings in [0.5, 5.0]")
+    print(f"users: {dataset.social.num_users}, items: {ratings.num_items}\n")
+
+    measure = CommonNeighbors()
+    user = dataset.social.users()[0]
+
+    exact = SocialRecommender(measure, n=10)
+    exact.fit(dataset.social, ratings)
+    print(f"non-private top-10 (rating-weighted): {exact.recommend(user).item_ids()}")
+
+    # The cap bounds each rating's influence; noise scale = cap / (|c| eps).
+    private = PrivateSocialRecommender(
+        measure, epsilon=0.6, n=10, seed=23, max_weight=5.0
+    )
+    private.fit(dataset.social, ratings)
+    print(f"private top-10 (eps=0.6, cap=5):      {private.recommend(user).item_ids()}")
+    print(f"privacy cost: epsilon = {private.total_epsilon():g}\n")
+
+    # Capping more aggressively trades rating fidelity for less noise:
+    # every edge counts as at most 2 stars, but the Laplace scale drops by
+    # the same factor.  On sparse data the lower-noise release often wins.
+    capped = PrivateSocialRecommender(
+        measure, epsilon=0.6, n=10, seed=23, max_weight=2.0
+    )
+    capped.fit(dataset.social, ratings)
+    print(f"private top-10 (eps=0.6, cap=2):      {capped.recommend(user).item_ids()}")
+    print(
+        "\nThe cap is a tuning knob: max_weight=5 preserves rating "
+        "intensity, max_weight=2 injects 2.5x less noise per cluster."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,11 @@
+"""Legacy shim so `pip install -e .` / `setup.py develop` work offline.
+
+The environment has no `wheel` package and no network access, so the
+PEP 660 editable-install path (which builds a wheel) is unavailable; this
+shim lets setuptools' classic develop mode install the package instead.
+All metadata lives in pyproject.toml.
+"""
+
+from setuptools import setup
+
+setup()

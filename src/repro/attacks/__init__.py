@@ -1,0 +1,14 @@
+"""Privacy attacks against social recommenders (paper Section 2.3).
+
+:mod:`repro.attacks.sybil` implements the Sybil / profile-cloning inference
+attack the paper uses to motivate its adversary model: an attacker who can
+add a fake account next to a degree-one neighbor of the victim observes
+recommendations that are a direct function of the victim's private
+preference edges.  The attack recovers most of the victim's items from a
+non-private recommender and almost nothing from the private one — the
+empirical counterpart of Theorem 4.
+"""
+
+from repro.attacks.sybil import SybilAttack, SybilAttackReport, run_attack_experiment
+
+__all__ = ["SybilAttack", "SybilAttackReport", "run_attack_experiment"]

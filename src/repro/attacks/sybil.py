@@ -1,0 +1,218 @@
+"""The Sybil inference attack of paper Section 2.3.
+
+The attack, for the Common Neighbors (or Adamic/Adar) measure:
+
+1. The attacker finds an immediate neighbor ``a`` of the victim with no
+   other neighbors (degree exactly 1), or *creates* that situation by
+   linking two Sybils and tricking the victim via profile cloning.
+2. The attacker registers a fresh account ``b`` and befriends ``a``.
+3. Now ``sim(b, victim) > 0`` through the shared neighbor ``a``, and —
+   crucially — the victim is the *only* user similar to ``b``, so every
+   recommendation ``b`` receives is a direct readout of the victim's
+   private preference edges.
+
+Against the differentially private recommender the same observation
+channel exists, but Theorem 4 bounds what it can reveal; empirically the
+noisy cluster averages give ``b`` a ranking dominated by cluster-level
+popularity and noise rather than the victim's individual edges.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Set, Tuple
+
+from repro.core.base import BaseRecommender
+from repro.exceptions import NodeNotFoundError, ReproError
+from repro.graph.preference_graph import PreferenceGraph
+from repro.graph.social_graph import SocialGraph
+from repro.types import ItemId, UserId
+
+__all__ = ["SybilAttack", "SybilAttackReport", "run_attack_experiment"]
+
+
+class SybilAttack:
+    """Plans and evaluates the Section 2.3 inference attack.
+
+    Args:
+        sybil_id: identifier for the attacker's fake account; must not
+            collide with an existing user.
+    """
+
+    def __init__(self, sybil_id: UserId = "__sybil__") -> None:
+        self.sybil_id = sybil_id
+
+    # ------------------------------------------------------------------
+    # attack planning
+    # ------------------------------------------------------------------
+    def find_vulnerable_anchor(
+        self, graph: SocialGraph, victim: UserId
+    ) -> Optional[UserId]:
+        """A degree-1 neighbor of the victim, if one exists (attack step 1)."""
+        if victim not in graph:
+            raise NodeNotFoundError(victim)
+        for nbr in sorted(graph.neighbors(victim), key=repr):
+            if graph.degree(nbr) == 1:
+                return nbr
+        return None
+
+    def plan(
+        self, graph: SocialGraph, victim: UserId, force_anchor: bool = True
+    ) -> Tuple[SocialGraph, UserId]:
+        """Build the post-attack social graph (steps 1–2).
+
+        Args:
+            graph: the original social graph (not modified).
+            victim: the user whose preferences the attacker targets.
+            force_anchor: when the victim has no degree-1 neighbor, inject
+                one (modeling the profile-cloning variant where the victim
+                is tricked into accepting a Sybil friend).
+
+        Returns:
+            ``(attacked_graph, observer)`` where ``observer`` is the Sybil
+            account whose recommendations the attacker reads.
+
+        Raises:
+            ReproError: if the Sybil identifier collides, or no anchor
+                exists and ``force_anchor`` is False.
+        """
+        if self.sybil_id in graph:
+            raise ReproError(f"sybil id {self.sybil_id!r} already exists in graph")
+        attacked = graph.copy()
+        anchor = self.find_vulnerable_anchor(graph, victim)
+        if anchor is None:
+            if not force_anchor:
+                raise ReproError(
+                    f"victim {victim!r} has no degree-1 neighbor and "
+                    f"force_anchor is False"
+                )
+            anchor = f"{self.sybil_id}-anchor"
+            if anchor in graph:
+                raise ReproError(f"anchor id {anchor!r} already exists in graph")
+            attacked.add_edge(victim, anchor)
+        attacked.add_edge(self.sybil_id, anchor)
+        return attacked, self.sybil_id
+
+    def plan_chained(
+        self,
+        graph: SocialGraph,
+        victim: UserId,
+        chain_length: int,
+        force_anchor: bool = True,
+    ) -> Tuple[SocialGraph, UserId]:
+        """The chained variant for distance-based measures (Section 2.3).
+
+        Graph Distance with cutoff ``d`` (or Katz with cutoff ``k``) puts
+        the victim inside the observer's similarity set as long as the
+        observer is within the cutoff.  The attacker links
+        ``chain_length`` Sybils in a line ending at the anchor; the far
+        end is the observer, sitting ``chain_length + 1`` hops from the
+        victim.  ``chain_length = 1`` reduces to :meth:`plan`.
+
+        Args:
+            graph: the original social graph (not modified).
+            victim: the targeted user.
+            chain_length: number of Sybil accounts to chain (>= 1).  For a
+                distance cutoff ``d`` use ``d - 1``.
+            force_anchor: inject a degree-1 anchor when none exists.
+
+        Returns:
+            ``(attacked_graph, observer)``.
+
+        Raises:
+            ValueError: if ``chain_length`` < 1.
+            ReproError: on identifier collisions or a missing anchor with
+                ``force_anchor=False``.
+        """
+        if chain_length < 1:
+            raise ValueError(f"chain_length must be >= 1, got {chain_length}")
+        attacked, first = self.plan(graph, victim, force_anchor=force_anchor)
+        observer = first
+        for link in range(1, chain_length):
+            next_id = f"{self.sybil_id}-{link}"
+            if next_id in graph:
+                raise ReproError(f"sybil id {next_id!r} already exists in graph")
+            attacked.add_edge(next_id, observer)
+            observer = next_id
+        return attacked, observer
+
+    # ------------------------------------------------------------------
+    # inference
+    # ------------------------------------------------------------------
+    def infer_items(
+        self, recommender: BaseRecommender, observer: UserId, top_n: int
+    ) -> List[ItemId]:
+        """The items the attacker concludes the victim prefers.
+
+        With the observer's similarity set reduced to (essentially) the
+        victim, positive-utility recommendations map one-to-one onto the
+        victim's preference edges for a non-private recommender.
+        """
+        ranked = recommender.recommend(observer, n=top_n)
+        return [entry.item for entry in ranked if entry.utility > 0.0]
+
+
+@dataclass(frozen=True)
+class SybilAttackReport:
+    """Outcome of one attack run.
+
+    Attributes:
+        victim: the targeted user.
+        observer: the Sybil account.
+        inferred: items the attacker claims the victim prefers.
+        actual: the victim's true preference items.
+        precision: |inferred & actual| / |inferred| (1.0 when nothing
+            inferred — the attacker made no false claims).
+        recall: |inferred & actual| / |actual| (0.0 when the victim has no
+            items).
+    """
+
+    victim: UserId
+    observer: UserId
+    inferred: Tuple[ItemId, ...]
+    actual: Tuple[ItemId, ...]
+    precision: float
+    recall: float
+
+
+def run_attack_experiment(
+    social: SocialGraph,
+    preferences: PreferenceGraph,
+    victim: UserId,
+    recommender_factory,
+    top_n: int = 50,
+    sybil_id: UserId = "__sybil__",
+) -> SybilAttackReport:
+    """Run the end-to-end attack against one recommender.
+
+    Args:
+        social: the pre-attack social graph.
+        preferences: the private preference graph.
+        victim: the targeted user.
+        recommender_factory: zero-argument callable returning an unfitted
+            recommender (private or not).
+        top_n: how many recommendations the attacker inspects.
+        sybil_id: identifier for the fake account.
+
+    Returns:
+        A :class:`SybilAttackReport` with precision/recall of the inference.
+    """
+    attack = SybilAttack(sybil_id=sybil_id)
+    attacked_graph, observer = attack.plan(social, victim)
+    recommender = recommender_factory()
+    recommender.fit(attacked_graph, preferences)
+    inferred = attack.infer_items(recommender, observer, top_n)
+    actual: Set[ItemId] = set()
+    if preferences.has_user(victim):
+        actual = set(preferences.items_of(victim))
+    hit = sum(1 for item in inferred if item in actual)
+    precision = hit / len(inferred) if inferred else 1.0
+    recall = hit / len(actual) if actual else 0.0
+    return SybilAttackReport(
+        victim=victim,
+        observer=observer,
+        inferred=tuple(inferred),
+        actual=tuple(sorted(actual, key=repr)),
+        precision=precision,
+        recall=recall,
+    )

@@ -1,0 +1,24 @@
+"""Non-social, item-based collaborative filtering (paper Section 4 context).
+
+The paper positions itself against McSherry & Mironov (KDD 2009), who made
+*item-based* collaborative filtering differentially private by sanitising
+a global item-item co-occurrence matrix.  This package implements that
+family as a comparator substrate:
+
+- :class:`ItemCoCounts` — the item-item co-occurrence matrix, exact or
+  released under edge-level differential privacy (Laplace noise calibrated
+  to a per-user contribution clamp, McSherry-Mironov style).
+- :class:`ItemBasedCF` — a top-N recommender scoring items by cosine
+  similarity to the target user's own items.
+
+Two contrasts it enables (see ``benchmarks/test_ablation_social_vs_cf.py``):
+the *personalisation* gap between social and non-social recommendations,
+and the *sensitivity* gap — the co-count matrix has per-edge sensitivity
+bounded by a small clamp, while social utility queries inherit the
+social graph's worst-case column mass.
+"""
+
+from repro.cf.cocounts import ItemCoCounts
+from repro.cf.item_knn import ItemBasedCF
+
+__all__ = ["ItemCoCounts", "ItemBasedCF"]

@@ -1,0 +1,374 @@
+"""Command-line interface: ``repro <command>`` (or ``python -m repro``).
+
+Commands:
+
+- ``stats``          — Table 1-style dataset summary.
+- ``tradeoff``       — Figure 1/2 privacy–accuracy sweep.
+- ``degree-effect``  — Figure 3 degree-vs-accuracy analysis.
+- ``compare``        — Figure 4 mechanism comparison.
+- ``attack``         — the Section 2.3 Sybil attack demonstration.
+
+All commands operate on the synthetic datasets (``--dataset lastfm`` /
+``flixster`` with ``--scale``), or on a real crawl directory via
+``--data-dir`` (HetRec two-file layout).
+"""
+
+from __future__ import annotations
+
+import argparse
+import math
+import sys
+from typing import List, Optional
+
+from repro.attacks.sybil import run_attack_experiment
+from repro.core.private import PrivateSocialRecommender
+from repro.core.recommender import SocialRecommender
+from repro.datasets.dataset import SocialRecDataset
+from repro.datasets.loader import load_dataset_directory
+from repro.datasets.stats import dataset_stats, format_stats_table
+from repro.datasets.synthetic import SyntheticDatasetSpec
+from repro.experiments.comparison import format_comparison_table, run_comparison
+from repro.experiments.degree_effect import run_degree_effect
+from repro.experiments.tradeoff import format_tradeoff_table, run_tradeoff
+from repro.similarity.base import get_measure
+
+__all__ = ["main", "build_parser"]
+
+
+def _add_dataset_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--dataset",
+        choices=("lastfm", "flixster"),
+        default="lastfm",
+        help="synthetic dataset preset (default: lastfm)",
+    )
+    parser.add_argument(
+        "--scale",
+        type=float,
+        default=0.2,
+        help="size multiplier for the synthetic preset (default: 0.2)",
+    )
+    parser.add_argument(
+        "--data-dir",
+        default=None,
+        help="load a real crawl from this directory instead (HetRec layout)",
+    )
+    parser.add_argument("--seed", type=int, default=0, help="master seed")
+
+
+def _resolve_dataset(args: argparse.Namespace) -> SocialRecDataset:
+    if args.data_dir:
+        return load_dataset_directory(args.data_dir)
+    if args.dataset == "lastfm":
+        spec = SyntheticDatasetSpec.lastfm_like(scale=args.scale)
+    else:
+        spec = SyntheticDatasetSpec.flixster_like(scale=args.scale * 0.1)
+    return spec.generate(seed=args.seed)
+
+
+def _parse_epsilon(token: str) -> float:
+    if token.lower() in ("inf", "infinity"):
+        return math.inf
+    return float(token)
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The CLI argument parser (exposed for testing)."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Privacy-preserving social recommendation (EDBT 2014 repro)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_stats = sub.add_parser("stats", help="Table 1-style dataset summary")
+    _add_dataset_arguments(p_stats)
+
+    p_trade = sub.add_parser("tradeoff", help="Figure 1/2 accuracy-vs-epsilon sweep")
+    _add_dataset_arguments(p_trade)
+    p_trade.add_argument(
+        "--measures", nargs="+", default=["cn", "aa", "gd", "kz"],
+        help="similarity measures (default: cn aa gd kz)",
+    )
+    p_trade.add_argument(
+        "--epsilons", nargs="+", default=["inf", "1.0", "0.6", "0.1", "0.05", "0.01"],
+        help="privacy settings; 'inf' means no noise",
+    )
+    p_trade.add_argument("--ns", nargs="+", type=int, default=[10, 50, 100])
+    p_trade.add_argument("--repeats", type=int, default=5)
+    p_trade.add_argument("--sample-size", type=int, default=None)
+
+    p_degree = sub.add_parser("degree-effect", help="Figure 3 degree analysis")
+    _add_dataset_arguments(p_degree)
+    p_degree.add_argument("--measure", default="cn")
+    p_degree.add_argument("--n", type=int, default=50)
+    p_degree.add_argument("--threshold", type=int, default=10)
+
+    p_cmp = sub.add_parser("compare", help="Figure 4 mechanism comparison")
+    _add_dataset_arguments(p_cmp)
+    p_cmp.add_argument("--measures", nargs="+", default=["cn"])
+    p_cmp.add_argument("--epsilons", nargs="+", default=["1.0", "0.1"])
+    p_cmp.add_argument("--n", type=int, default=50)
+    p_cmp.add_argument("--repeats", type=int, default=3)
+    p_cmp.add_argument("--sample-size", type=int, default=None)
+
+    p_attack = sub.add_parser("attack", help="Section 2.3 Sybil attack demo")
+    _add_dataset_arguments(p_attack)
+    p_attack.add_argument("--measure", default="cn")
+    p_attack.add_argument("--epsilon", type=_parse_epsilon, default=0.5)
+    p_attack.add_argument("--victim", type=int, default=None)
+    p_attack.add_argument("--top-n", type=int, default=50)
+
+    p_analyze = sub.add_parser(
+        "analyze", help="structural analysis of a dataset's social graph"
+    )
+    _add_dataset_arguments(p_analyze)
+    p_analyze.add_argument("--path-samples", type=int, default=30)
+    p_analyze.add_argument("--louvain-runs", type=int, default=5)
+
+    p_validate = sub.add_parser(
+        "validate",
+        help="empirically estimate the privacy loss of module A_w",
+    )
+    p_validate.add_argument("--epsilon", type=float, default=0.5)
+    p_validate.add_argument("--cluster-size", type=int, default=4)
+    p_validate.add_argument("--samples", type=int, default=60000)
+    p_validate.add_argument("--seed", type=int, default=0)
+
+    p_report = sub.add_parser(
+        "report", help="regenerate every table and figure as one markdown report"
+    )
+    p_report.add_argument("--lastfm-scale", type=float, default=0.15)
+    p_report.add_argument("--flixster-scale", type=float, default=0.008)
+    p_report.add_argument("--repeats", type=int, default=3)
+    p_report.add_argument("--seed", type=int, default=0)
+    p_report.add_argument(
+        "--output", default=None, help="write to this file instead of stdout"
+    )
+    return parser
+
+
+def _cmd_stats(args: argparse.Namespace) -> int:
+    dataset = _resolve_dataset(args)
+    print(format_stats_table([dataset_stats(dataset)]))
+    return 0
+
+
+def _cmd_tradeoff(args: argparse.Namespace) -> int:
+    dataset = _resolve_dataset(args)
+    measures = [get_measure(name) for name in args.measures]
+    cells = run_tradeoff(
+        dataset,
+        measures,
+        epsilons=[_parse_epsilon(e) for e in args.epsilons],
+        ns=args.ns,
+        repeats=args.repeats,
+        sample_size=args.sample_size,
+        seed=args.seed,
+    )
+    for n in args.ns:
+        print(format_tradeoff_table(cells, n))
+        print()
+    return 0
+
+
+def _cmd_degree_effect(args: argparse.Namespace) -> int:
+    dataset = _resolve_dataset(args)
+    result = run_degree_effect(
+        dataset,
+        get_measure(args.measure),
+        n=args.n,
+        threshold=args.threshold,
+        seed=args.seed,
+    )
+    print(f"dataset: {result.dataset}  measure: {result.measure.upper()}")
+    print(
+        f"NDCG@{result.n} (eps=inf): degree <= {result.threshold}: "
+        f"{result.low_degree_mean:.3f}, degree > {result.threshold}: "
+        f"{result.high_degree_mean:.3f}"
+    )
+    return 0
+
+
+def _cmd_compare(args: argparse.Namespace) -> int:
+    dataset = _resolve_dataset(args)
+    measures = [get_measure(name) for name in args.measures]
+    cells = run_comparison(
+        dataset,
+        measures,
+        epsilons=[_parse_epsilon(e) for e in args.epsilons],
+        n=args.n,
+        repeats=args.repeats,
+        sample_size=args.sample_size,
+        seed=args.seed,
+    )
+    print(format_comparison_table(cells))
+    return 0
+
+
+def _cmd_attack(args: argparse.Namespace) -> int:
+    dataset = _resolve_dataset(args)
+    measure_name = args.measure
+    victim = args.victim
+    if victim is None:
+        # Pick the first user that actually has preferences to leak.
+        for user in dataset.social.users():
+            if (
+                dataset.preferences.has_user(user)
+                and dataset.preferences.user_degree(user) > 0
+            ):
+                victim = user
+                break
+    if victim is None:
+        print("no user with preference edges found", file=sys.stderr)
+        return 1
+
+    non_private = run_attack_experiment(
+        dataset.social,
+        dataset.preferences,
+        victim,
+        lambda: SocialRecommender(get_measure(measure_name), n=args.top_n),
+        top_n=args.top_n,
+    )
+    private = run_attack_experiment(
+        dataset.social,
+        dataset.preferences,
+        victim,
+        lambda: PrivateSocialRecommender(
+            get_measure(measure_name), epsilon=args.epsilon, n=args.top_n,
+            seed=args.seed,
+        ),
+        top_n=args.top_n,
+    )
+    print(f"Sybil attack against victim {victim!r} "
+          f"({len(non_private.actual)} private preference edges)")
+    print(
+        f"  non-private recommender: recall={non_private.recall:.2f} "
+        f"precision={non_private.precision:.2f}"
+    )
+    print(
+        f"  private (eps={args.epsilon:g}):    recall={private.recall:.2f} "
+        f"precision={private.precision:.2f}"
+    )
+    return 0
+
+
+def _cmd_analyze(args: argparse.Namespace) -> int:
+    """Print the structural properties the dataset substitution rests on."""
+    import numpy as np
+
+    from repro.graph.analysis import (
+        average_clustering_coefficient,
+        community_size_profile,
+        degree_histogram,
+        sampled_path_length,
+    )
+
+    dataset = _resolve_dataset(args)
+    graph = dataset.social
+    print(f"dataset: {dataset.name}")
+    print(f"users: {graph.num_users:,}   social edges: {graph.num_edges:,}")
+    degrees = sorted(graph.degrees().values())
+    if degrees:
+        print(
+            f"degree: min {degrees[0]}, median {degrees[len(degrees) // 2]}, "
+            f"mean {graph.average_degree():.1f}, max {degrees[-1]}"
+        )
+    histogram = degree_histogram(graph)
+    low = sum(count for degree, count in histogram.items() if degree <= 10)
+    print(f"users with degree <= 10: {low} ({low / max(len(degrees), 1):.0%})")
+    print(
+        f"avg clustering coefficient: "
+        f"{average_clustering_coefficient(graph):.3f}"
+    )
+    length = sampled_path_length(
+        graph, samples=args.path_samples, rng=np.random.default_rng(args.seed)
+    )
+    print(f"sampled mean path length: {length:.2f}")
+    profile = community_size_profile(
+        graph, runs=args.louvain_runs, seed=args.seed
+    )
+    preview = ", ".join(str(s) for s in profile.sizes[:10])
+    if len(profile.sizes) > 10:
+        preview += ", ..."
+    print(
+        f"louvain: {profile.num_clusters} communities "
+        f"(Q={profile.modularity:.3f}); sizes [{preview}]; "
+        f"largest holds {profile.largest_fraction:.1%} of users"
+    )
+    return 0
+
+
+def _cmd_validate(args: argparse.Namespace) -> int:
+    """Monte-Carlo check that module A_w's release respects its epsilon."""
+    from repro.community.clustering import Clustering
+    from repro.core.cluster_weights import noisy_cluster_item_weights
+    from repro.graph.preference_graph import PreferenceGraph
+    from repro.privacy.validation import estimate_privacy_loss
+
+    size = max(1, args.cluster_size)
+    clustering = Clustering([list(range(size))])
+    base = PreferenceGraph()
+    base.add_users(range(size))
+    base.add_edge(0, "item")
+    neighbour = base.with_edge(size - 1, "item") if size > 1 else base.copy()
+    if size == 1:
+        neighbour = base.without_edge(0, "item")
+
+    def mechanism(prefs, rng):
+        released = noisy_cluster_item_weights(
+            prefs, clustering, args.epsilon, rng=rng
+        )
+        return released.weight("item", 0)
+
+    estimate = estimate_privacy_loss(
+        mechanism, base, neighbour, samples=args.samples, seed=args.seed
+    )
+    verdict = "OK" if estimate.is_consistent_with(args.epsilon) else "VIOLATION"
+    print(
+        f"claimed epsilon: {args.epsilon:g}   cluster size: {size}\n"
+        f"empirical lower bound: {estimate.epsilon_lower_bound:.4f} "
+        f"({estimate.samples} samples, {estimate.buckets_compared} buckets)\n"
+        f"verdict: {verdict}"
+    )
+    return 0 if verdict == "OK" else 1
+
+
+def _cmd_report(args: argparse.Namespace) -> int:
+    from repro.experiments.report import ReportConfig, generate_report
+
+    config = ReportConfig(
+        lastfm_scale=args.lastfm_scale,
+        flixster_scale=args.flixster_scale,
+        repeats=args.repeats,
+        seed=args.seed,
+    )
+    report = generate_report(config)
+    if args.output:
+        with open(args.output, "w", encoding="utf-8") as handle:
+            handle.write(report)
+        print(f"report written to {args.output}")
+    else:
+        print(report)
+    return 0
+
+
+_COMMANDS = {
+    "stats": _cmd_stats,
+    "tradeoff": _cmd_tradeoff,
+    "degree-effect": _cmd_degree_effect,
+    "compare": _cmd_compare,
+    "attack": _cmd_attack,
+    "report": _cmd_report,
+    "validate": _cmd_validate,
+    "analyze": _cmd_analyze,
+}
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    args = build_parser().parse_args(argv)
+    return _COMMANDS[args.command](args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

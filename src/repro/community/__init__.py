@@ -1,0 +1,42 @@
+"""Community detection and clustering strategies (paper Section 5.1.2).
+
+The framework's noise reduction comes from grouping users into disjoint
+clusters derived *only* from the public social graph.  This package
+provides:
+
+- :class:`Clustering` — the validated disjoint-cover-of-users value type
+  consumed by the private recommender,
+- :func:`louvain` / :class:`LouvainResult` — the Louvain method (Blondel et
+  al. 2008) with the multi-level refinement of Rotta & Noack (2011), the
+  clustering strategy the paper adopts,
+- :func:`modularity` — Eq. 8 of the paper,
+- alternative strategies (random, singleton, single-cluster, degree
+  buckets, label propagation) used as baselines and ablations.
+"""
+
+from repro.community.clustering import Clustering
+from repro.community.label_propagation import label_propagation_clustering
+from repro.community.louvain import LouvainResult, best_louvain_clustering, louvain
+from repro.community.modularity import modularity
+from repro.community.postprocess import merge_small_clusters, split_large_clusters
+from repro.community.strategies import (
+    degree_bucket_clustering,
+    random_clustering,
+    single_cluster_clustering,
+    singleton_clustering,
+)
+
+__all__ = [
+    "Clustering",
+    "louvain",
+    "best_louvain_clustering",
+    "LouvainResult",
+    "modularity",
+    "random_clustering",
+    "singleton_clustering",
+    "single_cluster_clustering",
+    "degree_bucket_clustering",
+    "label_propagation_clustering",
+    "merge_small_clusters",
+    "split_large_clusters",
+]

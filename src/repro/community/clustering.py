@@ -1,0 +1,170 @@
+"""The :class:`Clustering` value type: a disjoint partition of the users.
+
+Algorithm 1 requires the clusters to (a) cover every user and (b) be
+mutually disjoint — both are essential to the privacy proof (parallel
+composition over clusters relies on each preference edge landing in exactly
+one cluster average).  The constructor validates both properties so a
+malformed clustering can never silently reach the mechanism.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, Iterable, Iterator, List, Optional, Sequence, Set
+
+from repro.exceptions import ClusteringError
+from repro.types import UserId
+
+__all__ = ["Clustering"]
+
+
+class Clustering:
+    """An immutable partition of a user set into disjoint clusters.
+
+    Args:
+        clusters: the member sets.  Empty clusters are rejected.
+        universe: if given, the clustering must cover exactly this user set;
+            otherwise the universe is taken to be the union of the clusters.
+
+    Raises:
+        ClusteringError: on overlap, empty clusters, or coverage mismatch.
+    """
+
+    __slots__ = ("_clusters", "_assignment")
+
+    def __init__(
+        self,
+        clusters: Sequence[Iterable[UserId]],
+        universe: Optional[Iterable[UserId]] = None,
+    ) -> None:
+        frozen: List[FrozenSet[UserId]] = []
+        assignment: Dict[UserId, int] = {}
+        for index, members in enumerate(clusters):
+            cluster = frozenset(members)
+            if not cluster:
+                raise ClusteringError(f"cluster {index} is empty")
+            for user in cluster:
+                if user in assignment:
+                    raise ClusteringError(
+                        f"user {user!r} appears in clusters "
+                        f"{assignment[user]} and {index}"
+                    )
+                assignment[user] = index
+            frozen.append(cluster)
+        if universe is not None:
+            expected = set(universe)
+            actual = set(assignment)
+            if expected != actual:
+                missing = expected - actual
+                extra = actual - expected
+                raise ClusteringError(
+                    f"clustering does not cover the universe: "
+                    f"{len(missing)} users missing, {len(extra)} unexpected"
+                )
+        self._clusters: tuple = tuple(frozen)
+        self._assignment = assignment
+
+    # ------------------------------------------------------------------
+    # constructors
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_assignment(cls, assignment: Dict[UserId, int]) -> "Clustering":
+        """Build from a ``user -> label`` mapping; labels may be arbitrary."""
+        groups: Dict[int, Set[UserId]] = {}
+        for user, label in assignment.items():
+            groups.setdefault(label, set()).add(user)
+        # Sort labels for a deterministic cluster order where possible.
+        try:
+            ordered = sorted(groups)
+        except TypeError:
+            ordered = list(groups)
+        return cls([groups[label] for label in ordered])
+
+    # ------------------------------------------------------------------
+    # queries
+    # ------------------------------------------------------------------
+    @property
+    def num_clusters(self) -> int:
+        return len(self._clusters)
+
+    @property
+    def num_users(self) -> int:
+        return len(self._assignment)
+
+    def __len__(self) -> int:
+        return len(self._clusters)
+
+    def __iter__(self) -> Iterator[FrozenSet[UserId]]:
+        return iter(self._clusters)
+
+    def __getitem__(self, index: int) -> FrozenSet[UserId]:
+        return self._clusters[index]
+
+    def __contains__(self, user: UserId) -> bool:
+        return user in self._assignment
+
+    def clusters(self) -> List[FrozenSet[UserId]]:
+        """All clusters, in construction order."""
+        return list(self._clusters)
+
+    def cluster_of(self, user: UserId) -> int:
+        """The index of the cluster containing ``user``.
+
+        Raises:
+            ClusteringError: if the user is not covered.
+        """
+        try:
+            return self._assignment[user]
+        except KeyError:
+            raise ClusteringError(f"user {user!r} is not in any cluster") from None
+
+    def members_of(self, index: int) -> FrozenSet[UserId]:
+        """The members of cluster ``index``."""
+        return self._clusters[index]
+
+    def size_of(self, index: int) -> int:
+        """``size(c)`` in Algorithm 1: the number of users in the cluster."""
+        return len(self._clusters[index])
+
+    def sizes(self) -> List[int]:
+        """All cluster sizes, in construction order."""
+        return [len(c) for c in self._clusters]
+
+    def assignment(self) -> Dict[UserId, int]:
+        """A copy of the ``user -> cluster index`` mapping."""
+        return dict(self._assignment)
+
+    def users(self) -> Set[UserId]:
+        """All covered users."""
+        return set(self._assignment)
+
+    def co_clustered(self, u: UserId, v: UserId) -> bool:
+        """Whether two users share a cluster."""
+        return self.cluster_of(u) == self.cluster_of(v)
+
+    def restricted_to(self, users: Iterable[UserId]) -> "Clustering":
+        """The clustering induced on a subset of the users.
+
+        Clusters that lose all members disappear.
+        """
+        keep = set(users)
+        reduced = [c & keep for c in self._clusters]
+        return Clustering([c for c in reduced if c])
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Clustering):
+            return NotImplemented
+        # Partitions are equal when the same groups exist, order-insensitively.
+        return set(self._clusters) == set(other._clusters)
+
+    def __hash__(self) -> int:
+        return hash(frozenset(self._clusters))
+
+    def __repr__(self) -> str:
+        sizes = self.sizes()
+        preview = ", ".join(str(s) for s in sizes[:8])
+        if len(sizes) > 8:
+            preview += ", ..."
+        return (
+            f"{type(self).__name__}(num_clusters={self.num_clusters}, "
+            f"num_users={self.num_users}, sizes=[{preview}])"
+        )

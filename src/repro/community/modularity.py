@@ -1,0 +1,60 @@
+"""Modularity of a clustering (paper Eq. 8).
+
+``Q(Phi) = sum_c [ |E_c| / |E_s| - (sum_{u in c} deg(u) / (2|E_s|))^2 ]``
+
+(The paper's Eq. 8 writes ``|E_c| / 2|E_s|`` with ``E_c`` counting each
+intra-cluster edge from both endpoints; we count undirected edges once and
+divide by ``|E_s|``, which is the same quantity.)
+
+Modularity compares the density of intra-cluster edges against the expected
+density in a degree-preserving random rewiring; it is the objective the
+Louvain method greedily maximises.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from repro.community.clustering import Clustering
+from repro.exceptions import ClusteringError
+from repro.graph.social_graph import SocialGraph
+from repro.types import UserId
+
+__all__ = ["modularity"]
+
+
+def modularity(graph: SocialGraph, clustering: Clustering) -> float:
+    """The modularity ``Q`` of ``clustering`` on ``graph``.
+
+    Args:
+        graph: the social graph.
+        clustering: a partition covering exactly the graph's users.
+
+    Returns:
+        Q in [-0.5, 1.0]; 0.0 for a graph with no edges.
+
+    Raises:
+        ClusteringError: if the clustering does not cover the graph's users.
+    """
+    if clustering.users() != set(graph.users()):
+        raise ClusteringError("clustering must cover exactly the graph's users")
+    m = graph.num_edges
+    if m == 0:
+        return 0.0
+
+    intra: Dict[int, int] = {}
+    degree_sum: Dict[int, int] = {}
+    cluster_of = clustering.cluster_of
+    for u in graph.users():
+        c = cluster_of(u)
+        degree_sum[c] = degree_sum.get(c, 0) + graph.degree(u)
+    for u, v in graph.edges():
+        cu, cv = cluster_of(u), cluster_of(v)
+        if cu == cv:
+            intra[cu] = intra.get(cu, 0) + 1
+
+    two_m = 2.0 * m
+    q = 0.0
+    for c in range(clustering.num_clusters):
+        q += intra.get(c, 0) / m - (degree_sum.get(c, 0) / two_m) ** 2
+    return q

@@ -1,0 +1,131 @@
+"""Clustering post-processing heuristics (paper Section 7, future work).
+
+The paper proposes "post-processing heuristics to clean up the clustering
+by, for example, pruning low-quality clusters".  Two heuristics are
+provided:
+
+- :func:`merge_small_clusters` — absorb clusters below a minimum size into
+  the neighbouring cluster they share the most social edges with.  Small
+  clusters are the framework's worst case: their averages carry noise of
+  scale ``1/(|c| eps)``, so a size-1 cluster is as noisy as raw NOE.
+- :func:`split_large_clusters` — re-run Louvain *inside* clusters above a
+  maximum size.  Oversized clusters are the opposite failure: their
+  averages wash out the tastes of members whose similarity sets are a
+  small fraction of the cluster (the paper's Figure 3 effect).
+
+Both operate only on the public social graph, so composing them with any
+public-graph strategy keeps the framework's privacy guarantee intact.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from repro.community.clustering import Clustering
+from repro.graph.social_graph import SocialGraph
+
+__all__ = ["merge_small_clusters", "split_large_clusters"]
+
+
+def merge_small_clusters(
+    clustering: Clustering,
+    graph: SocialGraph,
+    min_size: int,
+) -> Clustering:
+    """Merge every cluster smaller than ``min_size`` into a neighbour.
+
+    The target is the other cluster with the most social edges to the
+    small cluster's members; a small cluster with no outside edges (an
+    isolated component) merges with the largest other small-or-regular
+    cluster only if edges exist — otherwise it is left alone, since no
+    social evidence links it anywhere.
+
+    Args:
+        clustering: the input partition (not modified).
+        graph: the public social graph.
+        min_size: clusters strictly smaller than this are merged.
+
+    Returns:
+        A new partition; clusters are the surviving groups.
+
+    Raises:
+        ValueError: if ``min_size`` < 1.
+    """
+    if min_size < 1:
+        raise ValueError(f"min_size must be >= 1, got {min_size}")
+    assignment = clustering.assignment()
+    sizes: Dict[int, int] = {
+        i: clustering.size_of(i) for i in range(clustering.num_clusters)
+    }
+    # Process smallest clusters first so chains of tiny clusters coalesce.
+    order = sorted(sizes, key=lambda c: sizes[c])
+    for cluster in order:
+        if sizes[cluster] >= min_size or sizes[cluster] == 0:
+            continue
+        members = [u for u, c in assignment.items() if c == cluster]
+        edge_counts: Dict[int, int] = {}
+        for u in members:
+            if u not in graph:
+                continue
+            for nbr in graph.neighbors(u):
+                target = assignment.get(nbr)
+                if target is not None and target != cluster:
+                    edge_counts[target] = edge_counts.get(target, 0) + 1
+        if not edge_counts:
+            continue  # socially isolated cluster: leave it alone
+        best = max(sorted(edge_counts), key=lambda c: edge_counts[c])
+        for u in members:
+            assignment[u] = best
+        sizes[best] += sizes[cluster]
+        sizes[cluster] = 0
+    return Clustering.from_assignment(assignment)
+
+
+def split_large_clusters(
+    clustering: Clustering,
+    graph: SocialGraph,
+    max_size: int,
+    rng: Optional[np.random.Generator] = None,
+) -> Clustering:
+    """Split clusters above ``max_size`` by clustering their subgraphs.
+
+    Louvain re-runs on the induced subgraph of each oversized cluster; if
+    it finds no finer structure (a single community), the cluster is kept
+    as is.
+
+    Args:
+        clustering: the input partition (not modified).
+        graph: the public social graph.
+        max_size: clusters strictly larger than this are split.
+        rng: random source for the inner Louvain runs.
+
+    Raises:
+        ValueError: if ``max_size`` < 1.
+    """
+    from repro.community.louvain import louvain
+
+    if max_size < 1:
+        raise ValueError(f"max_size must be >= 1, got {max_size}")
+    if rng is None:
+        rng = np.random.default_rng(0)
+    groups: List[List] = []
+    for index in range(clustering.num_clusters):
+        members = clustering.members_of(index)
+        if len(members) <= max_size:
+            groups.append(list(members))
+            continue
+        in_graph = [u for u in members if u in graph]
+        outside = [u for u in members if u not in graph]
+        sub = graph.subgraph(in_graph)
+        result = louvain(sub, rng=rng)
+        if result.clustering.num_clusters <= 1:
+            groups.append(list(members))
+            continue
+        sub_groups = [list(c) for c in result.clustering]
+        # Members outside the graph stay with the largest fragment.
+        if outside:
+            sub_groups[int(np.argmax([len(g) for g in sub_groups]))].extend(outside)
+        groups.extend(sub_groups)
+    return Clustering(groups)

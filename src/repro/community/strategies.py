@@ -1,0 +1,99 @@
+"""Non-community clustering strategies, used as baselines and ablations.
+
+The paper argues that community structure is what makes the cluster-based
+mechanism accurate.  These strategies hold everything else fixed while
+replacing the clustering, which is how the ablation benchmarks isolate the
+contribution of community detection:
+
+- :func:`random_clustering` — the strawman discussed in Section 5.1.2
+  (random edge grouping, no regard for similarity structure),
+- :func:`singleton_clustering` — every user alone; the framework then
+  degenerates to the NOE baseline (noise of scale 1/eps on every edge),
+- :func:`single_cluster_clustering` — everyone together; minimal noise,
+  maximal approximation error,
+- :func:`degree_bucket_clustering` — group users by social degree, a
+  plausible-but-wrong heuristic that ignores *who* the neighbors are.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from repro.community.clustering import Clustering
+from repro.graph.social_graph import SocialGraph
+from repro.types import UserId
+
+__all__ = [
+    "random_clustering",
+    "singleton_clustering",
+    "single_cluster_clustering",
+    "degree_bucket_clustering",
+]
+
+
+def random_clustering(
+    users: Sequence[UserId],
+    num_clusters: int,
+    rng: Optional[np.random.Generator] = None,
+) -> Clustering:
+    """Partition ``users`` into ``num_clusters`` near-equal random groups.
+
+    Raises:
+        ValueError: if ``num_clusters`` is not in ``[1, len(users)]``.
+    """
+    if not 1 <= num_clusters <= len(users):
+        raise ValueError(
+            f"num_clusters must be in [1, {len(users)}], got {num_clusters}"
+        )
+    if rng is None:
+        rng = np.random.default_rng(0)
+    order = list(users)
+    rng.shuffle(order)
+    groups: List[List[UserId]] = [[] for _ in range(num_clusters)]
+    for position, user in enumerate(order):
+        groups[position % num_clusters].append(user)
+    return Clustering(groups)
+
+
+def singleton_clustering(users: Sequence[UserId]) -> Clustering:
+    """Every user in a cluster of one (degenerates the framework to NOE)."""
+    return Clustering([[u] for u in users])
+
+
+def single_cluster_clustering(users: Sequence[UserId]) -> Clustering:
+    """All users in one cluster (minimal noise, maximal averaging error).
+
+    Raises:
+        ValueError: if ``users`` is empty (a clustering cannot have an
+            empty cluster).
+    """
+    if not users:
+        raise ValueError("cannot build a single cluster over zero users")
+    return Clustering([list(users)])
+
+
+def degree_bucket_clustering(graph: SocialGraph, num_buckets: int) -> Clustering:
+    """Group users into ``num_buckets`` quantile buckets by social degree.
+
+    Users are sorted by ``(degree, user-insertion-order)`` and sliced into
+    contiguous near-equal buckets, so the split is deterministic.
+
+    Raises:
+        ValueError: if the graph is empty or ``num_buckets`` is invalid.
+    """
+    users = graph.users()
+    if not users:
+        raise ValueError("cannot cluster an empty graph")
+    if not 1 <= num_buckets <= len(users):
+        raise ValueError(
+            f"num_buckets must be in [1, {len(users)}], got {num_buckets}"
+        )
+    position = {u: i for i, u in enumerate(users)}
+    ranked = sorted(users, key=lambda u: (graph.degree(u), position[u]))
+    buckets: List[List[UserId]] = [[] for _ in range(num_buckets)]
+    size = len(ranked) / num_buckets
+    for i, user in enumerate(ranked):
+        buckets[min(int(i / size), num_buckets - 1)].append(user)
+    return Clustering([b for b in buckets if b])

@@ -1,0 +1,19 @@
+"""Competitor mechanisms the paper compares against (Section 6.4).
+
+- :class:`LowRankMechanism` — adaptation of the Low-Rank Mechanism of
+  Yuan et al. (PVLDB 2012): factor the similarity workload ``W ~ B L``,
+  noise the compressed answers ``L D_i``, reconstruct through ``B``.
+- :class:`GroupAndSmooth` — adaptation of the grouping-and-smoothing
+  approach of Kellaris & Papadopoulos (PVLDB 2013): private rough utility
+  estimates guide a grouping of the true answers; each group is replaced by
+  its noisy mean.
+
+Both are NOU-style mechanisms — they perturb the utility answers rather
+than the edges — and both inherit NOU's crippling sensitivity, which is the
+point the paper's Figure 4 makes.
+"""
+
+from repro.competitors.gs import GroupAndSmooth
+from repro.competitors.lrm import LowRankMechanism
+
+__all__ = ["LowRankMechanism", "GroupAndSmooth"]

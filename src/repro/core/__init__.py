@@ -1,0 +1,36 @@
+"""Recommenders: the non-private model and its private counterparts.
+
+- :class:`SocialRecommender` — the non-private top-N social recommender of
+  Definitions 3/4: ``mu_u^i = sum_{v in sim(u)} sim(u,v) * w(v,i)``.
+- :class:`PrivateSocialRecommender` — **the paper's contribution**
+  (Algorithm 1): cluster users by social community structure, release noisy
+  per-cluster average weights, estimate utilities from the averages.
+- :class:`NoiseOnUtility` (NOU) and :class:`NoiseOnEdges` (NOE) — the two
+  strawman baselines of Section 5.1.1.
+
+All recommenders share the :class:`BaseRecommender` interface: ``fit`` on a
+``(SocialGraph, PreferenceGraph)`` pair, then ``utilities`` / ``recommend``
+/ ``recommend_all``.
+"""
+
+from repro.core.base import BaseRecommender, FittedState
+from repro.core.baselines import NoiseOnEdges, NoiseOnUtility
+from repro.core.batch import batch_recommend_all
+from repro.core.cluster_weights import NoisyClusterWeights, noisy_cluster_item_weights
+from repro.core.persistence import PublishedRelease, ReleaseServer
+from repro.core.private import PrivateSocialRecommender
+from repro.core.recommender import SocialRecommender
+
+__all__ = [
+    "BaseRecommender",
+    "FittedState",
+    "SocialRecommender",
+    "PrivateSocialRecommender",
+    "NoiseOnUtility",
+    "NoiseOnEdges",
+    "NoisyClusterWeights",
+    "noisy_cluster_item_weights",
+    "batch_recommend_all",
+    "PublishedRelease",
+    "ReleaseServer",
+]

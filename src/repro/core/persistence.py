@@ -1,0 +1,219 @@
+"""Persisting and serving the framework's sanitised release.
+
+Differential privacy's post-processing guarantee means the noisy
+per-cluster averages — together with the (public) clustering — are a
+*publishable artifact*: once released at privacy cost epsilon, anyone can
+serve recommendations from them forever, against any snapshot of the
+public social graph, without touching the private preference data again.
+
+- :class:`PublishedRelease` — the artifact: noisy weight matrix, item
+  order, cluster assignment, and provenance (epsilon, measure name,
+  weight cap).  Saves to / loads from a single ``.npz`` file.
+- :class:`ReleaseServer` — serves top-N recommendations from a loaded
+  artifact plus the public social graph.  No preference graph needed.
+
+Identifiers must be JSON-representable (int or str) to persist; the
+synthetic datasets and the HetRec loaders use ints throughout.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from repro.community.clustering import Clustering
+from repro.core.cluster_weights import NoisyClusterWeights
+from repro.core.private import PrivateSocialRecommender
+from repro.exceptions import DatasetError, PrivacyError
+from repro.graph.social_graph import SocialGraph
+from repro.metrics.ranking import rank_items
+from repro.similarity.base import SimilarityCache, SimilarityMeasure, get_measure
+from repro.types import ItemId, RecommendationList, UserId, as_recommendation_list
+
+__all__ = ["PublishedRelease", "ReleaseServer"]
+
+_FORMAT_VERSION = 1
+
+
+def _check_json_ids(values, kind: str) -> None:
+    for value in values:
+        if not isinstance(value, (int, str)):
+            raise DatasetError(
+                f"{kind} identifier {value!r} is not persistable; "
+                f"only int and str identifiers can be saved"
+            )
+
+
+@dataclass(frozen=True)
+class PublishedRelease:
+    """The sanitised, publishable output of one framework run.
+
+    Attributes:
+        weights: the noisy cluster-average matrix with its item order and
+            clustering.
+        measure_name: registry name of the similarity measure the release
+            was intended for (serving with another public measure is
+            privacy-safe but changes semantics).
+        max_weight: the weight cap used by the mechanism.
+    """
+
+    weights: NoisyClusterWeights
+    measure_name: str
+    max_weight: float
+
+    @classmethod
+    def from_recommender(
+        cls, recommender: PrivateSocialRecommender
+    ) -> "PublishedRelease":
+        """Extract the publishable artifact from a fitted recommender.
+
+        Raises:
+            PrivacyError: if the recommender has not been fitted (there is
+                nothing released yet).
+        """
+        if recommender.noisy_weights_ is None:
+            raise PrivacyError(
+                "recommender must be fitted before extracting a release"
+            )
+        return cls(
+            weights=recommender.noisy_weights_,
+            measure_name=recommender.measure.name,
+            max_weight=recommender.max_weight,
+        )
+
+    @property
+    def epsilon(self) -> float:
+        """The privacy cost the release satisfied."""
+        return self.weights.epsilon
+
+    # ------------------------------------------------------------------
+    # persistence
+    # ------------------------------------------------------------------
+    def save(self, path: str) -> None:
+        """Write the artifact to ``path`` (numpy ``.npz`` container).
+
+        Raises:
+            DatasetError: for identifiers that cannot be represented in
+                JSON metadata.
+        """
+        clustering = self.weights.clustering
+        _check_json_ids(self.weights.items, "item")
+        _check_json_ids(clustering.users(), "user")
+        metadata = {
+            "version": _FORMAT_VERSION,
+            "epsilon": None if np.isinf(self.epsilon) else self.epsilon,
+            "measure": self.measure_name,
+            "max_weight": self.max_weight,
+            "items": list(self.weights.items),
+            # JSON keys must be strings; keep the original type tag so
+            # integer user ids round-trip exactly.
+            "assignment": [
+                [user, cluster]
+                for user, cluster in clustering.assignment().items()
+            ],
+        }
+        np.savez_compressed(
+            path,
+            matrix=self.weights.matrix,
+            metadata=np.frombuffer(
+                json.dumps(metadata).encode("utf-8"), dtype=np.uint8
+            ),
+        )
+
+    @classmethod
+    def load(cls, path: str) -> "PublishedRelease":
+        """Read an artifact previously written by :meth:`save`.
+
+        Raises:
+            DatasetError: for unreadable or wrong-version files.
+        """
+        try:
+            archive = np.load(path)
+            matrix = archive["matrix"]
+            metadata = json.loads(bytes(archive["metadata"]).decode("utf-8"))
+        except (OSError, KeyError, ValueError) as exc:
+            raise DatasetError(f"cannot load release from {path!r}: {exc}") from exc
+        if metadata.get("version") != _FORMAT_VERSION:
+            raise DatasetError(
+                f"release file {path!r} has unsupported version "
+                f"{metadata.get('version')!r}"
+            )
+        items: List[ItemId] = [
+            item if isinstance(item, (int, str)) else str(item)
+            for item in metadata["items"]
+        ]
+        assignment: Dict[UserId, int] = {
+            user: int(cluster) for user, cluster in metadata["assignment"]
+        }
+        clustering = Clustering.from_assignment(assignment)
+        epsilon = metadata["epsilon"]
+        weights = NoisyClusterWeights(
+            matrix=matrix,
+            items=items,
+            item_index={item: i for i, item in enumerate(items)},
+            clustering=clustering,
+            epsilon=float("inf") if epsilon is None else float(epsilon),
+        )
+        return cls(
+            weights=weights,
+            measure_name=metadata["measure"],
+            max_weight=float(metadata["max_weight"]),
+        )
+
+    def server(
+        self, social: SocialGraph, measure: Optional[SimilarityMeasure] = None
+    ) -> "ReleaseServer":
+        """Build a :class:`ReleaseServer` over the public social graph."""
+        if measure is None:
+            measure = get_measure(self.measure_name)
+        return ReleaseServer(self, social, measure)
+
+
+class ReleaseServer:
+    """Serves recommendations from a published release and public data.
+
+    The server holds no private preference data at all: everything it
+    reads is the sanitised matrix and the public social graph, so queries
+    are free post-processing.
+    """
+
+    def __init__(
+        self,
+        release: PublishedRelease,
+        social: SocialGraph,
+        measure: SimilarityMeasure,
+    ) -> None:
+        self.release = release
+        self.social = social
+        self.measure = measure
+        self._similarity = SimilarityCache(measure, social)
+
+    def _cluster_similarity_vector(self, user: UserId) -> np.ndarray:
+        clustering = self.release.weights.clustering
+        vector = np.zeros(clustering.num_clusters)
+        for v, score in self._similarity.row(user).items():
+            if v in clustering:
+                vector[clustering.cluster_of(v)] += score
+        return vector
+
+    def utilities(self, user: UserId) -> Dict[ItemId, float]:
+        """Estimated utilities of every released item for ``user``."""
+        weights = self.release.weights
+        estimates = weights.matrix @ self._cluster_similarity_vector(user)
+        return {item: float(estimates[i]) for i, item in enumerate(weights.items)}
+
+    def recommend(self, user: UserId, n: int = 10) -> RecommendationList:
+        """Top-N recommendations for ``user`` from the release.
+
+        Raises:
+            ValueError: if ``n`` < 1.
+            NodeNotFoundError: if the user is not in the social graph.
+        """
+        if n < 1:
+            raise ValueError(f"n must be >= 1, got {n}")
+        scores = self.utilities(user)
+        ranked = rank_items(scores, n=n)
+        return as_recommendation_list(user, [(i, scores[i]) for i in ranked])

@@ -1,0 +1,50 @@
+"""The non-private top-N social recommender (paper Definitions 3 and 4).
+
+For each target user ``u`` the utility of item ``i`` is
+
+    mu_u^i = sum_{v in sim(u)} sim(u, v) * w(v, i)
+
+computed exactly, with full access to the private preference edges.  This
+is the reference model ``A``: the private recommenders approximate it, and
+NDCG scores every private ranking against the utilities computed here.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from repro.core.base import BaseRecommender
+from repro.types import ItemId, UserId
+
+__all__ = ["SocialRecommender"]
+
+
+class SocialRecommender(BaseRecommender):
+    """Exact (non-private) personalised social recommender.
+
+    Example:
+        >>> from repro.similarity import CommonNeighbors
+        >>> from repro.graph import SocialGraph, PreferenceGraph
+        >>> social = SocialGraph([(1, 2), (2, 3), (1, 3)])
+        >>> prefs = PreferenceGraph([(1, "a"), (3, "a"), (3, "b")])
+        >>> rec = SocialRecommender(CommonNeighbors(), n=2)
+        >>> rec.fit(social, prefs).recommend(2).item_ids()
+        ['a', 'b']
+    """
+
+    def utilities(self, user: UserId) -> Dict[ItemId, float]:
+        """Exact utilities of all items with non-zero score for ``user``.
+
+        Items no similar user prefers are omitted — their utility is zero
+        by Definition 3, and including the full (huge, sparse) item universe
+        would only slow ranking down.  Ranking treats missing items as
+        zero-utility, matching the paper.
+        """
+        state = self.state
+        scores: Dict[ItemId, float] = {}
+        for v, sim_score in state.similarity.row(user).items():
+            if not state.preferences.has_user(v):
+                continue
+            for item, weight in state.preferences.items_of(v).items():
+                scores[item] = scores.get(item, 0.0) + sim_score * weight
+        return scores

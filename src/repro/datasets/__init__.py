@@ -1,0 +1,26 @@
+"""Datasets: containers, synthetic builders, statistics, disk loaders.
+
+The paper evaluates on crawls of Last.fm (HetRec 2011) and Flixster, which
+cannot be redistributed with this reproduction.  The builders in
+:mod:`repro.datasets.synthetic` generate datasets matched to the structural
+properties that drive the framework's behaviour (community structure,
+degree distributions, preference sparsity, item-popularity skew); see
+DESIGN.md §4 for the substitution argument.  If you have the original
+crawls on disk, :mod:`repro.datasets.loader` loads them in HetRec format
+and applies the paper's exact pre-processing.
+"""
+
+from repro.datasets.dataset import SocialRecDataset
+from repro.datasets.loader import load_dataset_directory, preprocess_paper_style
+from repro.datasets.stats import DatasetStats, dataset_stats, format_stats_table
+from repro.datasets.synthetic import SyntheticDatasetSpec
+
+__all__ = [
+    "SocialRecDataset",
+    "SyntheticDatasetSpec",
+    "DatasetStats",
+    "dataset_stats",
+    "format_stats_table",
+    "load_dataset_directory",
+    "preprocess_paper_style",
+]

@@ -1,0 +1,60 @@
+"""The dataset container shared by experiments, examples, and benchmarks."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+from repro.exceptions import DatasetError
+from repro.graph.preference_graph import PreferenceGraph
+from repro.graph.social_graph import SocialGraph
+from repro.types import UserId
+
+__all__ = ["SocialRecDataset"]
+
+
+@dataclass
+class SocialRecDataset:
+    """A named (social graph, preference graph) pair.
+
+    Attributes:
+        name: a human-readable label used in tables and logs.
+        social: the public social graph ``G_s``.
+        preferences: the private preference graph ``G_p``.
+    """
+
+    name: str
+    social: SocialGraph
+    preferences: PreferenceGraph
+
+    def validate(self) -> None:
+        """Check basic consistency between the two graphs.
+
+        Every preference-graph user should also exist in the social graph —
+        the framework tolerates stragglers (they get singleton clusters),
+        but a large mismatch usually indicates a loading bug.
+
+        Raises:
+            DatasetError: when any preference user is missing from the
+                social graph.
+        """
+        missing = [u for u in self.preferences.users() if u not in self.social]
+        if missing:
+            raise DatasetError(
+                f"dataset {self.name!r}: {len(missing)} preference-graph "
+                f"users are missing from the social graph "
+                f"(first few: {missing[:5]!r})"
+            )
+
+    def users(self) -> List[UserId]:
+        """The social-graph users (the recommendation targets)."""
+        return self.social.users()
+
+    def __repr__(self) -> str:
+        return (
+            f"{type(self).__name__}(name={self.name!r}, "
+            f"users={self.social.num_users}, "
+            f"social_edges={self.social.num_edges}, "
+            f"items={self.preferences.num_items}, "
+            f"preference_edges={self.preferences.num_edges})"
+        )

@@ -1,0 +1,101 @@
+"""Loading real crawls from disk, with the paper's exact pre-processing.
+
+If you have the HetRec 2011 Last.fm files (``user_friends.dat``,
+``user_artists.dat``) or Flixster dumps in the same two-file shape, point
+:func:`load_dataset_directory` at the directory and it will apply the
+Section 6.1 pipeline: keep the main connected component (Flixster-style)
+or all components (Last.fm-style), drop weak preference edges, binarise
+the remainder.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Optional
+
+from repro.datasets.dataset import SocialRecDataset
+from repro.exceptions import DatasetError
+from repro.graph.components import largest_component
+from repro.graph.io import read_preference_graph, read_social_graph
+from repro.graph.preference_graph import PreferenceGraph
+from repro.graph.social_graph import SocialGraph
+
+__all__ = ["load_dataset_directory", "preprocess_paper_style"]
+
+
+def preprocess_paper_style(
+    social: SocialGraph,
+    preferences: PreferenceGraph,
+    name: str,
+    min_weight: float = 2.0,
+    main_component_only: bool = False,
+) -> SocialRecDataset:
+    """Apply the paper's Section 6.1 pre-processing.
+
+    1. Optionally restrict to the main connected component of the social
+       graph induced by users with at least one preference edge (the
+       Flixster recipe).
+    2. Discard preference edges with weight below ``min_weight`` (the paper
+       drops listened-to counts / ratings < 2).
+    3. Binarise the surviving edges to weight 1.
+
+    Args:
+        social: raw social graph.
+        preferences: raw (weighted) preference graph.
+        name: dataset label.
+        min_weight: threshold below which edges indicate no real preference.
+        main_component_only: apply step 1.
+
+    Raises:
+        DatasetError: when the result has no users.
+    """
+    if main_component_only:
+        with_prefs = [
+            u
+            for u in social.users()
+            if preferences.has_user(u) and preferences.user_degree(u) > 0
+        ]
+        induced = social.subgraph(with_prefs)
+        social = largest_component(induced)
+        preferences = preferences.restricted_to_users(social.users())
+    cleaned = preferences.thresholded(min_weight)
+    cleaned = cleaned.restricted_to_users(
+        [u for u in cleaned.users() if u in social]
+    )
+    for u in social.users():
+        cleaned.add_user(u)
+    if social.num_users == 0:
+        raise DatasetError(f"dataset {name!r} is empty after pre-processing")
+    dataset = SocialRecDataset(name=name, social=social, preferences=cleaned)
+    dataset.validate()
+    return dataset
+
+
+def load_dataset_directory(
+    directory: str,
+    name: Optional[str] = None,
+    social_file: str = "user_friends.dat",
+    preference_file: str = "user_artists.dat",
+    skip_header: bool = True,
+    min_weight: float = 2.0,
+    main_component_only: bool = False,
+) -> SocialRecDataset:
+    """Load a two-file crawl directory and pre-process it paper-style.
+
+    Raises:
+        DatasetError: when either file is missing.
+    """
+    social_path = os.path.join(directory, social_file)
+    preference_path = os.path.join(directory, preference_file)
+    for path in (social_path, preference_path):
+        if not os.path.exists(path):
+            raise DatasetError(f"expected dataset file {path!r} does not exist")
+    social = read_social_graph(social_path, skip_header=skip_header)
+    preferences = read_preference_graph(preference_path, skip_header=skip_header)
+    return preprocess_paper_style(
+        social,
+        preferences,
+        name=name if name is not None else os.path.basename(directory.rstrip("/")),
+        min_weight=min_weight,
+        main_component_only=main_component_only,
+    )

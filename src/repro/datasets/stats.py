@@ -1,0 +1,98 @@
+"""Dataset summary statistics — the quantities of the paper's Table 1."""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.datasets.dataset import SocialRecDataset
+
+__all__ = ["DatasetStats", "dataset_stats", "format_stats_table"]
+
+
+def _mean_std(values: Sequence[float]) -> tuple:
+    if not values:
+        return (0.0, 0.0)
+    mean = sum(values) / len(values)
+    variance = sum((v - mean) ** 2 for v in values) / len(values)
+    return (mean, math.sqrt(variance))
+
+
+@dataclass(frozen=True)
+class DatasetStats:
+    """Summary of a dataset, mirroring the rows of the paper's Table 1.
+
+    Attributes:
+        name: dataset label.
+        num_users: |U|.
+        num_social_edges: |E_s|.
+        avg_user_degree / std_user_degree: social degree statistics.
+        num_items: |I|.
+        num_preference_edges: |E_p|.
+        avg_item_degree / std_item_degree: preferences per item.
+        sparsity: 1 - |E_p| / (|U| * |I|).
+    """
+
+    name: str
+    num_users: int
+    num_social_edges: int
+    avg_user_degree: float
+    std_user_degree: float
+    num_items: int
+    num_preference_edges: int
+    avg_item_degree: float
+    std_item_degree: float
+    sparsity: float
+
+
+def dataset_stats(dataset: SocialRecDataset) -> DatasetStats:
+    """Compute the Table 1 statistics for ``dataset``."""
+    social = dataset.social
+    prefs = dataset.preferences
+    user_degrees = [social.degree(u) for u in social.users()]
+    item_degrees = [prefs.item_degree(i) for i in prefs.items()]
+    avg_user, std_user = _mean_std(user_degrees)
+    avg_item, std_item = _mean_std(item_degrees)
+    return DatasetStats(
+        name=dataset.name,
+        num_users=social.num_users,
+        num_social_edges=social.num_edges,
+        avg_user_degree=avg_user,
+        std_user_degree=std_user,
+        num_items=prefs.num_items,
+        num_preference_edges=prefs.num_edges,
+        avg_item_degree=avg_item,
+        std_item_degree=std_item,
+        sparsity=prefs.sparsity(),
+    )
+
+
+def format_stats_table(stats: Sequence[DatasetStats]) -> str:
+    """Render statistics as a text table shaped like the paper's Table 1."""
+    rows = [
+        ("", [s.name for s in stats]),
+        ("|U|", [f"{s.num_users:,}" for s in stats]),
+        ("|E_s|", [f"{s.num_social_edges:,}" for s in stats]),
+        (
+            "avg. user degree",
+            [f"{s.avg_user_degree:.1f} (std. {s.std_user_degree:.1f})" for s in stats],
+        ),
+        ("|I|", [f"{s.num_items:,}" for s in stats]),
+        ("|E_p|", [f"{s.num_preference_edges:,}" for s in stats]),
+        (
+            "avg. item degree",
+            [f"{s.avg_item_degree:.1f} (std. {s.std_item_degree:.1f})" for s in stats],
+        ),
+        ("sparsity(G_p)", [f"{s.sparsity:.3f}" for s in stats]),
+    ]
+    label_width = max(len(label) for label, _ in rows)
+    col_widths = [
+        max(len(rows[r][1][c]) for r in range(len(rows)))
+        for c in range(len(stats))
+    ]
+    lines = []
+    for label, cells in rows:
+        padded = "  ".join(cell.rjust(col_widths[c]) for c, cell in enumerate(cells))
+        lines.append(f"{label.ljust(label_width)}  {padded}")
+    return "\n".join(lines)

@@ -1,0 +1,93 @@
+"""Exception hierarchy for the :mod:`repro` library.
+
+All exceptions raised deliberately by this library derive from
+:class:`ReproError`, so callers can catch library-specific failures with a
+single ``except`` clause while letting programming errors (``TypeError``,
+``KeyError`` from misuse of internals, etc.) propagate unchanged.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "ReproError",
+    "GraphError",
+    "NodeNotFoundError",
+    "ItemNotFoundError",
+    "EdgeError",
+    "ClusteringError",
+    "PrivacyError",
+    "BudgetExhaustedError",
+    "InvalidEpsilonError",
+    "SimilarityError",
+    "DatasetError",
+    "ExperimentError",
+]
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class GraphError(ReproError):
+    """Structural problem with a social or preference graph."""
+
+
+class NodeNotFoundError(GraphError, KeyError):
+    """A referenced user node does not exist in the graph."""
+
+    def __init__(self, node: object) -> None:
+        super().__init__(f"user node {node!r} not found in graph")
+        self.node = node
+
+
+class ItemNotFoundError(GraphError, KeyError):
+    """A referenced item node does not exist in the preference graph."""
+
+    def __init__(self, item: object) -> None:
+        super().__init__(f"item {item!r} not found in preference graph")
+        self.item = item
+
+
+class EdgeError(GraphError):
+    """An edge is invalid (self-loop, duplicate, negative weight, ...)."""
+
+
+class ClusteringError(ReproError):
+    """A clustering is invalid (not disjoint, does not cover users, ...)."""
+
+
+class PrivacyError(ReproError):
+    """A differential-privacy invariant would be violated."""
+
+
+class InvalidEpsilonError(PrivacyError, ValueError):
+    """The privacy parameter epsilon is not a positive number (or inf)."""
+
+    def __init__(self, epsilon: object) -> None:
+        super().__init__(
+            f"epsilon must be a positive real number or math.inf, got {epsilon!r}"
+        )
+        self.epsilon = epsilon
+
+
+class BudgetExhaustedError(PrivacyError):
+    """A privacy budget does not have enough remaining epsilon."""
+
+    def __init__(self, requested: float, remaining: float) -> None:
+        super().__init__(
+            f"requested epsilon {requested} exceeds remaining budget {remaining}"
+        )
+        self.requested = requested
+        self.remaining = remaining
+
+
+class SimilarityError(ReproError):
+    """A similarity measure was misconfigured or misused."""
+
+
+class DatasetError(ReproError):
+    """A dataset could not be loaded, generated, or validated."""
+
+
+class ExperimentError(ReproError):
+    """An experiment configuration or run is invalid."""

@@ -1,0 +1,108 @@
+"""Terminal line charts for the report and CLI output.
+
+matplotlib is not a dependency of this library, so the report renders its
+figures as compact ASCII charts: one row per series, one column per x
+value, glyph height proportional to the y value.  Good enough to *see* the
+Figure 1/2 degradation curves and the Figure 4 bars in a terminal or a
+markdown code block.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Mapping, Sequence
+
+__all__ = ["line_chart", "bar_chart"]
+
+_LEVELS = " .:-=+*#%@"
+
+
+def _glyph(value: float, lo: float, hi: float) -> str:
+    if math.isnan(value):
+        return "?"
+    if hi <= lo:
+        return _LEVELS[-1]
+    fraction = (value - lo) / (hi - lo)
+    index = min(len(_LEVELS) - 1, max(0, int(round(fraction * (len(_LEVELS) - 1)))))
+    return _LEVELS[index]
+
+
+def line_chart(
+    series: Mapping[str, Sequence[float]],
+    x_labels: Sequence[str],
+    height: int = 8,
+    y_min: float = 0.0,
+    y_max: float = 1.0,
+) -> str:
+    """Render several aligned series as an ASCII chart.
+
+    Args:
+        series: name -> y values, all the same length as ``x_labels``.
+        x_labels: tick labels, printed under the chart.
+        height: chart rows.
+        y_min / y_max: fixed y range (defaults fit NDCG).
+
+    Returns:
+        The chart as a multi-line string.
+
+    Raises:
+        ValueError: on mismatched lengths or an empty chart.
+    """
+    if not series or not x_labels:
+        raise ValueError("series and x_labels must be non-empty")
+    for name, values in series.items():
+        if len(values) != len(x_labels):
+            raise ValueError(
+                f"series {name!r} has {len(values)} values for "
+                f"{len(x_labels)} x labels"
+            )
+    if height < 2:
+        raise ValueError(f"height must be >= 2, got {height}")
+
+    markers = "ox+*sdv^"
+    names = list(series)
+    col_width = max(3, max(len(label) for label in x_labels) + 1)
+    rows = []
+    for level in range(height, 0, -1):
+        threshold = y_min + (y_max - y_min) * level / height
+        prev_threshold = y_min + (y_max - y_min) * (level - 1) / height
+        axis = f"{threshold:5.2f} |"
+        cells = []
+        for col in range(len(x_labels)):
+            glyphs = [
+                markers[s % len(markers)]
+                for s, name in enumerate(names)
+                if prev_threshold < series[name][col] <= threshold
+            ]
+            cell = "".join(glyphs)[: col_width - 1]
+            cells.append(cell.center(col_width))
+        rows.append(axis + "".join(cells))
+    axis_line = "      +" + "-" * (col_width * len(x_labels))
+    label_line = "       " + "".join(label.center(col_width) for label in x_labels)
+    legend = "   ".join(
+        f"{markers[s % len(markers)]}={name}" for s, name in enumerate(names)
+    )
+    return "\n".join([*rows, axis_line, label_line, f"       {legend}"])
+
+
+def bar_chart(
+    values: Mapping[str, float],
+    width: int = 40,
+    y_max: float = 1.0,
+) -> str:
+    """Render name -> value pairs as horizontal ASCII bars.
+
+    Raises:
+        ValueError: for an empty mapping or non-positive width.
+    """
+    if not values:
+        raise ValueError("values must be non-empty")
+    if width < 1:
+        raise ValueError(f"width must be >= 1, got {width}")
+    label_width = max(len(name) for name in values)
+    lines = []
+    for name, value in values.items():
+        filled = 0 if y_max <= 0 else int(round(min(value, y_max) / y_max * width))
+        bar = "#" * filled
+        lines.append(f"{name.rjust(label_width)} |{bar:<{width}}| {value:.3f}")
+    return "\n".join(lines)

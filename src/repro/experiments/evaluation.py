@@ -1,0 +1,192 @@
+"""Shared evaluation machinery for the paper's experiments.
+
+Every experiment follows the same recipe (paper Section 6.2):
+
+1. Fit the *non-private* recommender once and record, per evaluation user,
+   the ideal utilities and the reference top-N ranking.
+2. Fit the candidate (private) recommender, produce its rankings for the
+   same users, and score them with NDCG@N against the reference.
+3. Repeat step 2 over independent noise draws and average (the paper
+   repeats 10 times).
+
+:class:`EvaluationContext` caches step 1 so sweeping epsilon, N, or the
+mechanism never re-pays the exact-recommender cost.  For large datasets it
+supports the paper's Flixster protocol: evaluate a random user subset while
+every user still participates in clustering and utility computation.
+"""
+
+from __future__ import annotations
+
+import statistics
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.core.base import BaseRecommender
+from repro.core.recommender import SocialRecommender
+from repro.datasets.dataset import SocialRecDataset
+from repro.exceptions import ExperimentError
+from repro.metrics.ndcg import average_ndcg
+from repro.similarity.base import SimilarityMeasure
+from repro.types import ItemId, UserId
+
+__all__ = ["EvaluationContext", "evaluate_recommender", "evaluate_factory"]
+
+# A factory builds an unfitted recommender for one repeat; it receives the
+# repeat's noise seed so each repeat draws independent noise.
+RecommenderFactory = Callable[[int], BaseRecommender]
+
+
+@dataclass
+class EvaluationContext:
+    """The cached non-private reference for one (dataset, measure) pair.
+
+    Attributes:
+        dataset: the evaluation dataset.
+        measure: the similarity measure under test.
+        users: the evaluation users (possibly a sample).
+        max_n: the largest N any caller will request.
+        reference_rankings: per-user non-private top-``max_n`` rankings.
+        ideal_utilities: per-user true utility maps.
+    """
+
+    dataset: SocialRecDataset
+    measure: SimilarityMeasure
+    users: List[UserId]
+    max_n: int
+    reference_rankings: Dict[UserId, List[ItemId]] = field(repr=False)
+    ideal_utilities: Dict[UserId, Dict[ItemId, float]] = field(repr=False)
+
+    @classmethod
+    def build(
+        cls,
+        dataset: SocialRecDataset,
+        measure: SimilarityMeasure,
+        max_n: int = 100,
+        sample_size: Optional[int] = None,
+        seed: int = 0,
+    ) -> "EvaluationContext":
+        """Fit the exact recommender and snapshot the reference answers.
+
+        Args:
+            dataset: the evaluation dataset.
+            measure: similarity measure.
+            max_n: largest recommendation-list length to support.
+            sample_size: evaluate only this many randomly chosen users
+                (None = all users).  Matches the paper's 10K-user Flixster
+                sample; the full graph still drives clustering/similarity.
+            seed: sampling seed.
+
+        Raises:
+            ExperimentError: if the dataset has no users, or the sample
+                size is not positive.
+        """
+        all_users = dataset.social.users()
+        if not all_users:
+            raise ExperimentError("cannot evaluate an empty dataset")
+        if sample_size is not None:
+            if sample_size < 1:
+                raise ExperimentError(
+                    f"sample_size must be >= 1, got {sample_size}"
+                )
+            if sample_size < len(all_users):
+                rng = np.random.default_rng(np.random.SeedSequence((seed, 23)))
+                chosen = rng.choice(len(all_users), size=sample_size, replace=False)
+                all_users = [all_users[int(i)] for i in sorted(chosen)]
+        reference = SocialRecommender(measure, n=max_n)
+        reference.fit(dataset.social, dataset.preferences)
+        ideal = {u: reference.utilities(u) for u in all_users}
+        rankings = {
+            u: reference.recommend(u, n=max_n).item_ids() for u in all_users
+        }
+        return cls(
+            dataset=dataset,
+            measure=measure,
+            users=list(all_users),
+            max_n=max_n,
+            reference_rankings=rankings,
+            ideal_utilities=ideal,
+        )
+
+    def ndcg_of_rankings(
+        self, rankings: Dict[UserId, Sequence[ItemId]], n: int
+    ) -> float:
+        """Average NDCG@n of candidate rankings against the reference.
+
+        Raises:
+            ExperimentError: when ``n`` exceeds ``max_n`` (the reference
+                rankings would be silently truncated short).
+        """
+        if n > self.max_n:
+            raise ExperimentError(
+                f"requested n={n} exceeds the context's max_n={self.max_n}"
+            )
+        return average_ndcg(
+            rankings,
+            self.reference_rankings,
+            self.ideal_utilities,
+            n,
+            users=self.users,
+        )
+
+    def per_user_ndcg_of_rankings(
+        self, rankings: Dict[UserId, Sequence[ItemId]], n: int
+    ) -> Dict[UserId, float]:
+        """NDCG@n per evaluation user (used by the Figure 3 analysis)."""
+        from repro.metrics.ndcg import ndcg_at_n
+
+        if n > self.max_n:
+            raise ExperimentError(
+                f"requested n={n} exceeds the context's max_n={self.max_n}"
+            )
+        return {
+            u: ndcg_at_n(
+                rankings[u], self.reference_rankings[u], self.ideal_utilities[u], n
+            )
+            for u in self.users
+        }
+
+
+def evaluate_recommender(
+    context: EvaluationContext, recommender: BaseRecommender, n: int
+) -> float:
+    """Fit ``recommender`` on the context's dataset and score NDCG@n."""
+    recommender.fit(context.dataset.social, context.dataset.preferences)
+    rankings = {
+        u: recommender.recommend(u, n=n).item_ids() for u in context.users
+    }
+    return context.ndcg_of_rankings(rankings, n)
+
+
+def evaluate_factory(
+    context: EvaluationContext,
+    factory: RecommenderFactory,
+    n: int,
+    repeats: int = 10,
+    base_seed: int = 0,
+) -> tuple:
+    """Mean and std of NDCG@n over ``repeats`` independent noise draws.
+
+    Args:
+        context: the cached reference.
+        factory: builds an unfitted recommender from a repeat seed.
+        n: NDCG cutoff.
+        repeats: number of noise draws (the paper uses 10).
+        base_seed: repeat seeds are ``base_seed + repeat_index``.
+
+    Returns:
+        ``(mean, std)``; std is 0.0 for a single repeat.
+
+    Raises:
+        ExperimentError: if ``repeats`` < 1.
+    """
+    if repeats < 1:
+        raise ExperimentError(f"repeats must be >= 1, got {repeats}")
+    scores = [
+        evaluate_recommender(context, factory(base_seed + r), n)
+        for r in range(repeats)
+    ]
+    mean = statistics.fmean(scores)
+    std = statistics.pstdev(scores) if len(scores) > 1 else 0.0
+    return (mean, std)

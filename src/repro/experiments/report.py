@@ -1,0 +1,175 @@
+"""One-shot reproduction report: every table and figure in one run.
+
+:func:`generate_report` executes the Table 1 summary, the Figure 1/2
+trade-off sweeps, the Figure 3 degree analysis, and the Figure 4 mechanism
+comparison on the two synthetic stand-ins, and renders everything as a
+single markdown document.  The CLI exposes it as ``repro report``.
+
+This is the programmatic twin of running the whole ``benchmarks/`` suite
+with ``-s``; it exists so a downstream user can regenerate the
+EXPERIMENTS.md evidence with one command and a choice of scale.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+from repro.datasets.dataset import SocialRecDataset
+from repro.datasets.stats import dataset_stats, format_stats_table
+from repro.datasets.synthetic import SyntheticDatasetSpec
+from repro.experiments.comparison import format_comparison_table, run_comparison
+from repro.experiments.degree_effect import run_degree_effect
+from repro.experiments.tradeoff import format_tradeoff_table, run_tradeoff
+from repro.similarity.adamic_adar import AdamicAdar
+from repro.similarity.common_neighbors import CommonNeighbors
+from repro.similarity.graph_distance import GraphDistance
+from repro.similarity.katz import Katz
+
+__all__ = ["ReportConfig", "generate_report"]
+
+
+@dataclass(frozen=True)
+class ReportConfig:
+    """Knobs for the one-shot reproduction report.
+
+    Attributes:
+        lastfm_scale / flixster_scale: synthetic dataset sizes.
+        epsilons: the privacy sweep (Figures 1/2).
+        ns: recommendation-list lengths (Figures 1/2).
+        repeats: noise draws per cell.
+        flixster_sample: evaluation-user sample on the denser dataset.
+        seed: master seed.
+    """
+
+    lastfm_scale: float = 0.15
+    flixster_scale: float = 0.008
+    epsilons: Sequence[float] = (math.inf, 1.0, 0.6, 0.1, 0.05, 0.01)
+    ns: Sequence[int] = (10, 50)
+    repeats: int = 3
+    flixster_sample: Optional[int] = 250
+    seed: int = 0
+
+
+def _section(title: str, body: str) -> str:
+    return f"## {title}\n\n```\n{body}\n```\n"
+
+
+def _epsilon_label(value: float) -> str:
+    return "inf" if math.isinf(value) else f"{value:g}"
+
+
+def _figure_section(
+    dataset: SocialRecDataset,
+    config: ReportConfig,
+    sample: Optional[int],
+    title: str,
+) -> str:
+    from repro.experiments.ascii_plot import line_chart
+
+    measures = [AdamicAdar(), CommonNeighbors(), GraphDistance(), Katz()]
+    cells = run_tradeoff(
+        dataset,
+        measures=measures,
+        epsilons=config.epsilons,
+        ns=config.ns,
+        repeats=config.repeats,
+        sample_size=sample,
+        seed=config.seed,
+    )
+    tables = "\n\n".join(format_tradeoff_table(cells, n) for n in config.ns)
+    # ASCII rendering of the figure's line chart at the middle N.
+    chart_n = config.ns[min(1, len(config.ns) - 1)]
+    by_measure = {}
+    for measure in measures:
+        by_measure[measure.name] = [
+            next(
+                c.ndcg_mean
+                for c in cells
+                if c.measure == measure.name and c.epsilon == e and c.n == chart_n
+            )
+            for e in config.epsilons
+        ]
+    chart = line_chart(
+        by_measure, [_epsilon_label(e) for e in config.epsilons]
+    )
+    return _section(title, f"{tables}\n\nNDCG@{chart_n} vs epsilon:\n{chart}")
+
+
+def generate_report(config: ReportConfig = ReportConfig()) -> str:
+    """Run the full evaluation and return it as a markdown document."""
+    lastfm = SyntheticDatasetSpec.lastfm_like(scale=config.lastfm_scale).generate(
+        seed=config.seed + 1001
+    )
+    flixster = SyntheticDatasetSpec.flixster_like(
+        scale=config.flixster_scale
+    ).generate(seed=config.seed + 1002)
+
+    parts: List[str] = [
+        "# Reproduction report\n",
+        "Privacy-Preserving Framework for Personalized, Social "
+        "Recommendations (EDBT 2014) — synthetic stand-in datasets; see "
+        "DESIGN.md §4 for the substitution argument.\n",
+    ]
+
+    # Table 1.
+    parts.append(
+        _section(
+            "Table 1: dataset summary",
+            format_stats_table([dataset_stats(lastfm), dataset_stats(flixster)]),
+        )
+    )
+
+    # Figures 1 and 2.
+    parts.append(
+        _figure_section(
+            lastfm, config, None, "Figure 1: NDCG@N vs epsilon (Last.fm-like)"
+        )
+    )
+    parts.append(
+        _figure_section(
+            flixster,
+            config,
+            config.flixster_sample,
+            "Figure 2: NDCG@N vs epsilon (Flixster-like)",
+        )
+    )
+
+    # Figure 3.
+    lines = []
+    for name, dataset, sample in (
+        ("Last.fm-like", lastfm, None),
+        ("Flixster-like", flixster, config.flixster_sample),
+    ):
+        result = run_degree_effect(
+            dataset,
+            CommonNeighbors(),
+            n=50,
+            sample_size=sample,
+            seed=config.seed,
+        )
+        lines.append(
+            f"{name}: NDCG@50 at eps=inf — degree <= 10: "
+            f"{result.low_degree_mean:.3f}, degree > 10: "
+            f"{result.high_degree_mean:.3f}"
+        )
+    parts.append(_section("Figure 3: degree vs accuracy (eps = inf, CN)",
+                          "\n".join(lines)))
+
+    # Figure 4.
+    comparison = run_comparison(
+        lastfm,
+        measures=[CommonNeighbors()],
+        epsilons=(1.0, 0.1),
+        n=50,
+        repeats=config.repeats,
+        seed=config.seed,
+    )
+    parts.append(
+        _section(
+            "Figure 4: mechanism comparison (Last.fm-like)",
+            format_comparison_table(comparison),
+        )
+    )
+    return "\n".join(parts)

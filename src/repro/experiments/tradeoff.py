@@ -1,0 +1,160 @@
+"""The privacy–accuracy trade-off sweep (paper Figures 1 and 2).
+
+For every (similarity measure, epsilon, N) combination the driver scores
+the cluster-based private recommender against the non-private reference,
+averaged over repeated noise draws.  Epsilon = inf isolates the
+approximation error, exactly as in the leftmost points of the paper's
+figures.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Sequence
+
+from repro.community.clustering import Clustering
+from repro.core.private import PrivateSocialRecommender, louvain_strategy
+from repro.datasets.dataset import SocialRecDataset
+from repro.exceptions import ExperimentError
+from repro.experiments.evaluation import EvaluationContext, evaluate_factory
+from repro.graph.social_graph import SocialGraph
+from repro.similarity.base import SimilarityMeasure
+
+__all__ = ["TradeoffCell", "run_tradeoff", "format_tradeoff_table"]
+
+
+@dataclass(frozen=True)
+class TradeoffCell:
+    """One point of Figure 1/2: a (measure, epsilon, N) NDCG score.
+
+    Attributes:
+        dataset: dataset label.
+        measure: similarity measure name.
+        epsilon: privacy parameter (``math.inf`` = approximation error only).
+        n: recommendation-list length.
+        ndcg_mean / ndcg_std: across the repeated noise draws.
+    """
+
+    dataset: str
+    measure: str
+    epsilon: float
+    n: int
+    ndcg_mean: float
+    ndcg_std: float
+
+
+def run_tradeoff(
+    dataset: SocialRecDataset,
+    measures: Sequence[SimilarityMeasure],
+    epsilons: Sequence[float] = (math.inf, 1.0, 0.6, 0.1, 0.05, 0.01),
+    ns: Sequence[int] = (10, 50, 100),
+    repeats: int = 10,
+    sample_size: Optional[int] = None,
+    clustering: Optional[Clustering] = None,
+    louvain_runs: int = 10,
+    seed: int = 0,
+) -> List[TradeoffCell]:
+    """Run the Figure 1/2 sweep on one dataset.
+
+    Args:
+        dataset: the evaluation dataset.
+        measures: similarity measures to instantiate the framework with
+            (the paper uses AA, CN, GD, KZ).
+        epsilons: privacy settings, including ``math.inf``.
+        ns: recommendation-list lengths.
+        repeats: independent noise draws per cell (paper: 10).
+        sample_size: evaluate a random user subset (paper: 10K on Flixster).
+        clustering: reuse a precomputed clustering; by default the paper's
+            best-of-``louvain_runs`` Louvain protocol runs once and is
+            shared across all cells (the clustering is data-independent of
+            epsilon and the measure).
+        louvain_runs: restarts for the default clustering protocol.
+        seed: master seed.
+
+    Returns:
+        One :class:`TradeoffCell` per (measure, epsilon, n).
+    """
+    if not measures:
+        raise ExperimentError("measures must be non-empty")
+    if not epsilons or not ns:
+        raise ExperimentError("epsilons and ns must be non-empty")
+    if clustering is None:
+        clustering = louvain_strategy(runs=louvain_runs, seed=seed)(dataset.social)
+
+    def fixed_clustering(_graph: SocialGraph) -> Clustering:
+        return clustering
+
+    max_n = max(ns)
+    cells: List[TradeoffCell] = []
+    for measure in measures:
+        context = EvaluationContext.build(
+            dataset, measure, max_n=max_n, sample_size=sample_size, seed=seed
+        )
+        for epsilon in epsilons:
+            factory: Callable[[int], PrivateSocialRecommender] = (
+                lambda repeat_seed, m=measure, e=epsilon: PrivateSocialRecommender(
+                    m,
+                    epsilon=e,
+                    n=max_n,
+                    clustering_strategy=fixed_clustering,
+                    seed=repeat_seed,
+                )
+            )
+            # With eps = inf the recommender is deterministic; one repeat
+            # suffices and keeps the sweep fast.
+            effective_repeats = 1 if math.isinf(epsilon) else repeats
+            for n in ns:
+                mean, std = evaluate_factory(
+                    context,
+                    factory,
+                    n,
+                    repeats=effective_repeats,
+                    base_seed=seed * 1000 + 1,
+                )
+                cells.append(
+                    TradeoffCell(
+                        dataset=dataset.name,
+                        measure=measure.name,
+                        epsilon=epsilon,
+                        n=n,
+                        ndcg_mean=mean,
+                        ndcg_std=std,
+                    )
+                )
+    return cells
+
+
+def format_tradeoff_table(cells: Sequence[TradeoffCell], n: int) -> str:
+    """Render one N-slice of the sweep as a text table (measures x epsilons).
+
+    Raises:
+        ExperimentError: if no cell matches the requested ``n``.
+    """
+    selected = [c for c in cells if c.n == n]
+    if not selected:
+        raise ExperimentError(f"no tradeoff cells with n={n}")
+    epsilons = sorted({c.epsilon for c in selected}, reverse=True)
+    measures = sorted({c.measure for c in selected})
+    by_key: Dict[tuple, TradeoffCell] = {
+        (c.measure, c.epsilon): c for c in selected
+    }
+
+    def eps_label(e: float) -> str:
+        return "inf" if math.isinf(e) else f"{e:g}"
+
+    header = ["measure"] + [f"eps={eps_label(e)}" for e in epsilons]
+    rows = [header]
+    for m in measures:
+        row = [m.upper()]
+        for e in epsilons:
+            cell = by_key.get((m, e))
+            row.append("-" if cell is None else f"{cell.ndcg_mean:.3f}")
+        rows.append(row)
+    widths = [max(len(r[c]) for r in rows) for c in range(len(header))]
+    lines = [
+        "  ".join(cell.ljust(widths[i]) for i, cell in enumerate(row))
+        for row in rows
+    ]
+    title = f"NDCG@{n} for dataset {selected[0].dataset}"
+    return "\n".join([title, *lines])

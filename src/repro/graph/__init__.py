@@ -1,0 +1,42 @@
+"""Graph substrate: social graphs, bipartite preference graphs, algorithms.
+
+This package implements the two input structures of the paper's model
+(Definitions 1 and 2):
+
+- :class:`SocialGraph` — the undirected user-to-user graph ``G_s``,
+  considered *public* in the paper's threat model.
+- :class:`PreferenceGraph` — the bipartite, directed user-to-item graph
+  ``G_p`` whose edges are the *private* data protected by the framework.
+
+plus the pure-graph algorithms the similarity measures and community
+detection are built on (BFS, connected components, bounded path counting).
+"""
+
+from repro.graph.analysis import (
+    average_clustering_coefficient,
+    clustering_coefficient,
+    community_size_profile,
+    degree_histogram,
+    sampled_path_length,
+)
+from repro.graph.components import connected_components, largest_component
+from repro.graph.paths import bounded_shortest_path_lengths, count_paths_up_to
+from repro.graph.preference_graph import PreferenceGraph
+from repro.graph.social_graph import SocialGraph
+from repro.graph.traversal import bfs_distances, bfs_order
+
+__all__ = [
+    "SocialGraph",
+    "PreferenceGraph",
+    "connected_components",
+    "largest_component",
+    "bfs_distances",
+    "bfs_order",
+    "bounded_shortest_path_lengths",
+    "count_paths_up_to",
+    "degree_histogram",
+    "clustering_coefficient",
+    "average_clustering_coefficient",
+    "sampled_path_length",
+    "community_size_profile",
+]

@@ -1,0 +1,162 @@
+"""Reading and writing graphs as plain-text edge lists.
+
+Formats supported:
+
+- social edge list: one ``u<TAB>v`` pair per line (HetRec's
+  ``user_friends.dat`` style, with an optional header line),
+- preference edge list: ``u<TAB>i`` or ``u<TAB>i<TAB>weight`` per line
+  (HetRec's ``user_artists.dat`` style).
+
+Lines starting with ``#`` and blank lines are ignored.  Identifiers are
+kept as strings unless they parse as integers, in which case they are
+converted — this keeps synthetic integer graphs round-trippable.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Iterator, List, TextIO, Union
+
+from repro.exceptions import DatasetError
+from repro.graph.preference_graph import PreferenceGraph
+from repro.graph.social_graph import SocialGraph
+
+__all__ = [
+    "read_social_graph",
+    "write_social_graph",
+    "read_preference_graph",
+    "write_preference_graph",
+]
+
+PathOrFile = Union[str, "os.PathLike[str]", TextIO]
+
+
+def _coerce_id(token: str):
+    """Parse an identifier token: int when possible, str otherwise."""
+    try:
+        return int(token)
+    except ValueError:
+        return token
+
+
+def _iter_data_lines(handle: TextIO) -> Iterator[List[str]]:
+    for raw in handle:
+        line = raw.strip()
+        if not line or line.startswith("#"):
+            continue
+        yield line.split("\t") if "\t" in line else line.split()
+
+
+def _open_for_read(source: PathOrFile):
+    if hasattr(source, "read"):
+        return source, False
+    return open(source, "r", encoding="utf-8"), True
+
+
+def _open_for_write(target: PathOrFile):
+    if hasattr(target, "write"):
+        return target, False
+    return open(target, "w", encoding="utf-8"), True
+
+
+def read_social_graph(source: PathOrFile, skip_header: bool = False) -> SocialGraph:
+    """Load an undirected social graph from a two-column edge list.
+
+    Args:
+        source: path or open text handle.
+        skip_header: drop the first non-comment line (HetRec files carry a
+            ``userID\tfriendID`` header).
+
+    Raises:
+        DatasetError: on malformed lines.
+    """
+    handle, should_close = _open_for_read(source)
+    try:
+        graph = SocialGraph()
+        rows = _iter_data_lines(handle)
+        if skip_header:
+            next(rows, None)
+        for lineno, fields in enumerate(rows, start=1):
+            if len(fields) == 1:
+                # Single-column lines record isolated users.
+                graph.add_user(_coerce_id(fields[0]))
+                continue
+            if len(fields) < 2:
+                raise DatasetError(
+                    f"social edge line {lineno} needs 2 columns, got {fields!r}"
+                )
+            u, v = _coerce_id(fields[0]), _coerce_id(fields[1])
+            if u != v:
+                graph.add_edge(u, v)
+        return graph
+    finally:
+        if should_close:
+            handle.close()
+
+
+def write_social_graph(graph: SocialGraph, target: PathOrFile) -> None:
+    """Write a social graph as a tab-separated edge list (one line per edge).
+
+    Isolated users are recorded as single-column lines so a round trip
+    preserves the node set.
+    """
+    handle, should_close = _open_for_write(target)
+    try:
+        for u, v in graph.edges():
+            handle.write(f"{u}\t{v}\n")
+        for u in graph.users():
+            if graph.degree(u) == 0:
+                handle.write(f"{u}\n")
+    finally:
+        if should_close:
+            handle.close()
+
+
+def read_preference_graph(
+    source: PathOrFile, skip_header: bool = False
+) -> PreferenceGraph:
+    """Load a bipartite preference graph from a 2- or 3-column edge list.
+
+    A missing third column means weight 1.0.
+
+    Raises:
+        DatasetError: on malformed lines or non-numeric weights.
+    """
+    handle, should_close = _open_for_read(source)
+    try:
+        graph = PreferenceGraph()
+        rows = _iter_data_lines(handle)
+        if skip_header:
+            next(rows, None)
+        for lineno, fields in enumerate(rows, start=1):
+            if len(fields) < 2:
+                raise DatasetError(
+                    f"preference line {lineno} needs >= 2 columns, got {fields!r}"
+                )
+            user, item = _coerce_id(fields[0]), _coerce_id(fields[1])
+            if len(fields) >= 3:
+                try:
+                    weight = float(fields[2])
+                except ValueError as exc:
+                    raise DatasetError(
+                        f"preference line {lineno} has non-numeric weight "
+                        f"{fields[2]!r}"
+                    ) from exc
+            else:
+                weight = 1.0
+            graph.add_edge(user, item, weight=weight)
+        return graph
+    finally:
+        if should_close:
+            handle.close()
+
+
+def write_preference_graph(graph: PreferenceGraph, target: PathOrFile) -> None:
+    """Write a preference graph as a tab-separated ``user item weight`` list."""
+    handle, should_close = _open_for_write(target)
+    try:
+        for user, item, weight in graph.edges():
+            handle.write(f"{user}\t{item}\t{weight:g}\n")
+    finally:
+        if should_close:
+            handle.close()

@@ -1,0 +1,229 @@
+"""Undirected social graph ``G_s = (U, E_s)`` (paper Definition 1).
+
+The social graph holds user-to-user friendship edges.  Under the paper's
+threat model this structure is *public*: similarity measures and the
+clustering phase may read it freely without spending privacy budget.
+
+The implementation is an adjacency-set dictionary, which makes neighbor
+lookups O(1) expected and neighborhood iteration O(deg).  All mutation goes
+through :meth:`add_user` / :meth:`add_edge` / :meth:`remove_edge` so the
+degree bookkeeping and invariants (no self loops, symmetric adjacency) are
+maintained in one place.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, Iterable, Iterator, List, Set, Tuple
+
+from repro.exceptions import EdgeError, NodeNotFoundError
+from repro.types import UserId
+
+__all__ = ["SocialGraph"]
+
+
+class SocialGraph:
+    """An undirected, unweighted graph over user nodes.
+
+    Example:
+        >>> g = SocialGraph()
+        >>> g.add_edge("alice", "bob")
+        >>> g.add_edge("bob", "carol")
+        >>> sorted(g.neighbors("bob"))
+        ['alice', 'carol']
+        >>> g.degree("bob")
+        2
+    """
+
+    __slots__ = ("_adjacency", "_num_edges")
+
+    def __init__(self, edges: Iterable[Tuple[UserId, UserId]] = ()) -> None:
+        self._adjacency: Dict[UserId, Set[UserId]] = {}
+        self._num_edges = 0
+        for u, v in edges:
+            self.add_edge(u, v)
+
+    # ------------------------------------------------------------------
+    # construction
+    # ------------------------------------------------------------------
+    def add_user(self, user: UserId) -> None:
+        """Add an isolated user node; a no-op if the user already exists."""
+        self._adjacency.setdefault(user, set())
+
+    def add_users(self, users: Iterable[UserId]) -> None:
+        """Add many user nodes at once."""
+        for user in users:
+            self.add_user(user)
+
+    def add_edge(self, u: UserId, v: UserId) -> None:
+        """Add the undirected edge ``{u, v}``, creating nodes as needed.
+
+        Raises:
+            EdgeError: if ``u == v`` (self-loops carry no social meaning and
+                would corrupt similarity measures such as Common Neighbors).
+        """
+        if u == v:
+            raise EdgeError(f"self-loop on user {u!r} is not allowed")
+        nbrs_u = self._adjacency.setdefault(u, set())
+        nbrs_v = self._adjacency.setdefault(v, set())
+        if v not in nbrs_u:
+            nbrs_u.add(v)
+            nbrs_v.add(u)
+            self._num_edges += 1
+
+    def remove_edge(self, u: UserId, v: UserId) -> None:
+        """Remove the undirected edge ``{u, v}``.
+
+        Raises:
+            NodeNotFoundError: if either endpoint does not exist.
+            EdgeError: if the edge does not exist.
+        """
+        if u not in self._adjacency:
+            raise NodeNotFoundError(u)
+        if v not in self._adjacency:
+            raise NodeNotFoundError(v)
+        if v not in self._adjacency[u]:
+            raise EdgeError(f"edge ({u!r}, {v!r}) does not exist")
+        self._adjacency[u].discard(v)
+        self._adjacency[v].discard(u)
+        self._num_edges -= 1
+
+    def remove_user(self, user: UserId) -> None:
+        """Remove a user and all incident edges.
+
+        Raises:
+            NodeNotFoundError: if the user does not exist.
+        """
+        if user not in self._adjacency:
+            raise NodeNotFoundError(user)
+        for nbr in list(self._adjacency[user]):
+            self.remove_edge(user, nbr)
+        del self._adjacency[user]
+
+    # ------------------------------------------------------------------
+    # queries
+    # ------------------------------------------------------------------
+    def __contains__(self, user: UserId) -> bool:
+        return user in self._adjacency
+
+    def __len__(self) -> int:
+        return len(self._adjacency)
+
+    def __iter__(self) -> Iterator[UserId]:
+        return iter(self._adjacency)
+
+    @property
+    def num_users(self) -> int:
+        """Number of user nodes, ``|U|``."""
+        return len(self._adjacency)
+
+    @property
+    def num_edges(self) -> int:
+        """Number of undirected social edges, ``|E_s|``."""
+        return self._num_edges
+
+    def users(self) -> List[UserId]:
+        """All user nodes, in insertion order."""
+        return list(self._adjacency)
+
+    def edges(self) -> Iterator[Tuple[UserId, UserId]]:
+        """Iterate each undirected edge exactly once.
+
+        Each edge is yielded as the pair ``(u, v)`` where ``u`` was inserted
+        no later than ``v``; iteration order is deterministic for a given
+        construction sequence.
+        """
+        seen: Set[UserId] = set()
+        for u, nbrs in self._adjacency.items():
+            for v in nbrs:
+                if v not in seen:
+                    yield (u, v)
+            seen.add(u)
+
+    def has_edge(self, u: UserId, v: UserId) -> bool:
+        """Whether the undirected edge ``{u, v}`` exists."""
+        nbrs = self._adjacency.get(u)
+        return nbrs is not None and v in nbrs
+
+    def neighbors(self, user: UserId) -> FrozenSet[UserId]:
+        """``Gamma(u)``: the immediate neighbors of ``user``.
+
+        Returns a frozen snapshot so callers cannot accidentally mutate the
+        adjacency structure through the returned set.
+
+        Raises:
+            NodeNotFoundError: if the user does not exist.
+        """
+        try:
+            return frozenset(self._adjacency[user])
+        except KeyError:
+            raise NodeNotFoundError(user) from None
+
+    def degree(self, user: UserId) -> int:
+        """``deg(u)``: number of immediate neighbors.
+
+        Raises:
+            NodeNotFoundError: if the user does not exist.
+        """
+        try:
+            return len(self._adjacency[user])
+        except KeyError:
+            raise NodeNotFoundError(user) from None
+
+    def degrees(self) -> Dict[UserId, int]:
+        """Degree of every user, as a dict."""
+        return {u: len(nbrs) for u, nbrs in self._adjacency.items()}
+
+    def average_degree(self) -> float:
+        """Mean degree over all users (0.0 for an empty graph)."""
+        if not self._adjacency:
+            return 0.0
+        return 2.0 * self._num_edges / len(self._adjacency)
+
+    def max_degree(self) -> int:
+        """Maximum degree over all users (0 for an empty graph)."""
+        if not self._adjacency:
+            return 0
+        return max(len(nbrs) for nbrs in self._adjacency.values())
+
+    # ------------------------------------------------------------------
+    # derived views
+    # ------------------------------------------------------------------
+    def subgraph(self, users: Iterable[UserId]) -> "SocialGraph":
+        """The induced subgraph on ``users``.
+
+        Users not present in this graph are ignored silently, matching the
+        semantics of set intersection.
+        """
+        keep = {u for u in users if u in self._adjacency}
+        sub = SocialGraph()
+        sub.add_users(keep)
+        for u in keep:
+            for v in self._adjacency[u]:
+                if v in keep and u != v:
+                    sub.add_edge(u, v)
+        return sub
+
+    def copy(self) -> "SocialGraph":
+        """A deep structural copy (node identifiers are shared)."""
+        clone = SocialGraph()
+        clone._adjacency = {u: set(nbrs) for u, nbrs in self._adjacency.items()}
+        clone._num_edges = self._num_edges
+        return clone
+
+    def adjacency(self) -> Dict[UserId, FrozenSet[UserId]]:
+        """A read-only snapshot of the whole adjacency structure."""
+        return {u: frozenset(nbrs) for u, nbrs in self._adjacency.items()}
+
+    def __repr__(self) -> str:
+        return (
+            f"{type(self).__name__}(num_users={self.num_users}, "
+            f"num_edges={self.num_edges})"
+        )
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, SocialGraph):
+            return NotImplemented
+        return self._adjacency == other._adjacency
+
+    def __hash__(self) -> int:  # pragma: no cover - graphs are mutable
+        raise TypeError("SocialGraph is mutable and unhashable")

@@ -1,0 +1,108 @@
+"""Breadth-first traversal primitives over :class:`SocialGraph`.
+
+These are the building blocks for the Graph Distance similarity measure,
+connected-component extraction, and the Sybil-attack construction.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Dict, Iterator, List, Optional
+
+from repro.exceptions import NodeNotFoundError
+from repro.graph.social_graph import SocialGraph
+from repro.types import UserId
+
+__all__ = ["bfs_distances", "bfs_order", "shortest_path"]
+
+
+def bfs_distances(
+    graph: SocialGraph, source: UserId, max_depth: Optional[int] = None
+) -> Dict[UserId, int]:
+    """Hop distances from ``source`` to every reachable user.
+
+    Args:
+        graph: the social graph to traverse.
+        source: the start node.
+        max_depth: if given, stop expanding once this depth is reached; the
+            result then contains only users within ``max_depth`` hops.  This
+            is what lets Graph Distance and Katz honour the paper's d <= 2 /
+            k <= 3 cutoffs without exploring the whole small-world graph.
+
+    Returns:
+        Mapping from user to hop count; includes ``source`` at distance 0.
+
+    Raises:
+        NodeNotFoundError: if ``source`` is not in the graph.
+    """
+    if source not in graph:
+        raise NodeNotFoundError(source)
+    distances: Dict[UserId, int] = {source: 0}
+    frontier = deque([source])
+    while frontier:
+        node = frontier.popleft()
+        depth = distances[node]
+        if max_depth is not None and depth >= max_depth:
+            continue
+        for nbr in graph.neighbors(node):
+            if nbr not in distances:
+                distances[nbr] = depth + 1
+                frontier.append(nbr)
+    return distances
+
+
+def bfs_order(graph: SocialGraph, source: UserId) -> Iterator[UserId]:
+    """Yield users in breadth-first order starting at ``source``.
+
+    Raises:
+        NodeNotFoundError: if ``source`` is not in the graph.
+    """
+    if source not in graph:
+        raise NodeNotFoundError(source)
+    seen = {source}
+    frontier = deque([source])
+    while frontier:
+        node = frontier.popleft()
+        yield node
+        for nbr in graph.neighbors(node):
+            if nbr not in seen:
+                seen.add(nbr)
+                frontier.append(nbr)
+
+
+def shortest_path(
+    graph: SocialGraph, source: UserId, target: UserId
+) -> Optional[List[UserId]]:
+    """One shortest path from ``source`` to ``target``, or None if unreachable.
+
+    The path includes both endpoints.  Ties between equal-length paths are
+    broken by BFS discovery order, which is deterministic for a given graph
+    construction sequence.
+
+    Raises:
+        NodeNotFoundError: if either endpoint is not in the graph.
+    """
+    if source not in graph:
+        raise NodeNotFoundError(source)
+    if target not in graph:
+        raise NodeNotFoundError(target)
+    if source == target:
+        return [source]
+    parents: Dict[UserId, UserId] = {}
+    seen = {source}
+    frontier = deque([source])
+    while frontier:
+        node = frontier.popleft()
+        for nbr in graph.neighbors(node):
+            if nbr in seen:
+                continue
+            parents[nbr] = node
+            if nbr == target:
+                path = [target]
+                while path[-1] != source:
+                    path.append(parents[path[-1]])
+                path.reverse()
+                return path
+            seen.add(nbr)
+            frontier.append(nbr)
+    return None

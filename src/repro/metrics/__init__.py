@@ -1,0 +1,40 @@
+"""Accuracy metrics and error decomposition (paper Sections 2.4 and 5.1.2).
+
+- :func:`ndcg_at_n` / :func:`average_ndcg` — normalized discounted
+  cumulative gain, the paper's primary accuracy metric (Eq. 2), computed
+  against the *ideal* utilities of the non-private recommender.
+- :func:`precision_at_n` / :func:`recall_at_n` — included for contrast;
+  the paper explains why they are the wrong metric here.
+- :mod:`repro.metrics.errors` — the approximation-error (Eq. 6) and
+  expected-perturbation-error (Eq. 5) decomposition that motivates the
+  clustering strategy.
+"""
+
+from repro.metrics.errors import (
+    ErrorDecomposition,
+    approximation_error,
+    expected_perturbation_error,
+)
+from repro.metrics.coverage import (
+    catalog_coverage,
+    item_exposure,
+    recommendation_gini,
+)
+from repro.metrics.ndcg import average_ndcg, dcg, ndcg_at_n, per_user_ndcg
+from repro.metrics.ranking import precision_at_n, rank_items, recall_at_n
+
+__all__ = [
+    "dcg",
+    "ndcg_at_n",
+    "average_ndcg",
+    "per_user_ndcg",
+    "rank_items",
+    "precision_at_n",
+    "recall_at_n",
+    "approximation_error",
+    "expected_perturbation_error",
+    "ErrorDecomposition",
+    "catalog_coverage",
+    "recommendation_gini",
+    "item_exposure",
+]

@@ -1,0 +1,69 @@
+"""Ranking helpers: deterministic top-N selection and set-based metrics.
+
+All recommenders in the library rank with :func:`rank_items` so their
+tie-breaking policy is identical — descending utility, then ascending item
+identifier.  Without a shared deterministic tie-break, NDCG comparisons
+between a private and a non-private recommender would carry spurious noise
+from arbitrary orderings of equal-utility items.
+"""
+
+from __future__ import annotations
+
+from typing import List, Mapping, Sequence, Set
+
+from repro.types import ItemId
+
+__all__ = ["rank_items", "precision_at_n", "recall_at_n"]
+
+
+def rank_items(utilities: Mapping[ItemId, float], n: int = None) -> List[ItemId]:
+    """Items sorted by descending utility, ties broken by item identifier.
+
+    Args:
+        utilities: item -> score.  Items with zero or negative score are
+            still ranked (a private recommender may legitimately output
+            noisy negative utilities).
+        n: optional truncation to the top ``n``.
+
+    Item identifiers of mixed non-comparable types fall back to a
+    representation-based tie-break so ranking never raises.
+    """
+    items = list(utilities)
+    try:
+        items.sort(key=lambda i: (-utilities[i], i))
+    except TypeError:
+        items.sort(key=lambda i: (-utilities[i], repr(i)))
+    return items if n is None else items[:n]
+
+
+def precision_at_n(
+    recommended: Sequence[ItemId], relevant: Set[ItemId], n: int
+) -> float:
+    """|top-n recommended ∩ relevant| / n.
+
+    Raises:
+        ValueError: if ``n`` < 1.
+    """
+    if n < 1:
+        raise ValueError(f"n must be >= 1, got {n}")
+    top = recommended[:n]
+    if not top:
+        return 0.0
+    hits = sum(1 for item in top if item in relevant)
+    return hits / n
+
+
+def recall_at_n(
+    recommended: Sequence[ItemId], relevant: Set[ItemId], n: int
+) -> float:
+    """|top-n recommended ∩ relevant| / |relevant| (1.0 when nothing is relevant).
+
+    Raises:
+        ValueError: if ``n`` < 1.
+    """
+    if n < 1:
+        raise ValueError(f"n must be >= 1, got {n}")
+    if not relevant:
+        return 1.0
+    hits = sum(1 for item in recommended[:n] if item in relevant)
+    return hits / len(relevant)

@@ -1,0 +1,37 @@
+"""Differential-privacy primitives (paper Section 3).
+
+- :class:`LaplaceMechanism` / :func:`laplace_noise` — the workhorse
+  mechanism (Theorem 1): add ``Lap(sensitivity / epsilon)`` noise.
+- :class:`GeometricMechanism` — the discrete analogue, provided for
+  integer-valued counts.
+- :class:`PrivacyBudget` — epsilon accounting under sequential (Theorem 2)
+  and parallel (Theorem 3) composition.
+- :mod:`repro.privacy.sensitivity` — global-sensitivity calculators for the
+  utility-query workloads of the recommenders (the quantities the NOU and
+  cluster mechanisms calibrate their noise against).
+"""
+
+from repro.privacy.budget import BudgetLedger, PrivacyBudget
+from repro.privacy.mechanisms import (
+    GeometricMechanism,
+    LaplaceMechanism,
+    laplace_noise,
+    validate_epsilon,
+)
+from repro.privacy.sensitivity import (
+    cluster_average_sensitivity,
+    edge_weight_sensitivity,
+    utility_query_sensitivity,
+)
+
+__all__ = [
+    "LaplaceMechanism",
+    "GeometricMechanism",
+    "laplace_noise",
+    "validate_epsilon",
+    "PrivacyBudget",
+    "BudgetLedger",
+    "utility_query_sensitivity",
+    "edge_weight_sensitivity",
+    "cluster_average_sensitivity",
+]

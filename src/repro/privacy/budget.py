@@ -1,0 +1,135 @@
+"""Privacy-budget accounting under sequential and parallel composition.
+
+Theorem 2 (sequential composition): computations over *overlapping* data
+add their epsilons.  Theorem 3 (parallel composition): computations over
+*disjoint* data cost only the maximum epsilon.
+
+:class:`PrivacyBudget` is a simple decrementing allowance for sequential
+spending.  :class:`BudgetLedger` additionally records named charges and can
+account for parallel groups, which is how the end-to-end recommender
+documents that its per-item, per-cluster releases together cost only
+epsilon (every preference edge is touched exactly once).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, List, Tuple
+
+from repro.exceptions import BudgetExhaustedError, PrivacyError
+from repro.privacy.mechanisms import validate_epsilon
+
+__all__ = ["PrivacyBudget", "BudgetLedger"]
+
+
+class PrivacyBudget:
+    """A decrementing epsilon allowance (sequential composition).
+
+    Example:
+        >>> budget = PrivacyBudget(1.0)
+        >>> budget.spend(0.4)
+        >>> round(budget.remaining, 10)
+        0.6
+    """
+
+    def __init__(self, epsilon: float) -> None:
+        self._total = validate_epsilon(epsilon)
+        self._spent = 0.0
+
+    @property
+    def total(self) -> float:
+        return self._total
+
+    @property
+    def spent(self) -> float:
+        return self._spent
+
+    @property
+    def remaining(self) -> float:
+        if math.isinf(self._total):
+            return math.inf
+        return max(0.0, self._total - self._spent)
+
+    def can_spend(self, epsilon: float) -> bool:
+        """Whether ``epsilon`` fits in the remaining allowance."""
+        epsilon = validate_epsilon(epsilon)
+        if math.isinf(self._total):
+            return True
+        # Tolerate float round-off so N sequential charges of total/N pass.
+        return epsilon <= self.remaining + 1e-12
+
+    def spend(self, epsilon: float) -> None:
+        """Consume ``epsilon`` from the allowance.
+
+        Raises:
+            BudgetExhaustedError: if the allowance cannot cover the charge.
+            InvalidEpsilonError: if the charge is not a positive number.
+        """
+        epsilon = validate_epsilon(epsilon)
+        if not self.can_spend(epsilon):
+            raise BudgetExhaustedError(epsilon, self.remaining)
+        if not math.isinf(self._total):
+            self._spent += epsilon
+
+    def __repr__(self) -> str:
+        return (
+            f"{type(self).__name__}(total={self._total}, spent={self._spent}, "
+            f"remaining={self.remaining})"
+        )
+
+
+@dataclass
+class _Charge:
+    label: str
+    epsilon: float
+    group: str
+
+
+@dataclass
+class BudgetLedger:
+    """Named epsilon charges with parallel-composition groups.
+
+    Charges in the same *group* are assumed to touch disjoint portions of
+    the sensitive data, so the group costs ``max`` of its members
+    (Theorem 3); different groups compose sequentially (Theorem 2).  The
+    caller is responsible for the disjointness claim — the ledger is an
+    accounting device, not a proof checker.
+
+    Example (Algorithm 1's structure):
+        >>> ledger = BudgetLedger()
+        >>> for item in ("i1", "i2"):
+        ...     ledger.charge(f"averages[{item}]", 0.5, group="per-item")
+        >>> ledger.total_epsilon()
+        0.5
+    """
+
+    charges: List[_Charge] = field(default_factory=list)
+
+    def charge(self, label: str, epsilon: float, group: str = "") -> None:
+        """Record a charge; an empty group composes sequentially by itself.
+
+        Raises:
+            PrivacyError: for an infinite charge — a ledger records real
+                spending, and ``epsilon = inf`` means no mechanism ran.
+        """
+        epsilon = validate_epsilon(epsilon)
+        if math.isinf(epsilon):
+            raise PrivacyError("cannot record an infinite epsilon charge")
+        group_key = group if group else f"__seq_{len(self.charges)}"
+        self.charges.append(_Charge(label=label, epsilon=epsilon, group=group_key))
+
+    def group_epsilons(self) -> Dict[str, float]:
+        """Max epsilon per parallel group."""
+        groups: Dict[str, float] = {}
+        for charge in self.charges:
+            groups[charge.group] = max(groups.get(charge.group, 0.0), charge.epsilon)
+        return groups
+
+    def total_epsilon(self) -> float:
+        """Overall epsilon: sum over groups of the per-group max."""
+        return sum(self.group_epsilons().values())
+
+    def summary(self) -> List[Tuple[str, float]]:
+        """(group, epsilon) pairs sorted by group name."""
+        return sorted(self.group_epsilons().items())

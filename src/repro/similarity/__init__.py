@@ -1,0 +1,49 @@
+"""Structural social-similarity measures (paper Section 2.2).
+
+Four measures from the link-prediction literature are provided, exactly as
+specified in the paper:
+
+- :class:`CommonNeighbors` (CN)  — ``|Gamma(u) & Gamma(v)|``
+- :class:`GraphDistance` (GD)    — ``1/d`` for shortest-path length d <= cutoff
+- :class:`AdamicAdar` (AA)       — ``sum_{x in Gamma(u) & Gamma(v)} 1/log|Gamma(x)|``
+- :class:`Katz` (KZ)             — ``sum_{l<=k} alpha^l |paths_uv^l|``
+
+All measures read *only* the public social graph, which is what lets the
+clustering phase of the framework operate without spending privacy budget.
+New measures can be registered with :func:`register_measure` and retrieved
+by name with :func:`get_measure`.
+"""
+
+from repro.similarity.adamic_adar import AdamicAdar
+from repro.similarity.base import (
+    SimilarityCache,
+    SimilarityMeasure,
+    get_measure,
+    list_measures,
+    register_measure,
+)
+from repro.similarity.common_neighbors import CommonNeighbors
+from repro.similarity.graph_distance import GraphDistance
+from repro.similarity.katz import Katz
+from repro.similarity.neighborhood import (
+    CosineSimilarity,
+    Jaccard,
+    PreferentialAttachment,
+    ResourceAllocation,
+)
+
+__all__ = [
+    "SimilarityMeasure",
+    "SimilarityCache",
+    "CommonNeighbors",
+    "GraphDistance",
+    "AdamicAdar",
+    "Katz",
+    "Jaccard",
+    "CosineSimilarity",
+    "ResourceAllocation",
+    "PreferentialAttachment",
+    "register_measure",
+    "get_measure",
+    "list_measures",
+]

@@ -1,0 +1,54 @@
+"""Adamic/Adar similarity: shared neighbors weighted by rarity.
+
+``sim(u, v) = sum over x in Gamma(u) & Gamma(v) of 1 / log|Gamma(x)|``
+
+A shared neighbor that is itself highly connected says little about the
+affinity of u and v, so its contribution is down-weighted by the log of its
+degree.  Shared neighbors of degree 1 cannot occur (such a node could not
+neighbor both u and v); shared neighbors of degree exactly 2 would divide
+by ``log 2`` — fine — but a hypothetical degree of 1 would divide by zero,
+which we guard against for robustness on corrupted inputs.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict
+
+from repro.graph.social_graph import SocialGraph
+from repro.similarity.base import SimilarityMeasure, register_measure
+from repro.types import UserId
+
+__all__ = ["AdamicAdar"]
+
+
+class AdamicAdar(SimilarityMeasure):
+    """Adamic/Adar structural similarity over the social graph."""
+
+    name = "aa"
+
+    def similarity_row(self, graph: SocialGraph, user: UserId) -> Dict[UserId, float]:
+        row: Dict[UserId, float] = {}
+        for nbr in graph.neighbors(user):
+            degree = graph.degree(nbr)
+            if degree < 2:
+                continue  # cannot be a *shared* neighbor; avoids log(1)=0
+            contribution = 1.0 / math.log(degree)
+            for candidate in graph.neighbors(nbr):
+                if candidate == user:
+                    continue
+                row[candidate] = row.get(candidate, 0.0) + contribution
+        return row
+
+    def similarity(self, graph: SocialGraph, u: UserId, v: UserId) -> float:
+        if u == v:
+            return 0.0
+        total = 0.0
+        for shared in graph.neighbors(u) & graph.neighbors(v):
+            degree = graph.degree(shared)
+            if degree >= 2:
+                total += 1.0 / math.log(degree)
+        return total
+
+
+register_measure(AdamicAdar.name, AdamicAdar)

@@ -1,0 +1,152 @@
+"""Similarity-measure interface, registry, and caching.
+
+A measure must implement :meth:`SimilarityMeasure.similarity_row`, which
+returns ``sim(u, .)`` — the non-zero similarity scores from one user to all
+others.  Pairwise :meth:`similarity` and the *similarity set* ``sim(u)``
+(the paper's notation for users with non-zero similarity) derive from it.
+
+Rows are the unit of computation because every consumer in the framework —
+utility queries, sensitivity analysis, cluster quality — iterates a whole
+row at a time; computing rows directly lets each measure use one BFS/DP
+sweep per user instead of O(|U|) pairwise calls.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Callable, Dict, FrozenSet, List, Type
+
+from repro.exceptions import SimilarityError
+from repro.graph.social_graph import SocialGraph
+from repro.types import UserId
+
+__all__ = [
+    "SimilarityMeasure",
+    "SimilarityCache",
+    "register_measure",
+    "get_measure",
+    "list_measures",
+]
+
+
+class SimilarityMeasure(abc.ABC):
+    """Base class for structural social-similarity measures.
+
+    Subclasses must set :attr:`name` (a short registry key, e.g. ``"cn"``)
+    and implement :meth:`similarity_row`.
+    """
+
+    #: Registry key; subclasses override.
+    name: str = ""
+
+    @abc.abstractmethod
+    def similarity_row(self, graph: SocialGraph, user: UserId) -> Dict[UserId, float]:
+        """``sim(u, .)``: non-zero similarities from ``user`` to other users.
+
+        The returned mapping must not contain ``user`` itself and must not
+        contain zero or negative values.
+
+        Raises:
+            NodeNotFoundError: if ``user`` is not in the graph.
+        """
+
+    def similarity(self, graph: SocialGraph, u: UserId, v: UserId) -> float:
+        """``sim(u, v)``; zero when the users are not similar.
+
+        The default implementation computes a full row; subclasses may
+        override with a cheaper pairwise computation.
+        """
+        if u == v:
+            return 0.0
+        return self.similarity_row(graph, u).get(v, 0.0)
+
+    def similarity_set(self, graph: SocialGraph, user: UserId) -> FrozenSet[UserId]:
+        """``sim(u)``: the set of users with non-zero similarity to ``user``."""
+        return frozenset(self.similarity_row(graph, user))
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}()"
+
+
+class SimilarityCache:
+    """Memoises similarity rows for one (measure, graph) pair.
+
+    The framework evaluates ``sim(u, .)`` once per user but several
+    downstream consumers (recommender, error decomposition, sensitivity)
+    each want the same rows; the cache makes those reads free after the
+    first pass.  The cache assumes the graph is not mutated after wrapping —
+    mutating it invalidates the cache silently, so wrap a finished snapshot.
+    """
+
+    def __init__(self, measure: SimilarityMeasure, graph: SocialGraph) -> None:
+        self._measure = measure
+        self._graph = graph
+        self._rows: Dict[UserId, Dict[UserId, float]] = {}
+
+    @property
+    def measure(self) -> SimilarityMeasure:
+        return self._measure
+
+    @property
+    def graph(self) -> SocialGraph:
+        return self._graph
+
+    def row(self, user: UserId) -> Dict[UserId, float]:
+        """Cached ``sim(u, .)`` row (returned mapping must not be mutated)."""
+        cached = self._rows.get(user)
+        if cached is None:
+            cached = self._measure.similarity_row(self._graph, user)
+            self._rows[user] = cached
+        return cached
+
+    def similarity(self, u: UserId, v: UserId) -> float:
+        """Cached ``sim(u, v)``."""
+        if u == v:
+            return 0.0
+        return self.row(u).get(v, 0.0)
+
+    def precompute(self, users=None) -> None:
+        """Warm the cache for ``users`` (default: the whole graph)."""
+        for user in self._graph.users() if users is None else users:
+            self.row(user)
+
+    def __len__(self) -> int:
+        return len(self._rows)
+
+
+_REGISTRY: Dict[str, Callable[[], SimilarityMeasure]] = {}
+
+
+def register_measure(
+    name: str, factory: Callable[[], SimilarityMeasure]
+) -> None:
+    """Register a measure factory under ``name`` (lowercase key).
+
+    Raises:
+        SimilarityError: if the name is already taken.
+    """
+    key = name.lower()
+    if key in _REGISTRY:
+        raise SimilarityError(f"similarity measure {name!r} already registered")
+    _REGISTRY[key] = factory
+
+
+def get_measure(name: str) -> SimilarityMeasure:
+    """Instantiate a registered measure by name (case-insensitive).
+
+    Raises:
+        SimilarityError: if no such measure is registered.
+    """
+    try:
+        factory = _REGISTRY[name.lower()]
+    except KeyError:
+        known = ", ".join(sorted(_REGISTRY))
+        raise SimilarityError(
+            f"unknown similarity measure {name!r}; known measures: {known}"
+        ) from None
+    return factory()
+
+
+def list_measures() -> List[str]:
+    """Names of all registered measures, sorted."""
+    return sorted(_REGISTRY)

@@ -1,0 +1,41 @@
+"""Common Neighbors similarity: ``sim(u, v) = |Gamma(u) & Gamma(v)|``."""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from repro.graph.social_graph import SocialGraph
+from repro.similarity.base import SimilarityMeasure, register_measure
+from repro.types import UserId
+
+__all__ = ["CommonNeighbors"]
+
+
+class CommonNeighbors(SimilarityMeasure):
+    """Counts shared immediate neighbors in the social graph.
+
+    Two users are similar only if they are exactly two hops apart (or are
+    adjacent with a shared neighbor); the measure is symmetric.
+    """
+
+    name = "cn"
+
+    def similarity_row(self, graph: SocialGraph, user: UserId) -> Dict[UserId, float]:
+        row: Dict[UserId, float] = {}
+        # Every user sharing a neighbor with `user` is a neighbor-of-neighbor;
+        # tallying over Gamma(user)'s adjacency counts the intersection size
+        # for all candidates in one sweep.
+        for nbr in graph.neighbors(user):
+            for candidate in graph.neighbors(nbr):
+                if candidate == user:
+                    continue
+                row[candidate] = row.get(candidate, 0.0) + 1.0
+        return row
+
+    def similarity(self, graph: SocialGraph, u: UserId, v: UserId) -> float:
+        if u == v:
+            return 0.0
+        return float(len(graph.neighbors(u) & graph.neighbors(v)))
+
+
+register_measure(CommonNeighbors.name, CommonNeighbors)

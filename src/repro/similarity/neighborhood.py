@@ -1,0 +1,130 @@
+"""Additional neighborhood-overlap similarity measures (paper Section 7).
+
+The paper evaluates four measures and proposes evaluating "a larger
+variety of social similarity measures" as future work.  These four come
+from the same link-prediction literature the paper draws on (Liben-Nowell
+& Kleinberg 2007; Lü & Zhou 2011) and satisfy the framework's only
+requirement — they read nothing but the public social graph:
+
+- :class:`Jaccard` — ``|Γ(u) ∩ Γ(v)| / |Γ(u) ∪ Γ(v)|``
+- :class:`CosineSimilarity` (Salton index) —
+  ``|Γ(u) ∩ Γ(v)| / sqrt(|Γ(u)| |Γ(v)|)``
+- :class:`ResourceAllocation` — ``sum_{x in Γ(u) ∩ Γ(v)} 1/|Γ(x)|``
+  (Adamic/Adar with a harsher hub penalty)
+- :class:`PreferentialAttachment` — ``|Γ(u)| * |Γ(v)|`` restricted to
+  users within two hops (unrestricted PA is non-zero for *every* pair,
+  which makes similarity sets the whole graph and utility queries
+  globally sensitive — the two-hop restriction keeps it a *social*
+  measure in the paper's sense).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, Set
+
+from repro.graph.social_graph import SocialGraph
+from repro.similarity.base import SimilarityMeasure, register_measure
+from repro.types import UserId
+
+__all__ = [
+    "Jaccard",
+    "CosineSimilarity",
+    "ResourceAllocation",
+    "PreferentialAttachment",
+]
+
+
+def _two_hop_candidates(graph: SocialGraph, user: UserId) -> Set[UserId]:
+    """Users sharing at least one neighbor with ``user`` (excluding it)."""
+    candidates: Set[UserId] = set()
+    for nbr in graph.neighbors(user):
+        candidates |= graph.neighbors(nbr)
+    candidates.discard(user)
+    return candidates
+
+
+class Jaccard(SimilarityMeasure):
+    """Jaccard coefficient of the two users' neighborhoods."""
+
+    name = "jc"
+
+    def similarity_row(self, graph: SocialGraph, user: UserId) -> Dict[UserId, float]:
+        my_nbrs = graph.neighbors(user)
+        row: Dict[UserId, float] = {}
+        for v in _two_hop_candidates(graph, user):
+            their_nbrs = graph.neighbors(v)
+            union = len(my_nbrs | their_nbrs)
+            if union:
+                shared = len(my_nbrs & their_nbrs)
+                if shared:
+                    row[v] = shared / union
+        return row
+
+
+class CosineSimilarity(SimilarityMeasure):
+    """Salton (cosine) index of the two users' neighborhoods."""
+
+    name = "cos"
+
+    def similarity_row(self, graph: SocialGraph, user: UserId) -> Dict[UserId, float]:
+        my_nbrs = graph.neighbors(user)
+        my_degree = len(my_nbrs)
+        row: Dict[UserId, float] = {}
+        if my_degree == 0:
+            return row
+        for v in _two_hop_candidates(graph, user):
+            their_nbrs = graph.neighbors(v)
+            shared = len(my_nbrs & their_nbrs)
+            if shared:
+                row[v] = shared / math.sqrt(my_degree * len(their_nbrs))
+        return row
+
+
+class ResourceAllocation(SimilarityMeasure):
+    """Resource-allocation index: shared neighbors weighted by 1/degree."""
+
+    name = "ra"
+
+    def similarity_row(self, graph: SocialGraph, user: UserId) -> Dict[UserId, float]:
+        row: Dict[UserId, float] = {}
+        for nbr in graph.neighbors(user):
+            degree = graph.degree(nbr)
+            if degree == 0:
+                continue
+            contribution = 1.0 / degree
+            for candidate in graph.neighbors(nbr):
+                if candidate == user:
+                    continue
+                row[candidate] = row.get(candidate, 0.0) + contribution
+        return row
+
+
+class PreferentialAttachment(SimilarityMeasure):
+    """Degree-product similarity, restricted to the two-hop neighborhood.
+
+    The restriction keeps the similarity *sets* local (the framework's
+    clustering exploits locality); without it every user pair would be
+    "similar" and the utility queries would carry the maximal possible
+    sensitivity.
+    """
+
+    name = "pa"
+
+    def similarity_row(self, graph: SocialGraph, user: UserId) -> Dict[UserId, float]:
+        my_degree = graph.degree(user)
+        if my_degree == 0:
+            return {}
+        row: Dict[UserId, float] = {}
+        candidates = _two_hop_candidates(graph, user) | graph.neighbors(user)
+        for v in candidates:
+            their_degree = graph.degree(v)
+            if their_degree:
+                row[v] = float(my_degree * their_degree)
+        return row
+
+
+register_measure(Jaccard.name, Jaccard)
+register_measure(CosineSimilarity.name, CosineSimilarity)
+register_measure(ResourceAllocation.name, ResourceAllocation)
+register_measure(PreferentialAttachment.name, PreferentialAttachment)

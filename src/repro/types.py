@@ -1,0 +1,100 @@
+"""Shared type aliases and small value objects used across the library.
+
+The library identifies users and items by opaque hashable identifiers
+(usually ``int`` or ``str``).  Type aliases centralise that convention so
+signatures stay readable.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Hashable, List, Mapping, Sequence, Tuple
+
+__all__ = [
+    "UserId",
+    "ItemId",
+    "Weight",
+    "SimilarityRow",
+    "UtilityRow",
+    "RankedItem",
+    "RecommendationList",
+]
+
+# A user node identifier.  Any hashable works; ints are fastest.
+UserId = Hashable
+
+# An item node identifier.
+ItemId = Hashable
+
+# Preference-edge weight.  The paper's model is unweighted (0/1) but the
+# substrate supports arbitrary non-negative weights.
+Weight = float
+
+# sim(u, .) — the non-zero similarity scores of a single user to others.
+SimilarityRow = Mapping[UserId, float]
+
+# mu_u — utility scores of every item for a single user.
+UtilityRow = Mapping[ItemId, float]
+
+
+@dataclass(frozen=True, order=True)
+class RankedItem:
+    """One entry of a recommendation list: an item with its utility score.
+
+    Ordering compares by ``(utility, item)`` so sorted sequences of
+    :class:`RankedItem` are deterministic even under utility ties, provided
+    the item identifiers are mutually comparable.
+    """
+
+    utility: float
+    item: ItemId = field(compare=True)
+
+    def as_tuple(self) -> Tuple[ItemId, float]:
+        """Return ``(item, utility)``, the order used in the paper's text."""
+        return (self.item, self.utility)
+
+
+@dataclass(frozen=True)
+class RecommendationList:
+    """A ranked top-N recommendation list for a single user.
+
+    Attributes:
+        user: the target user the list was personalised for.
+        items: items in descending utility order, ties broken
+            deterministically by the recommender that produced the list.
+    """
+
+    user: UserId
+    items: Tuple[RankedItem, ...]
+
+    def __len__(self) -> int:
+        return len(self.items)
+
+    def __iter__(self):
+        return iter(self.items)
+
+    def item_ids(self) -> List[ItemId]:
+        """The recommended item identifiers, best first."""
+        return [entry.item for entry in self.items]
+
+    def utilities(self) -> List[float]:
+        """The utility scores aligned with :meth:`item_ids`."""
+        return [entry.utility for entry in self.items]
+
+    def truncated(self, n: int) -> "RecommendationList":
+        """Return a copy keeping only the top ``n`` items."""
+        if n < 0:
+            raise ValueError(f"n must be non-negative, got {n}")
+        return RecommendationList(user=self.user, items=self.items[:n])
+
+
+def as_recommendation_list(
+    user: UserId, scored_items: Sequence[Tuple[ItemId, float]]
+) -> RecommendationList:
+    """Build a :class:`RecommendationList` from ``(item, utility)`` pairs.
+
+    The pairs are assumed to already be in rank order; no sorting is done
+    here so recommenders stay in control of their tie-breaking policy.
+    """
+    entries = tuple(RankedItem(utility=float(u), item=i) for i, u in scored_items)
+    return RecommendationList(user=user, items=entries)

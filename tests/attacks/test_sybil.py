@@ -1,0 +1,167 @@
+"""Unit tests for the Section 2.3 Sybil inference attack."""
+
+import pytest
+
+from repro.attacks.sybil import SybilAttack, run_attack_experiment
+from repro.core.private import PrivateSocialRecommender
+from repro.core.recommender import SocialRecommender
+from repro.exceptions import NodeNotFoundError, ReproError
+from repro.graph.preference_graph import PreferenceGraph
+from repro.graph.social_graph import SocialGraph
+from repro.similarity.common_neighbors import CommonNeighbors
+
+
+@pytest.fixture
+def victim_graph():
+    """Victim 'v' has a degree-1 neighbor 'a' plus normal friends."""
+    g = SocialGraph([("v", "a"), ("v", "f1"), ("f1", "f2"), ("v", "f2")])
+    return g
+
+
+@pytest.fixture
+def victim_prefs():
+    prefs = PreferenceGraph()
+    prefs.add_edge("v", "secret-1")
+    prefs.add_edge("v", "secret-2")
+    prefs.add_edge("f1", "common-1")
+    prefs.add_users(["a", "f2"])
+    return prefs
+
+
+class TestPlanning:
+    def test_finds_degree_one_anchor(self, victim_graph):
+        attack = SybilAttack()
+        assert attack.find_vulnerable_anchor(victim_graph, "v") == "a"
+
+    def test_no_anchor_returns_none(self, triangle_graph):
+        attack = SybilAttack()
+        assert attack.find_vulnerable_anchor(triangle_graph, 1) is None
+
+    def test_unknown_victim_raises(self, victim_graph):
+        with pytest.raises(NodeNotFoundError):
+            SybilAttack().find_vulnerable_anchor(victim_graph, "ghost")
+
+    def test_plan_adds_sybil_without_mutating_original(self, victim_graph):
+        attacked, observer = SybilAttack().plan(victim_graph, "v")
+        assert observer in attacked
+        assert observer not in victim_graph
+        assert attacked.has_edge(observer, "a")
+
+    def test_plan_forces_anchor_when_missing(self, triangle_graph):
+        attacked, observer = SybilAttack().plan(triangle_graph, 1)
+        anchor = next(iter(attacked.neighbors(observer)))
+        assert attacked.has_edge(anchor, 1)
+
+    def test_plan_without_force_raises(self, triangle_graph):
+        with pytest.raises(ReproError):
+            SybilAttack().plan(triangle_graph, 1, force_anchor=False)
+
+    def test_sybil_collision_rejected(self, victim_graph):
+        attack = SybilAttack(sybil_id="a")
+        with pytest.raises(ReproError):
+            attack.plan(victim_graph, "v")
+
+
+class TestChainedPlanning:
+    def test_chain_length_one_matches_plan(self, victim_graph):
+        a_graph, a_obs = SybilAttack().plan(victim_graph, "v")
+        b_graph, b_obs = SybilAttack().plan_chained(victim_graph, "v", 1)
+        assert a_obs == b_obs
+        assert a_graph == b_graph
+
+    def test_chain_puts_observer_at_expected_distance(self, victim_graph):
+        from repro.graph.traversal import bfs_distances
+
+        attacked, observer = SybilAttack().plan_chained(victim_graph, "v", 3)
+        distances = bfs_distances(attacked, observer)
+        assert distances["v"] == 4  # chain of 3 sybils + anchor hop
+
+    def test_invalid_chain_length(self, victim_graph):
+        with pytest.raises(ValueError):
+            SybilAttack().plan_chained(victim_graph, "v", 0)
+
+    def test_chained_attack_works_for_graph_distance(
+        self, victim_graph, victim_prefs
+    ):
+        """With GD cutoff d=3, an observer two Sybil hops out still sees
+        the victim's preferences through the distance channel."""
+        from repro.similarity.graph_distance import GraphDistance
+
+        attack = SybilAttack()
+        attacked, observer = attack.plan_chained(victim_graph, "v", 2)
+        recommender = SocialRecommender(GraphDistance(max_distance=3), n=10)
+        recommender.fit(attacked, victim_prefs)
+        inferred = attack.infer_items(recommender, observer, 10)
+        assert set(inferred) >= {"secret-1", "secret-2"}
+
+    def test_chain_too_long_defeats_cutoff(self, victim_graph, victim_prefs):
+        """An observer beyond the cutoff learns nothing — the flip side
+        that motivates the paper's bounded-distance measures."""
+        from repro.similarity.graph_distance import GraphDistance
+
+        attack = SybilAttack()
+        attacked, observer = attack.plan_chained(victim_graph, "v", 4)
+        recommender = SocialRecommender(GraphDistance(max_distance=2), n=10)
+        recommender.fit(attacked, victim_prefs)
+        assert attack.infer_items(recommender, observer, 10) == []
+
+
+class TestEndToEnd:
+    def test_attack_on_nonprivate_recovers_everything(
+        self, victim_graph, victim_prefs
+    ):
+        report = run_attack_experiment(
+            victim_graph,
+            victim_prefs,
+            "v",
+            lambda: SocialRecommender(CommonNeighbors(), n=10),
+            top_n=10,
+        )
+        assert report.recall == 1.0
+        assert report.precision == 1.0
+        assert set(report.inferred) == {"secret-1", "secret-2"}
+
+    def test_attack_on_private_is_blunted(self, lastfm_medium):
+        """Against the DP recommender at strong privacy, the attacker's
+        precision must drop far below the non-private 1.0."""
+        social, prefs = lastfm_medium.social, lastfm_medium.preferences
+        victim = max(
+            (u for u in social.users() if prefs.user_degree(u) > 0),
+            key=prefs.user_degree,
+        )
+        baseline = run_attack_experiment(
+            social, prefs, victim,
+            lambda: SocialRecommender(CommonNeighbors(), n=100),
+            top_n=100,
+        )
+        private = run_attack_experiment(
+            social, prefs, victim,
+            lambda: PrivateSocialRecommender(
+                CommonNeighbors(), epsilon=0.1, n=100, seed=5
+            ),
+            top_n=100,
+        )
+        assert baseline.precision == 1.0
+        assert private.precision < 0.6 * baseline.precision
+
+    def test_report_fields(self, victim_graph, victim_prefs):
+        report = run_attack_experiment(
+            victim_graph, victim_prefs, "v",
+            lambda: SocialRecommender(CommonNeighbors(), n=5),
+            top_n=5,
+        )
+        assert report.victim == "v"
+        assert report.observer == "__sybil__"
+        assert set(report.actual) == {"secret-1", "secret-2"}
+
+    def test_victim_with_no_preferences(self, victim_graph):
+        prefs = PreferenceGraph()
+        prefs.add_users(victim_graph.users())
+        report = run_attack_experiment(
+            victim_graph, prefs, "v",
+            lambda: SocialRecommender(CommonNeighbors(), n=5),
+            top_n=5,
+        )
+        assert report.recall == 0.0
+        assert report.inferred == ()
+        assert report.precision == 1.0  # no false claims either

@@ -1,0 +1,107 @@
+"""Unit tests for the item-item co-occurrence matrix."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.cf.cocounts import ItemCoCounts
+from repro.exceptions import PrivacyError
+from repro.graph.preference_graph import PreferenceGraph
+
+
+@pytest.fixture
+def prefs():
+    g = PreferenceGraph()
+    g.add_edge(1, "a")
+    g.add_edge(1, "b")
+    g.add_edge(2, "a")
+    g.add_edge(2, "b")
+    g.add_edge(3, "a")
+    g.add_edge(3, "c")
+    return g
+
+
+class TestExactCounts:
+    def test_co_counts(self, prefs):
+        counts = ItemCoCounts.build(prefs)
+        assert counts.count("a", "b") == 2.0   # users 1 and 2
+        assert counts.count("a", "c") == 1.0   # user 3
+        assert counts.count("b", "c") == 0.0
+
+    def test_diagonal_is_item_degree(self, prefs):
+        counts = ItemCoCounts.build(prefs)
+        assert counts.count("a", "a") == 3.0
+        assert counts.count("c", "c") == 1.0
+
+    def test_symmetric(self, prefs):
+        counts = ItemCoCounts.build(prefs)
+        assert np.allclose(counts.matrix, counts.matrix.T)
+
+    def test_clamp_limits_contributions(self, prefs):
+        # With clamp 1 each user contributes only their first item: no
+        # off-diagonal pair can be counted.
+        counts = ItemCoCounts.build(prefs, max_items_per_user=1)
+        off_diag = counts.matrix - np.diag(np.diag(counts.matrix))
+        assert not off_diag.any()
+
+    def test_invalid_clamp(self, prefs):
+        with pytest.raises(PrivacyError):
+            ItemCoCounts.build(prefs, max_items_per_user=0)
+
+    def test_unknown_item_raises(self, prefs):
+        counts = ItemCoCounts.build(prefs)
+        with pytest.raises(KeyError):
+            counts.count("zzz", "a")
+
+
+class TestNoisyRelease:
+    def test_noise_applied(self, prefs):
+        noisy = ItemCoCounts.build(
+            prefs, epsilon=0.5, rng=np.random.default_rng(1)
+        )
+        exact = ItemCoCounts.build(prefs)
+        assert not np.allclose(noisy.matrix, exact.matrix)
+
+    def test_noisy_release_stays_symmetric(self, prefs):
+        noisy = ItemCoCounts.build(
+            prefs, epsilon=0.5, rng=np.random.default_rng(1)
+        )
+        assert np.allclose(noisy.matrix, noisy.matrix.T)
+
+    def test_deterministic_given_rng(self, prefs):
+        a = ItemCoCounts.build(prefs, epsilon=0.5, rng=np.random.default_rng(7))
+        b = ItemCoCounts.build(prefs, epsilon=0.5, rng=np.random.default_rng(7))
+        assert np.array_equal(a.matrix, b.matrix)
+
+    def test_edge_level_l1_sensitivity_bounded(self, prefs):
+        """Edge-level sensitivity: one new preference edge changes the
+        upper triangle (incl. diagonal) by at most 2*clamp in L1 — the new
+        item's pairings plus one displaced item's pairings."""
+        clamp = 2
+        before = ItemCoCounts.build(prefs, max_items_per_user=clamp)
+        after = ItemCoCounts.build(
+            prefs.with_edge(3, "b"), max_items_per_user=clamp
+        )
+        diff = np.abs(np.triu(after.matrix - before.matrix))
+        assert diff.sum() <= 2 * clamp
+
+
+class TestCosineSimilarities:
+    def test_perfect_overlap_scores_one(self, prefs):
+        sims = ItemCoCounts.build(prefs).cosine_similarities()
+        counts = ItemCoCounts.build(prefs)
+        ab = sims[counts.item_index["a"], counts.item_index["b"]]
+        # a and b co-occur twice; degrees 3 and 2 => 2/sqrt(6).
+        assert ab == pytest.approx(2 / math.sqrt(6))
+
+    def test_diagonal_zeroed(self, prefs):
+        sims = ItemCoCounts.build(prefs).cosine_similarities()
+        assert not np.diag(sims).any()
+
+    def test_noisy_negative_diagonals_handled(self, prefs):
+        noisy = ItemCoCounts.build(
+            prefs, epsilon=0.05, rng=np.random.default_rng(3)
+        )
+        sims = noisy.cosine_similarities()
+        assert np.isfinite(sims).all()

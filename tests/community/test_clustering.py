@@ -1,0 +1,105 @@
+"""Unit tests for the Clustering value type."""
+
+import pytest
+
+from repro.community.clustering import Clustering
+from repro.exceptions import ClusteringError
+
+
+class TestValidation:
+    def test_valid_partition(self):
+        c = Clustering([[1, 2], [3]])
+        assert c.num_clusters == 2
+        assert c.num_users == 3
+
+    def test_overlap_rejected(self):
+        with pytest.raises(ClusteringError, match="appears in clusters"):
+            Clustering([[1, 2], [2, 3]])
+
+    def test_empty_cluster_rejected(self):
+        with pytest.raises(ClusteringError, match="empty"):
+            Clustering([[1], []])
+
+    def test_universe_coverage_enforced(self):
+        with pytest.raises(ClusteringError, match="cover"):
+            Clustering([[1, 2]], universe=[1, 2, 3])
+
+    def test_extra_users_rejected(self):
+        with pytest.raises(ClusteringError, match="cover"):
+            Clustering([[1, 2, 3]], universe=[1, 2])
+
+    def test_matching_universe_accepted(self):
+        c = Clustering([[1], [2]], universe=[1, 2])
+        assert c.num_users == 2
+
+    def test_empty_clustering_allowed(self):
+        c = Clustering([])
+        assert c.num_clusters == 0
+        assert c.num_users == 0
+
+
+class TestFromAssignment:
+    def test_groups_by_label(self):
+        c = Clustering.from_assignment({1: "a", 2: "a", 3: "b"})
+        assert c.num_clusters == 2
+        assert c.co_clustered(1, 2)
+        assert not c.co_clustered(1, 3)
+
+    def test_label_order_deterministic(self):
+        c = Clustering.from_assignment({1: 10, 2: 5})
+        # Sorted labels: 5 first.
+        assert c.cluster_of(2) == 0
+        assert c.cluster_of(1) == 1
+
+
+class TestQueries:
+    @pytest.fixture
+    def clustering(self):
+        return Clustering([[1, 2, 3], [4, 5], [6]])
+
+    def test_cluster_of(self, clustering):
+        assert clustering.cluster_of(4) == 1
+
+    def test_cluster_of_unknown_raises(self, clustering):
+        with pytest.raises(ClusteringError):
+            clustering.cluster_of(99)
+
+    def test_members_and_size(self, clustering):
+        assert clustering.members_of(0) == {1, 2, 3}
+        assert clustering.size_of(1) == 2
+
+    def test_sizes(self, clustering):
+        assert clustering.sizes() == [3, 2, 1]
+
+    def test_contains(self, clustering):
+        assert 5 in clustering
+        assert 99 not in clustering
+
+    def test_iteration_and_indexing(self, clustering):
+        clusters = list(clustering)
+        assert clusters[2] == frozenset({6})
+        assert clustering[0] == frozenset({1, 2, 3})
+
+    def test_assignment_roundtrip(self, clustering):
+        rebuilt = Clustering.from_assignment(clustering.assignment())
+        assert rebuilt == clustering
+
+    def test_users(self, clustering):
+        assert clustering.users() == {1, 2, 3, 4, 5, 6}
+
+    def test_equality_is_order_insensitive(self):
+        a = Clustering([[1, 2], [3]])
+        b = Clustering([[3], [2, 1]])
+        assert a == b
+        assert hash(a) == hash(b)
+
+    def test_inequality(self):
+        assert Clustering([[1, 2], [3]]) != Clustering([[1], [2, 3]])
+
+    def test_restricted_to_drops_empty_clusters(self, clustering):
+        reduced = clustering.restricted_to([1, 2, 6])
+        assert reduced.num_clusters == 2
+        assert reduced.users() == {1, 2, 6}
+
+    def test_repr(self, clustering):
+        assert "num_clusters=3" in repr(clustering)

@@ -1,0 +1,52 @@
+"""Unit tests for label propagation community detection."""
+
+import numpy as np
+import pytest
+
+from repro.community.label_propagation import label_propagation_clustering
+from repro.community.modularity import modularity
+from repro.graph.social_graph import SocialGraph
+
+
+class TestLabelPropagation:
+    def test_covers_all_users(self, lastfm_small):
+        c = label_propagation_clustering(
+            lastfm_small.social, rng=np.random.default_rng(0)
+        )
+        assert c.users() == set(lastfm_small.social.users())
+
+    def test_two_cliques_found(self, two_communities_graph):
+        c = label_propagation_clustering(
+            two_communities_graph, rng=np.random.default_rng(3)
+        )
+        # Both cliques must be internally co-clustered.
+        assert c.co_clustered(0, 1) and c.co_clustered(1, 2) and c.co_clustered(2, 3)
+        assert c.co_clustered(4, 5) and c.co_clustered(6, 7)
+
+    def test_isolated_nodes_keep_own_labels(self):
+        g = SocialGraph([(1, 2)])
+        g.add_user(9)
+        c = label_propagation_clustering(g, rng=np.random.default_rng(0))
+        assert {9} in [set(cl) for cl in c.clusters()]
+
+    def test_empty_graph(self):
+        c = label_propagation_clustering(SocialGraph())
+        assert c.num_clusters == 0
+
+    def test_positive_modularity_on_community_graph(self, lastfm_small):
+        g = lastfm_small.social
+        c = label_propagation_clustering(g, rng=np.random.default_rng(1))
+        assert modularity(g, c) > 0.2
+
+    def test_invalid_max_iterations(self, two_communities_graph):
+        with pytest.raises(ValueError):
+            label_propagation_clustering(two_communities_graph, max_iterations=0)
+
+    def test_deterministic_given_seed(self, lastfm_small):
+        a = label_propagation_clustering(
+            lastfm_small.social, rng=np.random.default_rng(4)
+        )
+        b = label_propagation_clustering(
+            lastfm_small.social, rng=np.random.default_rng(4)
+        )
+        assert a == b

@@ -1,0 +1,115 @@
+"""Unit tests for the Louvain implementation."""
+
+import numpy as np
+import pytest
+
+from repro.community.clustering import Clustering
+from repro.community.louvain import LouvainResult, best_louvain_clustering, louvain
+from repro.community.modularity import modularity
+from repro.graph.generators import community_attachment_graph
+from repro.graph.social_graph import SocialGraph
+
+
+class TestBasics:
+    def test_empty_graph(self):
+        result = louvain(SocialGraph())
+        assert result.clustering.num_clusters == 0
+        assert result.modularity == 0.0
+
+    def test_edgeless_graph_singletons(self):
+        g = SocialGraph()
+        g.add_users([1, 2, 3])
+        result = louvain(g)
+        assert result.clustering.sizes() == [1, 1, 1]
+
+    def test_partition_covers_all_users(self, lastfm_small):
+        result = louvain(lastfm_small.social, rng=np.random.default_rng(0))
+        assert result.clustering.users() == set(lastfm_small.social.users())
+
+    def test_reported_modularity_consistent(self, lastfm_small):
+        result = louvain(lastfm_small.social, rng=np.random.default_rng(0))
+        assert result.modularity == pytest.approx(
+            modularity(lastfm_small.social, result.clustering)
+        )
+
+    def test_deterministic_given_rng_seed(self, lastfm_small):
+        a = louvain(lastfm_small.social, rng=np.random.default_rng(5))
+        b = louvain(lastfm_small.social, rng=np.random.default_rng(5))
+        assert a.clustering == b.clustering
+        assert a.modularity == b.modularity
+
+
+class TestQuality:
+    def test_recovers_two_cliques(self, two_communities_graph):
+        result = louvain(two_communities_graph, rng=np.random.default_rng(1))
+        expected = Clustering([[0, 1, 2, 3], [4, 5, 6, 7]])
+        assert result.clustering == expected
+
+    def test_recovers_planted_communities(self, rng):
+        sizes = [40, 40, 40]
+        g = community_attachment_graph(sizes, 4, 6, rng)
+        result = louvain(g, rng=np.random.default_rng(2))
+        # Check most pairs from the same planted block are co-clustered.
+        agree = total = 0
+        boundaries = [0, 40, 80, 120]
+        for b in range(3):
+            block = list(range(boundaries[b], boundaries[b + 1]))
+            for i in range(0, len(block), 5):
+                for j in range(i + 1, len(block), 5):
+                    total += 1
+                    if result.clustering.co_clustered(block[i], block[j]):
+                        agree += 1
+        assert agree / total > 0.8
+
+    def test_modularity_competitive_with_networkx(self, lastfm_small):
+        import networkx as nx
+
+        g = lastfm_small.social
+        ours = best_louvain_clustering(g, runs=5, seed=0).modularity
+        nx_graph = nx.Graph(list(g.edges()))
+        nx_graph.add_nodes_from(g.users())
+        communities = nx.algorithms.community.louvain_communities(nx_graph, seed=0)
+        theirs = nx.algorithms.community.modularity(nx_graph, communities)
+        assert ours >= theirs - 0.02
+
+    def test_modularity_beats_random_clustering(self, lastfm_small, rng):
+        from repro.community.strategies import random_clustering
+
+        g = lastfm_small.social
+        result = louvain(g, rng=np.random.default_rng(3))
+        rand = random_clustering(g.users(), result.clustering.num_clusters, rng)
+        assert result.modularity > modularity(g, rand) + 0.1
+
+
+class TestRefinement:
+    def test_refinement_never_hurts_modularity(self, lastfm_medium):
+        g = lastfm_medium.social
+        for seed in range(3):
+            refined = louvain(g, rng=np.random.default_rng(seed), refine=True)
+            plain = louvain(g, rng=np.random.default_rng(seed), refine=False)
+            assert refined.modularity >= plain.modularity - 1e-9
+
+    def test_result_metadata(self, lastfm_small):
+        result = louvain(lastfm_small.social, rng=np.random.default_rng(0))
+        assert isinstance(result, LouvainResult)
+        assert result.num_levels >= 1
+
+
+class TestBestOfRuns:
+    def test_best_of_runs_takes_max(self, lastfm_small):
+        g = lastfm_small.social
+        best = best_louvain_clustering(g, runs=5, seed=0)
+        singles = [
+            louvain(g, rng=np.random.default_rng(child)).modularity
+            for child in np.random.SeedSequence(0).spawn(5)
+        ]
+        assert best.modularity == pytest.approx(max(singles))
+
+    def test_invalid_runs(self, lastfm_small):
+        with pytest.raises(ValueError):
+            best_louvain_clustering(lastfm_small.social, runs=0)
+
+    def test_deterministic_in_seed(self, lastfm_small):
+        a = best_louvain_clustering(lastfm_small.social, runs=3, seed=9)
+        b = best_louvain_clustering(lastfm_small.social, runs=3, seed=9)
+        assert a.clustering == b.clustering

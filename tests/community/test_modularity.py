@@ -1,0 +1,66 @@
+"""Unit tests for modularity (paper Eq. 8), with networkx as oracle."""
+
+import pytest
+
+from repro.community.clustering import Clustering
+from repro.community.modularity import modularity
+from repro.exceptions import ClusteringError
+from repro.graph.social_graph import SocialGraph
+
+
+def _nx_modularity(graph, clustering):
+    import networkx as nx
+
+    nx_graph = nx.Graph(list(graph.edges()))
+    nx_graph.add_nodes_from(graph.users())
+    return nx.algorithms.community.modularity(
+        nx_graph, [set(c) for c in clustering]
+    )
+
+
+class TestModularity:
+    def test_single_cluster_is_zero(self, triangle_graph):
+        c = Clustering([[1, 2, 3]])
+        assert modularity(triangle_graph, c) == pytest.approx(0.0)
+
+    def test_two_cliques_split_is_high(self, two_communities_graph):
+        c = Clustering([[0, 1, 2, 3], [4, 5, 6, 7]])
+        q = modularity(two_communities_graph, c)
+        assert q > 0.4
+
+    def test_bad_split_lower_than_good_split(self, two_communities_graph):
+        good = Clustering([[0, 1, 2, 3], [4, 5, 6, 7]])
+        bad = Clustering([[0, 1, 4, 5], [2, 3, 6, 7]])
+        assert modularity(two_communities_graph, good) > modularity(
+            two_communities_graph, bad
+        )
+
+    def test_edgeless_graph_is_zero(self):
+        g = SocialGraph()
+        g.add_users([1, 2])
+        assert modularity(g, Clustering([[1], [2]])) == 0.0
+
+    def test_coverage_mismatch_raises(self, triangle_graph):
+        with pytest.raises(ClusteringError):
+            modularity(triangle_graph, Clustering([[1, 2]]))
+
+    def test_matches_networkx_on_cliques(self, two_communities_graph):
+        c = Clustering([[0, 1, 2, 3], [4, 5, 6, 7]])
+        assert modularity(two_communities_graph, c) == pytest.approx(
+            _nx_modularity(two_communities_graph, c)
+        )
+
+    def test_matches_networkx_on_random_partitions(self, lastfm_small, rng):
+        g = lastfm_small.social
+        users = g.users()
+        labels = rng.integers(0, 7, size=len(users))
+        c = Clustering.from_assignment(
+            {u: int(labels[i]) for i, u in enumerate(users)}
+        )
+        assert modularity(g, c) == pytest.approx(_nx_modularity(g, c))
+
+    def test_bounded_above_by_one(self, lastfm_small):
+        from repro.community.louvain import louvain
+
+        result = louvain(lastfm_small.social)
+        assert -0.5 <= result.modularity <= 1.0

@@ -1,0 +1,141 @@
+"""Unit tests for the clustering post-processing heuristics (§7 extension)."""
+
+import numpy as np
+import pytest
+
+from repro.community.clustering import Clustering
+from repro.community.postprocess import merge_small_clusters, split_large_clusters
+from repro.graph.social_graph import SocialGraph
+
+
+class TestMergeSmallClusters:
+    def test_small_cluster_absorbed_by_most_connected(self):
+        # Users 0-3 form a clique (cluster A); user 4 hangs off user 0 and
+        # sits alone in cluster B => B must merge into A.
+        graph = SocialGraph(
+            [(0, 1), (0, 2), (0, 3), (1, 2), (1, 3), (2, 3), (0, 4)]
+        )
+        clustering = Clustering([[0, 1, 2, 3], [4]])
+        merged = merge_small_clusters(clustering, graph, min_size=2)
+        assert merged.num_clusters == 1
+        assert merged.co_clustered(4, 0)
+
+    def test_choice_follows_edge_count(self):
+        # User 6 has 2 edges into the left clique, 1 into the right.
+        graph = SocialGraph(
+            [(0, 1), (1, 2), (0, 2), (3, 4), (4, 5), (3, 5), (6, 0), (6, 1), (6, 3)]
+        )
+        clustering = Clustering([[0, 1, 2], [3, 4, 5], [6]])
+        merged = merge_small_clusters(clustering, graph, min_size=2)
+        assert merged.co_clustered(6, 0)
+        assert not merged.co_clustered(6, 3)
+
+    def test_isolated_small_cluster_kept(self):
+        graph = SocialGraph([(0, 1), (1, 2)])
+        graph.add_user(9)  # no edges anywhere
+        clustering = Clustering([[0, 1, 2], [9]])
+        merged = merge_small_clusters(clustering, graph, min_size=2)
+        assert merged.num_clusters == 2
+        assert {9} in [set(c) for c in merged.clusters()]
+
+    def test_large_clusters_untouched(self, two_communities_graph):
+        clustering = Clustering([[0, 1, 2, 3], [4, 5, 6, 7]])
+        merged = merge_small_clusters(clustering, two_communities_graph, min_size=3)
+        assert merged == clustering
+
+    def test_chain_of_tiny_clusters_coalesces(self):
+        graph = SocialGraph([(0, 1), (1, 2), (2, 3)])
+        clustering = Clustering([[0], [1], [2], [3]])
+        merged = merge_small_clusters(clustering, graph, min_size=2)
+        assert all(len(c) >= 2 for c in merged.clusters())
+
+    def test_partition_invariants_preserved(self, lastfm_small):
+        from repro.community.louvain import louvain
+
+        base = louvain(lastfm_small.social).clustering
+        merged = merge_small_clusters(base, lastfm_small.social, min_size=5)
+        assert merged.users() == base.users()
+
+    def test_invalid_min_size(self, triangle_graph):
+        clustering = Clustering([[1, 2, 3]])
+        with pytest.raises(ValueError):
+            merge_small_clusters(clustering, triangle_graph, min_size=0)
+
+
+class TestSplitLargeClusters:
+    def test_oversized_cluster_with_structure_splits(self, two_communities_graph):
+        clustering = Clustering([list(range(8))])
+        split = split_large_clusters(
+            clustering, two_communities_graph, max_size=5,
+            rng=np.random.default_rng(0),
+        )
+        assert split.num_clusters == 2
+        assert split.co_clustered(0, 3)
+        assert not split.co_clustered(0, 4)
+
+    def test_small_clusters_untouched(self, two_communities_graph):
+        clustering = Clustering([[0, 1, 2, 3], [4, 5, 6, 7]])
+        split = split_large_clusters(
+            clustering, two_communities_graph, max_size=4
+        )
+        assert split == clustering
+
+    def test_structureless_cluster_kept_whole(self):
+        # A clique has no finer community structure; Louvain keeps one
+        # community, so the oversized cluster survives.
+        members = list(range(6))
+        graph = SocialGraph(
+            [(u, v) for i, u in enumerate(members) for v in members[i + 1 :]]
+        )
+        clustering = Clustering([members])
+        split = split_large_clusters(clustering, graph, max_size=4)
+        assert split == clustering
+
+    def test_members_outside_graph_follow_largest_fragment(
+        self, two_communities_graph
+    ):
+        clustering = Clustering([list(range(8)) + ["ghost"]])
+        split = split_large_clusters(
+            clustering, two_communities_graph, max_size=5,
+            rng=np.random.default_rng(0),
+        )
+        assert "ghost" in split.users()
+
+    def test_partition_invariants_preserved(self, lastfm_small):
+        from repro.community.louvain import louvain
+
+        base = louvain(lastfm_small.social).clustering
+        split = split_large_clusters(base, lastfm_small.social, max_size=30)
+        assert split.users() == base.users()
+        assert sum(split.sizes()) == sum(base.sizes())
+
+    def test_invalid_max_size(self, triangle_graph):
+        clustering = Clustering([[1, 2, 3]])
+        with pytest.raises(ValueError):
+            split_large_clusters(clustering, triangle_graph, max_size=0)
+
+
+class TestComposedStrategy:
+    def test_postprocessed_strategy_in_private_recommender(self, lastfm_small):
+        """The heuristics compose into a clustering strategy that keeps
+        the framework's privacy and improves the worst sensitivity."""
+        import math
+
+        from repro.community.louvain import best_louvain_clustering
+        from repro.core.private import PrivateSocialRecommender
+        from repro.similarity.common_neighbors import CommonNeighbors
+
+        def strategy(graph):
+            base = best_louvain_clustering(graph, runs=3, seed=0).clustering
+            return merge_small_clusters(base, graph, min_size=4)
+
+        rec = PrivateSocialRecommender(
+            CommonNeighbors(),
+            epsilon=0.5,
+            n=10,
+            clustering_strategy=strategy,
+        )
+        rec.fit(lastfm_small.social, lastfm_small.preferences)
+        user = lastfm_small.social.users()[0]
+        assert len(rec.recommend(user)) == 10
+        assert rec.total_epsilon() == pytest.approx(0.5)

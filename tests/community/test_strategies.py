@@ -1,0 +1,80 @@
+"""Unit tests for the baseline clustering strategies."""
+
+import numpy as np
+import pytest
+
+from repro.community.strategies import (
+    degree_bucket_clustering,
+    random_clustering,
+    single_cluster_clustering,
+    singleton_clustering,
+)
+from repro.graph.social_graph import SocialGraph
+
+
+class TestRandomClustering:
+    def test_partitions_all_users(self, rng):
+        users = list(range(20))
+        c = random_clustering(users, 4, rng)
+        assert c.users() == set(users)
+        assert c.num_clusters == 4
+
+    def test_near_equal_sizes(self, rng):
+        c = random_clustering(list(range(22)), 4, rng)
+        sizes = c.sizes()
+        assert max(sizes) - min(sizes) <= 1
+
+    def test_invalid_num_clusters(self, rng):
+        with pytest.raises(ValueError):
+            random_clustering([1, 2], 3, rng)
+        with pytest.raises(ValueError):
+            random_clustering([1, 2], 0, rng)
+
+    def test_deterministic_given_seed(self):
+        users = list(range(30))
+        a = random_clustering(users, 5, np.random.default_rng(1))
+        b = random_clustering(users, 5, np.random.default_rng(1))
+        assert a == b
+
+
+class TestSingletonAndSingle:
+    def test_singleton(self):
+        c = singleton_clustering([1, 2, 3])
+        assert c.sizes() == [1, 1, 1]
+
+    def test_single_cluster(self):
+        c = single_cluster_clustering([1, 2, 3])
+        assert c.sizes() == [3]
+
+    def test_single_cluster_empty_rejected(self):
+        with pytest.raises(ValueError):
+            single_cluster_clustering([])
+
+
+class TestDegreeBuckets:
+    def test_buckets_sorted_by_degree(self, star_graph):
+        c = degree_bucket_clustering(star_graph, 2)
+        # The hub (degree 5) must land in the last bucket.
+        hub_cluster = c.cluster_of(0)
+        assert hub_cluster == c.num_clusters - 1
+
+    def test_partitions_all_users(self, lastfm_small):
+        g = lastfm_small.social
+        c = degree_bucket_clustering(g, 5)
+        assert c.users() == set(g.users())
+
+    def test_bucket_degree_monotonic(self, lastfm_small):
+        g = lastfm_small.social
+        c = degree_bucket_clustering(g, 4)
+        max_degrees = [max(g.degree(u) for u in c.members_of(i)) for i in range(4)]
+        min_degrees = [min(g.degree(u) for u in c.members_of(i)) for i in range(4)]
+        for i in range(3):
+            assert max_degrees[i] <= min_degrees[i + 1]
+
+    def test_empty_graph_rejected(self):
+        with pytest.raises(ValueError):
+            degree_bucket_clustering(SocialGraph(), 2)
+
+    def test_invalid_buckets(self, star_graph):
+        with pytest.raises(ValueError):
+            degree_bucket_clustering(star_graph, 0)

@@ -1,0 +1,79 @@
+"""Shared fixtures for the test suite.
+
+The fixtures build small, hand-checkable graphs plus one mid-sized
+synthetic dataset reused by the integration tests (module-scoped so the
+generator cost is paid once).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.datasets.synthetic import SyntheticDatasetSpec
+from repro.graph.preference_graph import PreferenceGraph
+from repro.graph.social_graph import SocialGraph
+
+
+@pytest.fixture
+def rng():
+    """A fresh deterministic RNG per test."""
+    return np.random.default_rng(12345)
+
+
+@pytest.fixture
+def triangle_graph():
+    """Three mutually connected users: 1-2, 2-3, 1-3."""
+    return SocialGraph([(1, 2), (2, 3), (1, 3)])
+
+
+@pytest.fixture
+def path_graph():
+    """A path 1-2-3-4-5."""
+    return SocialGraph([(1, 2), (2, 3), (3, 4), (4, 5)])
+
+
+@pytest.fixture
+def star_graph():
+    """User 0 connected to users 1..5."""
+    return SocialGraph([(0, i) for i in range(1, 6)])
+
+
+@pytest.fixture
+def two_communities_graph():
+    """Two 4-cliques joined by a single bridge edge (3-4).
+
+    A textbook community structure: any sane community detector splits it
+    into {0,1,2,3} and {4,5,6,7}.
+    """
+    graph = SocialGraph()
+    for block in (range(0, 4), range(4, 8)):
+        members = list(block)
+        for i, u in enumerate(members):
+            for v in members[i + 1 :]:
+                graph.add_edge(u, v)
+    graph.add_edge(3, 4)
+    return graph
+
+
+@pytest.fixture
+def small_preferences():
+    """Preferences over the triangle users: hand-checkable utilities."""
+    prefs = PreferenceGraph()
+    prefs.add_edge(1, "a")
+    prefs.add_edge(1, "b")
+    prefs.add_edge(2, "a")
+    prefs.add_edge(3, "c")
+    return prefs
+
+
+@pytest.fixture(scope="session")
+def lastfm_small():
+    """A small Last.fm-shaped synthetic dataset (shared across tests)."""
+    return SyntheticDatasetSpec.lastfm_like(scale=0.06).generate(seed=101)
+
+
+@pytest.fixture(scope="session")
+def lastfm_medium():
+    """A medium Last.fm-shaped synthetic dataset for integration tests."""
+    return SyntheticDatasetSpec.lastfm_like(scale=0.12).generate(seed=202)

@@ -1,0 +1,140 @@
+"""Unit tests for the NOU and NOE baselines."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.core.baselines import NoiseOnEdges, NoiseOnUtility
+from repro.core.recommender import SocialRecommender
+from repro.exceptions import InvalidEpsilonError
+from repro.similarity.common_neighbors import CommonNeighbors
+
+
+class TestNoiseOnUtility:
+    def test_eps_inf_matches_exact_on_nonzero_items(
+        self, triangle_graph, small_preferences
+    ):
+        nou = NoiseOnUtility(CommonNeighbors(), epsilon=math.inf, n=3)
+        nou.fit(triangle_graph, small_preferences)
+        exact = SocialRecommender(CommonNeighbors(), n=3)
+        exact.fit(triangle_graph, small_preferences)
+        utilities = nou.utilities(3)
+        for item, value in exact.utilities(3).items():
+            assert utilities[item] == pytest.approx(value)
+
+    def test_sensitivity_computed_at_fit(self, triangle_graph, small_preferences):
+        nou = NoiseOnUtility(CommonNeighbors(), epsilon=1.0, n=3)
+        nou.fit(triangle_graph, small_preferences)
+        # Max column sum of CN similarity on a triangle is 2.
+        assert nou.sensitivity_ == pytest.approx(2.0)
+        assert nou.noise_scale == pytest.approx(2.0)
+
+    def test_noise_scale_zero_when_inf(self, triangle_graph, small_preferences):
+        nou = NoiseOnUtility(CommonNeighbors(), epsilon=math.inf, n=3)
+        nou.fit(triangle_graph, small_preferences)
+        assert nou.noise_scale == 0.0
+
+    def test_every_item_perturbed(self, triangle_graph, small_preferences):
+        nou = NoiseOnUtility(CommonNeighbors(), epsilon=0.5, n=3, seed=1)
+        nou.fit(triangle_graph, small_preferences)
+        utilities = nou.utilities(1)
+        assert set(utilities) == {"a", "b", "c"}
+        # Zero-utility item b must be noisy, not exactly zero.
+        assert utilities["b"] != 0.0
+
+    def test_repeated_queries_consistent(self, triangle_graph, small_preferences):
+        nou = NoiseOnUtility(CommonNeighbors(), epsilon=0.5, n=3, seed=1)
+        nou.fit(triangle_graph, small_preferences)
+        assert nou.utilities(1) == nou.utilities(1)
+
+    def test_different_users_different_noise(self, triangle_graph, small_preferences):
+        nou = NoiseOnUtility(CommonNeighbors(), epsilon=0.5, n=3, seed=1)
+        nou.fit(triangle_graph, small_preferences)
+        noise_1 = nou.utilities(1)["b"]
+        noise_2 = nou.utilities(2)["b"] - 1.0  # b has true utility 1 for 2
+        assert noise_1 != pytest.approx(noise_2)
+
+    def test_vector_recommend_matches_utilities(self, lastfm_small):
+        nou = NoiseOnUtility(CommonNeighbors(), epsilon=0.5, n=5, seed=2)
+        nou.fit(lastfm_small.social, lastfm_small.preferences)
+        user = lastfm_small.social.users()[1]
+        top = nou.recommend(user)
+        scores = nou.utilities(user)
+        best = max(scores.values())
+        assert top.utilities()[0] == pytest.approx(best)
+
+    def test_invalid_epsilon(self):
+        with pytest.raises(InvalidEpsilonError):
+            NoiseOnUtility(CommonNeighbors(), epsilon=0.0)
+
+
+class TestNoiseOnEdges:
+    def test_eps_inf_matches_exact(self, triangle_graph, small_preferences):
+        noe = NoiseOnEdges(CommonNeighbors(), epsilon=math.inf, n=3)
+        noe.fit(triangle_graph, small_preferences)
+        exact = SocialRecommender(CommonNeighbors(), n=3)
+        exact.fit(triangle_graph, small_preferences)
+        utilities = noe.utilities(3)
+        for item, value in exact.utilities(3).items():
+            assert utilities[item] == pytest.approx(value)
+
+    def test_noise_scale_is_one_over_eps(self, triangle_graph, small_preferences):
+        noe = NoiseOnEdges(CommonNeighbors(), epsilon=0.25, n=3)
+        noe.fit(triangle_graph, small_preferences)
+        assert noe.noise_scale == pytest.approx(4.0)
+
+    def test_sanitised_rows_stable_across_queries(
+        self, triangle_graph, small_preferences
+    ):
+        """The same user's sanitised edge row must be identical no matter
+        which target user's query reads it (one sanitised dataset)."""
+        noe = NoiseOnEdges(CommonNeighbors(), epsilon=0.5, n=3, seed=4)
+        noe.fit(triangle_graph, small_preferences)
+        row_a = noe._sanitised_row(2)
+        row_b = noe._sanitised_row(2)
+        assert np.array_equal(row_a, row_b)
+
+    def test_utilities_linear_in_sanitised_rows(
+        self, triangle_graph, small_preferences
+    ):
+        noe = NoiseOnEdges(CommonNeighbors(), epsilon=0.5, n=3, seed=4)
+        noe.fit(triangle_graph, small_preferences)
+        # For user 3 (CN sim 1 to users 1 and 2):
+        expected = noe._sanitised_row(1) + noe._sanitised_row(2)
+        utilities = noe.utilities(3)
+        items = noe.state.items
+        for i, item in enumerate(items):
+            assert utilities[item] == pytest.approx(expected[i])
+
+    def test_noisier_than_cluster_framework_at_strong_privacy(self, lastfm_small):
+        """NOE's per-edge noise must hurt accuracy more than the cluster
+        framework's averaged noise at the same epsilon (the paper's point)."""
+        from repro.core.private import PrivateSocialRecommender
+        from repro.metrics.ndcg import ndcg_at_n
+
+        social, prefs = lastfm_small.social, lastfm_small.preferences
+        exact = SocialRecommender(CommonNeighbors(), n=20).fit(social, prefs)
+        users = social.users()[:20]
+        reference = {u: exact.recommend(u).item_ids() for u in users}
+        ideal = {u: exact.utilities(u) for u in users}
+
+        def mean_ndcg(rec):
+            rec.fit(social, prefs)
+            total = 0.0
+            for u in users:
+                total += ndcg_at_n(
+                    rec.recommend(u, n=20).item_ids(), reference[u], ideal[u], 20
+                )
+            return total / len(users)
+
+        eps = 0.1
+        noe_score = mean_ndcg(NoiseOnEdges(CommonNeighbors(), eps, n=20, seed=0))
+        cluster_score = mean_ndcg(
+            PrivateSocialRecommender(CommonNeighbors(), eps, n=20, seed=0)
+        )
+        assert cluster_score > noe_score + 0.1
+
+    def test_invalid_epsilon(self):
+        with pytest.raises(InvalidEpsilonError):
+            NoiseOnEdges(CommonNeighbors(), epsilon=-0.5)

@@ -1,0 +1,108 @@
+"""Unit tests for the vectorised batch recommendation path."""
+
+import math
+
+import pytest
+
+from repro.core.batch import batch_recommend_all, supports_vectorised_measure
+from repro.core.private import PrivateSocialRecommender
+from repro.similarity.adamic_adar import AdamicAdar
+from repro.similarity.common_neighbors import CommonNeighbors
+from repro.similarity.graph_distance import GraphDistance
+from repro.similarity.katz import Katz
+from repro.similarity.neighborhood import Jaccard, ResourceAllocation
+
+
+def _fitted(lastfm_small, measure, epsilon=0.5, seed=2):
+    rec = PrivateSocialRecommender(measure, epsilon=epsilon, n=10, seed=seed)
+    rec.fit(lastfm_small.social, lastfm_small.preferences)
+    return rec
+
+
+class TestEquivalenceWithSequentialPath:
+    @pytest.mark.parametrize(
+        "measure",
+        [CommonNeighbors(), AdamicAdar(), GraphDistance(), Katz(),
+         ResourceAllocation()],
+        ids=["cn", "aa", "gd", "kz", "ra"],
+    )
+    def test_batch_matches_per_user(self, lastfm_small, measure):
+        rec = _fitted(lastfm_small, measure)
+        batch = batch_recommend_all(rec, n=10)
+        for user in lastfm_small.social.users()[:30]:
+            expected = rec.recommend(user, n=10)
+            assert batch[user].item_ids() == expected.item_ids(), user
+            assert batch[user].utilities() == pytest.approx(expected.utilities())
+
+    def test_small_chunks_equivalent(self, lastfm_small):
+        rec = _fitted(lastfm_small, CommonNeighbors())
+        whole = batch_recommend_all(rec, n=5, chunk_size=10_000)
+        chunked = batch_recommend_all(rec, n=5, chunk_size=7)
+        for user, result in whole.items():
+            assert chunked[user].item_ids() == result.item_ids()
+
+    def test_user_subset(self, lastfm_small):
+        rec = _fitted(lastfm_small, CommonNeighbors())
+        subset = lastfm_small.social.users()[:5]
+        results = batch_recommend_all(rec, users=subset, n=5)
+        assert set(results) == set(subset)
+
+    def test_fallback_for_unsupported_measure(self, lastfm_small):
+        rec = _fitted(lastfm_small, Jaccard())
+        batch = batch_recommend_all(rec, n=5)
+        user = lastfm_small.social.users()[0]
+        assert batch[user].item_ids() == rec.recommend(user, n=5).item_ids()
+
+    def test_fallback_for_nondefault_gd_cutoff(self, lastfm_small):
+        rec = _fitted(lastfm_small, GraphDistance(max_distance=3))
+        batch = batch_recommend_all(rec, n=5)
+        user = lastfm_small.social.users()[0]
+        assert batch[user].item_ids() == rec.recommend(user, n=5).item_ids()
+
+    def test_eps_inf_equivalence(self, lastfm_small):
+        rec = _fitted(lastfm_small, CommonNeighbors(), epsilon=math.inf)
+        batch = batch_recommend_all(rec, n=10)
+        for user in lastfm_small.social.users()[:20]:
+            assert batch[user].item_ids() == rec.recommend(user, n=10).item_ids()
+
+
+class TestSupportPredicate:
+    def test_supported_measures(self):
+        assert supports_vectorised_measure(CommonNeighbors())
+        assert supports_vectorised_measure(AdamicAdar())
+        assert supports_vectorised_measure(ResourceAllocation())
+        assert supports_vectorised_measure(GraphDistance(max_distance=2))
+        assert supports_vectorised_measure(Katz(max_length=3))
+
+    def test_unsupported_configurations(self):
+        assert not supports_vectorised_measure(GraphDistance(max_distance=3))
+        assert not supports_vectorised_measure(Katz(max_length=4))
+        assert not supports_vectorised_measure(Jaccard())
+
+
+class TestValidation:
+    def test_unfitted_rejected(self):
+        from repro.core.base import NotFittedError
+
+        rec = PrivateSocialRecommender(CommonNeighbors(), epsilon=0.5)
+        with pytest.raises(NotFittedError):
+            batch_recommend_all(rec)
+
+    def test_invalid_n(self, lastfm_small):
+        rec = _fitted(lastfm_small, CommonNeighbors())
+        with pytest.raises(ValueError):
+            batch_recommend_all(rec, n=0)
+
+    def test_invalid_chunk_size(self, lastfm_small):
+        rec = _fitted(lastfm_small, CommonNeighbors())
+        with pytest.raises(ValueError):
+            batch_recommend_all(rec, chunk_size=0)
+
+    def test_unknown_user_gets_empty_similarity(self, lastfm_small):
+        rec = _fitted(lastfm_small, CommonNeighbors(), epsilon=math.inf)
+        results = batch_recommend_all(rec, users=["ghost"], n=5)
+        # A user outside the graph has zero similarity everywhere; the
+        # estimates are all zero and the ranking is the deterministic
+        # index-order prefix.
+        assert len(results["ghost"]) == 5
+        assert all(u == 0.0 for u in results["ghost"].utilities())

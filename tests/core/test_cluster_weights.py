@@ -1,0 +1,191 @@
+"""Unit tests for module A_w: noisy cluster-average weights."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.community.clustering import Clustering
+from repro.core.cluster_weights import noisy_cluster_item_weights
+from repro.exceptions import ClusteringError, InvalidEpsilonError
+from repro.graph.preference_graph import PreferenceGraph
+
+
+@pytest.fixture
+def prefs():
+    g = PreferenceGraph()
+    g.add_users([1, 2, 3, 4])
+    g.add_edge(1, "a")
+    g.add_edge(2, "a")
+    g.add_edge(3, "b")
+    g.add_item("c")  # an item with no edges at all
+    return g
+
+
+@pytest.fixture
+def clustering():
+    return Clustering([[1, 2], [3, 4]])
+
+
+class TestExactAverages:
+    def test_epsilon_inf_gives_exact_averages(self, prefs, clustering):
+        result = noisy_cluster_item_weights(prefs, clustering, math.inf)
+        assert result.weight("a", 0) == pytest.approx(1.0)   # both of {1,2}
+        assert result.weight("a", 1) == pytest.approx(0.0)
+        assert result.weight("b", 0) == pytest.approx(0.0)
+        assert result.weight("b", 1) == pytest.approx(0.5)   # 3 of {3,4}
+        assert result.weight("c", 0) == pytest.approx(0.0)
+
+    def test_matrix_shape_covers_all_cells(self, prefs, clustering):
+        result = noisy_cluster_item_weights(prefs, clustering, math.inf)
+        assert result.matrix.shape == (3, 2)  # 3 items x 2 clusters
+
+    def test_weighted_edges_with_cap(self, clustering):
+        g = PreferenceGraph()
+        g.add_users([1, 2, 3, 4])
+        g.add_edge(1, "a", weight=3.0)
+        result = noisy_cluster_item_weights(g, clustering, math.inf, max_weight=5.0)
+        assert result.weight("a", 0) == pytest.approx(1.5)
+
+    def test_weights_clipped_to_cap(self, clustering):
+        """With the default unweighted model (cap 1.0), heavier edges are
+        clipped — otherwise one rating could exceed the calibrated
+        sensitivity."""
+        g = PreferenceGraph()
+        g.add_users([1, 2, 3, 4])
+        g.add_edge(1, "a", weight=3.0)
+        result = noisy_cluster_item_weights(g, clustering, math.inf)
+        assert result.weight("a", 0) == pytest.approx(0.5)
+
+    def test_noise_scales_with_weight_cap(self):
+        clustering = Clustering([[1]])
+        g = PreferenceGraph()
+        g.add_users([1])
+        g.add_edge(1, "a", weight=1.0)
+        small = noisy_cluster_item_weights(
+            g, clustering, 0.5, rng=np.random.default_rng(3), max_weight=1.0
+        )
+        large = noisy_cluster_item_weights(
+            g, clustering, 0.5, rng=np.random.default_rng(3), max_weight=4.0
+        )
+        # Same underlying uniform draws: the noise is exactly 4x larger.
+        assert large.weight("a", 0) - 1.0 == pytest.approx(
+            4.0 * (small.weight("a", 0) - 1.0)
+        )
+
+    def test_invalid_weight_cap(self, prefs, clustering):
+        from repro.exceptions import PrivacyError
+
+        with pytest.raises(PrivacyError):
+            noisy_cluster_item_weights(prefs, clustering, 1.0, max_weight=0.0)
+
+
+class TestNoise:
+    def test_noise_added_everywhere_including_empty_cells(self, prefs, clustering):
+        result = noisy_cluster_item_weights(
+            prefs, clustering, 0.5, rng=np.random.default_rng(0)
+        )
+        # The all-zero item "c" must still carry noise in every cell —
+        # otherwise the zero pattern reveals edge absence.
+        assert result.weight("c", 0) != 0.0
+        assert result.weight("c", 1) != 0.0
+
+    def test_noise_scale_shrinks_with_cluster_size(self, prefs):
+        big = Clustering([[1, 2, 3, 4]])
+        small = Clustering([[1], [2], [3], [4]])
+        eps = 0.1
+        reps = 400
+
+        def spread(clustering):
+            devs = []
+            for seed in range(reps):
+                out = noisy_cluster_item_weights(
+                    prefs, clustering, eps, rng=np.random.default_rng(seed)
+                )
+                devs.append(abs(out.weight("c", 0)))
+            return np.mean(devs)
+
+        # Expected |Lap(1/(4 eps))| is a quarter of |Lap(1/eps)|.
+        assert spread(big) < spread(small) / 2.5
+
+    def test_unclustered_user_with_edges_rejected(self, prefs):
+        partial = Clustering([[1, 2]])  # users 3, 4 uncovered
+        with pytest.raises(ClusteringError):
+            noisy_cluster_item_weights(prefs, partial, 1.0)
+
+    def test_unclustered_user_without_edges_tolerated(self, clustering):
+        g = PreferenceGraph()
+        g.add_users([1, 2, 3, 4, 5])  # 5 has no edges and no cluster
+        g.add_edge(1, "a")
+        result = noisy_cluster_item_weights(g, clustering, math.inf)
+        assert result.weight("a", 0) == pytest.approx(0.5)
+
+    def test_invalid_epsilon(self, prefs, clustering):
+        with pytest.raises(InvalidEpsilonError):
+            noisy_cluster_item_weights(prefs, clustering, 0.0)
+
+    def test_deterministic_given_rng(self, prefs, clustering):
+        a = noisy_cluster_item_weights(
+            prefs, clustering, 0.5, rng=np.random.default_rng(42)
+        )
+        b = noisy_cluster_item_weights(
+            prefs, clustering, 0.5, rng=np.random.default_rng(42)
+        )
+        assert np.array_equal(a.matrix, b.matrix)
+
+
+class TestResultAccessors:
+    def test_weight_unknown_item(self, prefs, clustering):
+        result = noisy_cluster_item_weights(prefs, clustering, math.inf)
+        with pytest.raises(KeyError):
+            result.weight("zzz", 0)
+
+    def test_weight_bad_cluster_index(self, prefs, clustering):
+        result = noisy_cluster_item_weights(prefs, clustering, math.inf)
+        with pytest.raises(IndexError):
+            result.weight("a", 5)
+
+    def test_records_epsilon_and_clustering(self, prefs, clustering):
+        result = noisy_cluster_item_weights(prefs, clustering, 0.7)
+        assert result.epsilon == 0.7
+        assert result.clustering is clustering
+
+
+class TestEmpiricalDifferentialPrivacy:
+    def test_neighbouring_graphs_indistinguishable_within_bound(self):
+        """Monte-Carlo eps-DP check of one released cluster average.
+
+        Two neighbouring preference graphs (one extra edge into a 2-user
+        cluster) must produce output distributions whose densities differ
+        by at most exp(eps) per bucket.
+        """
+        eps = 0.5
+        clustering = Clustering([[1, 2]])
+        d1 = PreferenceGraph()
+        d1.add_users([1, 2])
+        d1.add_edge(1, "a")
+        d2 = d1.with_edge(2, "a")
+
+        samples = 300_000
+        rng = np.random.default_rng(9)
+        scale = 1.0 / (2 * eps)
+        out1 = 0.5 + rng.laplace(0.0, scale, size=samples)
+        out2 = 1.0 + rng.laplace(0.0, scale, size=samples)
+        # Verify the mechanism actually uses these exact parameters.
+        got1 = noisy_cluster_item_weights(
+            d1, clustering, eps, rng=np.random.default_rng(1)
+        )
+        got2 = noisy_cluster_item_weights(
+            d2, clustering, eps, rng=np.random.default_rng(1)
+        )
+        # Same seed => same noise; difference must be exactly the 1/|c| shift.
+        assert got2.weight("a", 0) - got1.weight("a", 0) == pytest.approx(0.5)
+
+        bins = np.linspace(-2.5, 4.0, 30)
+        h1, _ = np.histogram(out1, bins=bins)
+        h2, _ = np.histogram(out2, bins=bins)
+        mask = (h1 > 400) & (h2 > 400)
+        ratios = h1[mask] / h2[mask]
+        bound = math.exp(eps)
+        assert np.all(ratios < bound * 1.15)
+        assert np.all(1.0 / ratios < bound * 1.15)

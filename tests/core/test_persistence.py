@@ -1,0 +1,141 @@
+"""Unit tests for release persistence and serving."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.core.persistence import PublishedRelease, ReleaseServer
+from repro.core.private import PrivateSocialRecommender
+from repro.exceptions import DatasetError, PrivacyError
+from repro.similarity.common_neighbors import CommonNeighbors
+
+
+@pytest.fixture
+def fitted(lastfm_small):
+    rec = PrivateSocialRecommender(CommonNeighbors(), epsilon=0.5, n=10, seed=3)
+    rec.fit(lastfm_small.social, lastfm_small.preferences)
+    return rec
+
+
+class TestExtraction:
+    def test_from_recommender(self, fitted):
+        release = PublishedRelease.from_recommender(fitted)
+        assert release.epsilon == 0.5
+        assert release.measure_name == "cn"
+        assert release.weights is fitted.noisy_weights_
+
+    def test_unfitted_recommender_rejected(self):
+        rec = PrivateSocialRecommender(CommonNeighbors(), epsilon=0.5)
+        with pytest.raises(PrivacyError):
+            PublishedRelease.from_recommender(rec)
+
+
+class TestRoundTrip:
+    def test_save_load_preserves_everything(self, fitted, tmp_path):
+        release = PublishedRelease.from_recommender(fitted)
+        path = str(tmp_path / "release.npz")
+        release.save(path)
+        loaded = PublishedRelease.load(path)
+        assert np.array_equal(loaded.weights.matrix, release.weights.matrix)
+        assert loaded.weights.items == release.weights.items
+        assert loaded.weights.clustering == release.weights.clustering
+        assert loaded.epsilon == release.epsilon
+        assert loaded.measure_name == release.measure_name
+        assert loaded.max_weight == release.max_weight
+
+    def test_infinite_epsilon_round_trips(self, lastfm_small, tmp_path):
+        rec = PrivateSocialRecommender(CommonNeighbors(), epsilon=math.inf, n=5)
+        rec.fit(lastfm_small.social, lastfm_small.preferences)
+        path = str(tmp_path / "release.npz")
+        PublishedRelease.from_recommender(rec).save(path)
+        assert math.isinf(PublishedRelease.load(path).epsilon)
+
+    def test_unpersistable_ids_rejected(self, tmp_path):
+        from repro.community.clustering import Clustering
+        from repro.core.cluster_weights import NoisyClusterWeights
+
+        weights = NoisyClusterWeights(
+            matrix=np.zeros((1, 1)),
+            items=[("tuple", "id")],
+            item_index={("tuple", "id"): 0},
+            clustering=Clustering([[1]]),
+            epsilon=1.0,
+        )
+        release = PublishedRelease(weights, "cn", 1.0)
+        with pytest.raises(DatasetError):
+            release.save(str(tmp_path / "bad.npz"))
+
+    def test_missing_file_rejected(self, tmp_path):
+        with pytest.raises(DatasetError):
+            PublishedRelease.load(str(tmp_path / "missing.npz"))
+
+    def test_wrong_version_rejected(self, fitted, tmp_path):
+        import json
+
+        import numpy as np
+
+        path = str(tmp_path / "future.npz")
+        metadata = {
+            "version": 999,
+            "epsilon": 1.0,
+            "measure": "cn",
+            "max_weight": 1.0,
+            "items": [],
+            "assignment": [],
+        }
+        np.savez_compressed(
+            path,
+            matrix=np.zeros((0, 0)),
+            metadata=np.frombuffer(
+                json.dumps(metadata).encode("utf-8"), dtype=np.uint8
+            ),
+        )
+        with pytest.raises(DatasetError, match="version"):
+            PublishedRelease.load(path)
+
+    def test_garbage_file_rejected(self, tmp_path):
+        path = tmp_path / "garbage.npz"
+        path.write_bytes(b"this is not an npz archive")
+        with pytest.raises(DatasetError):
+            PublishedRelease.load(str(path))
+
+
+class TestServing:
+    def test_server_matches_original_recommender(self, fitted, lastfm_small, tmp_path):
+        """A release saved, loaded, and served must reproduce the fitted
+        recommender's rankings exactly — post-processing determinism."""
+        release = PublishedRelease.from_recommender(fitted)
+        path = str(tmp_path / "release.npz")
+        release.save(path)
+        server = PublishedRelease.load(path).server(lastfm_small.social)
+        for user in lastfm_small.social.users()[:10]:
+            assert (
+                server.recommend(user, n=10).item_ids()
+                == fitted.recommend(user, n=10).item_ids()
+            )
+
+    def test_server_needs_no_preference_graph(self, fitted, lastfm_small):
+        release = PublishedRelease.from_recommender(fitted)
+        server = ReleaseServer(release, lastfm_small.social, CommonNeighbors())
+        user = lastfm_small.social.users()[0]
+        assert len(server.recommend(user, n=5)) == 5
+
+    def test_server_on_grown_social_graph(self, fitted, lastfm_small):
+        """Serving against a *newer* public graph is valid post-processing:
+        a brand-new user gets recommendations without any new privacy
+        spend."""
+        grown = lastfm_small.social.copy()
+        anchor = grown.users()[0]
+        grown.add_edge("newcomer", anchor)
+        release = PublishedRelease.from_recommender(fitted)
+        server = release.server(grown)
+        recs = server.recommend("newcomer", n=5)
+        assert len(recs) == 5
+
+    def test_invalid_n(self, fitted, lastfm_small):
+        server = PublishedRelease.from_recommender(fitted).server(
+            lastfm_small.social
+        )
+        with pytest.raises(ValueError):
+            server.recommend(lastfm_small.social.users()[0], n=0)

@@ -1,0 +1,135 @@
+"""Unit tests for the exact (non-private) social recommender."""
+
+import pytest
+
+from repro.core.base import NotFittedError
+from repro.core.recommender import SocialRecommender
+from repro.graph.preference_graph import PreferenceGraph
+from repro.graph.social_graph import SocialGraph
+from repro.similarity.common_neighbors import CommonNeighbors
+from repro.similarity.graph_distance import GraphDistance
+
+
+class TestUtilities:
+    def test_hand_computed_utilities(self, triangle_graph, small_preferences):
+        # CN on a triangle: sim(u, v) = 1 for all pairs.
+        rec = SocialRecommender(CommonNeighbors(), n=3)
+        rec.fit(triangle_graph, small_preferences)
+        # For user 2: sim set {1, 3}; items of 1 = {a, b}, items of 3 = {c}.
+        assert rec.utilities(2) == {"a": 1.0, "b": 1.0, "c": 1.0}
+        # For user 3: items of 1 and 2 => a gets 2, b gets 1.
+        assert rec.utilities(3) == {"a": 2.0, "b": 1.0}
+
+    def test_definition3_formula(self, lastfm_small):
+        """mu_u^i must equal sum_v sim(u,v) * w(v,i) by brute force."""
+        measure = GraphDistance(max_distance=2)
+        rec = SocialRecommender(measure, n=10)
+        rec.fit(lastfm_small.social, lastfm_small.preferences)
+        g, prefs = lastfm_small.social, lastfm_small.preferences
+        user = g.users()[5]
+        utilities = rec.utilities(user)
+        row = measure.similarity_row(g, user)
+        for item in list(prefs.items())[:30]:
+            expected = sum(row.get(v, 0.0) * prefs.weight(v, item) for v in row)
+            assert utilities.get(item, 0.0) == pytest.approx(expected)
+
+    def test_zero_utility_items_omitted(self, triangle_graph, small_preferences):
+        rec = SocialRecommender(CommonNeighbors(), n=3)
+        rec.fit(triangle_graph, small_preferences)
+        # User 1's sim set prefers a and c but not b... actually 2 has a,
+        # 3 has c; item b (only user 1's own) must be absent.
+        assert "b" not in rec.utilities(1)
+
+    def test_user_without_social_presence_errors(
+        self, triangle_graph, small_preferences
+    ):
+        from repro.exceptions import NodeNotFoundError
+
+        rec = SocialRecommender(CommonNeighbors(), n=3)
+        rec.fit(triangle_graph, small_preferences)
+        with pytest.raises(NodeNotFoundError):
+            rec.utilities(99)
+
+    def test_neighbors_without_preferences_tolerated(self, triangle_graph):
+        prefs = PreferenceGraph()
+        prefs.add_edge(2, "a")
+        rec = SocialRecommender(CommonNeighbors(), n=3)
+        rec.fit(triangle_graph, prefs)
+        # Users 1's sim set includes 3, which has no preference record.
+        assert rec.utilities(1) == {"a": 1.0}
+
+
+class TestRecommend:
+    def test_ranking_order(self, triangle_graph, small_preferences):
+        rec = SocialRecommender(CommonNeighbors(), n=3)
+        rec.fit(triangle_graph, small_preferences)
+        recs = rec.recommend(3)
+        assert recs.item_ids() == ["a", "b"]
+        assert recs.utilities() == [2.0, 1.0]
+
+    def test_truncates_to_n(self, triangle_graph, small_preferences):
+        rec = SocialRecommender(CommonNeighbors(), n=1)
+        rec.fit(triangle_graph, small_preferences)
+        assert len(rec.recommend(3)) == 1
+
+    def test_per_call_n_override(self, triangle_graph, small_preferences):
+        rec = SocialRecommender(CommonNeighbors(), n=1)
+        rec.fit(triangle_graph, small_preferences)
+        assert len(rec.recommend(3, n=2)) == 2
+
+    def test_tie_break_deterministic(self, triangle_graph, small_preferences):
+        rec = SocialRecommender(CommonNeighbors(), n=3)
+        rec.fit(triangle_graph, small_preferences)
+        # For user 2 all three items have utility 1: lexicographic order.
+        assert rec.recommend(2).item_ids() == ["a", "b", "c"]
+
+    def test_recommend_all(self, triangle_graph, small_preferences):
+        rec = SocialRecommender(CommonNeighbors(), n=2)
+        rec.fit(triangle_graph, small_preferences)
+        all_recs = rec.recommend_all()
+        assert set(all_recs) == {1, 2, 3}
+
+    def test_recommend_all_subset(self, triangle_graph, small_preferences):
+        rec = SocialRecommender(CommonNeighbors(), n=2)
+        rec.fit(triangle_graph, small_preferences)
+        assert set(rec.recommend_all(users=[1])) == {1}
+
+    def test_invalid_n(self, triangle_graph, small_preferences):
+        with pytest.raises(ValueError):
+            SocialRecommender(CommonNeighbors(), n=0)
+        rec = SocialRecommender(CommonNeighbors(), n=2)
+        rec.fit(triangle_graph, small_preferences)
+        with pytest.raises(ValueError):
+            rec.recommend(1, n=0)
+
+
+class TestLifecycle:
+    def test_query_before_fit_raises(self):
+        rec = SocialRecommender(CommonNeighbors(), n=5)
+        with pytest.raises(NotFittedError):
+            rec.utilities(1)
+        with pytest.raises(NotFittedError):
+            rec.recommend(1)
+
+    def test_fit_returns_self(self, triangle_graph, small_preferences):
+        rec = SocialRecommender(CommonNeighbors(), n=5)
+        assert rec.fit(triangle_graph, small_preferences) is rec
+
+    def test_is_fitted_flag(self, triangle_graph, small_preferences):
+        rec = SocialRecommender(CommonNeighbors(), n=5)
+        assert not rec.is_fitted
+        rec.fit(triangle_graph, small_preferences)
+        assert rec.is_fitted
+
+    def test_repr_shows_state(self, triangle_graph, small_preferences):
+        rec = SocialRecommender(CommonNeighbors(), n=5)
+        assert "unfitted" in repr(rec)
+        rec.fit(triangle_graph, small_preferences)
+        assert "fitted" in repr(rec)
+
+    def test_refit_replaces_snapshot(self, triangle_graph, small_preferences):
+        rec = SocialRecommender(CommonNeighbors(), n=5)
+        rec.fit(triangle_graph, small_preferences)
+        other = PreferenceGraph([(1, "z"), (2, "z")])
+        rec.fit(triangle_graph, other)
+        assert rec.utilities(3) == {"z": 2.0}

@@ -1,0 +1,73 @@
+"""Unit tests for crawl loading and paper-style pre-processing."""
+
+import pytest
+
+from repro.datasets.loader import load_dataset_directory, preprocess_paper_style
+from repro.exceptions import DatasetError
+from repro.graph.preference_graph import PreferenceGraph
+from repro.graph.social_graph import SocialGraph
+
+
+class TestPreprocess:
+    def test_threshold_and_binarise(self):
+        social = SocialGraph([(1, 2), (2, 3)])
+        prefs = PreferenceGraph()
+        prefs.add_edge(1, "a", weight=1.0)   # dropped: below 2
+        prefs.add_edge(2, "a", weight=5.0)   # kept, binarised
+        prefs.add_edge(3, "b", weight=2.0)   # kept
+        ds = preprocess_paper_style(social, prefs, name="t")
+        assert ds.preferences.weight(1, "a") == 0.0
+        assert ds.preferences.weight(2, "a") == 1.0
+        assert ds.preferences.weight(3, "b") == 1.0
+
+    def test_main_component_restriction(self):
+        # Two components; only users with preferences count for induction.
+        social = SocialGraph([(1, 2), (2, 3), (10, 11)])
+        prefs = PreferenceGraph()
+        for u in (1, 2, 3, 10, 11):
+            prefs.add_edge(u, "x", weight=5.0)
+        ds = preprocess_paper_style(
+            social, prefs, name="t", main_component_only=True
+        )
+        assert set(ds.social.users()) == {1, 2, 3}
+        assert not ds.preferences.has_user(10)
+
+    def test_social_users_without_prefs_registered(self):
+        social = SocialGraph([(1, 2)])
+        prefs = PreferenceGraph()
+        prefs.add_edge(1, "a", weight=3.0)
+        ds = preprocess_paper_style(social, prefs, name="t")
+        assert ds.preferences.has_user(2)
+        assert ds.preferences.user_degree(2) == 0
+
+    def test_empty_result_rejected(self):
+        with pytest.raises(DatasetError):
+            preprocess_paper_style(SocialGraph(), PreferenceGraph(), name="t")
+
+
+class TestLoadDirectory:
+    def test_load_hetrec_layout(self, tmp_path):
+        (tmp_path / "user_friends.dat").write_text(
+            "userID\tfriendID\n1\t2\n2\t3\n", encoding="utf-8"
+        )
+        (tmp_path / "user_artists.dat").write_text(
+            "userID\tartistID\tweight\n1\t100\t5\n2\t100\t1\n3\t200\t3\n",
+            encoding="utf-8",
+        )
+        ds = load_dataset_directory(str(tmp_path))
+        assert ds.social.num_users == 3
+        assert ds.preferences.weight(1, 100) == 1.0   # binarised
+        assert ds.preferences.weight(2, 100) == 0.0   # below threshold
+
+    def test_missing_file_raises(self, tmp_path):
+        (tmp_path / "user_friends.dat").write_text("1\t2\n", encoding="utf-8")
+        with pytest.raises(DatasetError):
+            load_dataset_directory(str(tmp_path))
+
+    def test_name_defaults_to_directory(self, tmp_path):
+        target = tmp_path / "my-crawl"
+        target.mkdir()
+        (target / "user_friends.dat").write_text("h\th\n1\t2\n", encoding="utf-8")
+        (target / "user_artists.dat").write_text("h\th\n1\t9\t4\n", encoding="utf-8")
+        ds = load_dataset_directory(str(target))
+        assert ds.name == "my-crawl"

@@ -1,0 +1,75 @@
+"""Unit tests for Table 1-style dataset statistics."""
+
+import pytest
+
+from repro.datasets.dataset import SocialRecDataset
+from repro.datasets.stats import dataset_stats, format_stats_table
+from repro.graph.preference_graph import PreferenceGraph
+from repro.graph.social_graph import SocialGraph
+
+
+@pytest.fixture
+def tiny_dataset():
+    social = SocialGraph([(1, 2), (2, 3)])
+    prefs = PreferenceGraph([(1, "a"), (2, "a"), (3, "b")])
+    return SocialRecDataset(name="tiny", social=social, preferences=prefs)
+
+
+class TestDatasetStats:
+    def test_counts(self, tiny_dataset):
+        stats = dataset_stats(tiny_dataset)
+        assert stats.num_users == 3
+        assert stats.num_social_edges == 2
+        assert stats.num_items == 2
+        assert stats.num_preference_edges == 3
+
+    def test_user_degree_stats(self, tiny_dataset):
+        stats = dataset_stats(tiny_dataset)
+        assert stats.avg_user_degree == pytest.approx(4 / 3)
+        assert stats.std_user_degree > 0
+
+    def test_item_degree_stats(self, tiny_dataset):
+        stats = dataset_stats(tiny_dataset)
+        assert stats.avg_item_degree == pytest.approx(1.5)
+
+    def test_sparsity(self, tiny_dataset):
+        stats = dataset_stats(tiny_dataset)
+        assert stats.sparsity == pytest.approx(1 - 3 / 6)
+
+
+class TestFormatting:
+    def test_single_dataset_table(self, tiny_dataset):
+        text = format_stats_table([dataset_stats(tiny_dataset)])
+        assert "tiny" in text
+        assert "|U|" in text
+        assert "sparsity(G_p)" in text
+
+    def test_two_column_table_like_paper(self, tiny_dataset, lastfm_small):
+        text = format_stats_table(
+            [dataset_stats(tiny_dataset), dataset_stats(lastfm_small)]
+        )
+        assert "tiny" in text
+        assert lastfm_small.name in text
+        # All rows present.
+        for label in ("|E_s|", "avg. user degree", "|I|", "|E_p|", "avg. item degree"):
+            assert label in text
+
+
+class TestDatasetContainer:
+    def test_validate_passes_for_consistent(self, tiny_dataset):
+        tiny_dataset.validate()
+
+    def test_validate_rejects_missing_users(self):
+        from repro.exceptions import DatasetError
+
+        social = SocialGraph([(1, 2)])
+        prefs = PreferenceGraph([(99, "a")])
+        ds = SocialRecDataset(name="bad", social=social, preferences=prefs)
+        with pytest.raises(DatasetError):
+            ds.validate()
+
+    def test_users_lists_social_users(self, tiny_dataset):
+        assert tiny_dataset.users() == [1, 2, 3]
+
+    def test_repr(self, tiny_dataset):
+        assert "tiny" in repr(tiny_dataset)

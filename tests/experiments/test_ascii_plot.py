@@ -1,0 +1,68 @@
+"""Unit tests for the ASCII chart renderers."""
+
+import pytest
+
+from repro.experiments.ascii_plot import bar_chart, line_chart
+
+
+class TestLineChart:
+    def test_renders_all_labels_and_legend(self):
+        chart = line_chart(
+            {"cn": [1.0, 0.8, 0.4], "aa": [0.9, 0.7, 0.3]},
+            ["inf", "0.1", "0.01"],
+        )
+        for token in ("inf", "0.1", "0.01", "o=cn", "x=aa"):
+            assert token in chart
+
+    def test_row_count_matches_height(self):
+        chart = line_chart({"s": [0.5, 0.5]}, ["a", "b"], height=6)
+        # 6 chart rows + axis + labels + legend.
+        assert len(chart.splitlines()) == 9
+
+    def test_mismatched_lengths_rejected(self):
+        with pytest.raises(ValueError):
+            line_chart({"s": [1.0]}, ["a", "b"])
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            line_chart({}, ["a"])
+        with pytest.raises(ValueError):
+            line_chart({"s": []}, [])
+
+    def test_invalid_height(self):
+        with pytest.raises(ValueError):
+            line_chart({"s": [0.5]}, ["a"], height=1)
+
+    def test_high_values_render_near_top(self):
+        chart = line_chart({"s": [1.0]}, ["x"], height=4)
+        rows = chart.splitlines()
+        assert "o" in rows[0]  # top row holds the 1.0 marker
+
+    def test_low_values_render_near_bottom(self):
+        chart = line_chart({"s": [0.05]}, ["x"], height=4)
+        rows = chart.splitlines()
+        assert "o" in rows[3]
+
+
+class TestBarChart:
+    def test_bars_proportional(self):
+        chart = bar_chart({"big": 1.0, "small": 0.25}, width=20)
+        lines = chart.splitlines()
+        assert lines[0].count("#") == 20
+        assert lines[1].count("#") == 5
+
+    def test_values_printed(self):
+        chart = bar_chart({"x": 0.123})
+        assert "0.123" in chart
+
+    def test_over_max_clipped(self):
+        chart = bar_chart({"x": 5.0}, width=10, y_max=1.0)
+        assert chart.count("#") == 10
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            bar_chart({})
+
+    def test_invalid_width(self):
+        with pytest.raises(ValueError):
+            bar_chart({"x": 1.0}, width=0)

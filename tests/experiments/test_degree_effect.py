@@ -1,0 +1,46 @@
+"""Unit tests for the Figure 3 degree-effect driver."""
+
+import math
+
+import pytest
+
+from repro.experiments.degree_effect import run_degree_effect
+from repro.similarity.common_neighbors import CommonNeighbors
+
+
+@pytest.fixture(scope="module")
+def result(lastfm_medium):
+    return run_degree_effect(lastfm_medium, CommonNeighbors(), n=50, seed=0)
+
+
+class TestDegreeEffect:
+    def test_one_point_per_user(self, result, lastfm_medium):
+        assert len(result.points) == lastfm_medium.social.num_users
+
+    def test_points_carry_true_degrees(self, result, lastfm_medium):
+        for user, degree, _score in result.points[:20]:
+            assert degree == lastfm_medium.social.degree(user)
+
+    def test_scores_in_unit_interval(self, result):
+        assert all(0.0 <= score <= 1.0 for _u, _d, score in result.points)
+
+    def test_low_degree_users_not_better(self, result):
+        """The paper's Figure 3 shape: degree <= 10 users average no better
+        than degree > 10 users under pure approximation error."""
+        assert result.low_degree_mean <= result.high_degree_mean + 0.005
+
+    def test_threshold_recorded(self, result):
+        assert result.threshold == 10
+
+    def test_custom_threshold(self, lastfm_small):
+        result = run_degree_effect(
+            lastfm_small, CommonNeighbors(), n=10, threshold=5, seed=0
+        )
+        assert result.threshold == 5
+        assert not math.isnan(result.low_degree_mean)
+
+    def test_sample_size_respected(self, lastfm_small):
+        result = run_degree_effect(
+            lastfm_small, CommonNeighbors(), n=10, sample_size=25, seed=0
+        )
+        assert len(result.points) == 25

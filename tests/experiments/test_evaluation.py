@@ -1,0 +1,109 @@
+"""Unit tests for the shared evaluation machinery."""
+
+import math
+
+import pytest
+
+from repro.core.private import PrivateSocialRecommender
+from repro.core.recommender import SocialRecommender
+from repro.exceptions import ExperimentError
+from repro.experiments.evaluation import (
+    EvaluationContext,
+    evaluate_factory,
+    evaluate_recommender,
+)
+from repro.similarity.common_neighbors import CommonNeighbors
+
+
+class TestEvaluationContext:
+    def test_build_covers_all_users_by_default(self, lastfm_small):
+        context = EvaluationContext.build(lastfm_small, CommonNeighbors(), max_n=10)
+        assert set(context.users) == set(lastfm_small.social.users())
+
+    def test_sampling_reduces_users(self, lastfm_small):
+        context = EvaluationContext.build(
+            lastfm_small, CommonNeighbors(), max_n=10, sample_size=20
+        )
+        assert len(context.users) == 20
+        assert set(context.users) <= set(lastfm_small.social.users())
+
+    def test_sampling_deterministic(self, lastfm_small):
+        a = EvaluationContext.build(
+            lastfm_small, CommonNeighbors(), max_n=10, sample_size=15, seed=3
+        )
+        b = EvaluationContext.build(
+            lastfm_small, CommonNeighbors(), max_n=10, sample_size=15, seed=3
+        )
+        assert a.users == b.users
+
+    def test_oversized_sample_keeps_everyone(self, lastfm_small):
+        context = EvaluationContext.build(
+            lastfm_small, CommonNeighbors(), max_n=10, sample_size=10**9
+        )
+        assert len(context.users) == lastfm_small.social.num_users
+
+    def test_invalid_sample_size(self, lastfm_small):
+        with pytest.raises(ExperimentError):
+            EvaluationContext.build(
+                lastfm_small, CommonNeighbors(), max_n=10, sample_size=0
+            )
+
+    def test_reference_matches_exact_recommender(self, lastfm_small):
+        context = EvaluationContext.build(lastfm_small, CommonNeighbors(), max_n=10)
+        exact = SocialRecommender(CommonNeighbors(), n=10)
+        exact.fit(lastfm_small.social, lastfm_small.preferences)
+        user = context.users[0]
+        assert context.reference_rankings[user] == exact.recommend(user).item_ids()
+
+    def test_n_larger_than_max_rejected(self, lastfm_small):
+        context = EvaluationContext.build(lastfm_small, CommonNeighbors(), max_n=10)
+        with pytest.raises(ExperimentError):
+            context.ndcg_of_rankings({}, 20)
+
+
+class TestEvaluate:
+    def test_exact_recommender_scores_one(self, lastfm_small):
+        context = EvaluationContext.build(lastfm_small, CommonNeighbors(), max_n=10)
+        score = evaluate_recommender(
+            context, SocialRecommender(CommonNeighbors(), n=10), 10
+        )
+        assert score == pytest.approx(1.0)
+
+    def test_private_eps_inf_scores_below_one_but_high(self, lastfm_small):
+        context = EvaluationContext.build(lastfm_small, CommonNeighbors(), max_n=10)
+        score = evaluate_recommender(
+            context,
+            PrivateSocialRecommender(CommonNeighbors(), epsilon=math.inf, n=10),
+            10,
+        )
+        assert 0.6 < score <= 1.0
+
+    def test_factory_mean_std(self, lastfm_small):
+        context = EvaluationContext.build(lastfm_small, CommonNeighbors(), max_n=10)
+        mean, std = evaluate_factory(
+            context,
+            lambda seed: PrivateSocialRecommender(
+                CommonNeighbors(), epsilon=0.5, n=10, seed=seed
+            ),
+            10,
+            repeats=3,
+        )
+        assert 0.0 <= mean <= 1.0
+        assert std >= 0.0
+
+    def test_single_repeat_zero_std(self, lastfm_small):
+        context = EvaluationContext.build(lastfm_small, CommonNeighbors(), max_n=10)
+        _mean, std = evaluate_factory(
+            context,
+            lambda seed: PrivateSocialRecommender(
+                CommonNeighbors(), epsilon=0.5, n=10, seed=seed
+            ),
+            10,
+            repeats=1,
+        )
+        assert std == 0.0
+
+    def test_invalid_repeats(self, lastfm_small):
+        context = EvaluationContext.build(lastfm_small, CommonNeighbors(), max_n=10)
+        with pytest.raises(ExperimentError):
+            evaluate_factory(context, lambda s: None, 10, repeats=0)

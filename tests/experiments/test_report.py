@@ -1,0 +1,54 @@
+"""Unit tests for the one-shot reproduction report."""
+
+import pytest
+
+from repro.experiments.report import ReportConfig, generate_report
+
+
+@pytest.fixture(scope="module")
+def report_text():
+    # Tiny scales so the full pipeline runs in seconds.
+    config = ReportConfig(
+        lastfm_scale=0.04,
+        flixster_scale=0.0015,
+        epsilons=(float("inf"), 1.0, 0.1),
+        ns=(10,),
+        repeats=1,
+        flixster_sample=40,
+        seed=0,
+    )
+    return generate_report(config)
+
+
+class TestGenerateReport:
+    def test_contains_every_artifact_section(self, report_text):
+        assert "Table 1" in report_text
+        assert "Figure 1" in report_text
+        assert "Figure 2" in report_text
+        assert "Figure 3" in report_text
+        assert "Figure 4" in report_text
+
+    def test_is_markdown(self, report_text):
+        assert report_text.startswith("# Reproduction report")
+        assert "## " in report_text
+        assert "```" in report_text
+
+    def test_tables_carry_measures(self, report_text):
+        for measure in ("AA", "CN", "GD", "KZ"):
+            assert measure in report_text
+
+    def test_mechanisms_listed(self, report_text):
+        for mech in ("cluster", "noe", "nou", "lrm", "gs"):
+            assert mech in report_text
+
+    def test_cli_report_to_file(self, tmp_path, capsys):
+        from repro.cli import main
+
+        target = tmp_path / "report.md"
+        code = main(
+            ["report", "--lastfm-scale", "0.04", "--flixster-scale", "0.0015",
+             "--repeats", "1", "--output", str(target)]
+        )
+        assert code == 0
+        assert target.exists()
+        assert "Reproduction report" in target.read_text(encoding="utf-8")

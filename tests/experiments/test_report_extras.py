@@ -1,0 +1,60 @@
+"""Additional report/CLI coverage: the chart section and report options."""
+
+import math
+
+import pytest
+
+from repro.experiments.report import ReportConfig, generate_report
+
+
+class TestReportConfig:
+    def test_defaults_are_the_paper_sweep(self):
+        config = ReportConfig()
+        assert math.isinf(config.epsilons[0])
+        assert 0.01 in config.epsilons
+        assert config.repeats >= 1
+
+    def test_custom_epsilons_flow_through(self):
+        config = ReportConfig(
+            lastfm_scale=0.04,
+            flixster_scale=0.0015,
+            epsilons=(math.inf, 0.5),
+            ns=(5,),
+            repeats=1,
+            flixster_sample=30,
+        )
+        report = generate_report(config)
+        assert "eps=0.5" in report
+        assert "eps=inf" in report
+
+    def test_report_includes_ascii_chart(self):
+        config = ReportConfig(
+            lastfm_scale=0.04,
+            flixster_scale=0.0015,
+            epsilons=(math.inf, 0.5),
+            ns=(5,),
+            repeats=1,
+            flixster_sample=30,
+        )
+        report = generate_report(config)
+        # The chart legend names all four measures with their markers.
+        assert "o=aa" in report
+        assert "NDCG@5 vs epsilon" in report
+
+
+class TestTradeoffEdgeCases:
+    def test_empty_epsilons_rejected(self, lastfm_small):
+        from repro.exceptions import ExperimentError
+        from repro.experiments.tradeoff import run_tradeoff
+        from repro.similarity.common_neighbors import CommonNeighbors
+
+        with pytest.raises(ExperimentError):
+            run_tradeoff(lastfm_small, [CommonNeighbors()], epsilons=())
+
+    def test_empty_ns_rejected(self, lastfm_small):
+        from repro.exceptions import ExperimentError
+        from repro.experiments.tradeoff import run_tradeoff
+        from repro.similarity.common_neighbors import CommonNeighbors
+
+        with pytest.raises(ExperimentError):
+            run_tradeoff(lastfm_small, [CommonNeighbors()], ns=())

@@ -1,0 +1,80 @@
+"""Unit tests for the Figure 1/2 tradeoff driver."""
+
+import math
+
+import pytest
+
+from repro.exceptions import ExperimentError
+from repro.experiments.tradeoff import format_tradeoff_table, run_tradeoff
+from repro.similarity.common_neighbors import CommonNeighbors
+from repro.similarity.graph_distance import GraphDistance
+
+
+@pytest.fixture(scope="module")
+def cells(lastfm_small):
+    return run_tradeoff(
+        lastfm_small,
+        measures=[CommonNeighbors(), GraphDistance()],
+        epsilons=(math.inf, 1.0, 0.05),
+        ns=(10, 50),
+        repeats=2,
+        seed=0,
+    )
+
+
+class TestRunTradeoff:
+    def test_cell_count(self, cells):
+        assert len(cells) == 2 * 3 * 2  # measures x epsilons x ns
+
+    def test_scores_in_unit_interval(self, cells):
+        assert all(0.0 <= c.ndcg_mean <= 1.0 for c in cells)
+
+    def test_accuracy_degrades_with_privacy(self, cells):
+        """Stronger privacy (smaller eps) must not score better by a wide
+        margin — check the monotone trend inf >= 1.0 >= 0.05 per measure."""
+        for measure in ("cn", "gd"):
+            by_eps = {
+                c.epsilon: c.ndcg_mean
+                for c in cells
+                if c.measure == measure and c.n == 50
+            }
+            assert by_eps[math.inf] >= by_eps[1.0] - 0.05
+            assert by_eps[1.0] > by_eps[0.05]
+
+    def test_inf_epsilon_single_repeat_zero_std(self, cells):
+        inf_cells = [c for c in cells if math.isinf(c.epsilon)]
+        assert all(c.ndcg_std == 0.0 for c in inf_cells)
+
+    def test_dataset_label_recorded(self, cells, lastfm_small):
+        assert all(c.dataset == lastfm_small.name for c in cells)
+
+    def test_empty_measures_rejected(self, lastfm_small):
+        with pytest.raises(ExperimentError):
+            run_tradeoff(lastfm_small, measures=[])
+
+    def test_precomputed_clustering_reused(self, lastfm_small):
+        from repro.community.strategies import single_cluster_clustering
+
+        clustering = single_cluster_clustering(lastfm_small.social.users())
+        cells = run_tradeoff(
+            lastfm_small,
+            measures=[CommonNeighbors()],
+            epsilons=(math.inf,),
+            ns=(10,),
+            repeats=1,
+            clustering=clustering,
+        )
+        assert len(cells) == 1
+
+
+class TestFormatting:
+    def test_table_contains_measures_and_epsilons(self, cells):
+        text = format_tradeoff_table(cells, 50)
+        assert "CN" in text
+        assert "GD" in text
+        assert "eps=inf" in text
+        assert "eps=0.05" in text
+
+    def test_unknown_n_rejected(self, cells):
+        with pytest.raises(ExperimentError):
+            format_tradeoff_table(cells, 77)

@@ -1,0 +1,102 @@
+"""Unit tests for the structural graph analysis helpers."""
+
+import math
+
+import pytest
+
+from repro.exceptions import GraphError
+from repro.graph.analysis import (
+    average_clustering_coefficient,
+    clustering_coefficient,
+    community_size_profile,
+    degree_histogram,
+    sampled_path_length,
+)
+from repro.graph.social_graph import SocialGraph
+
+
+class TestDegreeHistogram:
+    def test_triangle(self, triangle_graph):
+        assert degree_histogram(triangle_graph) == {2: 3}
+
+    def test_star(self, star_graph):
+        assert degree_histogram(star_graph) == {5: 1, 1: 5}
+
+    def test_empty(self):
+        assert degree_histogram(SocialGraph()) == {}
+
+    def test_sums_to_user_count(self, lastfm_small):
+        histogram = degree_histogram(lastfm_small.social)
+        assert sum(histogram.values()) == lastfm_small.social.num_users
+
+
+class TestClusteringCoefficient:
+    def test_triangle_is_one(self, triangle_graph):
+        assert clustering_coefficient(triangle_graph, 1) == 1.0
+
+    def test_star_hub_is_zero(self, star_graph):
+        assert clustering_coefficient(star_graph, 0) == 0.0
+
+    def test_degree_one_is_zero(self, path_graph):
+        assert clustering_coefficient(path_graph, 1) == 0.0
+
+    def test_partial_closure(self):
+        # 0 has neighbors 1, 2, 3; only (1, 2) connected: 1 of 3 pairs.
+        g = SocialGraph([(0, 1), (0, 2), (0, 3), (1, 2)])
+        assert clustering_coefficient(g, 0) == pytest.approx(1 / 3)
+
+    def test_average_matches_networkx(self, lastfm_small):
+        import networkx as nx
+
+        g = lastfm_small.social
+        nx_graph = nx.Graph(list(g.edges()))
+        nx_graph.add_nodes_from(g.users())
+        assert average_clustering_coefficient(g) == pytest.approx(
+            nx.average_clustering(nx_graph)
+        )
+
+    def test_average_empty_graph(self):
+        assert average_clustering_coefficient(SocialGraph()) == 0.0
+
+
+class TestSampledPathLength:
+    def test_exact_on_path_graph(self, path_graph):
+        # With all 5 nodes sampled the mean is the true mean distance.
+        value = sampled_path_length(path_graph, samples=5)
+        # Path 1-2-3-4-5: sum of pairwise distances = 40 over 20 pairs.
+        assert value == pytest.approx(2.0)
+
+    def test_small_world_graph_short_paths(self, lastfm_small):
+        value = sampled_path_length(lastfm_small.social, samples=30)
+        assert 1.0 < value < 8.0
+
+    def test_empty_graph_rejected(self):
+        with pytest.raises(GraphError):
+            sampled_path_length(SocialGraph())
+
+    def test_invalid_samples(self, path_graph):
+        with pytest.raises(ValueError):
+            sampled_path_length(path_graph, samples=0)
+
+    def test_isolated_only_graph_nan(self):
+        g = SocialGraph()
+        g.add_users([1, 2])
+        assert math.isnan(sampled_path_length(g, samples=2))
+
+
+class TestCommunityProfile:
+    def test_two_cliques(self, two_communities_graph):
+        profile = community_size_profile(two_communities_graph, runs=3)
+        assert profile.num_clusters == 2
+        assert profile.sizes == (4, 4)
+        assert profile.largest_fraction == pytest.approx(0.5)
+        assert profile.modularity > 0.3
+
+    def test_sizes_sorted_descending(self, lastfm_small):
+        profile = community_size_profile(lastfm_small.social, runs=3)
+        assert list(profile.sizes) == sorted(profile.sizes, reverse=True)
+        assert sum(profile.sizes) == lastfm_small.social.num_users
+
+    def test_empty_graph_rejected(self):
+        with pytest.raises(GraphError):
+            community_size_profile(SocialGraph())

@@ -1,0 +1,59 @@
+"""Unit tests for connected-component extraction."""
+
+from repro.graph.components import component_of, connected_components, largest_component
+from repro.graph.social_graph import SocialGraph
+
+
+class TestConnectedComponents:
+    def test_single_component(self, triangle_graph):
+        comps = connected_components(triangle_graph)
+        assert comps == [{1, 2, 3}]
+
+    def test_multiple_components_sorted_by_size(self):
+        g = SocialGraph([(1, 2), (2, 3), (10, 11)])
+        g.add_user(99)
+        comps = connected_components(g)
+        assert [len(c) for c in comps] == [3, 2, 1]
+        assert comps[0] == {1, 2, 3}
+        assert comps[2] == {99}
+
+    def test_empty_graph(self):
+        assert connected_components(SocialGraph()) == []
+
+    def test_covers_all_users(self, two_communities_graph):
+        comps = connected_components(two_communities_graph)
+        covered = set().union(*comps)
+        assert covered == set(two_communities_graph.users())
+
+
+class TestLargestComponent:
+    def test_extracts_main_component(self):
+        g = SocialGraph([(1, 2), (2, 3), (10, 11)])
+        main = largest_component(g)
+        assert set(main.users()) == {1, 2, 3}
+        assert main.num_edges == 2
+
+    def test_empty_graph(self):
+        main = largest_component(SocialGraph())
+        assert main.num_users == 0
+
+    def test_matches_networkx(self, lastfm_small):
+        import networkx as nx
+
+        g = lastfm_small.social
+        nx_graph = nx.Graph(list(g.edges()))
+        nx_graph.add_nodes_from(g.users())
+        expected = max(nx.connected_components(nx_graph), key=len)
+        assert set(largest_component(g).users()) == expected
+
+
+class TestComponentOf:
+    def test_returns_own_component(self):
+        g = SocialGraph([(1, 2), (10, 11)])
+        assert component_of(g, 1) == {1, 2}
+        assert component_of(g, 11) == {10, 11}
+
+    def test_isolated_user(self):
+        g = SocialGraph()
+        g.add_user(5)
+        assert component_of(g, 5) == {5}

@@ -1,0 +1,159 @@
+"""Unit tests for the random graph generators."""
+
+import numpy as np
+import pytest
+
+from repro.graph.generators import (
+    barabasi_albert_graph,
+    community_attachment_graph,
+    erdos_renyi_graph,
+    heterogeneous_ba_graph,
+    planted_partition_graph,
+    watts_strogatz_graph,
+)
+
+
+class TestErdosRenyi:
+    def test_p_zero_has_no_edges(self, rng):
+        g = erdos_renyi_graph(20, 0.0, rng)
+        assert g.num_users == 20
+        assert g.num_edges == 0
+
+    def test_p_one_is_complete(self, rng):
+        g = erdos_renyi_graph(8, 1.0, rng)
+        assert g.num_edges == 8 * 7 // 2
+
+    def test_edge_count_near_expectation(self, rng):
+        n, p = 100, 0.1
+        g = erdos_renyi_graph(n, p, rng)
+        expected = p * n * (n - 1) / 2
+        assert abs(g.num_edges - expected) < 4 * (expected**0.5) + 10
+
+    def test_invalid_p(self, rng):
+        with pytest.raises(ValueError):
+            erdos_renyi_graph(5, 1.5, rng)
+
+    def test_invalid_n(self, rng):
+        with pytest.raises(ValueError):
+            erdos_renyi_graph(0, 0.5, rng)
+
+    def test_deterministic_given_seed(self):
+        a = erdos_renyi_graph(30, 0.2, np.random.default_rng(7))
+        b = erdos_renyi_graph(30, 0.2, np.random.default_rng(7))
+        assert a == b
+
+
+class TestWattsStrogatz:
+    def test_beta_zero_is_ring_lattice(self, rng):
+        g = watts_strogatz_graph(10, 4, 0.0, rng)
+        assert all(g.degree(u) == 4 for u in g.users())
+        assert g.num_edges == 20
+
+    def test_rewiring_preserves_edge_count(self, rng):
+        g = watts_strogatz_graph(20, 4, 0.5, rng)
+        assert g.num_edges == 40
+
+    def test_odd_k_rejected(self, rng):
+        with pytest.raises(ValueError):
+            watts_strogatz_graph(10, 3, 0.1, rng)
+
+    def test_k_too_large_rejected(self, rng):
+        with pytest.raises(ValueError):
+            watts_strogatz_graph(4, 4, 0.1, rng)
+
+
+class TestBarabasiAlbert:
+    def test_node_and_edge_counts(self, rng):
+        n, m = 50, 3
+        g = barabasi_albert_graph(n, m, rng)
+        assert g.num_users == n
+        # Star seed has m edges; each later node adds exactly m.
+        assert g.num_edges == m + (n - m - 1) * m
+
+    def test_min_degree_at_least_one(self, rng):
+        g = barabasi_albert_graph(40, 2, rng)
+        assert min(g.degrees().values()) >= 1
+
+    def test_heavy_tail_hub_exists(self, rng):
+        g = barabasi_albert_graph(200, 2, rng)
+        assert g.max_degree() > 3 * g.average_degree()
+
+    def test_invalid_m(self, rng):
+        with pytest.raises(ValueError):
+            barabasi_albert_graph(5, 5, rng)
+
+
+class TestHeterogeneousBA:
+    def test_has_low_degree_users(self, rng):
+        g = heterogeneous_ba_graph(300, 6.0, rng)
+        degrees = list(g.degrees().values())
+        assert min(degrees) == 1
+
+    def test_average_degree_near_two_mean_m(self, rng):
+        g = heterogeneous_ba_graph(500, 6.0, rng)
+        assert 8.0 < g.average_degree() < 16.0
+
+    def test_connected_enough(self, rng):
+        from repro.graph.components import connected_components
+
+        g = heterogeneous_ba_graph(200, 4.0, rng)
+        assert len(connected_components(g)[0]) == 200
+
+    def test_invalid_mean(self, rng):
+        with pytest.raises(ValueError):
+            heterogeneous_ba_graph(10, 0.5, rng)
+
+    def test_single_node(self, rng):
+        g = heterogeneous_ba_graph(1, 2.0, rng)
+        assert g.num_users == 1
+        assert g.num_edges == 0
+
+
+class TestPlantedPartition:
+    def test_blocks_are_denser(self, rng):
+        sizes = [30, 30]
+        g = planted_partition_graph(sizes, 0.5, 0.02, rng)
+        intra = sum(
+            1 for u, v in g.edges() if (u < 30) == (v < 30)
+        )
+        inter = g.num_edges - intra
+        assert intra > 5 * inter
+
+    def test_p_out_greater_than_p_in_rejected(self, rng):
+        with pytest.raises(ValueError):
+            planted_partition_graph([10, 10], 0.1, 0.5, rng)
+
+    def test_empty_sizes_rejected(self, rng):
+        with pytest.raises(ValueError):
+            planted_partition_graph([], 0.5, 0.1, rng)
+
+
+class TestCommunityAttachment:
+    def test_total_size(self, rng):
+        g = community_attachment_graph([40, 30, 30], 3, 10, rng)
+        assert g.num_users == 100
+
+    def test_community_structure_detectable(self, rng):
+        from repro.community.louvain import louvain
+        from repro.community.modularity import modularity
+
+        g = community_attachment_graph([60, 60, 60], 4, 12, rng)
+        result = louvain(g, rng=np.random.default_rng(1))
+        assert result.modularity > 0.4
+
+    def test_bridges_added(self, rng):
+        g = community_attachment_graph([30, 30], 3, 5, rng)
+        inter = sum(1 for u, v in g.edges() if (u < 30) != (v < 30))
+        assert inter == 5
+
+    def test_community_too_small_rejected(self, rng):
+        with pytest.raises(ValueError):
+            community_attachment_graph([3, 30], 3, 5, rng)
+
+    def test_negative_bridges_rejected(self, rng):
+        with pytest.raises(ValueError):
+            community_attachment_graph([30, 30], 3, -1, rng)
+
+    def test_single_community_no_bridges(self, rng):
+        g = community_attachment_graph([50], 3, 10, rng)
+        assert g.num_users == 50

@@ -1,0 +1,94 @@
+"""Unit tests for edge-list I/O."""
+
+import io
+
+import pytest
+
+from repro.exceptions import DatasetError
+from repro.graph.io import (
+    read_preference_graph,
+    read_social_graph,
+    write_preference_graph,
+    write_social_graph,
+)
+from repro.graph.preference_graph import PreferenceGraph
+from repro.graph.social_graph import SocialGraph
+
+
+class TestSocialGraphIO:
+    def test_read_basic(self):
+        text = "1\t2\n2\t3\n"
+        g = read_social_graph(io.StringIO(text))
+        assert g.num_users == 3
+        assert g.has_edge(1, 2)
+
+    def test_read_skips_comments_and_blanks(self):
+        text = "# header comment\n\n1\t2\n"
+        g = read_social_graph(io.StringIO(text))
+        assert g.num_edges == 1
+
+    def test_read_skip_header(self):
+        text = "userID\tfriendID\n1\t2\n"
+        g = read_social_graph(io.StringIO(text), skip_header=True)
+        assert g.num_edges == 1
+        assert "userID" not in g
+
+    def test_read_space_separated(self):
+        g = read_social_graph(io.StringIO("a b\n"))
+        assert g.has_edge("a", "b")
+
+    def test_read_ignores_self_loops(self):
+        g = read_social_graph(io.StringIO("1\t1\n1\t2\n"))
+        assert g.num_edges == 1
+
+    def test_read_isolated_single_column(self):
+        g = read_social_graph(io.StringIO("1\t2\n7\n"))
+        assert 7 in g
+        assert g.degree(7) == 0
+
+    def test_roundtrip_preserves_graph(self, tmp_path):
+        g = SocialGraph([(1, 2), (2, 3)])
+        g.add_user(42)  # isolated
+        path = tmp_path / "social.tsv"
+        write_social_graph(g, str(path))
+        loaded = read_social_graph(str(path))
+        assert loaded == g
+
+    def test_id_coercion_int_vs_str(self):
+        g = read_social_graph(io.StringIO("1\tx\n"))
+        assert 1 in g
+        assert "x" in g
+
+
+class TestPreferenceGraphIO:
+    def test_read_two_columns_default_weight(self):
+        g = read_preference_graph(io.StringIO("1\t10\n"))
+        assert g.weight(1, 10) == 1.0
+
+    def test_read_three_columns(self):
+        g = read_preference_graph(io.StringIO("1\t10\t3.5\n"))
+        assert g.weight(1, 10) == 3.5
+
+    def test_read_bad_weight_raises(self):
+        with pytest.raises(DatasetError):
+            read_preference_graph(io.StringIO("1\t10\tnot-a-number\n"))
+
+    def test_read_too_few_columns_raises(self):
+        with pytest.raises(DatasetError):
+            read_preference_graph(io.StringIO("justone\n"))
+
+    def test_roundtrip(self, tmp_path):
+        g = PreferenceGraph()
+        g.add_edge(1, "a", weight=2.0)
+        g.add_edge(2, "b", weight=1.0)
+        path = tmp_path / "prefs.tsv"
+        write_preference_graph(g, str(path))
+        loaded = read_preference_graph(str(path))
+        assert loaded.weight(1, "a") == 2.0
+        assert loaded.weight(2, "b") == 1.0
+        assert loaded.num_edges == 2
+
+    def test_read_skip_header(self):
+        text = "userID\tartistID\tweight\n1\t10\t5\n"
+        g = read_preference_graph(io.StringIO(text), skip_header=True)
+        assert g.num_edges == 1

@@ -1,0 +1,85 @@
+"""Unit tests for bounded shortest paths and bounded path counting."""
+
+import pytest
+
+from repro.exceptions import NodeNotFoundError
+from repro.graph.paths import bounded_shortest_path_lengths, count_paths_up_to
+from repro.graph.social_graph import SocialGraph
+
+
+class TestBoundedShortestPaths:
+    def test_excludes_source(self, path_graph):
+        result = bounded_shortest_path_lengths(path_graph, 1, max_distance=2)
+        assert 1 not in result
+        assert result == {2: 1, 3: 2}
+
+    def test_cutoff_one_gives_neighbors(self, triangle_graph):
+        assert bounded_shortest_path_lengths(triangle_graph, 1, 1) == {2: 1, 3: 1}
+
+    def test_invalid_cutoff(self, triangle_graph):
+        with pytest.raises(ValueError):
+            bounded_shortest_path_lengths(triangle_graph, 1, 0)
+
+    def test_unknown_source(self, triangle_graph):
+        with pytest.raises(NodeNotFoundError):
+            bounded_shortest_path_lengths(triangle_graph, 99, 2)
+
+    def test_matches_networkx(self, lastfm_small):
+        import networkx as nx
+
+        g = lastfm_small.social
+        nx_graph = nx.Graph(list(g.edges()))
+        nx_graph.add_nodes_from(g.users())
+        source = g.users()[0]
+        expected = nx.single_source_shortest_path_length(nx_graph, source, cutoff=2)
+        del expected[source]
+        assert bounded_shortest_path_lengths(g, source, 2) == expected
+
+
+class TestCountPaths:
+    def test_single_edge(self):
+        g = SocialGraph([(1, 2)])
+        counts = count_paths_up_to(g, 1, 3)
+        assert counts == {2: [1, 0, 0]}
+
+    def test_triangle_counts(self, triangle_graph):
+        counts = count_paths_up_to(triangle_graph, 1, 2)
+        # 1->2 directly (length 1) and 1->3->2 (length 2).
+        assert counts[2] == [1, 1]
+        assert counts[3] == [1, 1]
+
+    def test_square_two_paths_of_length_two(self):
+        g = SocialGraph([(1, 2), (2, 3), (3, 4), (4, 1)])
+        counts = count_paths_up_to(g, 1, 2)
+        # 1->2->3 and 1->4->3: two length-2 simple paths to node 3.
+        assert counts[3] == [0, 2]
+
+    def test_simple_paths_no_revisit(self):
+        # Path graph: from 1, there is no length-3 path back to 2.
+        g = SocialGraph([(1, 2), (2, 3)])
+        counts = count_paths_up_to(g, 1, 3)
+        assert counts[2] == [1, 0, 0]
+        assert counts[3] == [0, 1, 0]
+
+    def test_invalid_length(self, triangle_graph):
+        with pytest.raises(ValueError):
+            count_paths_up_to(triangle_graph, 1, 0)
+
+    def test_unknown_source(self, triangle_graph):
+        with pytest.raises(NodeNotFoundError):
+            count_paths_up_to(triangle_graph, 99, 2)
+
+    def test_matches_networkx_simple_paths(self, two_communities_graph):
+        import networkx as nx
+
+        g = two_communities_graph
+        nx_graph = nx.Graph(list(g.edges()))
+        source = 0
+        counts = count_paths_up_to(g, source, 3)
+        for target in g.users():
+            if target == source:
+                continue
+            expected = [0, 0, 0]
+            for path in nx.all_simple_paths(nx_graph, source, target, cutoff=3):
+                expected[len(path) - 2] += 1
+            assert counts.get(target, [0, 0, 0]) == expected, target

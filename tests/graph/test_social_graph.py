@@ -1,0 +1,186 @@
+"""Unit tests for the SocialGraph substrate."""
+
+import pytest
+
+from repro.exceptions import EdgeError, NodeNotFoundError
+from repro.graph.social_graph import SocialGraph
+
+
+class TestConstruction:
+    def test_empty_graph(self):
+        g = SocialGraph()
+        assert g.num_users == 0
+        assert g.num_edges == 0
+        assert g.users() == []
+        assert list(g.edges()) == []
+
+    def test_from_edge_iterable(self):
+        g = SocialGraph([(1, 2), (2, 3)])
+        assert g.num_users == 3
+        assert g.num_edges == 2
+
+    def test_add_user_is_idempotent(self):
+        g = SocialGraph()
+        g.add_user("a")
+        g.add_user("a")
+        assert g.num_users == 1
+        assert g.degree("a") == 0
+
+    def test_add_users_bulk(self):
+        g = SocialGraph()
+        g.add_users(["a", "b", "c"])
+        assert g.num_users == 3
+
+    def test_add_edge_creates_nodes(self):
+        g = SocialGraph()
+        g.add_edge("a", "b")
+        assert "a" in g
+        assert "b" in g
+        assert g.has_edge("a", "b")
+
+    def test_add_edge_is_symmetric(self):
+        g = SocialGraph()
+        g.add_edge("a", "b")
+        assert g.has_edge("b", "a")
+        assert "a" in g.neighbors("b")
+        assert "b" in g.neighbors("a")
+
+    def test_duplicate_edge_not_double_counted(self):
+        g = SocialGraph()
+        g.add_edge(1, 2)
+        g.add_edge(1, 2)
+        g.add_edge(2, 1)
+        assert g.num_edges == 1
+
+    def test_self_loop_rejected(self):
+        g = SocialGraph()
+        with pytest.raises(EdgeError):
+            g.add_edge(1, 1)
+
+    def test_mixed_id_types(self):
+        g = SocialGraph()
+        g.add_edge(1, "user-x")
+        assert g.has_edge("user-x", 1)
+
+
+class TestRemoval:
+    def test_remove_edge(self):
+        g = SocialGraph([(1, 2), (2, 3)])
+        g.remove_edge(1, 2)
+        assert not g.has_edge(1, 2)
+        assert g.num_edges == 1
+        assert 1 in g  # node survives
+
+    def test_remove_missing_edge_raises(self):
+        g = SocialGraph([(1, 2)])
+        g.add_user(3)
+        with pytest.raises(EdgeError):
+            g.remove_edge(1, 3)
+
+    def test_remove_edge_unknown_node_raises(self):
+        g = SocialGraph([(1, 2)])
+        with pytest.raises(NodeNotFoundError):
+            g.remove_edge(1, 99)
+
+    def test_remove_user_drops_incident_edges(self):
+        g = SocialGraph([(1, 2), (1, 3), (2, 3)])
+        g.remove_user(1)
+        assert 1 not in g
+        assert g.num_edges == 1
+        assert g.has_edge(2, 3)
+
+    def test_remove_unknown_user_raises(self):
+        with pytest.raises(NodeNotFoundError):
+            SocialGraph().remove_user("ghost")
+
+
+class TestQueries:
+    def test_neighbors_snapshot_is_frozen(self, triangle_graph):
+        nbrs = triangle_graph.neighbors(1)
+        assert isinstance(nbrs, frozenset)
+        assert nbrs == {2, 3}
+
+    def test_neighbors_unknown_user_raises(self, triangle_graph):
+        with pytest.raises(NodeNotFoundError):
+            triangle_graph.neighbors(99)
+
+    def test_degree(self, star_graph):
+        assert star_graph.degree(0) == 5
+        assert star_graph.degree(1) == 1
+
+    def test_degree_unknown_user_raises(self, star_graph):
+        with pytest.raises(NodeNotFoundError):
+            star_graph.degree(99)
+
+    def test_degrees_map(self, triangle_graph):
+        assert triangle_graph.degrees() == {1: 2, 2: 2, 3: 2}
+
+    def test_average_degree(self, triangle_graph):
+        assert triangle_graph.average_degree() == pytest.approx(2.0)
+
+    def test_average_degree_empty(self):
+        assert SocialGraph().average_degree() == 0.0
+
+    def test_max_degree(self, star_graph):
+        assert star_graph.max_degree() == 5
+
+    def test_max_degree_empty(self):
+        assert SocialGraph().max_degree() == 0
+
+    def test_edges_yields_each_edge_once(self, triangle_graph):
+        edges = list(triangle_graph.edges())
+        assert len(edges) == 3
+        normalized = {frozenset(e) for e in edges}
+        assert normalized == {frozenset({1, 2}), frozenset({2, 3}), frozenset({1, 3})}
+
+    def test_len_and_iter(self, triangle_graph):
+        assert len(triangle_graph) == 3
+        assert sorted(triangle_graph) == [1, 2, 3]
+
+    def test_contains(self, triangle_graph):
+        assert 1 in triangle_graph
+        assert 99 not in triangle_graph
+
+
+class TestDerivedViews:
+    def test_subgraph_keeps_internal_edges_only(self, two_communities_graph):
+        sub = two_communities_graph.subgraph([0, 1, 2, 3])
+        assert sub.num_users == 4
+        assert sub.num_edges == 6  # the 4-clique
+        assert not sub.has_edge(3, 4) if 4 in sub else True
+
+    def test_subgraph_ignores_unknown_users(self, triangle_graph):
+        sub = triangle_graph.subgraph([1, 2, 999])
+        assert sub.num_users == 2
+        assert sub.has_edge(1, 2)
+
+    def test_copy_is_independent(self, triangle_graph):
+        clone = triangle_graph.copy()
+        clone.add_edge(3, 4)
+        assert 4 not in triangle_graph
+        assert clone.num_edges == triangle_graph.num_edges + 1
+
+    def test_equality(self):
+        a = SocialGraph([(1, 2), (2, 3)])
+        b = SocialGraph([(2, 3), (1, 2)])
+        assert a == b
+
+    def test_inequality_on_extra_node(self):
+        a = SocialGraph([(1, 2)])
+        b = SocialGraph([(1, 2)])
+        b.add_user(3)
+        assert a != b
+
+    def test_unhashable(self, triangle_graph):
+        with pytest.raises(TypeError):
+            hash(triangle_graph)
+
+    def test_repr_mentions_counts(self, triangle_graph):
+        text = repr(triangle_graph)
+        assert "num_users=3" in text
+        assert "num_edges=3" in text
+
+    def test_adjacency_snapshot(self, triangle_graph):
+        adj = triangle_graph.adjacency()
+        assert adj[1] == {2, 3}
+        assert isinstance(adj[1], frozenset)

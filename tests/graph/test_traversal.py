@@ -1,0 +1,73 @@
+"""Unit tests for BFS traversal primitives."""
+
+import pytest
+
+from repro.exceptions import NodeNotFoundError
+from repro.graph.social_graph import SocialGraph
+from repro.graph.traversal import bfs_distances, bfs_order, shortest_path
+
+
+class TestBfsDistances:
+    def test_path_graph_distances(self, path_graph):
+        assert bfs_distances(path_graph, 1) == {1: 0, 2: 1, 3: 2, 4: 3, 5: 4}
+
+    def test_max_depth_cutoff(self, path_graph):
+        assert bfs_distances(path_graph, 1, max_depth=2) == {1: 0, 2: 1, 3: 2}
+
+    def test_max_depth_zero_returns_only_source(self, path_graph):
+        assert bfs_distances(path_graph, 3, max_depth=0) == {3: 0}
+
+    def test_disconnected_nodes_absent(self):
+        g = SocialGraph([(1, 2)])
+        g.add_user(3)
+        assert 3 not in bfs_distances(g, 1)
+
+    def test_unknown_source_raises(self, path_graph):
+        with pytest.raises(NodeNotFoundError):
+            bfs_distances(path_graph, 99)
+
+    def test_triangle_all_distance_one(self, triangle_graph):
+        assert bfs_distances(triangle_graph, 1) == {1: 0, 2: 1, 3: 1}
+
+
+class TestBfsOrder:
+    def test_yields_source_first(self, path_graph):
+        order = list(bfs_order(path_graph, 3))
+        assert order[0] == 3
+        assert set(order) == {1, 2, 3, 4, 5}
+
+    def test_respects_levels(self, star_graph):
+        order = list(bfs_order(star_graph, 1))
+        # 1 first, then its only neighbor 0, then the other leaves.
+        assert order[0] == 1
+        assert order[1] == 0
+        assert set(order[2:]) == {2, 3, 4, 5}
+
+    def test_unknown_source_raises(self, star_graph):
+        with pytest.raises(NodeNotFoundError):
+            list(bfs_order(star_graph, 99))
+
+
+class TestShortestPath:
+    def test_trivial_path(self, path_graph):
+        assert shortest_path(path_graph, 2, 2) == [2]
+
+    def test_path_endpoints_included(self, path_graph):
+        assert shortest_path(path_graph, 1, 4) == [1, 2, 3, 4]
+
+    def test_unreachable_returns_none(self):
+        g = SocialGraph([(1, 2)])
+        g.add_user(3)
+        assert shortest_path(g, 1, 3) is None
+
+    def test_length_is_minimal(self, two_communities_graph):
+        path = shortest_path(two_communities_graph, 0, 7)
+        assert path is not None
+        assert path[0] == 0 and path[-1] == 7
+        assert len(path) == 4  # 0 - 3 - 4 - 7 (through the bridge)
+
+    def test_unknown_endpoints_raise(self, path_graph):
+        with pytest.raises(NodeNotFoundError):
+            shortest_path(path_graph, 99, 1)
+        with pytest.raises(NodeNotFoundError):
+            shortest_path(path_graph, 1, 99)

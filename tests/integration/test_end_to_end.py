@@ -1,0 +1,118 @@
+"""Integration tests: the full pipeline on realistic synthetic data.
+
+These tests exercise the complete flow — dataset generation, clustering,
+the private mechanism, ranking, evaluation — and assert the *shapes* the
+paper reports, which is what the reproduction must preserve.
+"""
+
+import math
+
+import pytest
+
+from repro.core.baselines import NoiseOnEdges, NoiseOnUtility
+from repro.core.private import PrivateSocialRecommender
+from repro.core.recommender import SocialRecommender
+from repro.experiments.evaluation import EvaluationContext, evaluate_recommender
+from repro.metrics.ndcg import ndcg_at_n
+from repro.similarity.adamic_adar import AdamicAdar
+from repro.similarity.common_neighbors import CommonNeighbors
+from repro.similarity.graph_distance import GraphDistance
+from repro.similarity.katz import Katz
+
+
+@pytest.fixture(scope="module")
+def context(lastfm_medium):
+    return EvaluationContext.build(lastfm_medium, CommonNeighbors(), max_n=50)
+
+
+class TestPaperShapes:
+    def test_framework_degrades_gracefully_with_epsilon(self, context, lastfm_medium):
+        """Figure 1 shape: NDCG decreases as epsilon shrinks, and weak
+        privacy (eps=1.0) stays close to the eps=inf ceiling."""
+        scores = {}
+        for eps in (math.inf, 1.0, 0.1, 0.01):
+            rec = PrivateSocialRecommender(CommonNeighbors(), epsilon=eps, n=50, seed=1)
+            scores[eps] = evaluate_recommender(context, rec, 50)
+        assert scores[math.inf] >= scores[1.0] - 0.02
+        assert scores[1.0] > scores[0.1] - 0.02
+        assert scores[0.1] > scores[0.01]
+        assert scores[math.inf] - scores[1.0] < 0.1
+        assert scores[0.01] < 0.8
+
+    def test_framework_beats_both_baselines_at_every_epsilon(
+        self, context, lastfm_medium
+    ):
+        """Figure 4 shape, end to end."""
+        for eps in (1.0, 0.1):
+            cluster = evaluate_recommender(
+                context,
+                PrivateSocialRecommender(CommonNeighbors(), epsilon=eps, n=50, seed=2),
+                50,
+            )
+            noe = evaluate_recommender(
+                context, NoiseOnEdges(CommonNeighbors(), epsilon=eps, n=50, seed=2), 50
+            )
+            nou = evaluate_recommender(
+                context, NoiseOnUtility(CommonNeighbors(), epsilon=eps, n=50, seed=2), 50
+            )
+            assert cluster > noe
+            assert cluster > nou
+            assert noe > nou  # NOE dominates NOU (paper Section 6.3)
+
+    def test_all_four_measures_work_under_privacy(self, lastfm_medium):
+        """Every instantiation (AA, CN, GD, KZ) produces useful
+        recommendations at moderate privacy (the paper's headline claim)."""
+        for measure in (AdamicAdar(), CommonNeighbors(), GraphDistance(), Katz()):
+            ctx = EvaluationContext.build(
+                lastfm_medium, measure, max_n=10, sample_size=60
+            )
+            score = evaluate_recommender(
+                ctx,
+                PrivateSocialRecommender(measure, epsilon=0.6, n=10, seed=3),
+                10,
+            )
+            assert score > 0.7, measure.name
+
+    def test_nou_near_random_at_strong_privacy(self, context):
+        """NOU with eps=0.1 must be close to useless (paper: 'essentially
+        no better than random guessing')."""
+        score = evaluate_recommender(
+            context, NoiseOnUtility(CommonNeighbors(), epsilon=0.1, n=50, seed=4), 50
+        )
+        assert score < 0.3
+
+
+class TestPrivacyAccountingEndToEnd:
+    def test_end_to_end_epsilon_independent_of_item_count(self, lastfm_medium):
+        rec = PrivateSocialRecommender(CommonNeighbors(), epsilon=0.7, n=10, seed=0)
+        rec.fit(lastfm_medium.social, lastfm_medium.preferences)
+        assert rec.total_epsilon() == pytest.approx(0.7)
+
+    def test_recommendations_are_post_processing(self, lastfm_medium):
+        """Re-querying utilities must not change the released averages —
+        everything after module A_w is deterministic post-processing."""
+        rec = PrivateSocialRecommender(CommonNeighbors(), epsilon=0.5, n=10, seed=0)
+        rec.fit(lastfm_medium.social, lastfm_medium.preferences)
+        user = lastfm_medium.social.users()[0]
+        first = rec.recommend(user).item_ids()
+        for _ in range(3):
+            assert rec.recommend(user).item_ids() == first
+
+
+class TestConsistencyAcrossPaths:
+    def test_recommend_matches_utilities_ranking(self, lastfm_medium):
+        """The fast vector path and the dict path must agree on the top-N
+        (up to deterministic tie-breaks among equal utilities)."""
+        rec = PrivateSocialRecommender(CommonNeighbors(), epsilon=0.3, n=20, seed=5)
+        rec.fit(lastfm_medium.social, lastfm_medium.preferences)
+        user = lastfm_medium.social.users()[3]
+        fast = rec.recommend(user, n=20)
+        utilities = rec.utilities(user)
+        fast_utilities = fast.utilities()
+        expected = sorted(utilities.values(), reverse=True)[:20]
+        assert fast_utilities == pytest.approx(expected)
+
+    def test_exact_recommender_is_ndcg_reference(self, context):
+        exact = SocialRecommender(CommonNeighbors(), n=50)
+        score = evaluate_recommender(context, exact, 50)
+        assert score == pytest.approx(1.0)

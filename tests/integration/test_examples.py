@@ -1,0 +1,49 @@
+"""Smoke tests for the example scripts.
+
+Every example must at least compile; the fast ones are executed end to end
+so documentation rot shows up in CI.  The two sweep-style examples run
+multi-minute experiments and are only compile-checked here (the benchmark
+suite covers their underlying drivers).
+"""
+
+import pathlib
+import py_compile
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES_DIR = pathlib.Path(__file__).resolve().parents[2] / "examples"
+
+FAST_EXAMPLES = [
+    "quickstart.py",
+    "sybil_attack_demo.py",
+    "weighted_ratings.py",
+    "dynamic_snapshots.py",
+    "publish_and_serve.py",
+]
+SLOW_EXAMPLES = [
+    "music_privacy_sweep.py",
+    "movie_mechanism_comparison.py",
+]
+
+
+class TestExamples:
+    def test_examples_directory_complete(self):
+        found = {p.name for p in EXAMPLES_DIR.glob("*.py")}
+        assert set(FAST_EXAMPLES + SLOW_EXAMPLES) <= found
+
+    @pytest.mark.parametrize("script", FAST_EXAMPLES + SLOW_EXAMPLES)
+    def test_example_compiles(self, script):
+        py_compile.compile(str(EXAMPLES_DIR / script), doraise=True)
+
+    @pytest.mark.parametrize("script", FAST_EXAMPLES)
+    def test_fast_example_runs(self, script):
+        completed = subprocess.run(
+            [sys.executable, str(EXAMPLES_DIR / script)],
+            capture_output=True,
+            text=True,
+            timeout=300,
+        )
+        assert completed.returncode == 0, completed.stderr[-2000:]
+        assert completed.stdout.strip(), "example produced no output"

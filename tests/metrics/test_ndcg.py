@@ -1,0 +1,97 @@
+"""Unit tests for NDCG exactly as the paper defines it (Eq. 2)."""
+
+import math
+
+import pytest
+
+from repro.metrics.ndcg import average_ndcg, dcg, ndcg_at_n, per_user_ndcg
+
+
+class TestDcg:
+    def test_single_item_no_discount(self):
+        assert dcg(["a"], {"a": 3.0}) == pytest.approx(3.0)
+
+    def test_rank_two_discounted_by_two(self):
+        # Discount at rank 2: max(1, log2(2) + 1) = 2.
+        assert dcg(["a", "b"], {"a": 0.0, "b": 4.0}) == pytest.approx(2.0)
+
+    def test_rank_discounts_formula(self):
+        utilities = {"a": 1.0, "b": 1.0, "c": 1.0, "d": 1.0}
+        value = dcg(["a", "b", "c", "d"], utilities)
+        expected = 1.0 + 1.0 / 2.0 + 1.0 / (math.log2(3) + 1) + 1.0 / 3.0
+        assert value == pytest.approx(expected)
+
+    def test_missing_items_contribute_zero(self):
+        assert dcg(["x", "y"], {"a": 5.0}) == 0.0
+
+    def test_empty_list(self):
+        assert dcg([], {"a": 1.0}) == 0.0
+
+    def test_order_matters(self):
+        utilities = {"a": 3.0, "b": 1.0}
+        assert dcg(["a", "b"], utilities) > dcg(["b", "a"], utilities)
+
+
+class TestNdcgAtN:
+    def test_identical_rankings_score_one(self):
+        utilities = {"a": 3.0, "b": 2.0, "c": 1.0}
+        ranking = ["a", "b", "c"]
+        assert ndcg_at_n(ranking, ranking, utilities, 3) == pytest.approx(1.0)
+
+    def test_equal_utility_swap_scores_one(self):
+        # The paper's motivation for NDCG over precision: swapping items of
+        # equal true utility must not be penalised.
+        utilities = {"a": 2.0, "b": 2.0, "c": 1.0}
+        assert ndcg_at_n(["b", "a", "c"], ["a", "b", "c"], utilities, 3) == pytest.approx(1.0)
+
+    def test_wrong_items_score_low(self):
+        utilities = {"a": 5.0, "b": 4.0}
+        score = ndcg_at_n(["x", "y"], ["a", "b"], utilities, 2)
+        assert score == 0.0
+
+    def test_partial_credit_for_lower_ranked_truths(self):
+        utilities = {"a": 4.0, "b": 2.0}
+        score = ndcg_at_n(["b", "a"], ["a", "b"], utilities, 2)
+        assert 0.0 < score < 1.0
+
+    def test_truncation_to_n(self):
+        utilities = {"a": 3.0, "b": 2.0, "c": 1.0}
+        # Only the top-1 matters at n=1.
+        assert ndcg_at_n(["a", "x", "y"], ["a", "b", "c"], utilities, 1) == 1.0
+
+    def test_zero_reference_dcg_scores_one(self):
+        assert ndcg_at_n(["x"], ["y"], {}, 1) == 1.0
+
+    def test_invalid_n(self):
+        with pytest.raises(ValueError):
+            ndcg_at_n(["a"], ["a"], {"a": 1.0}, 0)
+
+    def test_score_in_unit_interval(self):
+        utilities = {"a": 3.0, "b": 2.0, "c": 1.0, "d": 0.5}
+        score = ndcg_at_n(["d", "c", "b", "a"], ["a", "b", "c", "d"], utilities, 4)
+        assert 0.0 <= score <= 1.0
+
+
+class TestAverageNdcg:
+    def test_averages_over_users(self):
+        reference = {"u1": ["a"], "u2": ["b"]}
+        ideal = {"u1": {"a": 1.0}, "u2": {"b": 1.0}}
+        private = {"u1": ["a"], "u2": ["x"]}  # perfect, and zero
+        assert average_ndcg(private, reference, ideal, 1) == pytest.approx(0.5)
+
+    def test_user_subset(self):
+        reference = {"u1": ["a"], "u2": ["b"]}
+        ideal = {"u1": {"a": 1.0}, "u2": {"b": 1.0}}
+        private = {"u1": ["a"], "u2": ["x"]}
+        assert average_ndcg(private, reference, ideal, 1, users=["u1"]) == 1.0
+
+    def test_no_users_rejected(self):
+        with pytest.raises(ValueError):
+            average_ndcg({}, {}, {}, 1)
+
+    def test_per_user_ndcg(self):
+        reference = {"u1": ["a"], "u2": ["b"]}
+        ideal = {"u1": {"a": 1.0}, "u2": {"b": 1.0}}
+        private = {"u1": ["a"], "u2": ["x"]}
+        scores = per_user_ndcg(private, reference, ideal, 1)
+        assert scores == {"u1": 1.0, "u2": 0.0}

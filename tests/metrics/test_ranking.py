@@ -1,0 +1,49 @@
+"""Unit tests for ranking helpers and set metrics."""
+
+import pytest
+
+from repro.metrics.ranking import precision_at_n, rank_items, recall_at_n
+
+
+class TestRankItems:
+    def test_descending_utility(self):
+        assert rank_items({"a": 1.0, "b": 3.0, "c": 2.0}) == ["b", "c", "a"]
+
+    def test_tie_break_by_item_id(self):
+        assert rank_items({"b": 1.0, "a": 1.0, "c": 1.0}) == ["a", "b", "c"]
+
+    def test_truncation(self):
+        assert rank_items({"a": 1.0, "b": 3.0, "c": 2.0}, n=2) == ["b", "c"]
+
+    def test_negative_utilities_ranked(self):
+        assert rank_items({"a": -1.0, "b": -2.0}) == ["a", "b"]
+
+    def test_mixed_id_types_do_not_crash(self):
+        ranked = rank_items({1: 0.5, "a": 0.5})
+        assert set(ranked) == {1, "a"}
+
+    def test_empty(self):
+        assert rank_items({}) == []
+
+
+class TestPrecisionRecall:
+    def test_precision_basic(self):
+        assert precision_at_n(["a", "b", "c"], {"a", "c"}, 3) == pytest.approx(2 / 3)
+
+    def test_precision_counts_over_n_not_list_length(self):
+        assert precision_at_n(["a"], {"a"}, 2) == pytest.approx(0.5)
+
+    def test_precision_empty_list(self):
+        assert precision_at_n([], {"a"}, 3) == 0.0
+
+    def test_recall_basic(self):
+        assert recall_at_n(["a", "b"], {"a", "c"}, 2) == pytest.approx(0.5)
+
+    def test_recall_no_relevant_items(self):
+        assert recall_at_n(["a"], set(), 1) == 1.0
+
+    def test_invalid_n(self):
+        with pytest.raises(ValueError):
+            precision_at_n(["a"], {"a"}, 0)
+        with pytest.raises(ValueError):
+            recall_at_n(["a"], {"a"}, 0)

@@ -1,0 +1,103 @@
+"""Unit tests for privacy-budget accounting."""
+
+import math
+
+import pytest
+
+from repro.exceptions import BudgetExhaustedError, InvalidEpsilonError, PrivacyError
+from repro.privacy.budget import BudgetLedger, PrivacyBudget
+
+
+class TestPrivacyBudget:
+    def test_initial_state(self):
+        budget = PrivacyBudget(1.0)
+        assert budget.total == 1.0
+        assert budget.spent == 0.0
+        assert budget.remaining == 1.0
+
+    def test_spend_decrements(self):
+        budget = PrivacyBudget(1.0)
+        budget.spend(0.3)
+        assert budget.remaining == pytest.approx(0.7)
+
+    def test_overspend_raises(self):
+        budget = PrivacyBudget(0.5)
+        budget.spend(0.4)
+        with pytest.raises(BudgetExhaustedError):
+            budget.spend(0.2)
+
+    def test_exact_spend_allowed(self):
+        budget = PrivacyBudget(1.0)
+        budget.spend(1.0)
+        assert budget.remaining == 0.0
+
+    def test_many_small_charges_tolerate_roundoff(self):
+        budget = PrivacyBudget(1.0)
+        for _ in range(10):
+            budget.spend(0.1)
+        assert budget.remaining == pytest.approx(0.0, abs=1e-9)
+
+    def test_infinite_budget_never_exhausts(self):
+        budget = PrivacyBudget(math.inf)
+        budget.spend(1e6)
+        assert budget.remaining == math.inf
+
+    def test_invalid_charge(self):
+        with pytest.raises(InvalidEpsilonError):
+            PrivacyBudget(1.0).spend(-0.1)
+
+    def test_invalid_total(self):
+        with pytest.raises(InvalidEpsilonError):
+            PrivacyBudget(0.0)
+
+    def test_can_spend(self):
+        budget = PrivacyBudget(0.5)
+        assert budget.can_spend(0.5)
+        assert not budget.can_spend(0.6)
+
+    def test_repr(self):
+        assert "remaining" in repr(PrivacyBudget(1.0))
+
+
+class TestBudgetLedger:
+    def test_sequential_charges_sum(self):
+        ledger = BudgetLedger()
+        ledger.charge("q1", 0.3)
+        ledger.charge("q2", 0.2)
+        assert ledger.total_epsilon() == pytest.approx(0.5)
+
+    def test_parallel_group_takes_max(self):
+        ledger = BudgetLedger()
+        ledger.charge("item-a", 0.5, group="per-item")
+        ledger.charge("item-b", 0.5, group="per-item")
+        ledger.charge("item-c", 0.3, group="per-item")
+        assert ledger.total_epsilon() == pytest.approx(0.5)
+
+    def test_mixed_groups(self):
+        ledger = BudgetLedger()
+        ledger.charge("a", 0.5, group="phase1")
+        ledger.charge("b", 0.5, group="phase1")
+        ledger.charge("c", 0.25, group="phase2")
+        assert ledger.total_epsilon() == pytest.approx(0.75)
+
+    def test_algorithm1_accounting_shape(self):
+        # Algorithm 1: one eps charge per item, all parallel => total eps.
+        ledger = BudgetLedger()
+        for item in range(100):
+            ledger.charge(f"avg[{item}]", 0.1, group="per-item")
+        assert ledger.total_epsilon() == pytest.approx(0.1)
+
+    def test_infinite_charge_rejected(self):
+        with pytest.raises(PrivacyError):
+            BudgetLedger().charge("x", math.inf)
+
+    def test_summary_sorted(self):
+        ledger = BudgetLedger()
+        ledger.charge("a", 0.1, group="z")
+        ledger.charge("b", 0.2, group="a")
+        summary = ledger.summary()
+        assert summary[0][0] == "a"
+        assert summary[0][1] == pytest.approx(0.2)
+
+    def test_empty_ledger_zero(self):
+        assert BudgetLedger().total_epsilon() == 0.0

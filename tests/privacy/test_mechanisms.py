@@ -1,0 +1,137 @@
+"""Unit and statistical tests for the DP noise mechanisms."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.exceptions import InvalidEpsilonError, PrivacyError
+from repro.privacy.mechanisms import (
+    GeometricMechanism,
+    LaplaceMechanism,
+    laplace_noise,
+    validate_epsilon,
+)
+
+
+class TestValidateEpsilon:
+    def test_accepts_positive(self):
+        assert validate_epsilon(0.5) == 0.5
+
+    def test_accepts_inf(self):
+        assert validate_epsilon(math.inf) == math.inf
+
+    def test_rejects_zero(self):
+        with pytest.raises(InvalidEpsilonError):
+            validate_epsilon(0.0)
+
+    def test_rejects_negative(self):
+        with pytest.raises(InvalidEpsilonError):
+            validate_epsilon(-1.0)
+
+    def test_rejects_nan(self):
+        with pytest.raises(InvalidEpsilonError):
+            validate_epsilon(float("nan"))
+
+    def test_rejects_non_numbers(self):
+        with pytest.raises(InvalidEpsilonError):
+            validate_epsilon("strong")
+
+    def test_coerces_int(self):
+        assert validate_epsilon(1) == 1.0
+
+
+class TestLaplaceNoise:
+    def test_zero_scale_is_exactly_zero(self, rng):
+        assert laplace_noise(0.0, rng) == 0.0
+        assert not laplace_noise(0.0, rng, size=5).any()
+
+    def test_negative_scale_rejected(self, rng):
+        with pytest.raises(PrivacyError):
+            laplace_noise(-1.0, rng)
+
+    def test_sample_statistics(self, rng):
+        scale = 2.0
+        samples = laplace_noise(scale, rng, size=200_000)
+        assert abs(np.mean(samples)) < 0.05
+        # Laplace variance is 2 * scale^2.
+        assert np.var(samples) == pytest.approx(2 * scale**2, rel=0.05)
+
+    def test_deterministic_given_seed(self):
+        a = laplace_noise(1.0, np.random.default_rng(3), size=10)
+        b = laplace_noise(1.0, np.random.default_rng(3), size=10)
+        assert np.array_equal(a, b)
+
+
+class TestLaplaceMechanism:
+    def test_scale_is_sensitivity_over_epsilon(self):
+        mech = LaplaceMechanism(epsilon=0.5, sensitivity=2.0)
+        assert mech.scale == 4.0
+
+    def test_infinite_epsilon_no_noise(self):
+        mech = LaplaceMechanism(epsilon=math.inf, sensitivity=5.0)
+        assert mech.scale == 0.0
+        assert mech.release(3.25) == 3.25
+
+    def test_expected_error(self):
+        mech = LaplaceMechanism(epsilon=1.0, sensitivity=1.0)
+        assert mech.expected_error == pytest.approx(math.sqrt(2.0))
+
+    def test_negative_sensitivity_rejected(self):
+        with pytest.raises(PrivacyError):
+            LaplaceMechanism(epsilon=1.0, sensitivity=-1.0)
+
+    def test_invalid_epsilon_rejected(self):
+        with pytest.raises(InvalidEpsilonError):
+            LaplaceMechanism(epsilon=0.0, sensitivity=1.0)
+
+    def test_release_vector_shape(self, rng):
+        mech = LaplaceMechanism(epsilon=1.0, sensitivity=1.0, rng=rng)
+        out = mech.release_vector([1.0, 2.0, 3.0])
+        assert out.shape == (3,)
+
+    def test_empirical_dp_bound_on_counting_query(self):
+        """Monte-Carlo check of the eps-DP inequality for a count query.
+
+        Release count(D) + Lap(1/eps) for two neighbouring databases with
+        counts 10 and 11; for every outcome bucket, the probability ratio
+        must not exceed exp(eps) (within sampling tolerance).
+        """
+        epsilon = 0.5
+        samples = 400_000
+        rng_a = np.random.default_rng(1)
+        rng_b = np.random.default_rng(2)
+        a = 10.0 + laplace_noise(1.0 / epsilon, rng_a, size=samples)
+        b = 11.0 + laplace_noise(1.0 / epsilon, rng_b, size=samples)
+        bins = np.linspace(0.0, 21.0, 40)
+        hist_a, _ = np.histogram(a, bins=bins)
+        hist_b, _ = np.histogram(b, bins=bins)
+        # Only compare buckets with enough mass for a stable estimate.
+        mask = (hist_a > 500) & (hist_b > 500)
+        ratios = hist_a[mask] / hist_b[mask]
+        bound = math.exp(epsilon)
+        assert np.all(ratios < bound * 1.15)
+        assert np.all(1.0 / ratios < bound * 1.15)
+
+
+class TestGeometricMechanism:
+    def test_integer_output(self, rng):
+        mech = GeometricMechanism(epsilon=0.5, sensitivity=1, rng=rng)
+        assert isinstance(mech.release(10), int)
+
+    def test_infinite_epsilon_identity(self):
+        mech = GeometricMechanism(epsilon=math.inf)
+        assert mech.release(7) == 7
+
+    def test_alpha_formula(self):
+        mech = GeometricMechanism(epsilon=1.0, sensitivity=2)
+        assert mech.alpha == pytest.approx(math.exp(-0.5))
+
+    def test_noise_is_symmetric_and_centered(self, rng):
+        mech = GeometricMechanism(epsilon=1.0, sensitivity=1, rng=rng)
+        draws = np.array([mech.release(0) for _ in range(20_000)])
+        assert abs(draws.mean()) < 0.05
+
+    def test_negative_sensitivity_rejected(self):
+        with pytest.raises(PrivacyError):
+            GeometricMechanism(epsilon=1.0, sensitivity=-1)

@@ -1,0 +1,94 @@
+"""Unit tests for the empirical privacy-loss estimator."""
+
+import math
+
+import pytest
+
+from repro.exceptions import PrivacyError
+from repro.privacy.mechanisms import laplace_noise
+from repro.privacy.validation import estimate_privacy_loss
+
+
+def _laplace_count_mechanism(epsilon):
+    """A correct eps-DP counting mechanism: count + Lap(1/eps)."""
+
+    def mechanism(count, rng):
+        return count + float(laplace_noise(1.0 / epsilon, rng))
+
+    return mechanism
+
+
+class TestEstimatePrivacyLoss:
+    def test_correct_mechanism_within_bound(self):
+        epsilon = 0.5
+        estimate = estimate_privacy_loss(
+            _laplace_count_mechanism(epsilon), 10.0, 11.0,
+            samples=150_000, seed=1,
+        )
+        assert estimate.is_consistent_with(epsilon)
+        # And not wildly conservative either: the bound is near-tight for
+        # Laplace on neighbouring counts.
+        assert estimate.epsilon_lower_bound > 0.2 * epsilon
+
+    def test_broken_mechanism_detected(self):
+        """A mechanism that under-noises (wrong sensitivity) must blow the
+        claimed epsilon."""
+        claimed = 0.2
+
+        def broken(count, rng):
+            # Uses noise for eps=2.0 while claiming eps=0.2.
+            return count + float(laplace_noise(1.0 / 2.0, rng))
+
+        estimate = estimate_privacy_loss(
+            broken, 10.0, 11.0, samples=150_000, seed=2
+        )
+        assert not estimate.is_consistent_with(claimed)
+
+    def test_deterministic_mechanism_infinite_loss(self):
+        estimate = estimate_privacy_loss(
+            lambda count, rng: float(count), 1.0, 2.0, samples=500, seed=0
+        )
+        assert math.isinf(estimate.epsilon_lower_bound)
+
+    def test_constant_mechanism_zero_loss(self):
+        estimate = estimate_privacy_loss(
+            lambda count, rng: 7.0, 1.0, 2.0, samples=500, seed=0
+        )
+        assert estimate.epsilon_lower_bound == 0.0
+
+    def test_too_few_samples_raises(self):
+        with pytest.raises(PrivacyError):
+            estimate_privacy_loss(
+                _laplace_count_mechanism(0.5), 0.0, 1.0,
+                samples=50, min_bucket_count=200, seed=0,
+            )
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            estimate_privacy_loss(lambda c, r: 0.0, 0, 1, samples=0)
+        with pytest.raises(ValueError):
+            estimate_privacy_loss(lambda c, r: 0.0, 0, 1, bins=1)
+
+    def test_cluster_average_mechanism_end_to_end(self):
+        """Validate module A_w itself through the estimator."""
+        from repro.community.clustering import Clustering
+        from repro.core.cluster_weights import noisy_cluster_item_weights
+        from repro.graph.preference_graph import PreferenceGraph
+
+        epsilon = 0.5
+        clustering = Clustering([[1, 2, 3]])
+        base = PreferenceGraph()
+        base.add_users([1, 2, 3])
+        base.add_edge(1, "a")
+        neighbour = base.with_edge(2, "a")
+
+        def mechanism(prefs, rng):
+            released = noisy_cluster_item_weights(
+                prefs, clustering, epsilon, rng=rng
+            )
+            return released.weight("a", 0)
+
+        estimate = estimate_privacy_loss(
+            mechanism, base, neighbour, samples=120_000, seed=3
+        )
+        assert estimate.is_consistent_with(epsilon)

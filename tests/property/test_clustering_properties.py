@@ -1,0 +1,89 @@
+"""Property-based tests for clustering and community detection."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.community.clustering import Clustering
+from repro.community.louvain import louvain
+from repro.community.modularity import modularity
+from repro.community.strategies import random_clustering, singleton_clustering
+
+from tests.property.strategies import partitions, social_graphs
+
+
+class TestClusteringInvariants:
+    @given(st.data())
+    @settings(max_examples=60, deadline=None)
+    def test_partition_disjoint_and_covering(self, data):
+        users = data.draw(st.sets(st.integers(0, 30), min_size=1, max_size=15))
+        clustering = data.draw(partitions(users))
+        # Disjoint: each user in exactly one cluster.
+        seen = set()
+        for cluster in clustering:
+            assert not (seen & cluster)
+            seen |= cluster
+        # Covering.
+        assert seen == set(users)
+
+    @given(st.data())
+    @settings(max_examples=60, deadline=None)
+    def test_sizes_sum_to_user_count(self, data):
+        users = data.draw(st.sets(st.integers(0, 30), min_size=1, max_size=15))
+        clustering = data.draw(partitions(users))
+        assert sum(clustering.sizes()) == len(users)
+
+    @given(st.data())
+    @settings(max_examples=60, deadline=None)
+    def test_cluster_of_consistent_with_members(self, data):
+        users = data.draw(st.sets(st.integers(0, 30), min_size=1, max_size=15))
+        clustering = data.draw(partitions(users))
+        for user in users:
+            index = clustering.cluster_of(user)
+            assert user in clustering.members_of(index)
+
+    @given(st.data())
+    @settings(max_examples=40, deadline=None)
+    def test_assignment_roundtrip(self, data):
+        users = data.draw(st.sets(st.integers(0, 30), min_size=1, max_size=15))
+        clustering = data.draw(partitions(users))
+        assert Clustering.from_assignment(clustering.assignment()) == clustering
+
+
+class TestModularityProperties:
+    @given(social_graphs())
+    @settings(max_examples=40, deadline=None)
+    def test_modularity_bounded(self, graph):
+        clustering = singleton_clustering(graph.users())
+        q = modularity(graph, clustering)
+        assert -0.5 - 1e-9 <= q <= 1.0 + 1e-9
+
+    @given(social_graphs())
+    @settings(max_examples=40, deadline=None)
+    def test_single_cluster_modularity_zero(self, graph):
+        from repro.community.strategies import single_cluster_clustering
+
+        q = modularity(graph, single_cluster_clustering(graph.users()))
+        assert abs(q) < 1e-9
+
+    @given(social_graphs(), st.integers(0, 2**31 - 1))
+    @settings(max_examples=30, deadline=None)
+    def test_louvain_no_worse_than_singletons(self, graph, seed):
+        result = louvain(graph, rng=np.random.default_rng(seed))
+        baseline = modularity(graph, singleton_clustering(graph.users()))
+        assert result.modularity >= baseline - 1e-9
+
+    @given(social_graphs(), st.integers(0, 2**31 - 1))
+    @settings(max_examples=30, deadline=None)
+    def test_louvain_output_is_valid_partition(self, graph, seed):
+        result = louvain(graph, rng=np.random.default_rng(seed))
+        assert result.clustering.users() == set(graph.users())
+
+    @given(social_graphs(), st.integers(0, 2**31 - 1))
+    @settings(max_examples=30, deadline=None)
+    def test_random_clustering_valid(self, graph, seed):
+        rng = np.random.default_rng(seed)
+        k = 1 + seed % graph.num_users
+        clustering = random_clustering(graph.users(), k, rng)
+        assert clustering.users() == set(graph.users())
+        assert clustering.num_clusters == k

@@ -1,0 +1,80 @@
+"""Property-based tests for the graph substrate."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.graph.components import connected_components
+from repro.graph.traversal import bfs_distances
+
+from tests.property.strategies import social_graphs
+
+
+class TestSocialGraphInvariants:
+    @given(social_graphs())
+    @settings(max_examples=60, deadline=None)
+    def test_handshake_lemma(self, graph):
+        """Sum of degrees equals twice the edge count."""
+        assert sum(graph.degrees().values()) == 2 * graph.num_edges
+
+    @given(social_graphs())
+    @settings(max_examples=60, deadline=None)
+    def test_adjacency_symmetric(self, graph):
+        for u in graph.users():
+            for v in graph.neighbors(u):
+                assert u in graph.neighbors(v)
+
+    @given(social_graphs())
+    @settings(max_examples=60, deadline=None)
+    def test_edges_iteration_consistent_with_count(self, graph):
+        assert len(list(graph.edges())) == graph.num_edges
+
+    @given(social_graphs())
+    @settings(max_examples=60, deadline=None)
+    def test_copy_equals_original(self, graph):
+        assert graph.copy() == graph
+
+    @given(social_graphs())
+    @settings(max_examples=40, deadline=None)
+    def test_components_partition_users(self, graph):
+        comps = connected_components(graph)
+        seen = set()
+        for comp in comps:
+            assert not (seen & comp)
+            seen |= comp
+        assert seen == set(graph.users())
+
+    @given(social_graphs())
+    @settings(max_examples=40, deadline=None)
+    def test_bfs_distances_triangle_inequality_on_edges(self, graph):
+        """Adjacent nodes' BFS distances from any source differ by <= 1."""
+        users = graph.users()
+        source = users[0]
+        dist = bfs_distances(graph, source)
+        for u, v in graph.edges():
+            if u in dist and v in dist:
+                assert abs(dist[u] - dist[v]) <= 1
+            else:
+                assert u not in dist and v not in dist
+
+    @given(social_graphs())
+    @settings(max_examples=40, deadline=None)
+    def test_subgraph_never_gains_edges(self, graph):
+        users = graph.users()[: max(1, len(graph.users()) // 2)]
+        sub = graph.subgraph(users)
+        assert sub.num_edges <= graph.num_edges
+        for u, v in sub.edges():
+            assert graph.has_edge(u, v)
+
+
+class TestRoundTripProperty:
+    @given(social_graphs())
+    @settings(max_examples=30, deadline=None)
+    def test_io_roundtrip(self, graph):
+        import io
+
+        from repro.graph.io import read_social_graph, write_social_graph
+
+        buffer = io.StringIO()
+        write_social_graph(graph, buffer)
+        buffer.seek(0)
+        assert read_social_graph(buffer) == graph

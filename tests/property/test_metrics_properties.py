@@ -1,0 +1,71 @@
+"""Property-based tests for the ranking metrics."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.metrics.ndcg import dcg, ndcg_at_n
+from repro.metrics.ranking import precision_at_n, rank_items, recall_at_n
+
+utilities_maps = st.dictionaries(
+    st.integers(0, 30),
+    st.floats(min_value=0.0, max_value=100.0, allow_nan=False),
+    min_size=1,
+    max_size=15,
+)
+
+
+class TestNdcgProperties:
+    @given(utilities_maps, st.integers(1, 10))
+    @settings(max_examples=80, deadline=None)
+    def test_ndcg_in_unit_interval_for_any_permutation(self, utilities, n):
+        import random
+
+        reference = rank_items(utilities)
+        shuffled = list(reference)
+        random.Random(0).shuffle(shuffled)
+        score = ndcg_at_n(shuffled, reference, utilities, n)
+        assert 0.0 <= score <= 1.0 + 1e-9
+
+    @given(utilities_maps, st.integers(1, 10))
+    @settings(max_examples=80, deadline=None)
+    def test_ideal_ranking_scores_one(self, utilities, n):
+        reference = rank_items(utilities)
+        assert ndcg_at_n(reference, reference, utilities, n) == 1.0
+
+    @given(utilities_maps)
+    @settings(max_examples=80, deadline=None)
+    def test_dcg_nonnegative(self, utilities):
+        assert dcg(rank_items(utilities), utilities) >= 0.0
+
+    @given(utilities_maps, st.integers(1, 10))
+    @settings(max_examples=60, deadline=None)
+    def test_best_first_dcg_maximal(self, utilities, n):
+        """The utility-sorted order maximises DCG over reversed order."""
+        best = rank_items(utilities)[:n]
+        worst = list(reversed(rank_items(utilities)))[:n]
+        assert dcg(best, utilities) >= dcg(worst, utilities) - 1e-9
+
+
+class TestRankingProperties:
+    @given(utilities_maps)
+    @settings(max_examples=80, deadline=None)
+    def test_rank_items_is_permutation(self, utilities):
+        ranked = rank_items(utilities)
+        assert sorted(ranked) == sorted(utilities)
+
+    @given(utilities_maps)
+    @settings(max_examples=80, deadline=None)
+    def test_rank_items_utilities_nonincreasing(self, utilities):
+        ranked = rank_items(utilities)
+        values = [utilities[i] for i in ranked]
+        assert all(a >= b for a, b in zip(values, values[1:]))
+
+    @given(
+        st.lists(st.integers(0, 20), min_size=1, max_size=15, unique=True),
+        st.sets(st.integers(0, 20), max_size=10),
+        st.integers(1, 15),
+    )
+    @settings(max_examples=80, deadline=None)
+    def test_precision_recall_bounds(self, recommended, relevant, n):
+        assert 0.0 <= precision_at_n(recommended, relevant, n) <= 1.0
+        assert 0.0 <= recall_at_n(recommended, relevant, n) <= 1.0

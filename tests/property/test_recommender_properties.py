@@ -1,0 +1,110 @@
+"""Property-based tests of recommender-level invariants."""
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.community.strategies import singleton_clustering
+from repro.core.baselines import NoiseOnEdges, NoiseOnUtility
+from repro.core.private import PrivateSocialRecommender
+from repro.core.recommender import SocialRecommender
+from repro.similarity.common_neighbors import CommonNeighbors
+
+from tests.property.strategies import preference_graphs, social_graphs
+
+
+def _exact_and(graph, prefs, recommender):
+    exact = SocialRecommender(CommonNeighbors(), n=5)
+    exact.fit(graph, prefs)
+    recommender.fit(graph, prefs)
+    return exact, recommender
+
+
+class TestNoiselessEquivalences:
+    @given(st.data())
+    @settings(max_examples=25, deadline=None)
+    def test_noe_eps_inf_equals_exact(self, data):
+        """NOE with no noise is literally the exact recommender."""
+        graph = data.draw(social_graphs(max_users=8))
+        prefs = data.draw(preference_graphs(graph.users()))
+        exact, noe = _exact_and(
+            graph, prefs, NoiseOnEdges(CommonNeighbors(), math.inf, n=5)
+        )
+        for u in graph.users():
+            noisy = noe.utilities(u)
+            for item, value in exact.utilities(u).items():
+                assert noisy[item] == pytest.approx(value)
+
+    @given(st.data())
+    @settings(max_examples=25, deadline=None)
+    def test_nou_eps_inf_equals_exact(self, data):
+        graph = data.draw(social_graphs(max_users=8))
+        prefs = data.draw(preference_graphs(graph.users()))
+        exact, nou = _exact_and(
+            graph, prefs, NoiseOnUtility(CommonNeighbors(), math.inf, n=5)
+        )
+        for u in graph.users():
+            noisy = nou.utilities(u)
+            for item, value in exact.utilities(u).items():
+                assert noisy[item] == pytest.approx(value)
+
+    @given(st.data())
+    @settings(max_examples=25, deadline=None)
+    def test_private_singleton_eps_inf_equals_exact(self, data):
+        """Algorithm 1 with singleton clusters and no noise degenerates to
+        the exact recommender — Eq. 4 reduces to Eq. 1."""
+        graph = data.draw(social_graphs(max_users=8))
+        prefs = data.draw(preference_graphs(graph.users()))
+        private = PrivateSocialRecommender(
+            CommonNeighbors(),
+            epsilon=math.inf,
+            n=5,
+            clustering_strategy=lambda g: singleton_clustering(g.users()),
+        )
+        exact, private = _exact_and(graph, prefs, private)
+        for u in graph.users():
+            estimates = private.utilities(u)
+            for item, value in exact.utilities(u).items():
+                assert estimates[item] == pytest.approx(value)
+
+
+class TestRankingInvariants:
+    @given(st.data(), st.integers(0, 1000))
+    @settings(max_examples=25, deadline=None)
+    def test_recommend_list_sorted_and_sized(self, data, seed):
+        graph = data.draw(social_graphs(max_users=8))
+        prefs = data.draw(preference_graphs(graph.users()))
+        rec = PrivateSocialRecommender(CommonNeighbors(), 0.5, n=3, seed=seed)
+        rec.fit(graph, prefs)
+        for u in graph.users():
+            result = rec.recommend(u)
+            utilities = result.utilities()
+            assert len(result) <= 3
+            assert all(a >= b for a, b in zip(utilities, utilities[1:]))
+
+    @given(st.data(), st.integers(0, 1000))
+    @settings(max_examples=20, deadline=None)
+    def test_fit_is_idempotent_given_seed(self, data, seed):
+        graph = data.draw(social_graphs(max_users=8))
+        prefs = data.draw(preference_graphs(graph.users()))
+
+        def ranking():
+            rec = PrivateSocialRecommender(
+                CommonNeighbors(), 0.5, n=3, seed=seed
+            )
+            rec.fit(graph, prefs)
+            return [rec.recommend(u).item_ids() for u in graph.users()]
+
+        assert ranking() == ranking()
+
+    @given(st.data())
+    @settings(max_examples=20, deadline=None)
+    def test_exact_utilities_nonnegative(self, data):
+        graph = data.draw(social_graphs(max_users=8))
+        prefs = data.draw(preference_graphs(graph.users()))
+        exact = SocialRecommender(CommonNeighbors(), n=5)
+        exact.fit(graph, prefs)
+        for u in graph.users():
+            assert all(v >= 0.0 for v in exact.utilities(u).values())

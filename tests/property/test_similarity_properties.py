@@ -1,0 +1,77 @@
+"""Property-based tests for the similarity measures."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.similarity.adamic_adar import AdamicAdar
+from repro.similarity.common_neighbors import CommonNeighbors
+from repro.similarity.graph_distance import GraphDistance
+from repro.similarity.katz import Katz
+
+from tests.property.strategies import social_graphs
+
+ALL_MEASURES = [CommonNeighbors(), AdamicAdar(), GraphDistance(), Katz()]
+MEASURE_IDS = ["cn", "aa", "gd", "kz"]
+
+
+class TestMeasureInvariants:
+    @pytest.mark.parametrize("measure", ALL_MEASURES, ids=MEASURE_IDS)
+    @given(graph=social_graphs(max_users=10))
+    @settings(max_examples=25, deadline=None)
+    def test_rows_strictly_positive(self, measure, graph):
+        for u in graph.users():
+            row = measure.similarity_row(graph, u)
+            assert all(score > 0.0 for score in row.values())
+            assert u not in row
+
+    @pytest.mark.parametrize("measure", ALL_MEASURES, ids=MEASURE_IDS)
+    @given(graph=social_graphs(max_users=8))
+    @settings(max_examples=20, deadline=None)
+    def test_symmetry(self, measure, graph):
+        users = graph.users()
+        rows = {u: measure.similarity_row(graph, u) for u in users}
+        for u in users:
+            for v, score in rows[u].items():
+                assert rows[v].get(u, 0.0) == pytest.approx(score)
+
+    @pytest.mark.parametrize("measure", ALL_MEASURES, ids=MEASURE_IDS)
+    @given(graph=social_graphs(max_users=8))
+    @settings(max_examples=20, deadline=None)
+    def test_isolated_users_have_empty_rows(self, measure, graph):
+        for u in graph.users():
+            if graph.degree(u) == 0:
+                assert measure.similarity_row(graph, u) == {}
+
+    @given(graph=social_graphs(max_users=8))
+    @settings(max_examples=20, deadline=None)
+    def test_gd_row_subset_of_larger_cutoff(self, graph):
+        """Raising the GD cutoff only adds users, never changes scores of
+        the users already reachable."""
+        near = GraphDistance(max_distance=1)
+        far = GraphDistance(max_distance=2)
+        for u in graph.users():
+            near_row = near.similarity_row(graph, u)
+            far_row = far.similarity_row(graph, u)
+            assert set(near_row) <= set(far_row)
+            for v, score in near_row.items():
+                assert far_row[v] == pytest.approx(score)
+
+    @given(graph=social_graphs(max_users=8))
+    @settings(max_examples=20, deadline=None)
+    def test_katz_monotone_in_alpha_support(self, graph):
+        """Changing alpha never changes *which* users are similar, only
+        how much."""
+        a = Katz(max_length=2, alpha=0.01)
+        b = Katz(max_length=2, alpha=0.2)
+        for u in graph.users():
+            assert set(a.similarity_row(graph, u)) == set(
+                b.similarity_row(graph, u)
+            )
+
+    @given(graph=social_graphs(max_users=8))
+    @settings(max_examples=20, deadline=None)
+    def test_cn_bounded_by_min_degree(self, graph):
+        for u in graph.users():
+            for v, score in CommonNeighbors().similarity_row(graph, u).items():
+                assert score <= min(graph.degree(u), graph.degree(v))

@@ -1,0 +1,85 @@
+"""Unit tests for the similarity registry and row cache."""
+
+import pytest
+
+from repro.exceptions import SimilarityError
+from repro.similarity.adamic_adar import AdamicAdar
+from repro.similarity.base import (
+    SimilarityCache,
+    get_measure,
+    list_measures,
+    register_measure,
+)
+from repro.similarity.common_neighbors import CommonNeighbors
+from repro.similarity.graph_distance import GraphDistance
+from repro.similarity.katz import Katz
+
+
+class TestRegistry:
+    def test_builtin_measures_registered(self):
+        names = list_measures()
+        for name in ("cn", "aa", "gd", "kz"):
+            assert name in names
+
+    def test_get_measure_by_name(self):
+        assert isinstance(get_measure("cn"), CommonNeighbors)
+        assert isinstance(get_measure("aa"), AdamicAdar)
+        assert isinstance(get_measure("gd"), GraphDistance)
+        assert isinstance(get_measure("kz"), Katz)
+
+    def test_get_measure_case_insensitive(self):
+        assert isinstance(get_measure("CN"), CommonNeighbors)
+
+    def test_unknown_measure_raises_with_known_list(self):
+        with pytest.raises(SimilarityError, match="cn"):
+            get_measure("nope")
+
+    def test_get_measure_returns_fresh_instances(self):
+        assert get_measure("cn") is not get_measure("cn")
+
+    def test_duplicate_registration_rejected(self):
+        with pytest.raises(SimilarityError):
+            register_measure("cn", CommonNeighbors)
+
+    def test_custom_registration(self):
+        class Custom(CommonNeighbors):
+            name = "custom-test-measure"
+
+        register_measure(Custom.name, Custom)
+        assert isinstance(get_measure("custom-test-measure"), Custom)
+
+
+class TestSimilarityCache:
+    def test_row_is_cached(self, triangle_graph):
+        calls = []
+
+        class Counting(CommonNeighbors):
+            def similarity_row(self, graph, user):
+                calls.append(user)
+                return super().similarity_row(graph, user)
+
+        cache = SimilarityCache(Counting(), triangle_graph)
+        cache.row(1)
+        cache.row(1)
+        assert calls == [1]
+
+    def test_cached_values_correct(self, triangle_graph):
+        cache = SimilarityCache(CommonNeighbors(), triangle_graph)
+        assert cache.similarity(1, 2) == 1.0
+        assert cache.similarity(1, 1) == 0.0
+
+    def test_precompute_warms_all(self, triangle_graph):
+        cache = SimilarityCache(CommonNeighbors(), triangle_graph)
+        cache.precompute()
+        assert len(cache) == 3
+
+    def test_precompute_subset(self, triangle_graph):
+        cache = SimilarityCache(CommonNeighbors(), triangle_graph)
+        cache.precompute([1])
+        assert len(cache) == 1
+
+    def test_exposes_measure_and_graph(self, triangle_graph):
+        measure = CommonNeighbors()
+        cache = SimilarityCache(measure, triangle_graph)
+        assert cache.measure is measure
+        assert cache.graph is triangle_graph

@@ -1,0 +1,75 @@
+"""Unit tests for Common Neighbors similarity."""
+
+import pytest
+
+from repro.graph.social_graph import SocialGraph
+from repro.similarity.common_neighbors import CommonNeighbors
+
+
+@pytest.fixture
+def measure():
+    return CommonNeighbors()
+
+
+class TestPairwise:
+    def test_triangle_one_shared(self, measure, triangle_graph):
+        # 1 and 2 share exactly neighbor 3.
+        assert measure.similarity(triangle_graph, 1, 2) == 1.0
+
+    def test_no_shared_neighbors(self, measure, path_graph):
+        assert measure.similarity(path_graph, 1, 2) == 0.0
+
+    def test_two_hops_share_middle(self, measure, path_graph):
+        assert measure.similarity(path_graph, 1, 3) == 1.0
+
+    def test_self_similarity_zero(self, measure, triangle_graph):
+        assert measure.similarity(triangle_graph, 1, 1) == 0.0
+
+    def test_symmetry(self, measure, two_communities_graph):
+        g = two_communities_graph
+        for u in g.users():
+            for v in g.users():
+                assert measure.similarity(g, u, v) == measure.similarity(g, v, u)
+
+    def test_star_leaves_share_center(self, measure, star_graph):
+        assert measure.similarity(star_graph, 1, 2) == 1.0
+        assert measure.similarity(star_graph, 0, 1) == 0.0
+
+
+class TestRow:
+    def test_row_excludes_self(self, measure, triangle_graph):
+        assert 1 not in measure.similarity_row(triangle_graph, 1)
+
+    def test_row_matches_pairwise(self, measure, two_communities_graph):
+        g = two_communities_graph
+        for u in g.users():
+            row = measure.similarity_row(g, u)
+            for v in g.users():
+                if v == u:
+                    continue
+                expected = measure.similarity(g, u, v)
+                assert row.get(v, 0.0) == expected
+
+    def test_row_has_no_nonpositive_entries(self, measure, lastfm_small):
+        g = lastfm_small.social
+        for u in list(g.users())[:20]:
+            assert all(s > 0 for s in measure.similarity_row(g, u).values())
+
+    def test_similarity_set(self, measure, triangle_graph):
+        assert measure.similarity_set(triangle_graph, 1) == {2, 3}
+
+    def test_isolated_user_empty_row(self, measure):
+        g = SocialGraph([(1, 2)])
+        g.add_user(3)
+        assert measure.similarity_row(g, 3) == {}
+
+    def test_matches_bruteforce_on_random_graph(self, measure, lastfm_small):
+        g = lastfm_small.social
+        users = list(g.users())[:10]
+        for u in users:
+            row = measure.similarity_row(g, u)
+            for v in users:
+                if v == u:
+                    continue
+                brute = len(g.neighbors(u) & g.neighbors(v))
+                assert row.get(v, 0.0) == float(brute)

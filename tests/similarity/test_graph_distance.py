@@ -1,0 +1,60 @@
+"""Unit tests for Graph Distance similarity."""
+
+import pytest
+
+from repro.graph.social_graph import SocialGraph
+from repro.similarity.graph_distance import GraphDistance
+
+
+class TestPairwise:
+    def test_adjacent_users(self, path_graph):
+        assert GraphDistance().similarity(path_graph, 1, 2) == 1.0
+
+    def test_two_hops(self, path_graph):
+        assert GraphDistance().similarity(path_graph, 1, 3) == 0.5
+
+    def test_beyond_cutoff_is_zero(self, path_graph):
+        assert GraphDistance(max_distance=2).similarity(path_graph, 1, 4) == 0.0
+
+    def test_larger_cutoff_reaches_farther(self, path_graph):
+        assert GraphDistance(max_distance=3).similarity(path_graph, 1, 4) == pytest.approx(1 / 3)
+
+    def test_disconnected_zero(self):
+        g = SocialGraph([(1, 2)])
+        g.add_user(3)
+        assert GraphDistance().similarity(g, 1, 3) == 0.0
+
+    def test_self_zero(self, path_graph):
+        assert GraphDistance().similarity(path_graph, 2, 2) == 0.0
+
+    def test_invalid_cutoff(self):
+        with pytest.raises(ValueError):
+            GraphDistance(max_distance=0)
+
+
+class TestRow:
+    def test_row_values_bounded(self, lastfm_small):
+        measure = GraphDistance(max_distance=2)
+        g = lastfm_small.social
+        for u in list(g.users())[:15]:
+            row = measure.similarity_row(g, u)
+            assert all(0.5 <= s <= 1.0 for s in row.values())
+
+    def test_row_excludes_self(self, triangle_graph):
+        assert 1 not in GraphDistance().similarity_row(triangle_graph, 1)
+
+    def test_row_matches_networkx_distances(self, lastfm_small):
+        import networkx as nx
+
+        measure = GraphDistance(max_distance=2)
+        g = lastfm_small.social
+        nx_graph = nx.Graph(list(g.edges()))
+        nx_graph.add_nodes_from(g.users())
+        u = g.users()[3]
+        lengths = nx.single_source_shortest_path_length(nx_graph, u, cutoff=2)
+        del lengths[u]
+        expected = {v: 1.0 / d for v, d in lengths.items()}
+        assert measure.similarity_row(g, u) == pytest.approx(expected)
+
+    def test_repr(self):
+        assert "max_distance=2" in repr(GraphDistance())

@@ -1,0 +1,71 @@
+"""Unit tests for Katz similarity."""
+
+import pytest
+
+from repro.graph.social_graph import SocialGraph
+from repro.similarity.katz import Katz
+
+
+class TestPairwise:
+    def test_single_edge(self):
+        g = SocialGraph([(1, 2)])
+        measure = Katz(max_length=3, alpha=0.05)
+        # One path of length 1, none longer.
+        assert measure.similarity(g, 1, 2) == pytest.approx(0.05)
+
+    def test_triangle_combines_lengths(self, triangle_graph):
+        measure = Katz(max_length=2, alpha=0.1)
+        # 1->2 (length 1) and 1->3->2 (length 2).
+        assert measure.similarity(triangle_graph, 1, 2) == pytest.approx(
+            0.1 + 0.1**2
+        )
+
+    def test_damping_suppresses_long_paths(self, path_graph):
+        measure = Katz(max_length=3, alpha=0.05)
+        near = measure.similarity(path_graph, 1, 2)
+        far = measure.similarity(path_graph, 1, 4)
+        assert near > far > 0
+
+    def test_beyond_cutoff_zero(self, path_graph):
+        measure = Katz(max_length=2, alpha=0.05)
+        assert measure.similarity(path_graph, 1, 4) == 0.0
+
+    def test_symmetry(self, two_communities_graph):
+        measure = Katz(max_length=3, alpha=0.05)
+        g = two_communities_graph
+        for u in [0, 3, 4, 7]:
+            for v in [0, 3, 4, 7]:
+                assert measure.similarity(g, u, v) == pytest.approx(
+                    measure.similarity(g, v, u)
+                )
+
+    def test_parameter_validation(self):
+        with pytest.raises(ValueError):
+            Katz(max_length=0)
+        with pytest.raises(ValueError):
+            Katz(alpha=0.0)
+        with pytest.raises(ValueError):
+            Katz(alpha=1.0)
+
+
+class TestRow:
+    def test_row_matches_pairwise(self, two_communities_graph):
+        measure = Katz(max_length=3, alpha=0.05)
+        g = two_communities_graph
+        for u in g.users():
+            row = measure.similarity_row(g, u)
+            for v in g.users():
+                if v == u:
+                    continue
+                assert row.get(v, 0.0) == pytest.approx(measure.similarity(g, u, v))
+
+    def test_row_strictly_positive(self, lastfm_small):
+        measure = Katz()
+        g = lastfm_small.social
+        for u in list(g.users())[:10]:
+            assert all(s > 0 for s in measure.similarity_row(g, u).values())
+
+    def test_repr(self):
+        text = repr(Katz(max_length=3, alpha=0.05))
+        assert "max_length=3" in text
+        assert "alpha=0.05" in text

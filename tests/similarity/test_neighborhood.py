@@ -1,0 +1,124 @@
+"""Unit tests for the additional neighborhood similarity measures."""
+
+import math
+
+import pytest
+
+from repro.graph.social_graph import SocialGraph
+from repro.similarity.base import get_measure
+from repro.similarity.neighborhood import (
+    CosineSimilarity,
+    Jaccard,
+    PreferentialAttachment,
+    ResourceAllocation,
+)
+
+
+class TestJaccard:
+    def test_triangle_value(self, triangle_graph):
+        # Gamma(1) = {2,3}, Gamma(2) = {1,3}: intersection {3}, union
+        # {1,2,3} => 1/3.
+        assert Jaccard().similarity(triangle_graph, 1, 2) == pytest.approx(1 / 3)
+
+    def test_identical_neighborhoods_score_one(self):
+        # 1 and 2 both neighbor exactly {3, 4}.
+        g = SocialGraph([(1, 3), (1, 4), (2, 3), (2, 4)])
+        assert Jaccard().similarity(g, 1, 2) == pytest.approx(1.0)
+
+    def test_bounded_by_one(self, lastfm_small):
+        g = lastfm_small.social
+        for u in list(g.users())[:10]:
+            row = Jaccard().similarity_row(g, u)
+            assert all(0.0 < s <= 1.0 for s in row.values())
+
+    def test_no_shared_neighbors_zero(self, path_graph):
+        assert Jaccard().similarity(path_graph, 1, 2) == 0.0
+
+
+class TestCosine:
+    def test_triangle_value(self, triangle_graph):
+        # shared {3}; degrees 2 and 2 => 1/2.
+        assert CosineSimilarity().similarity(triangle_graph, 1, 2) == pytest.approx(0.5)
+
+    def test_identical_neighborhoods_score_one(self):
+        g = SocialGraph([(1, 3), (1, 4), (2, 3), (2, 4)])
+        assert CosineSimilarity().similarity(g, 1, 2) == pytest.approx(1.0)
+
+    def test_bounded_by_one(self, lastfm_small):
+        g = lastfm_small.social
+        for u in list(g.users())[:10]:
+            row = CosineSimilarity().similarity_row(g, u)
+            assert all(0.0 < s <= 1.0 + 1e-12 for s in row.values())
+
+
+class TestResourceAllocation:
+    def test_triangle_value(self, triangle_graph):
+        # Shared neighbor 3 has degree 2 => 1/2.
+        assert ResourceAllocation().similarity(triangle_graph, 1, 2) == pytest.approx(0.5)
+
+    def test_harsher_than_adamic_adar(self, star_graph):
+        from repro.similarity.adamic_adar import AdamicAdar
+
+        # Leaves 1 and 2 share only the hub (degree 5):
+        # RA gives 1/5 = 0.2, AA gives 1/ln(5) ~ 0.62.
+        ra = ResourceAllocation().similarity(star_graph, 1, 2)
+        aa = AdamicAdar().similarity(star_graph, 1, 2)
+        assert ra == pytest.approx(0.2)
+        assert ra < aa
+
+    def test_row_matches_pairwise(self, two_communities_graph):
+        g = two_communities_graph
+        measure = ResourceAllocation()
+        for u in g.users():
+            row = measure.similarity_row(g, u)
+            for v in g.users():
+                if u != v:
+                    assert row.get(v, 0.0) == pytest.approx(measure.similarity(g, u, v))
+
+
+class TestPreferentialAttachment:
+    def test_degree_product(self, triangle_graph):
+        assert PreferentialAttachment().similarity(triangle_graph, 1, 2) == pytest.approx(4.0)
+
+    def test_restricted_to_two_hops(self, path_graph):
+        # Users 1 and 5 are four hops apart: no similarity despite both
+        # having positive degree.
+        assert PreferentialAttachment().similarity(path_graph, 1, 5) == 0.0
+
+    def test_direct_neighbors_included(self, path_graph):
+        assert PreferentialAttachment().similarity(path_graph, 1, 2) == pytest.approx(2.0)
+
+    def test_isolated_user_empty(self):
+        g = SocialGraph([(1, 2)])
+        g.add_user(9)
+        assert PreferentialAttachment().similarity_row(g, 9) == {}
+
+
+class TestRegistryIntegration:
+    @pytest.mark.parametrize("name,cls", [
+        ("jc", Jaccard),
+        ("cos", CosineSimilarity),
+        ("ra", ResourceAllocation),
+        ("pa", PreferentialAttachment),
+    ])
+    def test_registered(self, name, cls):
+        assert isinstance(get_measure(name), cls)
+
+    @pytest.mark.parametrize("cls", [Jaccard, CosineSimilarity, ResourceAllocation])
+    def test_usable_in_private_framework(self, cls, lastfm_small):
+        from repro.core.private import PrivateSocialRecommender
+
+        rec = PrivateSocialRecommender(cls(), epsilon=0.5, n=5, seed=0)
+        rec.fit(lastfm_small.social, lastfm_small.preferences)
+        user = lastfm_small.social.users()[0]
+        assert len(rec.recommend(user)) == 5
+
+    @pytest.mark.parametrize("cls", [Jaccard, CosineSimilarity, ResourceAllocation,
+                                     PreferentialAttachment])
+    def test_symmetry(self, cls, two_communities_graph):
+        g = two_communities_graph
+        measure = cls()
+        for u in g.users():
+            row = measure.similarity_row(g, u)
+            for v, score in row.items():
+                assert measure.similarity_row(g, v).get(u, 0.0) == pytest.approx(score)

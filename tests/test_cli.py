@@ -1,0 +1,108 @@
+"""Unit tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self, capsys):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_stats_defaults(self):
+        args = build_parser().parse_args(["stats"])
+        assert args.dataset == "lastfm"
+        assert args.scale == 0.2
+
+    def test_tradeoff_arguments(self):
+        args = build_parser().parse_args(
+            ["tradeoff", "--measures", "cn", "--epsilons", "inf", "0.5",
+             "--ns", "10", "--repeats", "2"]
+        )
+        assert args.measures == ["cn"]
+        assert args.epsilons == ["inf", "0.5"]
+
+    def test_attack_epsilon_parsing(self):
+        args = build_parser().parse_args(["attack", "--epsilon", "inf"])
+        import math
+
+        assert math.isinf(args.epsilon)
+
+
+class TestCommands:
+    def test_stats_command(self, capsys):
+        assert main(["stats", "--scale", "0.04", "--seed", "1"]) == 0
+        out = capsys.readouterr().out
+        assert "|U|" in out
+        assert "sparsity" in out
+
+    def test_degree_effect_command(self, capsys):
+        assert main(["degree-effect", "--scale", "0.04", "--seed", "1"]) == 0
+        out = capsys.readouterr().out
+        assert "NDCG@50" in out
+
+    def test_tradeoff_command(self, capsys):
+        code = main(
+            ["tradeoff", "--scale", "0.04", "--seed", "1", "--measures", "cn",
+             "--epsilons", "inf", "1.0", "--ns", "10", "--repeats", "1"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "NDCG@10" in out
+        assert "CN" in out
+
+    def test_compare_command(self, capsys):
+        code = main(
+            ["compare", "--scale", "0.04", "--seed", "1", "--measures", "cn",
+             "--epsilons", "1.0", "--n", "10", "--repeats", "1"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "cluster" in out
+        assert "nou" in out
+
+    def test_attack_command(self, capsys):
+        code = main(["attack", "--scale", "0.04", "--seed", "1",
+                     "--epsilon", "0.5", "--top-n", "20"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "Sybil attack" in out
+        assert "non-private" in out
+
+    def test_flixster_preset(self, capsys):
+        assert main(["stats", "--dataset", "flixster", "--scale", "0.02"]) == 0
+
+    def test_analyze_command(self, capsys):
+        code = main(["analyze", "--scale", "0.04", "--seed", "1",
+                     "--path-samples", "10", "--louvain-runs", "2"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "louvain" in out
+        assert "clustering coefficient" in out
+
+    def test_validate_command_passes_for_correct_mechanism(self, capsys):
+        code = main(
+            ["validate", "--epsilon", "0.5", "--cluster-size", "3",
+             "--samples", "30000"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "verdict: OK" in out
+        assert "empirical lower bound" in out
+
+    def test_validate_singleton_cluster(self, capsys):
+        code = main(
+            ["validate", "--epsilon", "1.0", "--cluster-size", "1",
+             "--samples", "30000"]
+        )
+        assert code == 0
+
+    def test_data_dir_loading(self, tmp_path, capsys):
+        (tmp_path / "user_friends.dat").write_text(
+            "h\th\n1\t2\n2\t3\n", encoding="utf-8"
+        )
+        (tmp_path / "user_artists.dat").write_text(
+            "h\th\th\n1\t100\t5\n3\t200\t3\n", encoding="utf-8"
+        )
+        assert main(["stats", "--data-dir", str(tmp_path)]) == 0

@@ -1,0 +1,70 @@
+"""Unit tests for the exception hierarchy."""
+
+import pytest
+
+from repro.exceptions import (
+    BudgetExhaustedError,
+    ClusteringError,
+    DatasetError,
+    EdgeError,
+    ExperimentError,
+    GraphError,
+    InvalidEpsilonError,
+    ItemNotFoundError,
+    NodeNotFoundError,
+    PrivacyError,
+    ReproError,
+    SimilarityError,
+)
+
+
+class TestHierarchy:
+    @pytest.mark.parametrize(
+        "exc_class",
+        [
+            GraphError,
+            EdgeError,
+            ClusteringError,
+            PrivacyError,
+            SimilarityError,
+            DatasetError,
+            ExperimentError,
+        ],
+    )
+    def test_all_derive_from_repro_error(self, exc_class):
+        assert issubclass(exc_class, ReproError)
+
+    def test_node_not_found_is_also_key_error(self):
+        assert issubclass(NodeNotFoundError, KeyError)
+        assert issubclass(NodeNotFoundError, GraphError)
+
+    def test_item_not_found_is_also_key_error(self):
+        assert issubclass(ItemNotFoundError, KeyError)
+
+    def test_invalid_epsilon_is_value_error(self):
+        assert issubclass(InvalidEpsilonError, ValueError)
+        assert issubclass(InvalidEpsilonError, PrivacyError)
+
+    def test_budget_exhausted_is_privacy_error(self):
+        assert issubclass(BudgetExhaustedError, PrivacyError)
+
+
+class TestMessages:
+    def test_node_not_found_carries_node(self):
+        err = NodeNotFoundError("alice")
+        assert err.node == "alice"
+        assert "alice" in str(err)
+
+    def test_invalid_epsilon_carries_value(self):
+        err = InvalidEpsilonError(-3)
+        assert err.epsilon == -3
+
+    def test_budget_exhausted_carries_amounts(self):
+        err = BudgetExhaustedError(0.5, 0.2)
+        assert err.requested == 0.5
+        assert err.remaining == 0.2
+        assert "0.5" in str(err)
+
+    def test_catching_base_class_catches_all(self):
+        with pytest.raises(ReproError):
+            raise ClusteringError("bad partition")

@@ -1,0 +1,52 @@
+"""Unit tests for the shared value types."""
+
+import pytest
+
+from repro.types import RankedItem, RecommendationList, as_recommendation_list
+
+
+class TestRankedItem:
+    def test_as_tuple(self):
+        entry = RankedItem(utility=2.5, item="a")
+        assert entry.as_tuple() == ("a", 2.5)
+
+    def test_ordering_by_utility_then_item(self):
+        assert RankedItem(1.0, "a") < RankedItem(2.0, "a")
+        assert RankedItem(1.0, "a") < RankedItem(1.0, "b")
+
+    def test_frozen(self):
+        entry = RankedItem(1.0, "a")
+        with pytest.raises(AttributeError):
+            entry.utility = 2.0
+
+
+class TestRecommendationList:
+    @pytest.fixture
+    def rec_list(self):
+        return as_recommendation_list("u", [("a", 3.0), ("b", 1.5)])
+
+    def test_item_ids_in_order(self, rec_list):
+        assert rec_list.item_ids() == ["a", "b"]
+
+    def test_utilities_aligned(self, rec_list):
+        assert rec_list.utilities() == [3.0, 1.5]
+
+    def test_len_and_iter(self, rec_list):
+        assert len(rec_list) == 2
+        assert [e.item for e in rec_list] == ["a", "b"]
+
+    def test_truncated(self, rec_list):
+        top = rec_list.truncated(1)
+        assert top.item_ids() == ["a"]
+        assert rec_list.item_ids() == ["a", "b"]  # original unchanged
+
+    def test_truncated_negative_rejected(self, rec_list):
+        with pytest.raises(ValueError):
+            rec_list.truncated(-1)
+
+    def test_user_recorded(self, rec_list):
+        assert rec_list.user == "u"
+
+    def test_utilities_coerced_to_float(self):
+        rec = as_recommendation_list("u", [("a", 2)])
+        assert isinstance(rec.utilities()[0], float)
