@@ -54,8 +54,11 @@ from repro.exceptions import (
     GraphError,
     InvalidEpsilonError,
     PrivacyError,
+    ReleaseIntegrityError,
     ReproError,
+    RetryExhaustedError,
 )
+from repro.resilience import FaultPlan, FaultSpec, RetryPolicy, fault_point
 from repro.graph import PreferenceGraph, SocialGraph
 from repro.metrics import average_ndcg, ndcg_at_n
 from repro.privacy import LaplaceMechanism, PrivacyBudget
@@ -131,4 +134,11 @@ __all__ = [
     "InvalidEpsilonError",
     "BudgetExhaustedError",
     "DatasetError",
+    "ReleaseIntegrityError",
+    "RetryExhaustedError",
+    # resilience
+    "RetryPolicy",
+    "FaultPlan",
+    "FaultSpec",
+    "fault_point",
 ]

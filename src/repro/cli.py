@@ -7,10 +7,16 @@ Commands:
 - ``degree-effect``  — Figure 3 degree-vs-accuracy analysis.
 - ``compare``        — Figure 4 mechanism comparison.
 - ``attack``         — the Section 2.3 Sybil attack demonstration.
+- ``check-release``  — verify a saved release artifact's integrity and
+  provenance (optionally Monte-Carlo-auditing its epsilon claim).
 
 All commands operate on the synthetic datasets (``--dataset lastfm`` /
 ``flixster`` with ``--scale``), or on a real crawl directory via
 ``--data-dir`` (HetRec two-file layout).
+
+Library failures exit with a short message on stderr and a distinct
+code per failure family (see ``EXIT_CODES``) instead of a traceback;
+programming errors still propagate with a full traceback.
 """
 
 from __future__ import annotations
@@ -27,12 +33,31 @@ from repro.datasets.dataset import SocialRecDataset
 from repro.datasets.loader import load_dataset_directory
 from repro.datasets.stats import dataset_stats, format_stats_table
 from repro.datasets.synthetic import SyntheticDatasetSpec
+from repro.exceptions import (
+    DatasetError,
+    ExperimentError,
+    PrivacyError,
+    ReleaseIntegrityError,
+    ReproError,
+    RetryExhaustedError,
+)
 from repro.experiments.comparison import format_comparison_table, run_comparison
 from repro.experiments.degree_effect import run_degree_effect
 from repro.experiments.tradeoff import format_tradeoff_table, run_tradeoff
 from repro.similarity.base import get_measure
 
-__all__ = ["main", "build_parser"]
+__all__ = ["main", "build_parser", "EXIT_CODES"]
+
+# Exit codes for library failures, most specific class first: the first
+# matching entry wins, so subclasses must precede their bases.
+EXIT_CODES = (
+    (ReleaseIntegrityError, 6),
+    (RetryExhaustedError, 7),
+    (DatasetError, 3),
+    (PrivacyError, 4),
+    (ExperimentError, 5),
+    (ReproError, 2),
+)
 
 
 def _add_dataset_arguments(parser: argparse.ArgumentParser) -> None:
@@ -96,6 +121,12 @@ def build_parser() -> argparse.ArgumentParser:
     p_trade.add_argument("--ns", nargs="+", type=int, default=[10, 50, 100])
     p_trade.add_argument("--repeats", type=int, default=5)
     p_trade.add_argument("--sample-size", type=int, default=None)
+    p_trade.add_argument(
+        "--checkpoint",
+        default=None,
+        help="JSON-lines checkpoint file; completed cells are skipped on "
+        "rerun, so a killed sweep resumes where it stopped",
+    )
 
     p_degree = sub.add_parser("degree-effect", help="Figure 3 degree analysis")
     _add_dataset_arguments(p_degree)
@@ -144,6 +175,20 @@ def build_parser() -> argparse.ArgumentParser:
     p_report.add_argument(
         "--output", default=None, help="write to this file instead of stdout"
     )
+
+    p_check = sub.add_parser(
+        "check-release",
+        help="verify a saved release artifact's integrity and provenance",
+    )
+    p_check.add_argument("path", help="path to a release .npz artifact")
+    p_check.add_argument(
+        "--audit",
+        action="store_true",
+        help="additionally Monte-Carlo-audit the artifact's epsilon claim "
+        "against a fresh run of module A_w",
+    )
+    p_check.add_argument("--samples", type=int, default=30000)
+    p_check.add_argument("--seed", type=int, default=0)
     return parser
 
 
@@ -164,6 +209,7 @@ def _cmd_tradeoff(args: argparse.Namespace) -> int:
         repeats=args.repeats,
         sample_size=args.sample_size,
         seed=args.seed,
+        checkpoint=args.checkpoint,
     )
     for n in args.ns:
         print(format_tradeoff_table(cells, n))
@@ -352,6 +398,77 @@ def _cmd_report(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_check_release(args: argparse.Namespace) -> int:
+    """Verify a release artifact: integrity, provenance, optional audit."""
+    from repro.core.persistence import inspect_release
+
+    provenance = inspect_release(args.path)
+    checksum = (
+        f"{provenance.checksum[:16]}... (verified)"
+        if provenance.checksum_verified
+        else "absent (format v1, pre-integrity)"
+    )
+    epsilon = "inf" if math.isinf(provenance.epsilon) else f"{provenance.epsilon:g}"
+    measure = provenance.measure + (
+        "" if provenance.measure_registered else "  [NOT REGISTERED in this build]"
+    )
+    print(f"release:     {provenance.path}")
+    print(f"integrity:   OK (format v{provenance.version})")
+    print(f"checksum:    {checksum}")
+    print(f"epsilon:     {epsilon}")
+    print(f"measure:     {measure}")
+    print(f"max_weight:  {provenance.max_weight:g}")
+    print(
+        f"dimensions:  {provenance.num_items} items x "
+        f"{provenance.num_clusters} clusters ({provenance.num_users} users)"
+    )
+    if not args.audit:
+        return 0
+    if math.isinf(provenance.epsilon):
+        print("audit:       skipped (epsilon = inf releases exact averages)")
+        return 0
+
+    # Monte-Carlo audit: rerun module A_w at the artifact's claimed
+    # epsilon on the smallest neighbouring input that the release's own
+    # clustering admits, and bound the empirical privacy loss.
+    from repro.community.clustering import Clustering
+    from repro.core.cluster_weights import noisy_cluster_item_weights
+    from repro.core.persistence import PublishedRelease
+    from repro.graph.preference_graph import PreferenceGraph
+    from repro.privacy.validation import estimate_privacy_loss
+
+    release = PublishedRelease.load(args.path)
+    size = max(1, min(min(release.weights.clustering.sizes(), default=1), 8))
+    clustering = Clustering([list(range(size))])
+    base = PreferenceGraph()
+    base.add_users(range(size))
+    base.add_edge(0, "item")
+    neighbour = (
+        base.with_edge(size - 1, "item") if size > 1 else base.without_edge(0, "item")
+    )
+
+    def mechanism(prefs, rng):
+        released = noisy_cluster_item_weights(
+            prefs,
+            clustering,
+            release.epsilon,
+            rng=rng,
+            max_weight=release.max_weight,
+        )
+        return released.weight("item", 0)
+
+    estimate = estimate_privacy_loss(
+        mechanism, base, neighbour, samples=args.samples, seed=args.seed
+    )
+    verdict = "OK" if estimate.is_consistent_with(release.epsilon) else "VIOLATION"
+    print(
+        f"audit:       empirical lower bound "
+        f"{estimate.epsilon_lower_bound:.4f} vs claimed {epsilon} "
+        f"({estimate.samples} samples) -> {verdict}"
+    )
+    return 0 if verdict == "OK" else 1
+
+
 _COMMANDS = {
     "stats": _cmd_stats,
     "tradeoff": _cmd_tradeoff,
@@ -361,13 +478,26 @@ _COMMANDS = {
     "report": _cmd_report,
     "validate": _cmd_validate,
     "analyze": _cmd_analyze,
+    "check-release": _cmd_check_release,
 }
 
 
 def main(argv: Optional[List[str]] = None) -> int:
-    """CLI entry point; returns the process exit code."""
+    """CLI entry point; returns the process exit code.
+
+    Library errors (:class:`~repro.exceptions.ReproError`) are reported
+    as one short stderr line and mapped to a family-specific exit code;
+    anything else is a bug and keeps its traceback.
+    """
     args = build_parser().parse_args(argv)
-    return _COMMANDS[args.command](args)
+    try:
+        return _COMMANDS[args.command](args)
+    except ReproError as exc:
+        for family, code in EXIT_CODES:
+            if isinstance(exc, family):
+                print(f"repro: error: {exc}", file=sys.stderr)
+                return code
+        raise  # unreachable: ReproError is the last entry
 
 
 if __name__ == "__main__":

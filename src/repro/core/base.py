@@ -28,7 +28,38 @@ from repro.metrics.ranking import rank_items
 from repro.similarity.base import SimilarityCache, SimilarityMeasure
 from repro.types import ItemId, RecommendationList, UserId, as_recommendation_list
 
-__all__ = ["BaseRecommender", "FittedState", "NotFittedError"]
+__all__ = [
+    "BaseRecommender",
+    "FittedState",
+    "NotFittedError",
+    "top_n_from_vector",
+]
+
+
+def top_n_from_vector(
+    user: UserId,
+    items: Sequence[ItemId],
+    estimates: np.ndarray,
+    n: int,
+    tier: str = "personalized",
+) -> RecommendationList:
+    """Deterministic top-N selection from a dense utility vector.
+
+    Ties are broken by item position in ``items``, so any two consumers
+    scoring from the same vector (per-user, batch, release server) agree
+    exactly on the ranking.
+    """
+    limit = min(n, estimates.size)
+    if limit == 0:
+        return as_recommendation_list(user, [], tier=tier)
+    if limit < estimates.size:
+        candidates = np.argpartition(-estimates, limit - 1)[:limit]
+    else:
+        candidates = np.arange(estimates.size)
+    order = candidates[np.lexsort((candidates, -estimates[candidates]))]
+    return as_recommendation_list(
+        user, [(items[i], float(estimates[i])) for i in order], tier=tier
+    )
 
 
 class NotFittedError(ReproError):
@@ -153,6 +184,7 @@ class BaseRecommender(abc.ABC):
         items: Sequence[ItemId],
         estimates: np.ndarray,
         n: int,
+        tier: str = "personalized",
     ) -> RecommendationList:
         """Top-N selection from a dense utility vector (vectorised path).
 
@@ -161,17 +193,7 @@ class BaseRecommender(abc.ABC):
         utilities are naturally dense vectors override :meth:`recommend`
         through this helper to avoid building a full item->score dict.
         """
-        limit = min(n, estimates.size)
-        if limit == 0:
-            return as_recommendation_list(user, [])
-        if limit < estimates.size:
-            candidates = np.argpartition(-estimates, limit - 1)[:limit]
-        else:
-            candidates = np.arange(estimates.size)
-        order = candidates[np.lexsort((candidates, -estimates[candidates]))]
-        return as_recommendation_list(
-            user, [(items[i], float(estimates[i])) for i in order]
-        )
+        return top_n_from_vector(user, items, estimates, n, tier=tier)
 
     def recommend_all(
         self, users: Optional[Iterable[UserId]] = None, n: Optional[int] = None

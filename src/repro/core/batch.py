@@ -27,6 +27,7 @@ import scipy.sparse as sp
 
 from repro.core.private import PrivateSocialRecommender
 from repro.exceptions import ReproError
+from repro.resilience.faults import fault_point
 from repro.similarity.base import SimilarityMeasure
 from repro.similarity.graph_distance import GraphDistance
 from repro.similarity.katz import Katz
@@ -110,7 +111,13 @@ def batch_recommend_all(
         raise ValueError(f"chunk_size must be >= 1, got {chunk_size}")
 
     target_users = list(users) if users is not None else state.social.users()
-    sim_matrix = _similarity_matrix_for(state.social, recommender.measure)
+    try:
+        fault_point("batch.kernel")
+        sim_matrix = _similarity_matrix_for(state.social, recommender.measure)
+    except Exception:
+        # A failing kernel degrades the whole batch to the (slower but
+        # independent) per-user path rather than killing the run.
+        sim_matrix = None
     if sim_matrix is None:
         # No vectorised kernel: fall back to the per-user path.
         return {u: recommender.recommend(u, n=limit) for u in target_users}
@@ -132,26 +139,40 @@ def batch_recommend_all(
     results: Dict[UserId, RecommendationList] = {}
     for start in range(0, len(target_users), chunk_size):
         chunk = target_users[start : start + chunk_size]
-        chunk_rows = []
-        for user in chunk:
-            position = sim_matrix.index.get(user)
-            if position is None:
-                chunk_rows.append(None)
-            else:
-                chunk_rows.append(position)
-        present = [p for p in chunk_rows if p is not None]
-        dense = np.zeros((len(chunk), clustering.num_clusters))
-        if present:
-            sub = cluster_sims[present, :]
-            dense_present = np.asarray(sub.todense())
-            cursor = 0
-            for i, p in enumerate(chunk_rows):
-                if p is not None:
-                    dense[i, :] = dense_present[cursor, :]
-                    cursor += 1
-        estimates = dense @ release_t  # (chunk x items)
-        for i, user in enumerate(chunk):
-            results[user] = recommender._recommend_from_vector(
-                user, weights.items, estimates[i, :], limit
-            )
+        try:
+            fault_point("batch.chunk")
+            chunk_rows = []
+            for user in chunk:
+                position = sim_matrix.index.get(user)
+                if position is None:
+                    chunk_rows.append(None)
+                else:
+                    chunk_rows.append(position)
+            present = [p for p in chunk_rows if p is not None]
+            dense = np.zeros((len(chunk), clustering.num_clusters))
+            if present:
+                sub = cluster_sims[present, :]
+                dense_present = np.asarray(sub.todense())
+                cursor = 0
+                for i, p in enumerate(chunk_rows):
+                    if p is not None:
+                        dense[i, :] = dense_present[cursor, :]
+                        cursor += 1
+            estimates = dense @ release_t  # (chunk x items)
+            for i, user in enumerate(chunk):
+                if not dense[i, :].any():
+                    # No similarity signal: route through the per-user
+                    # path so the degradation ladder (and its reported
+                    # tier) matches recommender.recommend exactly.
+                    results[user] = recommender.recommend(user, n=limit)
+                else:
+                    results[user] = recommender._recommend_from_vector(
+                        user, weights.items, estimates[i, :], limit
+                    )
+        except Exception:
+            # A chunk that fails mid-kernel (bad BLAS call, injected
+            # fault, memory pressure) degrades to the per-user path for
+            # just that chunk; the rest of the batch stays vectorised.
+            for user in chunk:
+                results[user] = recommender.recommend(user, n=limit)
     return results

@@ -18,24 +18,76 @@ synthetic datasets and the HetRec loaders use ints throughout.
 
 from __future__ import annotations
 
+import hashlib
 import json
+import os
 from dataclasses import dataclass
-from typing import Dict, List, Optional
+from typing import Dict, List, Optional, Tuple
 
 import numpy as np
 
 from repro.community.clustering import Clustering
+from repro.core.base import top_n_from_vector
 from repro.core.cluster_weights import NoisyClusterWeights
 from repro.core.private import PrivateSocialRecommender
-from repro.exceptions import DatasetError, PrivacyError
+from repro.exceptions import (
+    DatasetError,
+    NodeNotFoundError,
+    PrivacyError,
+    ReleaseIntegrityError,
+)
 from repro.graph.social_graph import SocialGraph
-from repro.metrics.ranking import rank_items
+from repro.resilience.degradation import degradation_estimates
+from repro.resilience.faults import fault_point
+from repro.resilience.retry import RetryPolicy
 from repro.similarity.base import SimilarityCache, SimilarityMeasure, get_measure
 from repro.types import ItemId, RecommendationList, UserId, as_recommendation_list
 
-__all__ = ["PublishedRelease", "ReleaseServer"]
+__all__ = ["PublishedRelease", "ReleaseServer", "ReleaseProvenance", "inspect_release"]
 
-_FORMAT_VERSION = 1
+# Format 2 embeds a SHA-256 checksum over the matrix bytes and the
+# metadata payload; format 1 (pre-integrity) files are still readable.
+_FORMAT_VERSION = 2
+_SUPPORTED_VERSIONS = (1, 2)
+
+
+def _payload_digest(matrix: np.ndarray, payload: bytes) -> str:
+    """SHA-256 over the matrix bytes and the serialised metadata."""
+    canonical = np.ascontiguousarray(matrix, dtype=np.float64)
+    digest = hashlib.sha256()
+    digest.update(canonical.tobytes())
+    digest.update(b"\x00")
+    digest.update(payload)
+    return digest.hexdigest()
+
+
+def _read_release_arrays(path: str) -> Tuple[np.ndarray, bytes, Optional[str]]:
+    """Read the raw (matrix, metadata payload, checksum) triple.
+
+    Raises:
+        OSError: for IO-level failures (missing file, transient EIO) —
+            left unwrapped so a :class:`RetryPolicy` can treat them as
+            transient.
+        ReleaseIntegrityError: for anything that reads but does not parse
+            as a release container (truncated zip, bad entries, ...).
+    """
+    fault_point("release.load", path=path)
+    try:
+        with np.load(path) as archive:
+            matrix = np.asarray(archive["matrix"])
+            payload = bytes(archive["metadata"])
+            checksum = (
+                bytes(archive["checksum"]).decode("ascii")
+                if "checksum" in archive.files
+                else None
+            )
+    except OSError:
+        raise
+    except Exception as exc:  # BadZipFile, zlib.error, KeyError, ValueError...
+        raise ReleaseIntegrityError(
+            f"release file {path!r} is corrupt or not a release archive: {exc}"
+        ) from exc
+    return matrix, payload, checksum
 
 
 def _check_json_ids(values, kind: str) -> None:
@@ -92,17 +144,9 @@ class PublishedRelease:
     # ------------------------------------------------------------------
     # persistence
     # ------------------------------------------------------------------
-    def save(self, path: str) -> None:
-        """Write the artifact to ``path`` (numpy ``.npz`` container).
-
-        Raises:
-            DatasetError: for identifiers that cannot be represented in
-                JSON metadata.
-        """
+    def _metadata(self) -> dict:
         clustering = self.weights.clustering
-        _check_json_ids(self.weights.items, "item")
-        _check_json_ids(clustering.users(), "user")
-        metadata = {
+        return {
             "version": _FORMAT_VERSION,
             "epsilon": None if np.isinf(self.epsilon) else self.epsilon,
             "measure": self.measure_name,
@@ -115,41 +159,121 @@ class PublishedRelease:
                 for user, cluster in clustering.assignment().items()
             ],
         }
-        np.savez_compressed(
-            path,
-            matrix=self.weights.matrix,
-            metadata=np.frombuffer(
-                json.dumps(metadata).encode("utf-8"), dtype=np.uint8
-            ),
-        )
 
-    @classmethod
-    def load(cls, path: str) -> "PublishedRelease":
-        """Read an artifact previously written by :meth:`save`.
+    def save(self, path: str) -> None:
+        """Write the artifact to ``path`` atomically.
+
+        The archive is written to a sibling temporary file, flushed and
+        fsynced, and only then moved over ``path`` with ``os.replace`` —
+        so a crash at any point leaves either the previous artifact or no
+        file at all, never a torn one.  The archive embeds a SHA-256
+        checksum over the matrix bytes and the metadata payload, verified
+        on load.
 
         Raises:
-            DatasetError: for unreadable or wrong-version files.
+            DatasetError: for identifiers that cannot be represented in
+                JSON metadata.
+            OSError: for IO failures while writing.
+        """
+        clustering = self.weights.clustering
+        _check_json_ids(self.weights.items, "item")
+        _check_json_ids(clustering.users(), "user")
+        payload = json.dumps(self._metadata()).encode("utf-8")
+        matrix = np.ascontiguousarray(self.weights.matrix, dtype=np.float64)
+        checksum = _payload_digest(matrix, payload)
+        tmp_path = f"{path}.tmp.{os.getpid()}"
+        try:
+            with open(tmp_path, "wb") as handle:
+                np.savez_compressed(
+                    handle,
+                    matrix=matrix,
+                    metadata=np.frombuffer(payload, dtype=np.uint8),
+                    checksum=np.frombuffer(checksum.encode("ascii"), dtype=np.uint8),
+                )
+                handle.flush()
+                os.fsync(handle.fileno())
+            fault_point("release.save.pre-replace", path=tmp_path)
+            os.replace(tmp_path, path)
+        finally:
+            if os.path.exists(tmp_path):
+                os.remove(tmp_path)
+        directory = os.path.dirname(os.path.abspath(path))
+        try:
+            dir_fd = os.open(directory, os.O_RDONLY)
+        except OSError:
+            return  # platform without directory fds; rename is still atomic
+        try:
+            os.fsync(dir_fd)
+        finally:
+            os.close(dir_fd)
+
+    @classmethod
+    def load(
+        cls, path: str, retry: Optional[RetryPolicy] = None
+    ) -> "PublishedRelease":
+        """Read and verify an artifact previously written by :meth:`save`.
+
+        Args:
+            path: the ``.npz`` artifact.
+            retry: optional policy applied to the IO read; transient
+                ``OSError`` failures are retried, integrity failures are
+                permanent and never retried.
+
+        Raises:
+            ReleaseIntegrityError: for corrupt or truncated archives,
+                checksum mismatches, and unsupported format versions.
+            DatasetError: for unreadable files (missing, permission).
+            RetryExhaustedError: when ``retry`` was given and every
+                attempt failed with a transient error.
         """
         try:
-            archive = np.load(path)
-            matrix = archive["matrix"]
-            metadata = json.loads(bytes(archive["metadata"]).decode("utf-8"))
-        except (OSError, KeyError, ValueError) as exc:
+            if retry is not None:
+                matrix, payload, checksum = retry.call(_read_release_arrays, path)
+            else:
+                matrix, payload, checksum = _read_release_arrays(path)
+        except OSError as exc:
             raise DatasetError(f"cannot load release from {path!r}: {exc}") from exc
-        if metadata.get("version") != _FORMAT_VERSION:
-            raise DatasetError(
-                f"release file {path!r} has unsupported version "
-                f"{metadata.get('version')!r}"
+        if checksum is not None:
+            expected = _payload_digest(matrix, payload)
+            if checksum != expected:
+                raise ReleaseIntegrityError(
+                    f"release file {path!r} failed its checksum "
+                    f"(stored {checksum[:12]}..., computed {expected[:12]}...); "
+                    f"the artifact is corrupt"
+                )
+        try:
+            metadata = json.loads(payload.decode("utf-8"))
+        except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+            raise ReleaseIntegrityError(
+                f"release file {path!r} carries unparseable metadata: {exc}"
+            ) from exc
+        version = metadata.get("version")
+        if version not in _SUPPORTED_VERSIONS:
+            raise ReleaseIntegrityError(
+                f"release file {path!r} has unsupported version {version!r}; "
+                f"this library reads versions {_SUPPORTED_VERSIONS}"
             )
-        items: List[ItemId] = [
-            item if isinstance(item, (int, str)) else str(item)
-            for item in metadata["items"]
-        ]
-        assignment: Dict[UserId, int] = {
-            user: int(cluster) for user, cluster in metadata["assignment"]
-        }
+        if version >= 2 and checksum is None:
+            raise ReleaseIntegrityError(
+                f"release file {path!r} claims format v{version} but has no "
+                f"embedded checksum; the artifact is incomplete"
+            )
+        try:
+            items: List[ItemId] = [
+                item if isinstance(item, (int, str)) else str(item)
+                for item in metadata["items"]
+            ]
+            assignment: Dict[UserId, int] = {
+                user: int(cluster) for user, cluster in metadata["assignment"]
+            }
+            epsilon = metadata["epsilon"]
+            measure_name = metadata["measure"]
+            max_weight = float(metadata["max_weight"])
+        except (KeyError, TypeError, ValueError) as exc:
+            raise ReleaseIntegrityError(
+                f"release file {path!r} has incomplete metadata: {exc!r}"
+            ) from exc
         clustering = Clustering.from_assignment(assignment)
-        epsilon = metadata["epsilon"]
         weights = NoisyClusterWeights(
             matrix=matrix,
             items=items,
@@ -159,8 +283,8 @@ class PublishedRelease:
         )
         return cls(
             weights=weights,
-            measure_name=metadata["measure"],
-            max_weight=float(metadata["max_weight"]),
+            measure_name=measure_name,
+            max_weight=max_weight,
         )
 
     def server(
@@ -208,12 +332,101 @@ class ReleaseServer:
     def recommend(self, user: UserId, n: int = 10) -> RecommendationList:
         """Top-N recommendations for ``user`` from the release.
 
+        Never raises for an unservable user: queries from users outside
+        the social graph, isolated users, and users whose similarity
+        reaches no release cluster are answered from the degradation
+        ladder (cluster-popularity, then global noisy popularity — see
+        :mod:`repro.resilience.degradation`), with the served tier
+        reported on the result's ``tier`` attribute.  Every tier is
+        post-processing of the published matrix: no additional epsilon
+        is ever spent.
+
         Raises:
             ValueError: if ``n`` < 1.
-            NodeNotFoundError: if the user is not in the social graph.
         """
         if n < 1:
             raise ValueError(f"n must be >= 1, got {n}")
-        scores = self.utilities(user)
-        ranked = rank_items(scores, n=n)
-        return as_recommendation_list(user, [(i, scores[i]) for i in ranked])
+        weights = self.release.weights
+        try:
+            sim_vector = self._cluster_similarity_vector(user)
+        except NodeNotFoundError:
+            sim_vector = None
+        if sim_vector is not None and sim_vector.any():
+            estimates = weights.matrix @ sim_vector
+            return top_n_from_vector(user, weights.items, estimates, n)
+        estimates, tier = degradation_estimates(weights, user)
+        if estimates is None:
+            return as_recommendation_list(user, [], tier=tier)
+        return top_n_from_vector(user, weights.items, estimates, n, tier=tier)
+
+
+@dataclass(frozen=True)
+class ReleaseProvenance:
+    """What ``repro check-release`` reports about an artifact on disk.
+
+    Attributes:
+        path: the artifact location.
+        version: embedded format version.
+        checksum: hex SHA-256 the file carries (None for v1 artifacts).
+        checksum_verified: whether the recomputed digest matched.
+        epsilon: the privacy cost recorded at release time.
+        measure: similarity-measure registry name.
+        measure_registered: whether that measure resolves in this build.
+        max_weight: the mechanism's weight cap.
+        num_items / num_users / num_clusters: artifact dimensions.
+    """
+
+    path: str
+    version: int
+    checksum: Optional[str]
+    checksum_verified: bool
+    epsilon: float
+    measure: str
+    measure_registered: bool
+    max_weight: float
+    num_items: int
+    num_users: int
+    num_clusters: int
+
+
+def inspect_release(
+    path: str, retry: Optional[RetryPolicy] = None
+) -> ReleaseProvenance:
+    """Verify an artifact end to end and report its provenance.
+
+    Runs the full :meth:`PublishedRelease.load` pipeline — container
+    parse, checksum verification, version and metadata checks — and
+    additionally records whether the release's similarity measure is
+    registered in this build.
+
+    Raises:
+        ReleaseIntegrityError / DatasetError: as :meth:`PublishedRelease.load`.
+    """
+    try:
+        if retry is not None:
+            _, payload, checksum = retry.call(_read_release_arrays, path)
+        else:
+            _, payload, checksum = _read_release_arrays(path)
+    except OSError as exc:
+        raise DatasetError(f"cannot load release from {path!r}: {exc}") from exc
+    release = PublishedRelease.load(path, retry=retry)
+    metadata = json.loads(payload.decode("utf-8"))
+    try:
+        get_measure(release.measure_name)
+        registered = True
+    except Exception:
+        registered = False
+    clustering = release.weights.clustering
+    return ReleaseProvenance(
+        path=path,
+        version=int(metadata.get("version", 0)),
+        checksum=checksum,
+        checksum_verified=checksum is not None,
+        epsilon=release.epsilon,
+        measure=release.measure_name,
+        measure_registered=registered,
+        max_weight=release.max_weight,
+        num_items=len(release.weights.items),
+        num_users=clustering.num_users,
+        num_clusters=clustering.num_clusters,
+    )

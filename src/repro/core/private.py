@@ -29,9 +29,12 @@ from repro.community.clustering import Clustering
 from repro.community.louvain import best_louvain_clustering
 from repro.core.base import BaseRecommender, FittedState
 from repro.core.cluster_weights import NoisyClusterWeights, noisy_cluster_item_weights
+from repro.exceptions import NodeNotFoundError
 from repro.graph.social_graph import SocialGraph
 from repro.privacy.budget import BudgetLedger
 from repro.privacy.mechanisms import validate_epsilon
+from repro.resilience.degradation import degradation_estimates
+from repro.resilience.faults import fault_point
 from repro.similarity.base import SimilarityMeasure
 from repro.types import ItemId, UserId
 
@@ -45,6 +48,7 @@ def louvain_strategy(runs: int = 10, seed: int = 0) -> ClusteringStrategy:
     """The paper's default strategy: best-of-``runs`` Louvain restarts."""
 
     def strategy(graph: SocialGraph) -> Clustering:
+        fault_point("clustering.strategy")
         return best_louvain_clustering(graph, runs=runs, seed=seed).clustering
 
     return strategy
@@ -166,14 +170,37 @@ class PrivateSocialRecommender(BaseRecommender):
         return {item: float(estimates[i]) for i, item in enumerate(weights.items)}
 
     def recommend(self, user: UserId, n: Optional[int] = None):
-        """Top-N from the dense estimate vector (fast vectorised path)."""
+        """Top-N from the dense estimate vector (fast vectorised path).
+
+        Degrades gracefully instead of raising: a user unknown to the
+        social graph, or one with no similarity signal reaching any
+        cluster, is served from the degradation ladder
+        (cluster-popularity, then global noisy popularity — see
+        :mod:`repro.resilience.degradation`).  The served tier is
+        reported on the result's ``tier`` attribute.  Every fallback is
+        post-processing of the released averages: ``total_epsilon()`` is
+        unchanged.
+        """
         limit = self.n if n is None else n
         if limit < 1:
             raise ValueError(f"n must be >= 1, got {limit}")
         weights = self.noisy_weights_
         assert weights is not None
-        estimates = weights.matrix @ self._cluster_similarity_vector(user)
-        return self._recommend_from_vector(user, weights.items, estimates, limit)
+        try:
+            sim_vector = self._cluster_similarity_vector(user)
+        except NodeNotFoundError:
+            sim_vector = None
+        if sim_vector is not None and sim_vector.any():
+            estimates = weights.matrix @ sim_vector
+            return self._recommend_from_vector(user, weights.items, estimates, limit)
+        estimates, tier = degradation_estimates(weights, user)
+        if estimates is None:
+            return self._recommend_from_vector(
+                user, weights.items, np.zeros(0), limit, tier=tier
+            )
+        return self._recommend_from_vector(
+            user, weights.items, estimates, limit, tier=tier
+        )
 
     # ------------------------------------------------------------------
     # introspection

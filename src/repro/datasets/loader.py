@@ -17,6 +17,7 @@ from repro.datasets.dataset import SocialRecDataset
 from repro.exceptions import DatasetError
 from repro.graph.components import largest_component
 from repro.graph.io import read_preference_graph, read_social_graph
+from repro.resilience.retry import RetryPolicy
 from repro.graph.preference_graph import PreferenceGraph
 from repro.graph.social_graph import SocialGraph
 
@@ -79,19 +80,29 @@ def load_dataset_directory(
     skip_header: bool = True,
     min_weight: float = 2.0,
     main_component_only: bool = False,
+    retry: Optional[RetryPolicy] = None,
 ) -> SocialRecDataset:
     """Load a two-file crawl directory and pre-process it paper-style.
 
+    Args:
+        retry: optional policy retrying transient IO failures while
+            reading either file (malformed content is never retried).
+
     Raises:
-        DatasetError: when either file is missing.
+        DatasetError: when either file is missing, or malformed (the
+            error carries the offending path and line number).
+        RetryExhaustedError: when ``retry`` was given and the transient
+            failures outlasted its budget.
     """
     social_path = os.path.join(directory, social_file)
     preference_path = os.path.join(directory, preference_file)
     for path in (social_path, preference_path):
         if not os.path.exists(path):
             raise DatasetError(f"expected dataset file {path!r} does not exist")
-    social = read_social_graph(social_path, skip_header=skip_header)
-    preferences = read_preference_graph(preference_path, skip_header=skip_header)
+    social = read_social_graph(social_path, skip_header=skip_header, retry=retry)
+    preferences = read_preference_graph(
+        preference_path, skip_header=skip_header, retry=retry
+    )
     return preprocess_paper_style(
         social,
         preferences,

@@ -20,6 +20,8 @@ __all__ = [
     "InvalidEpsilonError",
     "SimilarityError",
     "DatasetError",
+    "ReleaseIntegrityError",
+    "RetryExhaustedError",
     "ExperimentError",
 ]
 
@@ -86,7 +88,52 @@ class SimilarityError(ReproError):
 
 
 class DatasetError(ReproError):
-    """A dataset could not be loaded, generated, or validated."""
+    """A dataset could not be loaded, generated, or validated.
+
+    Args:
+        message: human-readable description.
+        path: optional source file the problem was found in.
+        line: optional 1-based line number within ``path``.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        path: "str | None" = None,
+        line: "int | None" = None,
+    ) -> None:
+        if path is not None and line is not None:
+            message = f"{path}:{line}: {message}"
+        elif path is not None:
+            message = f"{path}: {message}"
+        super().__init__(message)
+        self.path = path
+        self.line = line
+
+
+class ReleaseIntegrityError(DatasetError):
+    """A persisted release artifact failed verification on load.
+
+    Raised for corrupt containers, checksum mismatches, and unsupported
+    format versions.  Subclasses :class:`DatasetError` so existing
+    "cannot load" handlers keep working.
+    """
+
+
+class RetryExhaustedError(ReproError):
+    """A retried operation kept failing past its attempt/deadline budget.
+
+    Attributes:
+        attempts: how many attempts were made.
+        last_exception: the exception raised by the final attempt.
+    """
+
+    def __init__(self, attempts: int, last_exception: BaseException) -> None:
+        super().__init__(
+            f"operation failed after {attempts} attempt(s): {last_exception!r}"
+        )
+        self.attempts = attempts
+        self.last_exception = last_exception
 
 
 class ExperimentError(ReproError):

@@ -13,6 +13,7 @@
   decomposition ablations (DESIGN.md Section 6).
 """
 
+from repro.experiments.checkpoint import SweepCheckpoint
 from repro.experiments.comparison import ComparisonCell, run_comparison
 from repro.experiments.degree_effect import DegreeEffectResult, run_degree_effect
 from repro.experiments.evaluation import (
@@ -27,6 +28,7 @@ from repro.experiments.tradeoff import (
 )
 
 __all__ = [
+    "SweepCheckpoint",
     "EvaluationContext",
     "evaluate_recommender",
     "evaluate_factory",

@@ -11,14 +11,16 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
-from typing import Callable, Dict, List, Optional, Sequence
+from typing import Callable, Dict, List, Optional, Sequence, Union
 
 from repro.community.clustering import Clustering
 from repro.core.private import PrivateSocialRecommender, louvain_strategy
 from repro.datasets.dataset import SocialRecDataset
 from repro.exceptions import ExperimentError
+from repro.experiments.checkpoint import SweepCheckpoint, encode_epsilon
 from repro.experiments.evaluation import EvaluationContext, evaluate_factory
 from repro.graph.social_graph import SocialGraph
+from repro.resilience.faults import fault_point
 from repro.similarity.base import SimilarityMeasure
 
 __all__ = ["TradeoffCell", "run_tradeoff", "format_tradeoff_table"]
@@ -44,6 +46,32 @@ class TradeoffCell:
     ndcg_std: float
 
 
+def _cell_key(
+    dataset: SocialRecDataset,
+    measure: SimilarityMeasure,
+    epsilon: float,
+    n: int,
+    repeats: int,
+    seed: int,
+    sample_size: Optional[int],
+) -> tuple:
+    """Checkpoint identity of one sweep cell.
+
+    Includes every input that changes the cell's value, so a checkpoint
+    written by one configuration is never silently reused by another.
+    """
+    return (
+        "tradeoff",
+        dataset.name,
+        measure.name,
+        encode_epsilon(epsilon),
+        str(n),
+        str(repeats),
+        str(seed),
+        str(sample_size),
+    )
+
+
 def run_tradeoff(
     dataset: SocialRecDataset,
     measures: Sequence[SimilarityMeasure],
@@ -54,6 +82,7 @@ def run_tradeoff(
     clustering: Optional[Clustering] = None,
     louvain_runs: int = 10,
     seed: int = 0,
+    checkpoint: Optional[Union[str, SweepCheckpoint]] = None,
 ) -> List[TradeoffCell]:
     """Run the Figure 1/2 sweep on one dataset.
 
@@ -71,6 +100,11 @@ def run_tradeoff(
             epsilon and the measure).
         louvain_runs: restarts for the default clustering protocol.
         seed: master seed.
+        checkpoint: a :class:`SweepCheckpoint` (or a path to one) making
+            the sweep resumable: completed cells are durably appended and
+            skipped on rerun.  Each cell's noise streams derive from the
+            master seed alone, so a resumed sweep is bit-identical to an
+            uninterrupted one.
 
     Returns:
         One :class:`TradeoffCell` per (measure, epsilon, n).
@@ -79,7 +113,22 @@ def run_tradeoff(
         raise ExperimentError("measures must be non-empty")
     if not epsilons or not ns:
         raise ExperimentError("epsilons and ns must be non-empty")
-    if clustering is None:
+    if isinstance(checkpoint, str):
+        checkpoint = SweepCheckpoint(checkpoint)
+
+    def cached(measure, epsilon, n):
+        if checkpoint is None:
+            return None
+        return checkpoint.get(
+            _cell_key(dataset, measure, epsilon, n, repeats, seed, sample_size)
+        )
+
+    # The expensive shared preprocessing (Louvain, reference rankings) is
+    # skipped entirely when the checkpoint already covers the cells that
+    # need it — a fully-checkpointed rerun costs only file reads.
+    if clustering is None and not all(
+        cached(m, e, n) is not None for m in measures for e in epsilons for n in ns
+    ):
         clustering = louvain_strategy(runs=louvain_runs, seed=seed)(dataset.social)
 
     def fixed_clustering(_graph: SocialGraph) -> Clustering:
@@ -88,9 +137,11 @@ def run_tradeoff(
     max_n = max(ns)
     cells: List[TradeoffCell] = []
     for measure in measures:
-        context = EvaluationContext.build(
-            dataset, measure, max_n=max_n, sample_size=sample_size, seed=seed
-        )
+        context: Optional[EvaluationContext] = None
+        if any(cached(measure, e, n) is None for e in epsilons for n in ns):
+            context = EvaluationContext.build(
+                dataset, measure, max_n=max_n, sample_size=sample_size, seed=seed
+            )
         for epsilon in epsilons:
             factory: Callable[[int], PrivateSocialRecommender] = (
                 lambda repeat_seed, m=measure, e=epsilon: PrivateSocialRecommender(
@@ -105,13 +156,27 @@ def run_tradeoff(
             # suffices and keeps the sweep fast.
             effective_repeats = 1 if math.isinf(epsilon) else repeats
             for n in ns:
-                mean, std = evaluate_factory(
-                    context,
-                    factory,
-                    n,
-                    repeats=effective_repeats,
-                    base_seed=seed * 1000 + 1,
+                key = _cell_key(
+                    dataset, measure, epsilon, n, repeats, seed, sample_size
                 )
+                stored = cached(measure, epsilon, n)
+                if stored is not None:
+                    mean = float(stored["ndcg_mean"])
+                    std = float(stored["ndcg_std"])
+                else:
+                    fault_point("tradeoff.cell")
+                    assert context is not None
+                    mean, std = evaluate_factory(
+                        context,
+                        factory,
+                        n,
+                        repeats=effective_repeats,
+                        base_seed=seed * 1000 + 1,
+                    )
+                    if checkpoint is not None:
+                        checkpoint.record(
+                            key, {"ndcg_mean": mean, "ndcg_std": std}
+                        )
                 cells.append(
                     TradeoffCell(
                         dataset=dataset.name,

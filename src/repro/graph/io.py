@@ -15,11 +15,13 @@ converted — this keeps synthetic integer graphs round-trippable.
 from __future__ import annotations
 
 import os
-from typing import Iterator, List, TextIO, Union
+from typing import Iterator, List, Optional, TextIO, Tuple, Union
 
 from repro.exceptions import DatasetError
 from repro.graph.preference_graph import PreferenceGraph
 from repro.graph.social_graph import SocialGraph
+from repro.resilience.faults import fault_point
+from repro.resilience.retry import RetryPolicy
 
 __all__ = [
     "read_social_graph",
@@ -39,12 +41,17 @@ def _coerce_id(token: str):
         return token
 
 
-def _iter_data_lines(handle: TextIO) -> Iterator[List[str]]:
-    for raw in handle:
+def _iter_data_lines(handle: TextIO) -> Iterator[Tuple[int, List[str]]]:
+    """Yield ``(file_line_number, fields)`` for every data line.
+
+    Line numbers are 1-based positions in the *file* (comments and blank
+    lines included), so error messages point at the real offending line.
+    """
+    for lineno, raw in enumerate(handle, start=1):
         line = raw.strip()
         if not line or line.startswith("#"):
             continue
-        yield line.split("\t") if "\t" in line else line.split()
+        yield lineno, (line.split("\t") if "\t" in line else line.split())
 
 
 def _open_for_read(source: PathOrFile):
@@ -53,37 +60,64 @@ def _open_for_read(source: PathOrFile):
     return open(source, "r", encoding="utf-8"), True
 
 
+def _source_path(source: PathOrFile) -> Optional[str]:
+    """A display path for error context, when one exists."""
+    if hasattr(source, "read"):
+        name = getattr(source, "name", None)
+        return name if isinstance(name, str) else None
+    return os.fspath(source)
+
+
 def _open_for_write(target: PathOrFile):
     if hasattr(target, "write"):
         return target, False
     return open(target, "w", encoding="utf-8"), True
 
 
-def read_social_graph(source: PathOrFile, skip_header: bool = False) -> SocialGraph:
+def read_social_graph(
+    source: PathOrFile,
+    skip_header: bool = False,
+    retry: Optional[RetryPolicy] = None,
+) -> SocialGraph:
     """Load an undirected social graph from a two-column edge list.
 
     Args:
         source: path or open text handle.
         skip_header: drop the first non-comment line (HetRec files carry a
             ``userID\tfriendID`` header).
+        retry: optional policy retrying transient ``OSError`` failures
+            (path sources only — a consumed handle cannot be re-read).
 
     Raises:
-        DatasetError: on malformed lines.
+        DatasetError: on malformed lines, carrying the source path and
+            the 1-based file line number on ``.path`` / ``.line``.
+        RetryExhaustedError: when ``retry`` was given and every attempt
+            failed with a transient IO error.
     """
+    if retry is not None and not hasattr(source, "read"):
+        return retry.call(_read_social_graph_once, source, skip_header)
+    return _read_social_graph_once(source, skip_header)
+
+
+def _read_social_graph_once(source: PathOrFile, skip_header: bool) -> SocialGraph:
+    path = _source_path(source)
+    fault_point("io.read_social", path=path)
     handle, should_close = _open_for_read(source)
     try:
         graph = SocialGraph()
         rows = _iter_data_lines(handle)
         if skip_header:
             next(rows, None)
-        for lineno, fields in enumerate(rows, start=1):
+        for lineno, fields in rows:
             if len(fields) == 1:
                 # Single-column lines record isolated users.
                 graph.add_user(_coerce_id(fields[0]))
                 continue
             if len(fields) < 2:
                 raise DatasetError(
-                    f"social edge line {lineno} needs 2 columns, got {fields!r}"
+                    f"social edge line needs 2 columns, got {fields!r}",
+                    path=path,
+                    line=lineno,
                 )
             u, v = _coerce_id(fields[0]), _coerce_id(fields[1])
             if u != v:
@@ -113,25 +147,51 @@ def write_social_graph(graph: SocialGraph, target: PathOrFile) -> None:
 
 
 def read_preference_graph(
-    source: PathOrFile, skip_header: bool = False
+    source: PathOrFile,
+    skip_header: bool = False,
+    retry: Optional[RetryPolicy] = None,
 ) -> PreferenceGraph:
     """Load a bipartite preference graph from a 2- or 3-column edge list.
 
     A missing third column means weight 1.0.
 
+    Args:
+        source: path or open text handle.
+        skip_header: drop the first non-comment line.
+        retry: optional policy retrying transient ``OSError`` failures
+            (path sources only).
+
     Raises:
-        DatasetError: on malformed lines or non-numeric weights.
+        DatasetError: on malformed lines, non-numeric weights, or invalid
+            edges, carrying the source path and 1-based file line number
+            on ``.path`` / ``.line``.
+        RetryExhaustedError: when ``retry`` was given and every attempt
+            failed with a transient IO error.
     """
+    if retry is not None and not hasattr(source, "read"):
+        return retry.call(_read_preference_graph_once, source, skip_header)
+    return _read_preference_graph_once(source, skip_header)
+
+
+def _read_preference_graph_once(
+    source: PathOrFile, skip_header: bool
+) -> PreferenceGraph:
+    from repro.exceptions import EdgeError
+
+    path = _source_path(source)
+    fault_point("io.read_preference", path=path)
     handle, should_close = _open_for_read(source)
     try:
         graph = PreferenceGraph()
         rows = _iter_data_lines(handle)
         if skip_header:
             next(rows, None)
-        for lineno, fields in enumerate(rows, start=1):
+        for lineno, fields in rows:
             if len(fields) < 2:
                 raise DatasetError(
-                    f"preference line {lineno} needs >= 2 columns, got {fields!r}"
+                    f"preference line needs >= 2 columns, got {fields!r}",
+                    path=path,
+                    line=lineno,
                 )
             user, item = _coerce_id(fields[0]), _coerce_id(fields[1])
             if len(fields) >= 3:
@@ -139,12 +199,20 @@ def read_preference_graph(
                     weight = float(fields[2])
                 except ValueError as exc:
                     raise DatasetError(
-                        f"preference line {lineno} has non-numeric weight "
-                        f"{fields[2]!r}"
+                        f"preference line has non-numeric weight {fields[2]!r}",
+                        path=path,
+                        line=lineno,
                     ) from exc
             else:
                 weight = 1.0
-            graph.add_edge(user, item, weight=weight)
+            try:
+                graph.add_edge(user, item, weight=weight)
+            except EdgeError as exc:
+                raise DatasetError(
+                    f"preference line has an invalid edge: {exc}",
+                    path=path,
+                    line=lineno,
+                ) from exc
         return graph
     finally:
         if should_close:

@@ -1,0 +1,191 @@
+"""Deterministic exponential-backoff retry.
+
+:class:`RetryPolicy` retries transient failures (IO errors by default)
+with exponential backoff and *seeded* jitter, so two runs with the same
+policy sleep for exactly the same durations — experiment reproducibility
+extends to the failure path.  Three usage forms::
+
+    policy = RetryPolicy(max_attempts=3)
+
+    # 1. wrap a call
+    graph = policy.call(read_social_graph, path)
+
+    # 2. decorate a function
+    @policy
+    def load():
+        ...
+
+    # 3. attempt iterator (context-manager form)
+    for attempt in policy.attempts():
+        with attempt:
+            data = read_bytes(path)
+
+When every attempt fails, the policy raises
+:class:`~repro.exceptions.RetryExhaustedError` chained to the last
+underlying exception.  Non-retryable exceptions propagate immediately.
+"""
+
+from __future__ import annotations
+
+import functools
+import random
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Iterator, Optional, Tuple, Type
+
+from repro.exceptions import RetryExhaustedError
+
+__all__ = ["RetryPolicy", "Attempt"]
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Exponential backoff with deterministic jitter and a deadline.
+
+    Args:
+        max_attempts: total attempts (>= 1); 1 means "no retry".
+        base_delay: sleep after the first failure, in seconds.
+        multiplier: backoff factor between consecutive delays.
+        max_delay: ceiling on any single sleep.
+        jitter: fraction of each delay drawn uniformly from
+            ``[-jitter, +jitter]`` and added; derived deterministically
+            from ``seed`` and the attempt number.
+        deadline: optional wall-clock budget in seconds for all attempts
+            *and* sleeps together; exceeding it stops retrying early.
+        retry_on: exception types that count as transient.
+        seed: jitter seed.
+        sleep / clock: injectable for tests (defaults: ``time.sleep`` /
+            ``time.monotonic``).
+
+    Raises:
+        ValueError: for a non-positive ``max_attempts`` or negative
+            delays.
+    """
+
+    max_attempts: int = 3
+    base_delay: float = 0.05
+    multiplier: float = 2.0
+    max_delay: float = 2.0
+    jitter: float = 0.1
+    deadline: Optional[float] = None
+    retry_on: Tuple[Type[BaseException], ...] = (OSError,)
+    seed: int = 0
+    sleep: Callable[[float], None] = field(default=time.sleep, repr=False)
+    clock: Callable[[], float] = field(default=time.monotonic, repr=False)
+
+    def __post_init__(self) -> None:
+        if self.max_attempts < 1:
+            raise ValueError(f"max_attempts must be >= 1, got {self.max_attempts}")
+        if self.base_delay < 0 or self.max_delay < 0:
+            raise ValueError("delays must be non-negative")
+        if not 0 <= self.jitter <= 1:
+            raise ValueError(f"jitter must be in [0, 1], got {self.jitter}")
+
+    # ------------------------------------------------------------------
+    # delay schedule
+    # ------------------------------------------------------------------
+    def delay_for(self, attempt: int) -> float:
+        """The sleep after failed attempt number ``attempt`` (1-based).
+
+        Deterministic: the jitter is drawn from ``Random((seed, attempt))``,
+        so a given policy always produces the same schedule.
+        """
+        if attempt < 1:
+            raise ValueError(f"attempt must be >= 1, got {attempt}")
+        raw = min(self.base_delay * self.multiplier ** (attempt - 1), self.max_delay)
+        if self.jitter == 0 or raw == 0:
+            return raw
+        # hash of an int tuple is deterministic across processes (only
+        # str hashing is salted), and 3.11+ rejects tuple seeds directly.
+        wiggle = random.Random(hash((self.seed, attempt))).uniform(
+            -self.jitter, self.jitter
+        )
+        return max(0.0, raw * (1.0 + wiggle))
+
+    # ------------------------------------------------------------------
+    # the three usage forms
+    # ------------------------------------------------------------------
+    def call(self, fn: Callable, *args, **kwargs):
+        """Run ``fn(*args, **kwargs)``, retrying transient failures.
+
+        Raises:
+            RetryExhaustedError: when every attempt failed (chained to the
+                last underlying exception), or the deadline ran out.
+        """
+        started = self.clock()
+        last: Optional[BaseException] = None
+        for attempt in range(1, self.max_attempts + 1):
+            try:
+                return fn(*args, **kwargs)
+            except self.retry_on as exc:
+                last = exc
+                if attempt == self.max_attempts:
+                    break
+                pause = self.delay_for(attempt)
+                if self.deadline is not None:
+                    elapsed = self.clock() - started
+                    if elapsed + pause > self.deadline:
+                        raise RetryExhaustedError(attempt, exc) from exc
+                if pause > 0:
+                    self.sleep(pause)
+        assert last is not None
+        raise RetryExhaustedError(self.max_attempts, last) from last
+
+    def __call__(self, fn: Callable) -> Callable:
+        """Decorator form: ``@policy`` wraps ``fn`` with :meth:`call`."""
+
+        @functools.wraps(fn)
+        def wrapper(*args, **kwargs):
+            return self.call(fn, *args, **kwargs)
+
+        wrapper.retry_policy = self
+        return wrapper
+
+    def attempts(self) -> Iterator["Attempt"]:
+        """Iterate attempt context managers (tenacity-style loop form).
+
+        Each yielded :class:`Attempt` swallows a retryable exception if
+        budget remains (sleeping the scheduled backoff), re-raises
+        non-retryable exceptions, and raises
+        :class:`~repro.exceptions.RetryExhaustedError` once the budget is
+        spent.  The loop ends after the first attempt that exits cleanly.
+        """
+        started = self.clock()
+        for number in range(1, self.max_attempts + 1):
+            attempt = Attempt(self, number, started)
+            yield attempt
+            if attempt.succeeded:
+                return
+
+    def retries_remaining(self, attempt_number: int) -> bool:
+        return attempt_number < self.max_attempts
+
+
+class Attempt:
+    """One attempt in :meth:`RetryPolicy.attempts`; a context manager."""
+
+    def __init__(self, policy: RetryPolicy, number: int, started: float) -> None:
+        self.policy = policy
+        self.number = number
+        self.started = started
+        self.succeeded = False
+
+    def __enter__(self) -> "Attempt":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        if exc is None:
+            self.succeeded = True
+            return False
+        if not isinstance(exc, self.policy.retry_on):
+            return False
+        if not self.policy.retries_remaining(self.number):
+            raise RetryExhaustedError(self.number, exc) from exc
+        pause = self.policy.delay_for(self.number)
+        if self.policy.deadline is not None:
+            elapsed = self.policy.clock() - self.started
+            if elapsed + pause > self.policy.deadline:
+                raise RetryExhaustedError(self.number, exc) from exc
+        if pause > 0:
+            self.policy.sleep(pause)
+        return True

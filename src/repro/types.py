@@ -62,10 +62,19 @@ class RecommendationList:
         user: the target user the list was personalised for.
         items: items in descending utility order, ties broken
             deterministically by the recommender that produced the list.
+        tier: which rung of the serving degradation ladder produced the
+            list (see :mod:`repro.resilience.degradation`); the default
+            ``"personalized"`` is the fully-personalised paper estimator.
     """
 
     user: UserId
     items: Tuple[RankedItem, ...]
+    tier: str = "personalized"
+
+    @property
+    def degraded(self) -> bool:
+        """Whether the list came from a fallback tier."""
+        return self.tier != "personalized"
 
     def __len__(self) -> int:
         return len(self.items)
@@ -85,11 +94,13 @@ class RecommendationList:
         """Return a copy keeping only the top ``n`` items."""
         if n < 0:
             raise ValueError(f"n must be non-negative, got {n}")
-        return RecommendationList(user=self.user, items=self.items[:n])
+        return RecommendationList(user=self.user, items=self.items[:n], tier=self.tier)
 
 
 def as_recommendation_list(
-    user: UserId, scored_items: Sequence[Tuple[ItemId, float]]
+    user: UserId,
+    scored_items: Sequence[Tuple[ItemId, float]],
+    tier: str = "personalized",
 ) -> RecommendationList:
     """Build a :class:`RecommendationList` from ``(item, utility)`` pairs.
 
@@ -97,4 +108,4 @@ def as_recommendation_list(
     here so recommenders stay in control of their tie-breaking policy.
     """
     entries = tuple(RankedItem(utility=float(u), item=i) for i, u in scored_items)
-    return RecommendationList(user=user, items=entries)
+    return RecommendationList(user=user, items=entries, tier=tier)

@@ -98,11 +98,12 @@ class TestValidation:
         with pytest.raises(ValueError):
             batch_recommend_all(rec, chunk_size=0)
 
-    def test_unknown_user_gets_empty_similarity(self, lastfm_small):
+    def test_unknown_user_degrades_to_global_popularity(self, lastfm_small):
         rec = _fitted(lastfm_small, CommonNeighbors(), epsilon=math.inf)
         results = batch_recommend_all(rec, users=["ghost"], n=5)
-        # A user outside the graph has zero similarity everywhere; the
-        # estimates are all zero and the ranking is the deterministic
-        # index-order prefix.
+        # A user outside the graph has no similarity signal; the batch
+        # path must serve the same degraded global-popularity list (and
+        # tier) as the per-user path instead of a meaningless zero list.
         assert len(results["ghost"]) == 5
-        assert all(u == 0.0 for u in results["ghost"].utilities())
+        assert results["ghost"].tier == "global-popularity"
+        assert results["ghost"] == rec.recommend("ghost", n=5)

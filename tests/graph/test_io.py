@@ -92,3 +92,59 @@ class TestPreferenceGraphIO:
         text = "userID\tartistID\tweight\n1\t10\t5\n"
         g = read_preference_graph(io.StringIO(text), skip_header=True)
         assert g.num_edges == 1
+
+
+class TestErrorContext:
+    """Malformed lines report the offending file and 1-based line number."""
+
+    def test_preference_error_carries_path_and_line(self, tmp_path):
+        path = tmp_path / "artists.dat"
+        path.write_text("# header comment\n1\t10\t3.0\n2\t20\tnot-a-number\n")
+        with pytest.raises(DatasetError) as excinfo:
+            read_preference_graph(str(path))
+        error = excinfo.value
+        assert error.path == str(path)
+        assert error.line == 3
+        assert str(path) in str(error)
+        assert ":3:" in str(error)
+
+    def test_preference_too_few_columns_reports_line(self, tmp_path):
+        path = tmp_path / "artists.dat"
+        path.write_text("1\t10\n\n# note\nlonely\n")
+        with pytest.raises(DatasetError) as excinfo:
+            read_preference_graph(str(path))
+        assert excinfo.value.line == 4
+
+    def test_stream_source_has_no_path(self):
+        with pytest.raises(DatasetError) as excinfo:
+            read_preference_graph(io.StringIO("1\t10\tbadweight\n"))
+        assert excinfo.value.path is None
+        assert excinfo.value.line == 1
+
+
+class TestIoRetry:
+    def test_transient_social_read_retried(self, tmp_path):
+        from repro.resilience import FaultPlan, FaultSpec, RetryPolicy
+
+        path = tmp_path / "friends.dat"
+        path.write_text("1\t2\n")
+        policy = RetryPolicy(max_attempts=3, base_delay=0.0, jitter=0.0,
+                             sleep=lambda _: None)
+        plan = FaultPlan([FaultSpec(site="io.read_social", on_call=1)])
+        with plan.installed():
+            graph = read_social_graph(str(path), retry=policy)
+        assert plan.calls_to("io.read_social") == 2
+        assert graph.has_edge(1, 2)
+
+    def test_malformed_content_not_retried(self, tmp_path):
+        from repro.resilience import FaultPlan, RetryPolicy
+
+        path = tmp_path / "artists.dat"
+        path.write_text("1\t10\tbadweight\n")
+        policy = RetryPolicy(max_attempts=5, base_delay=0.0, jitter=0.0,
+                             sleep=lambda _: None)
+        counter = FaultPlan()
+        with counter.installed():
+            with pytest.raises(DatasetError):
+                read_preference_graph(str(path), retry=policy)
+        assert counter.calls_to("io.read_preference") == 1

@@ -1,0 +1,74 @@
+"""Property tests: serving from a release is total.
+
+``ReleaseServer.recommend`` must never raise for any user against any
+snapshot of the public graph — newcomers, isolated nodes, users added
+after publication — and every answer must come from a declared
+degradation tier at zero additional privacy cost.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.community.strategies import singleton_clustering
+from repro.core.persistence import PublishedRelease
+from repro.core.private import PrivateSocialRecommender
+from repro.resilience.degradation import DEGRADATION_LADDER
+from repro.similarity.common_neighbors import CommonNeighbors
+
+from tests.property.strategies import preference_graphs, social_graphs
+
+
+def fitted_release(graph, prefs):
+    rec = PrivateSocialRecommender(
+        CommonNeighbors(),
+        epsilon=0.5,
+        n=5,
+        clustering_strategy=lambda g: singleton_clustering(g.users()),
+        seed=0,
+    )
+    rec.fit(graph, prefs)
+    return rec, PublishedRelease.from_recommender(rec)
+
+
+class TestServingTotality:
+    @given(st.data())
+    @settings(max_examples=30, deadline=None)
+    def test_recommend_never_raises_and_bounds_length(self, data):
+        graph = data.draw(social_graphs(max_users=8))
+        prefs = data.draw(preference_graphs(graph.users()))
+        rec, release = fitted_release(graph, prefs)
+        spent = rec.total_epsilon()
+
+        # Serve against a *grown* snapshot: one user attached after the
+        # release, one isolated user, plus a query from a total stranger.
+        grown = graph.copy()
+        grown.add_edge("late-joiner", grown.users()[0])
+        grown.add_users(["isolated"])
+        server = release.server(grown)
+
+        n = data.draw(st.integers(min_value=1, max_value=8))
+        for user in list(grown.users()) + ["total-stranger"]:
+            result = server.recommend(user, n=n)
+            assert len(result) <= n
+            assert result.tier in DEGRADATION_LADDER
+            item_ids = result.item_ids()
+            assert len(set(item_ids)) == len(item_ids)
+
+        # every tier is post-processing: nothing further was spent
+        assert rec.total_epsilon() == spent
+
+    @given(data=st.data())
+    @settings(max_examples=15, deadline=None)
+    def test_round_tripped_release_serves_identically(self, tmp_path_factory, data):
+        graph = data.draw(social_graphs(max_users=6))
+        prefs = data.draw(preference_graphs(graph.users()))
+        _, release = fitted_release(graph, prefs)
+        path = str(tmp_path_factory.mktemp("releases") / "r.npz")
+        release.save(path)
+        reloaded = PublishedRelease.load(path)
+        before = release.server(graph)
+        after = reloaded.server(graph)
+        for user in list(graph.users()) + ["stranger"]:
+            a, b = before.recommend(user, n=5), after.recommend(user, n=5)
+            assert a.item_ids() == b.item_ids()
+            assert a.tier == b.tier

@@ -1,0 +1,179 @@
+"""Unit tests for the deterministic fault injector."""
+
+import pytest
+
+from repro.resilience.faults import (
+    FaultPlan,
+    FaultSpec,
+    active_plan,
+    bit_flip_file,
+    fault_point,
+    truncate_file,
+)
+
+
+class TestFaultSpec:
+    def test_bad_kind_rejected(self):
+        with pytest.raises(ValueError):
+            FaultSpec(site="x", kind="explode")
+
+    def test_bad_on_call_rejected(self):
+        with pytest.raises(ValueError):
+            FaultSpec(site="x", on_call=0)
+
+    def test_fires_on_exactly_nth_call(self):
+        spec = FaultSpec(site="x", on_call=3)
+        assert [spec.fires_on(i) for i in (1, 2, 3, 4)] == [
+            False, False, True, False
+        ]
+
+    def test_repeat_fires_from_nth_call_onward(self):
+        spec = FaultSpec(site="x", on_call=2, repeat=True)
+        assert [spec.fires_on(i) for i in (1, 2, 3, 9)] == [
+            False, True, True, True
+        ]
+
+
+class TestFileHelpers:
+    def test_truncate_file(self, tmp_path):
+        path = tmp_path / "data.bin"
+        path.write_bytes(b"0123456789")
+        truncate_file(str(path), 4)
+        assert path.read_bytes() == b"0123"
+
+    def test_truncate_negative_keep_rejected(self, tmp_path):
+        path = tmp_path / "data.bin"
+        path.write_bytes(b"abc")
+        with pytest.raises(ValueError):
+            truncate_file(str(path), -1)
+
+    def test_bit_flip_changes_exactly_one_byte(self, tmp_path):
+        path = tmp_path / "data.bin"
+        original = bytes(range(256))
+        path.write_bytes(original)
+        offset = bit_flip_file(str(path), seed=5)
+        corrupted = path.read_bytes()
+        assert len(corrupted) == len(original)
+        diffs = [i for i, (a, b) in enumerate(zip(original, corrupted)) if a != b]
+        assert diffs == [offset]
+        # exactly one bit differs in that byte
+        assert bin(original[offset] ^ corrupted[offset]).count("1") == 1
+
+    def test_bit_flip_is_deterministic(self, tmp_path):
+        a, b = tmp_path / "a.bin", tmp_path / "b.bin"
+        payload = b"x" * 100
+        a.write_bytes(payload)
+        b.write_bytes(payload)
+        assert bit_flip_file(str(a), seed=9) == bit_flip_file(str(b), seed=9)
+        assert a.read_bytes() == b.read_bytes()
+
+    def test_bit_flip_empty_file_untouched(self, tmp_path):
+        path = tmp_path / "empty.bin"
+        path.write_bytes(b"")
+        assert bit_flip_file(str(path), seed=1) == -1
+        assert path.read_bytes() == b""
+
+
+class TestFaultPlan:
+    def test_fault_point_is_noop_without_plan(self):
+        assert active_plan() is None
+        fault_point("anything.at.all")  # must not raise
+
+    def test_raise_on_nth_call(self):
+        plan = FaultPlan([FaultSpec(site="io.read", kind="raise", on_call=2)])
+        with plan.installed():
+            fault_point("io.read")  # call 1 passes
+            with pytest.raises(OSError, match="injected fault"):
+                fault_point("io.read")  # call 2 fires
+            fault_point("io.read")  # call 3 passes again
+        assert plan.calls_to("io.read") == 3
+        assert plan.fired == ["io.read#2:raise"]
+
+    def test_repeat_fault_fires_every_time(self):
+        plan = FaultPlan([FaultSpec(site="io.read", repeat=True)])
+        with plan.installed():
+            for _ in range(3):
+                with pytest.raises(OSError):
+                    fault_point("io.read")
+        assert plan.calls_to("io.read") == 3
+
+    def test_exception_instance_raised_as_is(self):
+        marker = PermissionError("exact instance")
+        plan = FaultPlan([FaultSpec(site="io.read", exc=marker)])
+        with plan.installed():
+            with pytest.raises(PermissionError) as excinfo:
+                fault_point("io.read")
+        assert excinfo.value is marker
+
+    def test_unmatched_sites_pass_through(self):
+        plan = FaultPlan([FaultSpec(site="io.read")])
+        with plan.installed():
+            fault_point("io.write")
+            fault_point("clustering.strategy")
+        assert plan.calls_to("io.write") == 1
+        assert plan.fired == []
+
+    def test_slow_fault_uses_injected_sleep(self):
+        stalls = []
+        plan = FaultPlan(
+            [FaultSpec(site="io.read", kind="slow", delay=2.5)],
+            sleep=stalls.append,
+        )
+        with plan.installed():
+            fault_point("io.read")
+        assert stalls == [2.5]
+
+    def test_truncate_fault_tears_the_file(self, tmp_path):
+        path = tmp_path / "artifact.bin"
+        path.write_bytes(b"0123456789")
+        plan = FaultPlan([FaultSpec(site="release.save", kind="truncate", keep=3)])
+        with plan.installed():
+            fault_point("release.save", path=str(path))
+        assert path.read_bytes() == b"012"
+
+    def test_truncate_without_path_is_noop(self):
+        plan = FaultPlan([FaultSpec(site="x", kind="truncate", keep=3)])
+        with plan.installed():
+            fault_point("x")  # no path given: nothing to tear
+
+    def test_bitflip_fault_corrupts_the_file(self, tmp_path):
+        path = tmp_path / "artifact.bin"
+        payload = b"y" * 64
+        path.write_bytes(payload)
+        plan = FaultPlan([FaultSpec(site="release.save", kind="bitflip")], seed=4)
+        with plan.installed():
+            fault_point("release.save", path=str(path))
+        assert path.read_bytes() != payload
+
+    def test_plan_deactivated_outside_with_block(self):
+        plan = FaultPlan([FaultSpec(site="io.read", repeat=True)])
+        with plan.installed():
+            assert active_plan() is plan
+            with pytest.raises(OSError):
+                fault_point("io.read")
+        assert active_plan() is None
+        fault_point("io.read")  # plan is gone: no raise
+        assert plan.calls_to("io.read") == 1  # only the in-block call counted
+
+    def test_add_chains(self):
+        plan = FaultPlan().add(FaultSpec(site="a")).add(FaultSpec(site="b"))
+        assert [s.site for s in plan.specs] == ["a", "b"]
+
+
+class TestStacking:
+    def test_inner_plan_fires_first(self):
+        outer = FaultPlan([FaultSpec(site="io.read", exc=KeyError, repeat=True)])
+        inner = FaultPlan([FaultSpec(site="io.read", exc=OSError, repeat=True)])
+        with outer.installed(), inner.installed():
+            with pytest.raises(OSError):
+                fault_point("io.read")
+
+    def test_unmatched_inner_falls_through_to_outer(self):
+        outer = FaultPlan([FaultSpec(site="io.read")])
+        inner = FaultPlan([FaultSpec(site="other.site")])
+        with outer.installed(), inner.installed():
+            with pytest.raises(OSError):
+                fault_point("io.read")
+        # both plans observed the call
+        assert inner.calls_to("io.read") == 1
+        assert outer.calls_to("io.read") == 1

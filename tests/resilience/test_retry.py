@@ -1,0 +1,206 @@
+"""Unit tests for the deterministic retry policy."""
+
+import pytest
+
+from repro.exceptions import RetryExhaustedError
+from repro.resilience.retry import RetryPolicy
+
+
+class FakeClock:
+    """A monotonic clock tests can advance by hand."""
+
+    def __init__(self):
+        self.now = 0.0
+
+    def __call__(self):
+        return self.now
+
+    def advance(self, seconds):
+        self.now += seconds
+
+
+def flaky(failures, exc_type=OSError):
+    """A callable failing ``failures`` times, then returning 'ok'."""
+    state = {"calls": 0}
+
+    def fn():
+        state["calls"] += 1
+        if state["calls"] <= failures:
+            raise exc_type(f"transient #{state['calls']}")
+        return "ok"
+
+    fn.state = state
+    return fn
+
+
+class TestValidation:
+    def test_zero_attempts_rejected(self):
+        with pytest.raises(ValueError):
+            RetryPolicy(max_attempts=0)
+
+    def test_negative_delay_rejected(self):
+        with pytest.raises(ValueError):
+            RetryPolicy(base_delay=-0.1)
+
+    def test_jitter_out_of_range_rejected(self):
+        with pytest.raises(ValueError):
+            RetryPolicy(jitter=1.5)
+
+    def test_bad_attempt_number_rejected(self):
+        with pytest.raises(ValueError):
+            RetryPolicy().delay_for(0)
+
+
+class TestDelaySchedule:
+    def test_exponential_without_jitter(self):
+        policy = RetryPolicy(base_delay=0.1, multiplier=2.0, jitter=0.0,
+                             max_delay=10.0)
+        assert policy.delay_for(1) == pytest.approx(0.1)
+        assert policy.delay_for(2) == pytest.approx(0.2)
+        assert policy.delay_for(3) == pytest.approx(0.4)
+
+    def test_max_delay_caps_the_schedule(self):
+        policy = RetryPolicy(base_delay=1.0, multiplier=10.0, jitter=0.0,
+                             max_delay=3.0)
+        assert policy.delay_for(5) == pytest.approx(3.0)
+
+    def test_jitter_is_deterministic(self):
+        a = RetryPolicy(base_delay=0.1, jitter=0.2, seed=7)
+        b = RetryPolicy(base_delay=0.1, jitter=0.2, seed=7)
+        assert [a.delay_for(i) for i in range(1, 6)] == [
+            b.delay_for(i) for i in range(1, 6)
+        ]
+
+    def test_jitter_stays_within_bounds(self):
+        policy = RetryPolicy(base_delay=0.1, multiplier=1.0, jitter=0.25,
+                             seed=3)
+        for attempt in range(1, 20):
+            delay = policy.delay_for(attempt)
+            assert 0.075 <= delay <= 0.125
+
+    def test_different_seeds_differ(self):
+        delays_a = [RetryPolicy(jitter=0.3, seed=1).delay_for(i) for i in (1, 2, 3)]
+        delays_b = [RetryPolicy(jitter=0.3, seed=2).delay_for(i) for i in (1, 2, 3)]
+        assert delays_a != delays_b
+
+
+class TestCall:
+    def test_success_needs_no_sleep(self):
+        sleeps = []
+        policy = RetryPolicy(max_attempts=3, sleep=sleeps.append)
+        assert policy.call(lambda: 42) == 42
+        assert sleeps == []
+
+    def test_retries_then_succeeds(self):
+        sleeps = []
+        policy = RetryPolicy(max_attempts=3, base_delay=0.01, jitter=0.0,
+                             sleep=sleeps.append)
+        fn = flaky(2)
+        assert policy.call(fn) == "ok"
+        assert fn.state["calls"] == 3
+        assert sleeps == [pytest.approx(0.01), pytest.approx(0.02)]
+
+    def test_exhaustion_raises_with_cause(self):
+        policy = RetryPolicy(max_attempts=2, base_delay=0.0, jitter=0.0,
+                             sleep=lambda _: None)
+        with pytest.raises(RetryExhaustedError) as excinfo:
+            policy.call(flaky(10))
+        assert excinfo.value.attempts == 2
+        assert isinstance(excinfo.value.last_exception, OSError)
+        assert isinstance(excinfo.value.__cause__, OSError)
+
+    def test_non_retryable_propagates_immediately(self):
+        policy = RetryPolicy(max_attempts=5, sleep=lambda _: None)
+        fn = flaky(3, exc_type=ValueError)
+        with pytest.raises(ValueError):
+            policy.call(fn)
+        assert fn.state["calls"] == 1
+
+    def test_custom_retry_on(self):
+        policy = RetryPolicy(max_attempts=3, base_delay=0.0, jitter=0.0,
+                             retry_on=(KeyError,), sleep=lambda _: None)
+        assert policy.call(flaky(1, exc_type=KeyError)) == "ok"
+
+    def test_single_attempt_means_no_retry(self):
+        policy = RetryPolicy(max_attempts=1, sleep=lambda _: None)
+        fn = flaky(1)
+        with pytest.raises(RetryExhaustedError):
+            policy.call(fn)
+        assert fn.state["calls"] == 1
+
+    def test_deadline_stops_retrying_early(self):
+        clock = FakeClock()
+        sleeps = []
+
+        def sleeping(seconds):
+            sleeps.append(seconds)
+            clock.advance(seconds)
+
+        policy = RetryPolicy(max_attempts=10, base_delay=5.0, jitter=0.0,
+                             max_delay=20.0, deadline=6.0, sleep=sleeping,
+                             clock=clock)
+        with pytest.raises(RetryExhaustedError) as excinfo:
+            policy.call(flaky(10))
+        # first sleep (5s) fits the 6s budget, the second (10s) does not.
+        assert sleeps == [pytest.approx(5.0)]
+        assert excinfo.value.attempts == 2
+
+    def test_arguments_forwarded(self):
+        policy = RetryPolicy(max_attempts=1)
+        assert policy.call(lambda a, b=0: a + b, 2, b=3) == 5
+
+
+class TestDecorator:
+    def test_decorated_function_retries(self):
+        policy = RetryPolicy(max_attempts=3, base_delay=0.0, jitter=0.0,
+                             sleep=lambda _: None)
+        state = {"calls": 0}
+
+        @policy
+        def load():
+            state["calls"] += 1
+            if state["calls"] < 3:
+                raise OSError("flaky")
+            return "done"
+
+        assert load() == "done"
+        assert state["calls"] == 3
+        assert load.retry_policy is policy
+        assert load.__name__ == "load"
+
+
+class TestAttemptsLoop:
+    def test_loop_retries_then_succeeds(self):
+        sleeps = []
+        policy = RetryPolicy(max_attempts=3, base_delay=0.01, jitter=0.0,
+                             sleep=sleeps.append)
+        fn = flaky(1)
+        result = None
+        for attempt in policy.attempts():
+            with attempt:
+                result = fn()
+        assert result == "ok"
+        assert len(sleeps) == 1
+
+    def test_loop_exhaustion_raises(self):
+        policy = RetryPolicy(max_attempts=2, base_delay=0.0, jitter=0.0,
+                             sleep=lambda _: None)
+        with pytest.raises(RetryExhaustedError):
+            for attempt in policy.attempts():
+                with attempt:
+                    raise OSError("always broken")
+
+    def test_loop_reraises_non_retryable(self):
+        policy = RetryPolicy(max_attempts=5, sleep=lambda _: None)
+        with pytest.raises(KeyError):
+            for attempt in policy.attempts():
+                with attempt:
+                    raise KeyError("not transient")
+
+    def test_loop_stops_after_success(self):
+        policy = RetryPolicy(max_attempts=5, sleep=lambda _: None)
+        entered = []
+        for attempt in policy.attempts():
+            with attempt:
+                entered.append(attempt.number)
+        assert entered == [1]

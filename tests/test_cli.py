@@ -106,3 +106,98 @@ class TestCommands:
             "h\th\th\n1\t100\t5\n3\t200\t3\n", encoding="utf-8"
         )
         assert main(["stats", "--data-dir", str(tmp_path)]) == 0
+
+
+@pytest.fixture(scope="module")
+def release_path(tmp_path_factory):
+    """A small saved release artifact shared by the check-release tests."""
+    from repro.core.persistence import PublishedRelease
+    from repro.core.private import PrivateSocialRecommender
+    from repro.datasets.synthetic import SyntheticDatasetSpec
+    from repro.similarity.common_neighbors import CommonNeighbors
+
+    dataset = SyntheticDatasetSpec.lastfm_like(scale=0.04).generate(seed=1)
+    rec = PrivateSocialRecommender(CommonNeighbors(), epsilon=0.5, n=5, seed=2)
+    rec.fit(dataset.social, dataset.preferences)
+    path = str(tmp_path_factory.mktemp("release") / "release.npz")
+    PublishedRelease.from_recommender(rec).save(path)
+    return path
+
+
+class TestErrorExitCodes:
+    def test_missing_dataset_dir_exits_3(self, tmp_path, capsys):
+        code = main(["stats", "--data-dir", str(tmp_path / "nope")])
+        assert code == 3
+        err = capsys.readouterr().err
+        assert err.startswith("repro: error:")
+        assert "Traceback" not in err
+
+    def test_malformed_dataset_reports_path_and_line(self, tmp_path, capsys):
+        (tmp_path / "user_friends.dat").write_text("userID\tfriendID\n1\t2\n")
+        (tmp_path / "user_artists.dat").write_text(
+            "userID\tartistID\tweight\n1\t10\tbad\n"
+        )
+        code = main(["stats", "--data-dir", str(tmp_path)])
+        assert code == 3
+        err = capsys.readouterr().err
+        assert "user_artists.dat" in err
+        assert ":2:" in err
+
+    def test_integrity_error_exits_6(self, release_path, tmp_path, capsys):
+        import shutil
+
+        from repro.resilience import truncate_file
+
+        broken = str(tmp_path / "broken.npz")
+        shutil.copy(release_path, broken)
+        truncate_file(broken, 100)
+        code = main(["check-release", broken])
+        assert code == 6
+        assert "repro: error:" in capsys.readouterr().err
+
+    def test_missing_release_exits_3(self, tmp_path, capsys):
+        assert main(["check-release", str(tmp_path / "absent.npz")]) == 3
+
+
+class TestCheckRelease:
+    def test_parser_accepts_audit_flags(self):
+        args = build_parser().parse_args(
+            ["check-release", "r.npz", "--audit", "--samples", "500"]
+        )
+        assert args.path == "r.npz"
+        assert args.audit
+        assert args.samples == 500
+
+    def test_good_artifact_reports_provenance(self, release_path, capsys):
+        assert main(["check-release", release_path]) == 0
+        out = capsys.readouterr().out
+        assert "integrity:   OK (format v2)" in out
+        assert "(verified)" in out
+        assert "epsilon:     0.5" in out
+        assert "measure:     cn" in out
+        assert "dimensions:" in out
+
+    def test_audit_verdict_ok(self, release_path, capsys):
+        code = main(
+            ["check-release", release_path, "--audit", "--samples", "4000"]
+        )
+        assert code == 0
+        assert "-> OK" in capsys.readouterr().out
+
+
+class TestTradeoffCheckpoint:
+    def test_checkpoint_written_and_reused(self, tmp_path, capsys):
+        ckpt = str(tmp_path / "sweep.jsonl")
+        argv = ["tradeoff", "--scale", "0.04", "--seed", "1", "--measures",
+                "cn", "--epsilons", "inf", "1.0", "--ns", "5", "--repeats",
+                "1", "--checkpoint", ckpt]
+        assert main(argv) == 0
+        first = capsys.readouterr().out
+        import os
+
+        assert os.path.exists(ckpt)
+        with open(ckpt, encoding="utf-8") as handle:
+            assert len(handle.read().splitlines()) == 2
+        # second run resumes from the checkpoint and prints the same table
+        assert main(argv) == 0
+        assert capsys.readouterr().out == first
