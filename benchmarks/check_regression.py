@@ -1,0 +1,114 @@
+#!/usr/bin/env python
+"""Compare a pytest-benchmark JSON run against a committed baseline.
+
+CI machines are not the machine that produced the baseline, so raw
+timings are incomparable.  Instead we compute, per benchmark, the ratio
+
+    current_mean / baseline_mean
+
+and normalize every ratio by the median ratio across all shared
+benchmarks.  The median absorbs the machine-speed difference (if the CI
+runner is uniformly 2x slower, every ratio doubles and the normalized
+ratios stay at 1.0); what survives normalization is a *relative*
+slowdown of one benchmark against its peers — i.e. a real regression.
+
+A benchmark fails when its normalized ratio exceeds 1 + threshold
+(default 0.25, per the repo's CI gate on batch throughput).
+
+Usage:
+    python benchmarks/check_regression.py BENCH_ci.json \
+        --baseline benchmarks/BENCH_baseline.json --threshold 0.25
+"""
+
+import argparse
+import json
+import statistics
+import sys
+
+
+def load_means(path):
+    """Map fully-qualified benchmark name -> mean seconds."""
+    with open(path, encoding="utf-8") as handle:
+        payload = json.load(handle)
+    return {
+        bench["fullname"]: bench["stats"]["mean"]
+        for bench in payload.get("benchmarks", [])
+    }
+
+
+def compare(current, baseline, threshold):
+    """Return (report_lines, failed_names) for benchmarks in both runs."""
+    shared = sorted(set(current) & set(baseline))
+    if not shared:
+        return ["no benchmarks shared with the baseline; nothing to check"], []
+    ratios = {name: current[name] / baseline[name] for name in shared}
+    median = statistics.median(ratios.values())
+    if median <= 0:
+        raise ValueError("non-positive median ratio; benchmark data is broken")
+
+    lines = [
+        f"{len(shared)} benchmark(s) shared with baseline; "
+        f"median speed ratio {median:.3f} (used to normalize)",
+        "",
+        f"{'normalized':>10}  {'raw ratio':>9}  benchmark",
+    ]
+    failed = []
+    limit = 1.0 + threshold
+    for name in shared:
+        normalized = ratios[name] / median
+        flag = ""
+        if normalized > limit:
+            failed.append(name)
+            flag = f"  REGRESSION (> {limit:.2f}x)"
+        lines.append(f"{normalized:>10.3f}  {ratios[name]:>9.3f}  {name}{flag}")
+
+    only_current = sorted(set(current) - set(baseline))
+    if only_current:
+        lines.append("")
+        lines.append(
+            f"{len(only_current)} new benchmark(s) not in baseline (skipped): "
+            + ", ".join(only_current)
+        )
+    return lines, failed
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(
+        description="Fail when a benchmark regresses against the baseline."
+    )
+    parser.add_argument("current", help="pytest-benchmark JSON from this run")
+    parser.add_argument(
+        "--baseline",
+        default="benchmarks/BENCH_baseline.json",
+        help="committed baseline JSON (default: %(default)s)",
+    )
+    parser.add_argument(
+        "--threshold",
+        type=float,
+        default=0.25,
+        help="allowed normalized slowdown fraction (default: %(default)s)",
+    )
+    args = parser.parse_args(argv)
+    if args.threshold <= 0:
+        parser.error("--threshold must be positive")
+
+    try:
+        current = load_means(args.current)
+        baseline = load_means(args.baseline)
+    except OSError as error:
+        print(f"check_regression: cannot read benchmark JSON: {error}")
+        return 2
+    except (json.JSONDecodeError, KeyError, TypeError) as error:
+        print(f"check_regression: malformed benchmark JSON: {error!r}")
+        return 2
+    lines, failed = compare(current, baseline, args.threshold)
+    print("\n".join(lines))
+    if failed:
+        print(f"\nFAIL: {len(failed)} benchmark(s) regressed beyond threshold")
+        return 1
+    print("\nOK: no benchmark regressed beyond threshold")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

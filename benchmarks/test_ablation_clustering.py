@@ -64,7 +64,10 @@ def _scores(cells):
 class TestClusteringAblation:
     def test_print_ablation(self, noiseless_cells, strong_privacy_cells):
         print_banner("Ablation: clustering strategy (CN, NDCG@50, Last.fm-like)")
-        header = f"{'strategy':<20} {'#clusters':>9} {'Q':>7} {'eps=inf':>8} {'eps=0.1':>8}"
+        header = (
+            f"{'strategy':<20} {'#clusters':>9} {'Q':>7} "
+            f"{'eps=inf':>8} {'eps=0.1':>8}"
+        )
         print(header)
         strong = {c.strategy: c for c in strong_privacy_cells}
         for cell in noiseless_cells:

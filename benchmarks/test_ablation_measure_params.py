@@ -8,7 +8,6 @@ the Section 7 "larger variety of measures" item), all under the same
 framework at a fixed privacy level.
 """
 
-import math
 
 import pytest
 

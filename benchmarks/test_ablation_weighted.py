@@ -12,7 +12,6 @@ all evaluated against the *rating-weighted* non-private reference, so the
 score measures how much rating signal each private variant preserves.
 """
 
-import math
 
 import numpy as np
 import pytest

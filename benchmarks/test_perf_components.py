@@ -2,7 +2,9 @@
 
 Not a paper artifact — these pytest-benchmark timings document the cost
 profile of the pipeline (similarity rows, the noisy-release module A_w,
-end-to-end fit, per-user recommendation) so regressions are visible.
+end-to-end fit, per-user and batch recommendation) so regressions are
+visible.  CI runs this module with ``--benchmark-json`` and gates merges
+on ``benchmarks/check_regression.py`` (see docs/performance.md).
 """
 
 import math
@@ -10,7 +12,9 @@ import math
 import numpy as np
 import pytest
 
+from repro.cache import SimilarityStore
 from repro.community.louvain import best_louvain_clustering
+from repro.core.batch import batch_recommend_all
 from repro.core.cluster_weights import noisy_cluster_item_weights
 from repro.core.private import PrivateSocialRecommender
 from repro.core.recommender import SocialRecommender
@@ -84,6 +88,43 @@ class TestMechanismCost:
         rec.fit(lastfm_bench.social, lastfm_bench.preferences)
         users = lastfm_bench.social.users()[:50]
         benchmark(lambda: [rec.recommend(u) for u in users])
+
+
+class TestBatchThroughput:
+    """The serving workload the throughput layer exists for.
+
+    ``check_regression.py`` watches these two the closest: a >25%
+    normalized slowdown of either fails the CI benchmark job.
+    """
+
+    @pytest.fixture()
+    def fitted(self, lastfm_bench, clustering):
+        rec = PrivateSocialRecommender(
+            CommonNeighbors(),
+            epsilon=0.1,
+            n=20,
+            clustering_strategy=lambda g: clustering,
+            seed=0,
+        )
+        rec.fit(lastfm_bench.social, lastfm_bench.preferences)
+        return rec
+
+    def test_benchmark_batch_recommend_all(self, fitted, benchmark):
+        """Cold batch serving: kernel + (S @ C) @ W_hat^T every round."""
+        results = benchmark(lambda: batch_recommend_all(fitted, n=20))
+        assert results.stats.users_served == len(results) > 0
+
+    def test_benchmark_batch_warm_cache(self, fitted, tmp_path, benchmark):
+        """Warm-cache batch serving: the kernel comes from the store."""
+        store = SimilarityStore(str(tmp_path / "kernels"))
+        batch_recommend_all(fitted, n=20, store=store)  # warm it once
+
+        def run():
+            return batch_recommend_all(fitted, n=20, store=store)
+
+        results = benchmark(run)
+        assert results.stats.cache_hits == 1
+        assert results.stats.cache_misses == 0
 
 
 class TestScalingSanity:

@@ -46,9 +46,11 @@ from repro.core.dynamic import (
     decay_allocation,
     uniform_allocation,
 )
+from repro.cache import SimilarityStore
 from repro.datasets import SocialRecDataset, SyntheticDatasetSpec, dataset_stats
 from repro.exceptions import (
     BudgetExhaustedError,
+    CacheIntegrityError,
     ClusteringError,
     DatasetError,
     GraphError,
@@ -135,7 +137,10 @@ __all__ = [
     "BudgetExhaustedError",
     "DatasetError",
     "ReleaseIntegrityError",
+    "CacheIntegrityError",
     "RetryExhaustedError",
+    # caching
+    "SimilarityStore",
     # resilience
     "RetryPolicy",
     "FaultPlan",

@@ -1,0 +1,45 @@
+"""Persistent caching of public-graph similarity kernels.
+
+The utility/privacy trade-off of the framework depends only on the
+released noisy aggregates; the all-pairs similarity matrices that batch
+serving multiplies against them are pure functions of *public* inputs.
+This package therefore caches those kernels on disk — content-addressed,
+checksummed, memory-mappable — and reuses them across runs, processes,
+and pool workers at zero privacy cost.
+
+- :mod:`repro.cache.keys` — content-hash keys over graph structure and
+  measure parameters.
+- :mod:`repro.cache.store` — the artifact format and the
+  :class:`~repro.cache.store.SimilarityStore` front-end (LRU, counters,
+  info/prune/warm).
+"""
+
+from repro.cache.keys import (
+    KERNEL_FORMAT_VERSION,
+    graph_fingerprint,
+    measure_fingerprint,
+    similarity_cache_key,
+)
+from repro.cache.store import (
+    CacheEntry,
+    CacheLookup,
+    CacheStats,
+    SimilarityStore,
+    load_kernel_artifact,
+    open_kernel_csr,
+    save_kernel_artifact,
+)
+
+__all__ = [
+    "KERNEL_FORMAT_VERSION",
+    "CacheEntry",
+    "CacheLookup",
+    "CacheStats",
+    "SimilarityStore",
+    "graph_fingerprint",
+    "load_kernel_artifact",
+    "measure_fingerprint",
+    "open_kernel_csr",
+    "save_kernel_artifact",
+    "similarity_cache_key",
+]

@@ -1,0 +1,110 @@
+"""Content-addressed cache keys for similarity kernels.
+
+The all-pairs similarity matrices cached by :mod:`repro.cache.store` are
+pure functions of *public* inputs: the social graph's structure and the
+similarity measure's parameters.  A cache key must therefore change
+exactly when either of those changes — and must *not* change with
+construction order, process hash seeds, or dict iteration order, so that
+two independent loads of the same crawl share one artifact.
+
+The key is a SHA-256 over a canonical byte encoding of:
+
+- the kernel format version (so on-disk layout changes invalidate
+  everything at once),
+- the sorted node set (isolated nodes change the matrix shape),
+- the sorted edge set,
+- the measure's registry name and its constructor parameters.
+
+Identifiers are tagged with their type (``i:`` for int, ``s:`` for str)
+before sorting, so the int user ``1`` and the str user ``"1"`` never
+collide and heterogeneous graphs still order deterministically.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+
+from repro.graph.social_graph import SocialGraph
+from repro.similarity.base import SimilarityMeasure
+
+__all__ = [
+    "KERNEL_FORMAT_VERSION",
+    "graph_fingerprint",
+    "measure_fingerprint",
+    "similarity_cache_key",
+]
+
+#: Bump to invalidate every persisted kernel when the artifact layout or
+#: the kernel math changes incompatibly.
+KERNEL_FORMAT_VERSION = 2
+
+
+def _tag(identifier) -> str:
+    """A type-tagged, sortable text form of a user identifier."""
+    if isinstance(identifier, bool) or not isinstance(identifier, (int, str)):
+        raise TypeError(
+            f"user identifier {identifier!r} is not cacheable; "
+            f"only int and str identifiers can be content-hashed"
+        )
+    if isinstance(identifier, int):
+        return f"i:{identifier}"
+    return f"s:{identifier}"
+
+
+def graph_fingerprint(graph: SocialGraph) -> str:
+    """SHA-256 hex digest of the graph's structure.
+
+    Invariant under node/edge insertion order; sensitive to any node or
+    edge added or removed.
+
+    Raises:
+        TypeError: for user identifiers that are not int or str.
+    """
+    digest = hashlib.sha256()
+    for node in sorted(_tag(u) for u in graph.users()):
+        digest.update(node.encode("utf-8"))
+        digest.update(b"\x00")
+    digest.update(b"\x01")
+    edges = sorted(sorted((_tag(u), _tag(v))) for u, v in graph.edges())
+    for u, v in edges:
+        digest.update(u.encode("utf-8"))
+        digest.update(b"\x00")
+        digest.update(v.encode("utf-8"))
+        digest.update(b"\x00")
+    return digest.hexdigest()
+
+
+def measure_fingerprint(measure: SimilarityMeasure) -> str:
+    """A canonical text form of the measure's identity and parameters.
+
+    Uses the registry name plus every public constructor attribute
+    (``vars``), JSON-serialised with sorted keys — so ``Katz(alpha=0.05)``
+    and ``Katz(alpha=0.1)`` key differently while two fresh
+    ``CommonNeighbors()`` instances key identically.
+    """
+    params = {
+        name: value
+        for name, value in sorted(vars(measure).items())
+        if not name.startswith("_")
+    }
+    return json.dumps(
+        {"measure": measure.name, "params": params},
+        sort_keys=True,
+        default=repr,
+    )
+
+
+def similarity_cache_key(graph: SocialGraph, measure: SimilarityMeasure) -> str:
+    """The content-hash key a kernel artifact is stored under.
+
+    Raises:
+        TypeError: for user identifiers that are not int or str.
+    """
+    digest = hashlib.sha256()
+    digest.update(f"kernel-v{KERNEL_FORMAT_VERSION}".encode("ascii"))
+    digest.update(b"\x00")
+    digest.update(graph_fingerprint(graph).encode("ascii"))
+    digest.update(b"\x00")
+    digest.update(measure_fingerprint(measure).encode("utf-8"))
+    return digest.hexdigest()

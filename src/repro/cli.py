@@ -9,6 +9,10 @@ Commands:
 - ``attack``         — the Section 2.3 Sybil attack demonstration.
 - ``check-release``  — verify a saved release artifact's integrity and
   provenance (optionally Monte-Carlo-auditing its epsilon claim).
+- ``batch``          — serve top-N lists for every user at once (sharded
+  workers + similarity cache), reporting throughput counters.
+- ``cache``          — manage the persistent similarity-kernel cache
+  (``info`` / ``warm`` / ``prune``).
 
 All commands operate on the synthetic datasets (``--dataset lastfm`` /
 ``flixster`` with ``--scale``), or on a real crawl directory via
@@ -58,6 +62,13 @@ EXIT_CODES = (
     (ExperimentError, 5),
     (ReproError, 2),
 )
+
+
+def _positive_int(value: str) -> int:
+    parsed = int(value)
+    if parsed < 1:
+        raise argparse.ArgumentTypeError(f"must be >= 1, got {parsed}")
+    return parsed
 
 
 def _add_dataset_arguments(parser: argparse.ArgumentParser) -> None:
@@ -189,6 +200,63 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p_check.add_argument("--samples", type=int, default=30000)
     p_check.add_argument("--seed", type=int, default=0)
+
+    p_batch = sub.add_parser(
+        "batch",
+        help="serve top-N recommendations for every user in one sharded pass",
+    )
+    _add_dataset_arguments(p_batch)
+    p_batch.add_argument("--measure", default="cn")
+    p_batch.add_argument("--epsilon", type=_parse_epsilon, default=0.5)
+    p_batch.add_argument("--n", type=_positive_int, default=10)
+    p_batch.add_argument(
+        "--workers",
+        type=_positive_int,
+        default=None,
+        help="process-pool size; >= 2 enables sharded parallel scoring",
+    )
+    p_batch.add_argument(
+        "--shard-size",
+        type=_positive_int,
+        default=None,
+        help="users per shard (default: 4 shards per worker)",
+    )
+    p_batch.add_argument(
+        "--cache-dir",
+        default=None,
+        help="persist/reuse similarity kernels in this directory",
+    )
+
+    p_cache = sub.add_parser(
+        "cache", help="manage the persistent similarity-kernel cache"
+    )
+    cache_sub = p_cache.add_subparsers(dest="cache_command", required=True)
+
+    p_cache_info = cache_sub.add_parser(
+        "info", help="list cached kernel artifacts and totals"
+    )
+    p_cache_info.add_argument("--cache-dir", required=True)
+
+    p_cache_prune = cache_sub.add_parser(
+        "prune", help="delete artifacts, oldest first, down to a size budget"
+    )
+    p_cache_prune.add_argument("--cache-dir", required=True)
+    p_cache_prune.add_argument(
+        "--max-bytes",
+        type=int,
+        default=0,
+        help="keep at most this many bytes of artifacts (default 0: empty)",
+    )
+
+    p_cache_warm = cache_sub.add_parser(
+        "warm", help="precompute and persist similarity kernels for a dataset"
+    )
+    _add_dataset_arguments(p_cache_warm)
+    p_cache_warm.add_argument("--cache-dir", required=True)
+    p_cache_warm.add_argument(
+        "--measures", nargs="+", default=["cn", "aa", "gd", "kz"],
+        help="similarity measures to warm (default: cn aa gd kz)",
+    )
     return parser
 
 
@@ -469,6 +537,127 @@ def _cmd_check_release(args: argparse.Namespace) -> int:
     return 0 if verdict == "OK" else 1
 
 
+def _format_bytes(size: float) -> str:
+    for unit in ("B", "KiB", "MiB", "GiB"):
+        if size < 1024 or unit == "GiB":
+            return f"{size:.1f} {unit}" if unit != "B" else f"{int(size)} B"
+        size /= 1024
+    return f"{size:.1f} GiB"  # pragma: no cover - loop always returns
+
+
+def _cmd_batch(args: argparse.Namespace) -> int:
+    """Serve every user's top-N in one batch, printing perf counters."""
+    from repro.cache import SimilarityStore
+    from repro.core.batch import batch_recommend_all
+
+    dataset = _resolve_dataset(args)
+    store = SimilarityStore(args.cache_dir) if args.cache_dir else None
+    recommender = PrivateSocialRecommender(
+        get_measure(args.measure), epsilon=args.epsilon, n=args.n, seed=args.seed
+    )
+    recommender.fit(dataset.social, dataset.preferences)
+    results = batch_recommend_all(
+        recommender,
+        n=args.n,
+        store=store,
+        workers=args.workers,
+        shard_size=args.shard_size,
+    )
+    stats = results.stats
+    shard_ms = [f"{s * 1000:.0f}" for s in stats.shard_seconds]
+    preview = ", ".join(shard_ms[:8]) + (", ..." if len(shard_ms) > 8 else "")
+    print(
+        f"served {stats.users_served} users in {stats.wall_seconds:.2f}s "
+        f"({stats.rows_per_second:,.0f} rows/s, mode={stats.mode})"
+    )
+    print(
+        f"shards:      {stats.num_shards} "
+        f"({stats.fallback_shards} degraded, "
+        f"{stats.fallback_users} users on the per-user path)"
+    )
+    if shard_ms:
+        print(f"shard wall:  [{preview}] ms")
+    print(
+        f"kernel:      {stats.kernel_seconds * 1000:.0f} ms "
+        f"({stats.cache_hits} cache hit(s), {stats.cache_misses} miss(es))"
+    )
+    if store is not None:
+        print(f"cache dir:   {store.directory}")
+    return 0
+
+
+def _cmd_cache(args: argparse.Namespace) -> int:
+    """Inspect, prune, or warm the persistent similarity-kernel cache."""
+    from repro.cache import SimilarityStore
+
+    store = SimilarityStore(args.cache_dir)
+    if args.cache_command == "info":
+        entries = store.info()
+        if not entries:
+            print(f"cache {store.directory}: empty")
+            return 0
+        total = sum(entry.size_bytes for entry in entries)
+        print(f"cache {store.directory}: {len(entries)} artifact(s), "
+              f"{_format_bytes(total)}")
+        import json as _json
+
+        for entry in entries:
+            status = "ok" if entry.ok else "CORRUPT"
+            try:
+                fingerprint = _json.loads(entry.measure)
+                params = fingerprint.get("params") or {}
+                measure = fingerprint["measure"] + (
+                    "(" + ", ".join(f"{k}={v}" for k, v in params.items()) + ")"
+                    if params
+                    else ""
+                )
+            except (ValueError, KeyError, TypeError):
+                measure = entry.measure
+            print(
+                f"  {entry.key[:16]}...  {status:>7}  "
+                f"{entry.num_users:>6} users  {entry.nnz:>9} nnz  "
+                f"{_format_bytes(entry.size_bytes):>10}  {measure}"
+            )
+        return 0
+    if args.cache_command == "prune":
+        removed, freed = store.prune(max_bytes=args.max_bytes)
+        print(
+            f"pruned {removed} artifact(s), freed {_format_bytes(freed)} "
+            f"(budget {_format_bytes(args.max_bytes)})"
+        )
+        return 0
+    # warm
+    import time as _time
+
+    from repro.core.batch import compute_similarity_kernel, supports_vectorised_measure
+
+    dataset = _resolve_dataset(args)
+    for name in args.measures:
+        measure = get_measure(name)
+        if not supports_vectorised_measure(measure):
+            print(f"{name}: skipped (no vectorised kernel)")
+            continue
+        start = _time.perf_counter()
+        lookup = store.warm(
+            dataset.social,
+            measure,
+            lambda m=measure: compute_similarity_kernel(dataset.social, m),
+        )
+        elapsed = _time.perf_counter() - start
+        state = "hit" if lookup.hit else "computed"
+        print(
+            f"{name}: {state} in {elapsed:.2f}s "
+            f"({lookup.matrix.num_users} users, {lookup.matrix.nnz} nnz) "
+            f"-> {lookup.path}"
+        )
+    stats = store.stats
+    print(
+        f"cache stats: {stats.hits} hit(s), {stats.misses} miss(es), "
+        f"{stats.corrupt_recomputed} corrupt artifact(s) recomputed"
+    )
+    return 0
+
+
 _COMMANDS = {
     "stats": _cmd_stats,
     "tradeoff": _cmd_tradeoff,
@@ -479,6 +668,8 @@ _COMMANDS = {
     "validate": _cmd_validate,
     "analyze": _cmd_analyze,
     "check-release": _cmd_check_release,
+    "batch": _cmd_batch,
+    "cache": _cmd_cache,
 }
 
 

@@ -18,7 +18,6 @@ from typing import Dict
 from repro.community.clustering import Clustering
 from repro.exceptions import ClusteringError
 from repro.graph.social_graph import SocialGraph
-from repro.types import UserId
 
 __all__ = ["modularity"]
 

@@ -1,4 +1,4 @@
-"""Vectorised batch recommendation for the private framework.
+"""Vectorised, sharded, cache-backed batch recommendation.
 
 ``PrivateSocialRecommender.recommend`` computes one user's similarity row
 in Python per call; for producing recommendations for *every* user (the
@@ -14,17 +14,43 @@ matrix, and ``W_hat`` the released noisy averages.  The result is
 identical to the sequential path — the tests assert bit-equal rankings —
 but runs at BLAS speed, chunked to bound memory.
 
+Two throughput layers sit on top of the kernel:
+
+- **A persistent similarity cache** (:mod:`repro.cache`): ``S`` reads
+  only the *public* social graph, so it can be computed once, persisted
+  as a checksummed artifact, and reused across runs and processes at
+  zero privacy cost.  Pass a :class:`~repro.cache.store.SimilarityStore`
+  to skip recomputation entirely on a warm cache.
+- **User-sharded parallel execution**: with ``workers >= 2`` the target
+  users are split into contiguous shards scored across a process pool.
+  Workers *memory-map* the cached kernel artifact instead of receiving
+  (or recomputing) the matrix, so per-worker startup cost is bounded by
+  page-cache reads.  A shard whose worker fails falls back to the
+  in-parent sequential kernel, then to the per-user path — the same
+  degradation ladder as the sequential mode.
+
 Measures without a vectorised kernel (or with non-default cutoffs the
 kernels do not cover) fall back to the per-user path transparently.
+Every call returns a :class:`BatchResult` — a plain dict of
+user -> :class:`~repro.types.RecommendationList` carrying a
+:class:`BatchStats` with cache hit/miss counters, per-shard wall times,
+and overall rows/sec.
 """
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, Optional
+import math
+import os
+import tempfile
+import time
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
 import numpy as np
 import scipy.sparse as sp
 
+from repro.cache.store import SimilarityStore, open_kernel_csr, save_kernel_artifact
 from repro.core.private import PrivateSocialRecommender
 from repro.exceptions import ReproError
 from repro.resilience.faults import fault_point
@@ -41,10 +67,18 @@ from repro.similarity.matrix import (
 )
 from repro.types import RecommendationList, UserId
 
-__all__ = ["batch_recommend_all", "supports_vectorised_measure"]
+__all__ = [
+    "BatchResult",
+    "BatchStats",
+    "batch_recommend_all",
+    "compute_similarity_kernel",
+    "supports_vectorised_measure",
+]
 
 
-def _similarity_matrix_for(graph, measure: SimilarityMeasure) -> Optional[SimilarityMatrix]:
+def _similarity_matrix_for(
+    graph, measure: SimilarityMeasure
+) -> Optional[SimilarityMatrix]:
     """The vectorised kernel for ``measure``, or None when unsupported."""
     name = measure.name
     if name == "cn":
@@ -64,6 +98,21 @@ def _similarity_matrix_for(graph, measure: SimilarityMeasure) -> Optional[Simila
     return None
 
 
+def compute_similarity_kernel(graph, measure: SimilarityMeasure) -> SimilarityMatrix:
+    """The all-pairs kernel for ``measure`` (cache-warming entry point).
+
+    Raises:
+        ReproError: when ``measure`` has no vectorised kernel with its
+            current settings (see :func:`supports_vectorised_measure`).
+    """
+    matrix = _similarity_matrix_for(graph, measure)
+    if matrix is None:
+        raise ReproError(
+            f"measure {measure!r} has no vectorised similarity kernel"
+        )
+    return matrix
+
+
 def supports_vectorised_measure(measure: SimilarityMeasure) -> bool:
     """Whether ``measure`` has a batch kernel (with its current settings)."""
     if measure.name in ("cn", "aa", "ra"):
@@ -75,30 +124,140 @@ def supports_vectorised_measure(measure: SimilarityMeasure) -> bool:
     return False
 
 
+@dataclass
+class BatchStats:
+    """Perf counters for one :func:`batch_recommend_all` call.
+
+    Attributes:
+        mode: ``"parallel"``, ``"sequential"``, or ``"per-user"`` (no
+            vectorised kernel, or the kernel failed outright).
+        users_served: number of recommendation lists produced.
+        wall_seconds: end-to-end wall time of the call.
+        rows_per_second: ``users_served / wall_seconds``.
+        num_shards: shards (parallel) or chunks (sequential) scored.
+        shard_seconds: wall time per shard/chunk, in completion order.
+        fallback_shards: shards/chunks that degraded off the pooled or
+            vectorised path.
+        fallback_users: users served by the per-user path (degraded
+            shards plus zero-signal users routed through the ladder).
+        cache_hits / cache_misses: similarity-store lookups during this
+            call (both zero when no store was passed).
+        kernel_seconds: time spent obtaining the similarity kernel
+            (near zero on a warm cache).
+    """
+
+    mode: str = "sequential"
+    users_served: int = 0
+    wall_seconds: float = 0.0
+    rows_per_second: float = 0.0
+    num_shards: int = 0
+    shard_seconds: List[float] = field(default_factory=list)
+    fallback_shards: int = 0
+    fallback_users: int = 0
+    cache_hits: int = 0
+    cache_misses: int = 0
+    kernel_seconds: float = 0.0
+
+
+class BatchResult(Dict[UserId, RecommendationList]):
+    """A dict of user -> recommendation list with a ``stats`` attribute.
+
+    Behaves exactly like the plain dict previous versions returned;
+    ``stats`` carries the :class:`BatchStats` perf counters.
+    """
+
+    def __init__(self, *args, **kwargs) -> None:
+        super().__init__(*args, **kwargs)
+        self.stats = BatchStats()
+
+
+def _score_positions(
+    kernel: sp.csr_matrix,
+    indicator: sp.csr_matrix,
+    release_t: np.ndarray,
+    positions: Sequence[int],
+) -> Tuple[np.ndarray, List[int]]:
+    """Utility estimates for a block of users given by kernel row positions.
+
+    ``positions[i] == -1`` marks a user absent from the kernel (zero
+    similarity row).  Returns the dense ``(len(positions), num_items)``
+    estimate matrix plus the indices of rows with no similarity signal —
+    those users must be served by the per-user degradation ladder so
+    their reported tier matches ``recommender.recommend`` exactly.
+    """
+    present = [p for p in positions if p >= 0]
+    dense = np.zeros((len(positions), indicator.shape[1]))
+    if present:
+        cluster_rows = kernel[present, :] @ indicator
+        dense_present = np.asarray(cluster_rows.todense())
+        cursor = 0
+        for i, p in enumerate(positions):
+            if p >= 0:
+                dense[i, :] = dense_present[cursor, :]
+                cursor += 1
+    estimates = dense @ release_t
+    zero_rows = [i for i in range(len(positions)) if not dense[i, :].any()]
+    return estimates, zero_rows
+
+
+def _score_shard_worker(
+    artifact_path: str,
+    positions: List[int],
+    indicator_parts: Tuple[np.ndarray, np.ndarray, np.ndarray, Tuple[int, int]],
+    release_t: np.ndarray,
+) -> Tuple[np.ndarray, List[int]]:
+    """Pool-worker entry point: score one user shard from the cached kernel.
+
+    The kernel is memory-mapped straight out of the artifact — workers
+    never recompute similarities and share one page-cache copy of the
+    buffers.  Module-level so it pickles under every start method.
+    """
+    kernel = open_kernel_csr(artifact_path)
+    data, indices, indptr, shape = indicator_parts
+    indicator = sp.csr_matrix((data, indices, indptr), shape=shape)
+    return _score_positions(kernel, indicator, release_t, positions)
+
+
 def batch_recommend_all(
     recommender: PrivateSocialRecommender,
     users: Optional[Iterable[UserId]] = None,
     n: Optional[int] = None,
     chunk_size: int = 512,
-) -> Dict[UserId, RecommendationList]:
+    *,
+    store: Optional[SimilarityStore] = None,
+    workers: Optional[int] = None,
+    shard_size: Optional[int] = None,
+) -> BatchResult:
     """Top-N recommendations for many users at once.
 
     Args:
         recommender: a *fitted* private recommender.
         users: target users (default: every social-graph user).
         n: list length (default: the recommender's ``n``).
-        chunk_size: users per dense chunk; bounds peak memory at roughly
-            ``chunk_size * num_items`` floats.
+        chunk_size: users per dense chunk on the sequential path; bounds
+            peak memory at roughly ``chunk_size * num_items`` floats.
+        store: optional persistent similarity cache; the kernel is
+            loaded from (or written to) it instead of being recomputed,
+            and hit/miss counters are reported on the result's stats.
+        workers: with ``workers >= 2``, score contiguous user shards
+            across a process pool whose workers memory-map the cached
+            kernel artifact.  Default (None or 1) stays in-process.
+        shard_size: users per pool shard (default: spread the target
+            users over ``4 * workers`` shards so a slow shard cannot
+            stall the whole batch).
 
     Returns:
-        user -> :class:`RecommendationList`, identical to calling
-        ``recommender.recommend`` per user.
+        :class:`BatchResult` — user -> :class:`RecommendationList`,
+        identical to calling ``recommender.recommend`` per user, with
+        perf counters on ``.stats``.
 
     Raises:
         NotFittedError: when the recommender has not been fitted.
         ReproError: if the recommender has no released weights.
-        ValueError: for invalid ``n`` or ``chunk_size``.
+        ValueError: for invalid ``n``, ``chunk_size``, ``workers``, or
+            ``shard_size``.
     """
+    start_time = time.perf_counter()
     state = recommender.state
     weights = recommender.noisy_weights_
     clustering = recommender.clustering_
@@ -109,70 +268,237 @@ def batch_recommend_all(
         raise ValueError(f"n must be >= 1, got {limit}")
     if chunk_size < 1:
         raise ValueError(f"chunk_size must be >= 1, got {chunk_size}")
+    if workers is not None and workers < 1:
+        raise ValueError(f"workers must be >= 1, got {workers}")
+    if shard_size is not None and shard_size < 1:
+        raise ValueError(f"shard_size must be >= 1, got {shard_size}")
 
     target_users = list(users) if users is not None else state.social.users()
+    results = BatchResult()
+    stats = results.stats
+
+    artifact_path: Optional[str] = None
+    kernel_start = time.perf_counter()
     try:
         fault_point("batch.kernel")
-        sim_matrix = _similarity_matrix_for(state.social, recommender.measure)
+        if store is not None and supports_vectorised_measure(recommender.measure):
+            before = store.stats.snapshot()
+            lookup = store.get_or_compute(
+                state.social,
+                recommender.measure,
+                lambda: compute_similarity_kernel(state.social, recommender.measure),
+            )
+            sim_matrix: Optional[SimilarityMatrix] = lookup.matrix
+            artifact_path = lookup.path
+            stats.cache_hits = store.stats.hits - before.hits
+            stats.cache_misses = store.stats.misses - before.misses
+        else:
+            sim_matrix = _similarity_matrix_for(state.social, recommender.measure)
     except Exception:
         # A failing kernel degrades the whole batch to the (slower but
         # independent) per-user path rather than killing the run.
         sim_matrix = None
+    stats.kernel_seconds = time.perf_counter() - kernel_start
+
     if sim_matrix is None:
         # No vectorised kernel: fall back to the per-user path.
-        return {u: recommender.recommend(u, n=limit) for u in target_users}
+        stats.mode = "per-user"
+        for user in target_users:
+            results[user] = recommender.recommend(user, n=limit)
+        stats.fallback_users = len(target_users)
+        _finalise_stats(stats, len(results), start_time)
+        return results
 
-    # Cluster indicator: graph-user row -> cluster column.
-    num_graph_users = len(sim_matrix.users)
-    rows, cols = [], []
-    for position, user in enumerate(sim_matrix.users):
-        if user in clustering:
-            rows.append(position)
-            cols.append(clustering.cluster_of(user))
-    indicator = sp.csr_matrix(
-        (np.ones(len(rows)), (rows, cols)),
-        shape=(num_graph_users, clustering.num_clusters),
-    )
+    indicator = recommender.cluster_indicator(sim_matrix.users)
+    release_t = np.ascontiguousarray(weights.matrix.T)  # (clusters x items)
+
+    parallel = workers is not None and workers > 1 and len(target_users) > 1
+    if parallel:
+        _run_parallel(
+            recommender,
+            results,
+            target_users,
+            limit,
+            sim_matrix,
+            indicator,
+            release_t,
+            artifact_path,
+            workers,
+            shard_size,
+        )
+    else:
+        _run_sequential(
+            recommender,
+            results,
+            target_users,
+            limit,
+            sim_matrix,
+            indicator,
+            release_t,
+            chunk_size,
+        )
+    _finalise_stats(stats, len(results), start_time)
+    return results
+
+
+def _finalise_stats(stats: BatchStats, served: int, start_time: float) -> None:
+    stats.users_served = served
+    stats.wall_seconds = time.perf_counter() - start_time
+    if stats.wall_seconds > 0:
+        stats.rows_per_second = served / stats.wall_seconds
+
+
+def _merge_block(
+    recommender: PrivateSocialRecommender,
+    results: BatchResult,
+    block_users: Sequence[UserId],
+    estimates: np.ndarray,
+    zero_rows: Sequence[int],
+    limit: int,
+) -> None:
+    """Turn a scored block into recommendation lists.
+
+    Zero-signal users route through the per-user path so the degradation
+    ladder (and its reported tier) matches ``recommender.recommend``
+    exactly.
+    """
+    weights = recommender.noisy_weights_
+    zero_set = set(zero_rows)
+    for i, user in enumerate(block_users):
+        if i in zero_set:
+            results[user] = recommender.recommend(user, n=limit)
+            results.stats.fallback_users += 1
+        else:
+            results[user] = recommender._recommend_from_vector(
+                user, weights.items, estimates[i, :], limit
+            )
+
+
+def _run_sequential(
+    recommender: PrivateSocialRecommender,
+    results: BatchResult,
+    target_users: Sequence[UserId],
+    limit: int,
+    sim_matrix: SimilarityMatrix,
+    indicator: sp.csr_matrix,
+    release_t: np.ndarray,
+    chunk_size: int,
+) -> None:
+    """The in-process path: one pass of chunked dense products."""
+    stats = results.stats
+    stats.mode = "sequential"
     cluster_sims = sim_matrix.matrix @ indicator  # (users x clusters)
-    release_t = weights.matrix.T  # (clusters x items)
-
-    results: Dict[UserId, RecommendationList] = {}
+    num_clusters = indicator.shape[1]
     for start in range(0, len(target_users), chunk_size):
         chunk = target_users[start : start + chunk_size]
+        chunk_start = time.perf_counter()
+        stats.num_shards += 1
         try:
             fault_point("batch.chunk")
-            chunk_rows = []
-            for user in chunk:
-                position = sim_matrix.index.get(user)
-                if position is None:
-                    chunk_rows.append(None)
-                else:
-                    chunk_rows.append(position)
+            chunk_rows = [sim_matrix.index.get(user) for user in chunk]
             present = [p for p in chunk_rows if p is not None]
-            dense = np.zeros((len(chunk), clustering.num_clusters))
+            dense = np.zeros((len(chunk), num_clusters))
             if present:
-                sub = cluster_sims[present, :]
-                dense_present = np.asarray(sub.todense())
+                dense_present = np.asarray(cluster_sims[present, :].todense())
                 cursor = 0
                 for i, p in enumerate(chunk_rows):
                     if p is not None:
                         dense[i, :] = dense_present[cursor, :]
                         cursor += 1
             estimates = dense @ release_t  # (chunk x items)
-            for i, user in enumerate(chunk):
-                if not dense[i, :].any():
-                    # No similarity signal: route through the per-user
-                    # path so the degradation ladder (and its reported
-                    # tier) matches recommender.recommend exactly.
-                    results[user] = recommender.recommend(user, n=limit)
-                else:
-                    results[user] = recommender._recommend_from_vector(
-                        user, weights.items, estimates[i, :], limit
-                    )
+            zero_rows = [i for i in range(len(chunk)) if not dense[i, :].any()]
+            _merge_block(recommender, results, chunk, estimates, zero_rows, limit)
         except Exception:
             # A chunk that fails mid-kernel (bad BLAS call, injected
             # fault, memory pressure) degrades to the per-user path for
             # just that chunk; the rest of the batch stays vectorised.
+            stats.fallback_shards += 1
             for user in chunk:
                 results[user] = recommender.recommend(user, n=limit)
-    return results
+            stats.fallback_users += len(chunk)
+        stats.shard_seconds.append(time.perf_counter() - chunk_start)
+
+
+def _run_parallel(
+    recommender: PrivateSocialRecommender,
+    results: BatchResult,
+    target_users: Sequence[UserId],
+    limit: int,
+    sim_matrix: SimilarityMatrix,
+    indicator: sp.csr_matrix,
+    release_t: np.ndarray,
+    artifact_path: Optional[str],
+    workers: int,
+    shard_size: Optional[int],
+) -> None:
+    """The pooled path: contiguous user shards scored across processes."""
+    stats = results.stats
+    stats.mode = "parallel"
+    if shard_size is None:
+        shard_size = max(1, math.ceil(len(target_users) / (workers * 4)))
+
+    ephemeral: Optional[tempfile.TemporaryDirectory] = None
+    try:
+        if artifact_path is None or not os.path.exists(artifact_path):
+            # No persistent store: spill the kernel to a temp artifact so
+            # workers can still map it instead of pickling the matrix.
+            ephemeral = tempfile.TemporaryDirectory(prefix="repro-kernel-")
+            artifact_path = os.path.join(ephemeral.name, "kernel.npz")
+            save_kernel_artifact(
+                artifact_path, sim_matrix, "ephemeral", recommender.measure
+            )
+
+        shards = [
+            list(target_users[start : start + shard_size])
+            for start in range(0, len(target_users), shard_size)
+        ]
+        positions_per_shard = [
+            [sim_matrix.index.get(user, -1) for user in shard] for shard in shards
+        ]
+        indicator_parts = (
+            indicator.data,
+            indicator.indices,
+            indicator.indptr,
+            indicator.shape,
+        )
+        with ProcessPoolExecutor(max_workers=workers) as pool:
+            futures = [
+                pool.submit(
+                    _score_shard_worker,
+                    artifact_path,
+                    positions,
+                    indicator_parts,
+                    release_t,
+                )
+                for positions in positions_per_shard
+            ]
+            for shard, positions, future in zip(shards, positions_per_shard, futures):
+                shard_start = time.perf_counter()
+                stats.num_shards += 1
+                try:
+                    fault_point("batch.shard")
+                    estimates, zero_rows = future.result()
+                except Exception:
+                    # Worker died or was told to fail: rescore this shard
+                    # with the in-parent kernel (same math, same result),
+                    # then per-user if even that fails.
+                    stats.fallback_shards += 1
+                    try:
+                        estimates, zero_rows = _score_positions(
+                            sim_matrix.matrix, indicator, release_t, positions
+                        )
+                    except Exception:
+                        for user in shard:
+                            results[user] = recommender.recommend(user, n=limit)
+                        stats.fallback_users += len(shard)
+                        stats.shard_seconds.append(
+                            time.perf_counter() - shard_start
+                        )
+                        continue
+                _merge_block(
+                    recommender, results, shard, estimates, zero_rows, limit
+                )
+                stats.shard_seconds.append(time.perf_counter() - shard_start)
+    finally:
+        if ephemeral is not None:
+            ephemeral.cleanup()

@@ -25,7 +25,6 @@ instead of hiding it.
 
 from __future__ import annotations
 
-import math
 from typing import Callable, List, Optional
 
 from repro.core.private import ClusteringStrategy, PrivateSocialRecommender

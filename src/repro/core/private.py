@@ -21,15 +21,16 @@
 from __future__ import annotations
 
 import math
-from typing import Callable, Dict, Optional
+from typing import Callable, Dict, Optional, Sequence
 
 import numpy as np
+import scipy.sparse as sp
 
 from repro.community.clustering import Clustering
 from repro.community.louvain import best_louvain_clustering
 from repro.core.base import BaseRecommender, FittedState
 from repro.core.cluster_weights import NoisyClusterWeights, noisy_cluster_item_weights
-from repro.exceptions import NodeNotFoundError
+from repro.exceptions import NodeNotFoundError, ReproError
 from repro.graph.social_graph import SocialGraph
 from repro.privacy.budget import BudgetLedger
 from repro.privacy.mechanisms import validate_epsilon
@@ -95,7 +96,9 @@ class PrivateSocialRecommender(BaseRecommender):
         super().__init__(measure, n=n)
         self.epsilon = validate_epsilon(epsilon)
         self.clustering_strategy = (
-            clustering_strategy if clustering_strategy is not None else louvain_strategy()
+            clustering_strategy
+            if clustering_strategy is not None
+            else louvain_strategy()
         )
         self.seed = seed
         self.max_weight = max_weight
@@ -162,7 +165,7 @@ class PrivateSocialRecommender(BaseRecommender):
         can legitimately outrank a real one under noise — suppressing such
         items would leak which items have no edges.
         """
-        state = self.state
+        self.state  # raises NotFittedError before estimating anything
         weights = self.noisy_weights_
         assert weights is not None
         sim_vector = self._cluster_similarity_vector(user)
@@ -200,6 +203,30 @@ class PrivateSocialRecommender(BaseRecommender):
             )
         return self._recommend_from_vector(
             user, weights.items, estimates, limit, tier=tier
+        )
+
+    def cluster_indicator(self, users: Sequence[UserId]) -> sp.csr_matrix:
+        """The 0/1 user-to-cluster indicator matrix over ``users``.
+
+        Row order follows ``users``; users outside the fitted clustering
+        get an all-zero row.  This is the ``C`` of the batch-serving
+        product ``(S @ C) @ W_hat^T`` (:mod:`repro.core.batch`) — exposed
+        here so every consumer builds it from the same fitted clustering.
+
+        Raises:
+            ReproError: when the recommender has no fitted clustering.
+        """
+        clustering = self.clustering_
+        if clustering is None:
+            raise ReproError("recommender has no fitted clustering; fit it first")
+        rows, cols = [], []
+        for position, user in enumerate(users):
+            if user in clustering:
+                rows.append(position)
+                cols.append(clustering.cluster_of(user))
+        return sp.csr_matrix(
+            (np.ones(len(rows)), (rows, cols)),
+            shape=(len(users), clustering.num_clusters),
         )
 
     # ------------------------------------------------------------------

@@ -21,6 +21,7 @@ __all__ = [
     "SimilarityError",
     "DatasetError",
     "ReleaseIntegrityError",
+    "CacheIntegrityError",
     "RetryExhaustedError",
     "ExperimentError",
 ]
@@ -117,6 +118,15 @@ class ReleaseIntegrityError(DatasetError):
     Raised for corrupt containers, checksum mismatches, and unsupported
     format versions.  Subclasses :class:`DatasetError` so existing
     "cannot load" handlers keep working.
+    """
+
+
+class CacheIntegrityError(DatasetError):
+    """A persisted similarity-kernel artifact failed verification on load.
+
+    Raised for corrupt containers, checksum mismatches, and unsupported
+    kernel format versions.  The cache layer normally swallows this and
+    recomputes — it only propagates from direct artifact loads.
     """
 
 

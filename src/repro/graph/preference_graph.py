@@ -250,7 +250,9 @@ class PreferenceGraph:
         clone._num_edges = self._num_edges
         return clone
 
-    def with_edge(self, user: UserId, item: ItemId, weight: float = 1.0) -> "PreferenceGraph":
+    def with_edge(
+        self, user: UserId, item: ItemId, weight: float = 1.0
+    ) -> "PreferenceGraph":
         """A copy with one extra edge — handy for neighbouring-database tests."""
         clone = self.copy()
         clone.add_edge(user, item, weight=weight)

@@ -38,7 +38,10 @@ __all__ = [
 
 
 def _cluster_average(
-    preferences: PreferenceGraph, clustering: Clustering, cluster_index: int, item: ItemId
+    preferences: PreferenceGraph,
+    clustering: Clustering,
+    cluster_index: int,
+    item: ItemId,
 ) -> float:
     members = clustering.members_of(cluster_index)
     total = sum(preferences.weight(v, item) for v in members)

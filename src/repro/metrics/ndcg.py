@@ -27,7 +27,9 @@ from repro.types import ItemId, UserId
 __all__ = ["dcg", "ndcg_at_n", "average_ndcg"]
 
 
-def dcg(ranked_items: Sequence[ItemId], ideal_utilities: Mapping[ItemId, float]) -> float:
+def dcg(
+    ranked_items: Sequence[ItemId], ideal_utilities: Mapping[ItemId, float]
+) -> float:
     """Discounted cumulative gain of a ranked list under ideal utilities.
 
     Args:

@@ -64,6 +64,38 @@ class SimilarityMatrix:
     users: List[UserId]
     index: Dict[UserId, int]
 
+    @classmethod
+    def from_csr(cls, matrix: sp.spmatrix, users: List[UserId]) -> "SimilarityMatrix":
+        """Wrap a CSR matrix and its row order, deriving the index.
+
+        The canonical constructor for deserialisation paths (the
+        :mod:`repro.cache` artifact loader) — one place owns the
+        user -> row mapping invariant.
+
+        Raises:
+            ValueError: when the matrix is not square over ``users``.
+        """
+        csr = sp.csr_matrix(matrix)
+        if csr.shape != (len(users), len(users)):
+            raise ValueError(
+                f"matrix shape {csr.shape} does not match {len(users)} users"
+            )
+        return cls(
+            matrix=csr,
+            users=list(users),
+            index={user: i for i, user in enumerate(users)},
+        )
+
+    @property
+    def num_users(self) -> int:
+        """Number of users (rows/columns)."""
+        return len(self.users)
+
+    @property
+    def nnz(self) -> int:
+        """Number of stored non-zero similarity entries."""
+        return int(self.matrix.nnz)
+
     def similarity(self, u: UserId, v: UserId) -> float:
         """``sim(u, v)`` (0.0 for unknown users)."""
         i = self.index.get(u)

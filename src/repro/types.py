@@ -8,7 +8,7 @@ signatures stay readable.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Hashable, List, Mapping, Sequence, Tuple
+from typing import Hashable, List, Mapping, Sequence, Tuple
 
 __all__ = [
     "UserId",

@@ -1,0 +1,103 @@
+"""Cache-key stability: keys change exactly when the inputs change."""
+
+import pytest
+
+from repro.cache.keys import (
+    graph_fingerprint,
+    measure_fingerprint,
+    similarity_cache_key,
+)
+from repro.graph.social_graph import SocialGraph
+from repro.similarity.adamic_adar import AdamicAdar
+from repro.similarity.common_neighbors import CommonNeighbors
+from repro.similarity.graph_distance import GraphDistance
+from repro.similarity.katz import Katz
+
+EDGES = [(1, 2), (2, 3), (1, 3), (3, 4), (4, 5)]
+
+
+class TestGraphFingerprint:
+    def test_same_graph_loaded_twice_is_identical(self):
+        first = SocialGraph(EDGES)
+        second = SocialGraph(EDGES)
+        assert graph_fingerprint(first) == graph_fingerprint(second)
+
+    def test_insertion_order_is_irrelevant(self):
+        forward = SocialGraph(EDGES)
+        backward = SocialGraph(list(reversed(EDGES)))
+        flipped = SocialGraph([(v, u) for u, v in EDGES])
+        assert graph_fingerprint(forward) == graph_fingerprint(backward)
+        assert graph_fingerprint(forward) == graph_fingerprint(flipped)
+
+    def test_one_edge_added_changes_the_fingerprint(self):
+        base = SocialGraph(EDGES)
+        grown = SocialGraph(EDGES)
+        grown.add_edge(1, 5)
+        assert graph_fingerprint(base) != graph_fingerprint(grown)
+
+    def test_one_edge_removed_changes_the_fingerprint(self):
+        base = SocialGraph(EDGES)
+        shrunk = SocialGraph(EDGES)
+        shrunk.remove_edge(3, 4)
+        assert graph_fingerprint(base) != graph_fingerprint(shrunk)
+
+    def test_isolated_node_changes_the_fingerprint(self):
+        base = SocialGraph(EDGES)
+        padded = SocialGraph(EDGES)
+        padded.add_user(99)
+        assert graph_fingerprint(base) != graph_fingerprint(padded)
+
+    def test_int_and_str_identifiers_never_collide(self):
+        ints = SocialGraph([(1, 2)])
+        strs = SocialGraph([("1", "2")])
+        assert graph_fingerprint(ints) != graph_fingerprint(strs)
+
+    def test_unhashable_identifier_rejected(self):
+        graph = SocialGraph([((1, 2), (3, 4))])  # tuple ids: valid graph,
+        with pytest.raises(TypeError):  # but not content-addressable
+            graph_fingerprint(graph)
+
+
+class TestMeasureFingerprint:
+    def test_fresh_instances_key_identically(self):
+        assert measure_fingerprint(CommonNeighbors()) == measure_fingerprint(
+            CommonNeighbors()
+        )
+        assert measure_fingerprint(Katz()) == measure_fingerprint(Katz())
+
+    def test_different_measures_key_differently(self):
+        assert measure_fingerprint(CommonNeighbors()) != measure_fingerprint(
+            AdamicAdar()
+        )
+
+    def test_parameter_change_keys_differently(self):
+        assert measure_fingerprint(Katz(alpha=0.05)) != measure_fingerprint(
+            Katz(alpha=0.1)
+        )
+        assert measure_fingerprint(Katz(max_length=2)) != measure_fingerprint(
+            Katz(max_length=3)
+        )
+        assert measure_fingerprint(GraphDistance(max_distance=2)) != (
+            measure_fingerprint(GraphDistance(max_distance=3))
+        )
+
+
+class TestSimilarityCacheKey:
+    def test_stable_across_loads(self):
+        assert similarity_cache_key(SocialGraph(EDGES), Katz()) == (
+            similarity_cache_key(SocialGraph(list(reversed(EDGES))), Katz())
+        )
+
+    def test_sensitive_to_graph_and_measure(self):
+        graph = SocialGraph(EDGES)
+        grown = SocialGraph(EDGES)
+        grown.add_edge(2, 5)
+        base = similarity_cache_key(graph, Katz())
+        assert base != similarity_cache_key(grown, Katz())
+        assert base != similarity_cache_key(graph, Katz(alpha=0.1))
+        assert base != similarity_cache_key(graph, CommonNeighbors())
+
+    def test_key_is_hex_sha256(self):
+        key = similarity_cache_key(SocialGraph(EDGES), CommonNeighbors())
+        assert len(key) == 64
+        int(key, 16)  # parses as hex

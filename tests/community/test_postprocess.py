@@ -119,8 +119,6 @@ class TestComposedStrategy:
     def test_postprocessed_strategy_in_private_recommender(self, lastfm_small):
         """The heuristics compose into a clustering strategy that keeps
         the framework's privacy and improves the worst sensitivity."""
-        import math
-
         from repro.community.louvain import best_louvain_clustering
         from repro.core.private import PrivateSocialRecommender
         from repro.similarity.common_neighbors import CommonNeighbors

@@ -5,7 +5,6 @@ import pytest
 
 from repro.core.base import BaseRecommender, NotFittedError
 from repro.graph.preference_graph import PreferenceGraph
-from repro.graph.social_graph import SocialGraph
 from repro.similarity.common_neighbors import CommonNeighbors
 
 

@@ -13,7 +13,6 @@ from repro.core.baselines import NoiseOnEdges, NoiseOnUtility
 from repro.core.private import PrivateSocialRecommender
 from repro.core.recommender import SocialRecommender
 from repro.experiments.evaluation import EvaluationContext, evaluate_recommender
-from repro.metrics.ndcg import ndcg_at_n
 from repro.similarity.adamic_adar import AdamicAdar
 from repro.similarity.common_neighbors import CommonNeighbors
 from repro.similarity.graph_distance import GraphDistance
@@ -53,7 +52,9 @@ class TestPaperShapes:
                 context, NoiseOnEdges(CommonNeighbors(), epsilon=eps, n=50, seed=2), 50
             )
             nou = evaluate_recommender(
-                context, NoiseOnUtility(CommonNeighbors(), epsilon=eps, n=50, seed=2), 50
+                context,
+            NoiseOnUtility(CommonNeighbors(), epsilon=eps, n=50, seed=2),
+            50,
             )
             assert cluster > noe
             assert cluster > nou

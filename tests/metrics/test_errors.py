@@ -64,7 +64,9 @@ class TestApproximationError:
         averages = {0: 0.5, 1: 0.5}
         estimate = (2.0 + 0.5) * averages[0] + 1.0 * averages[1]
         expected = true_utility - estimate
-        assert approximation_error(row, prefs, clustering, "a") == pytest.approx(expected)
+        assert approximation_error(row, prefs, clustering, "a") == pytest.approx(
+            expected
+        )
 
 
 class TestPerturbationError:
@@ -77,7 +79,9 @@ class TestPerturbationError:
         row = {1: 2.0, 3: 1.0}
         eps = 0.5
         expected = (math.sqrt(2) / (eps * 2)) * 2.0 + (math.sqrt(2) / (eps * 1)) * 1.0
-        assert expected_perturbation_error(row, clustering, eps) == pytest.approx(expected)
+        assert expected_perturbation_error(row, clustering, eps) == pytest.approx(
+            expected
+        )
 
     def test_larger_clusters_less_error(self):
         row = {1: 1.0, 2: 1.0, 3: 1.0, 4: 1.0}

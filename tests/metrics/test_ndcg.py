@@ -42,7 +42,9 @@ class TestNdcgAtN:
         # The paper's motivation for NDCG over precision: swapping items of
         # equal true utility must not be penalised.
         utilities = {"a": 2.0, "b": 2.0, "c": 1.0}
-        assert ndcg_at_n(["b", "a", "c"], ["a", "b", "c"], utilities, 3) == pytest.approx(1.0)
+        assert ndcg_at_n(
+            ["b", "a", "c"], ["a", "b", "c"], utilities, 3
+        ) == pytest.approx(1.0)
 
     def test_wrong_items_score_low(self):
         utilities = {"a": 5.0, "b": 4.0}

@@ -7,7 +7,6 @@ import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from repro.community.clustering import Clustering
 from repro.core.cluster_weights import noisy_cluster_item_weights
 from repro.privacy.budget import BudgetLedger, PrivacyBudget
 from repro.privacy.mechanisms import LaplaceMechanism

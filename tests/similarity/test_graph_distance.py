@@ -17,7 +17,9 @@ class TestPairwise:
         assert GraphDistance(max_distance=2).similarity(path_graph, 1, 4) == 0.0
 
     def test_larger_cutoff_reaches_farther(self, path_graph):
-        assert GraphDistance(max_distance=3).similarity(path_graph, 1, 4) == pytest.approx(1 / 3)
+        assert GraphDistance(max_distance=3).similarity(
+            path_graph, 1, 4
+        ) == pytest.approx(1 / 3)
 
     def test_disconnected_zero(self):
         g = SocialGraph([(1, 2)])

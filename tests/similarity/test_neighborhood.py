@@ -1,7 +1,5 @@
 """Unit tests for the additional neighborhood similarity measures."""
 
-import math
-
 import pytest
 
 from repro.graph.social_graph import SocialGraph
@@ -54,7 +52,9 @@ class TestCosine:
 class TestResourceAllocation:
     def test_triangle_value(self, triangle_graph):
         # Shared neighbor 3 has degree 2 => 1/2.
-        assert ResourceAllocation().similarity(triangle_graph, 1, 2) == pytest.approx(0.5)
+        assert ResourceAllocation().similarity(triangle_graph, 1, 2) == pytest.approx(
+            0.5
+        )
 
     def test_harsher_than_adamic_adar(self, star_graph):
         from repro.similarity.adamic_adar import AdamicAdar
@@ -78,7 +78,9 @@ class TestResourceAllocation:
 
 class TestPreferentialAttachment:
     def test_degree_product(self, triangle_graph):
-        assert PreferentialAttachment().similarity(triangle_graph, 1, 2) == pytest.approx(4.0)
+        assert PreferentialAttachment().similarity(
+            triangle_graph, 1, 2
+        ) == pytest.approx(4.0)
 
     def test_restricted_to_two_hops(self, path_graph):
         # Users 1 and 5 are four hops apart: no similarity despite both
@@ -86,7 +88,9 @@ class TestPreferentialAttachment:
         assert PreferentialAttachment().similarity(path_graph, 1, 5) == 0.0
 
     def test_direct_neighbors_included(self, path_graph):
-        assert PreferentialAttachment().similarity(path_graph, 1, 2) == pytest.approx(2.0)
+        assert PreferentialAttachment().similarity(path_graph, 1, 2) == pytest.approx(
+            2.0
+        )
 
     def test_isolated_user_empty(self):
         g = SocialGraph([(1, 2)])

@@ -201,3 +201,69 @@ class TestTradeoffCheckpoint:
         # second run resumes from the checkpoint and prints the same table
         assert main(argv) == 0
         assert capsys.readouterr().out == first
+
+
+class TestCacheCommand:
+    def test_parser_requires_cache_subcommand(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["cache"])
+
+    def test_warm_then_info_then_prune(self, tmp_path, capsys):
+        cache_dir = str(tmp_path / "kernels")
+        argv = ["cache", "warm", "--cache-dir", cache_dir, "--scale", "0.04",
+                "--seed", "1", "--measures", "cn", "aa"]
+        assert main(argv) == 0
+        out = capsys.readouterr().out
+        assert "cn: computed" in out
+        assert "2 miss(es)" in out
+
+        # A second warm run hits the persisted artifacts.
+        assert main(argv) == 0
+        out = capsys.readouterr().out
+        assert "cn: hit" in out and "aa: hit" in out
+        assert "2 hit(s), 0 miss(es)" in out
+
+        assert main(["cache", "info", "--cache-dir", cache_dir]) == 0
+        out = capsys.readouterr().out
+        assert "2 artifact(s)" in out
+        assert "ok" in out
+
+        assert main(["cache", "prune", "--cache-dir", cache_dir]) == 0
+        assert "pruned 2 artifact(s)" in capsys.readouterr().out
+        assert main(["cache", "info", "--cache-dir", cache_dir]) == 0
+        assert "empty" in capsys.readouterr().out
+
+    def test_warm_skips_unsupported_measures(self, tmp_path, capsys):
+        cache_dir = str(tmp_path / "kernels")
+        assert main(["cache", "warm", "--cache-dir", cache_dir, "--scale",
+                     "0.04", "--seed", "1", "--measures", "jc"]) == 0
+        assert "skipped" in capsys.readouterr().out
+
+    def test_info_on_empty_cache(self, tmp_path, capsys):
+        assert main(["cache", "info", "--cache-dir",
+                     str(tmp_path / "none")]) == 0
+        assert "empty" in capsys.readouterr().out
+
+
+class TestBatchCommand:
+    def test_batch_serves_everyone_with_counters(self, tmp_path, capsys):
+        cache_dir = str(tmp_path / "kernels")
+        argv = ["batch", "--scale", "0.04", "--seed", "1", "--measure", "cn",
+                "--n", "5", "--cache-dir", cache_dir]
+        assert main(argv) == 0
+        out = capsys.readouterr().out
+        assert "served" in out and "rows/s" in out
+        assert "0 cache hit(s), 1 miss(es)" in out
+
+        # Warm cache: the same run reports a hit and no misses.
+        assert main(argv) == 0
+        out = capsys.readouterr().out
+        assert "1 cache hit(s), 0 miss(es)" in out
+
+    def test_batch_parallel_workers(self, tmp_path, capsys):
+        argv = ["batch", "--scale", "0.04", "--seed", "1", "--n", "5",
+                "--workers", "2", "--shard-size", "16"]
+        assert main(argv) == 0
+        out = capsys.readouterr().out
+        assert "mode=parallel" in out
+        assert "shards:" in out
