@@ -15,9 +15,16 @@ slowdown of one benchmark against its peers — i.e. a real regression.
 A benchmark fails when its normalized ratio exceeds 1 + threshold
 (default 0.25, per the repo's CI gate on batch throughput).
 
+``--require PATTERN`` (repeatable) asserts that at least one benchmark in
+the *current* run matches each substring pattern — so a gated module that
+silently stops being collected (renamed file, bad marker, import error
+swallowed by ``--benchmark-skip``) fails the job instead of passing
+vacuously.
+
 Usage:
     python benchmarks/check_regression.py BENCH_ci.json \
-        --baseline benchmarks/BENCH_baseline.json --threshold 0.25
+        --baseline benchmarks/BENCH_baseline.json --threshold 0.25 \
+        --require test_perf_kernel_build
 """
 
 import argparse
@@ -72,6 +79,15 @@ def compare(current, baseline, threshold):
     return lines, failed
 
 
+def missing_required(current, patterns):
+    """Patterns (substrings of fullnames) with no match in the current run."""
+    return [
+        pattern
+        for pattern in patterns
+        if not any(pattern in name for name in current)
+    ]
+
+
 def main(argv=None):
     parser = argparse.ArgumentParser(
         description="Fail when a benchmark regresses against the baseline."
@@ -88,6 +104,14 @@ def main(argv=None):
         default=0.25,
         help="allowed normalized slowdown fraction (default: %(default)s)",
     )
+    parser.add_argument(
+        "--require",
+        action="append",
+        default=[],
+        metavar="PATTERN",
+        help="fail unless some current benchmark name contains PATTERN "
+        "(repeatable); guards against a gated module silently not running",
+    )
     args = parser.parse_args(argv)
     if args.threshold <= 0:
         parser.error("--threshold must be positive")
@@ -101,6 +125,13 @@ def main(argv=None):
     except (json.JSONDecodeError, KeyError, TypeError) as error:
         print(f"check_regression: malformed benchmark JSON: {error!r}")
         return 2
+    absent = missing_required(current, args.require)
+    if absent:
+        print(
+            "check_regression: required benchmark pattern(s) matched "
+            "nothing in the current run: " + ", ".join(absent)
+        )
+        return 1
     lines, failed = compare(current, baseline, args.threshold)
     print("\n".join(lines))
     if failed:

@@ -24,9 +24,12 @@ from __future__ import annotations
 
 import hashlib
 import json
+from typing import TYPE_CHECKING
 
-from repro.graph.social_graph import SocialGraph
-from repro.similarity.base import SimilarityMeasure
+from repro.graph.social_graph import SocialGraph, user_sort_key
+
+if TYPE_CHECKING:  # import only for annotations; keeps this module
+    from repro.similarity.base import SimilarityMeasure  # cycle-free
 
 __all__ = [
     "KERNEL_FORMAT_VERSION",
@@ -36,8 +39,9 @@ __all__ = [
 ]
 
 #: Bump to invalidate every persisted kernel when the artifact layout or
-#: the kernel math changes incompatibly.
-KERNEL_FORMAT_VERSION = 2
+#: the kernel math changes incompatibly.  v3: kernel rows follow the
+#: canonical ``stable_user_order`` instead of insertion order.
+KERNEL_FORMAT_VERSION = 3
 
 
 def _tag(identifier) -> str:
@@ -62,15 +66,20 @@ def graph_fingerprint(graph: SocialGraph) -> str:
         TypeError: for user identifiers that are not int or str.
     """
     digest = hashlib.sha256()
-    for node in sorted(_tag(u) for u in graph.users()):
-        digest.update(node.encode("utf-8"))
+    # The same canonical order SocialGraph.stable_user_order / to_csr use,
+    # so a cached kernel's row order is reconstructible from its key inputs.
+    for user in sorted(graph.users(), key=user_sort_key):
+        digest.update(_tag(user).encode("utf-8"))
         digest.update(b"\x00")
     digest.update(b"\x01")
-    edges = sorted(sorted((_tag(u), _tag(v))) for u, v in graph.edges())
+    edges = sorted(
+        (sorted(edge, key=user_sort_key) for edge in graph.edges()),
+        key=lambda edge: (user_sort_key(edge[0]), user_sort_key(edge[1])),
+    )
     for u, v in edges:
-        digest.update(u.encode("utf-8"))
+        digest.update(_tag(u).encode("utf-8"))
         digest.update(b"\x00")
-        digest.update(v.encode("utf-8"))
+        digest.update(_tag(v).encode("utf-8"))
         digest.update(b"\x00")
     return digest.hexdigest()
 

@@ -226,6 +226,13 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help="persist/reuse similarity kernels in this directory",
     )
+    p_batch.add_argument(
+        "--backend",
+        choices=("auto", "vectorized", "python"),
+        default="auto",
+        help="kernel construction backend (default: auto — vectorised "
+        "when supported, python fallback on failure)",
+    )
 
     p_cache = sub.add_parser(
         "cache", help="manage the persistent similarity-kernel cache"
@@ -256,6 +263,12 @@ def build_parser() -> argparse.ArgumentParser:
     p_cache_warm.add_argument(
         "--measures", nargs="+", default=["cn", "aa", "gd", "kz"],
         help="similarity measures to warm (default: cn aa gd kz)",
+    )
+    p_cache_warm.add_argument(
+        "--backend",
+        choices=("auto", "vectorized", "python"),
+        default="auto",
+        help="kernel construction backend (default: auto)",
     )
     return parser
 
@@ -562,6 +575,7 @@ def _cmd_batch(args: argparse.Namespace) -> int:
         store=store,
         workers=args.workers,
         shard_size=args.shard_size,
+        backend=args.backend,
     )
     stats = results.stats
     shard_ms = [f"{s * 1000:.0f}" for s in stats.shard_seconds]
@@ -581,9 +595,31 @@ def _cmd_batch(args: argparse.Namespace) -> int:
         f"kernel:      {stats.kernel_seconds * 1000:.0f} ms "
         f"({stats.cache_hits} cache hit(s), {stats.cache_misses} miss(es))"
     )
+    if stats.compute is not None:
+        print(_format_compute_stats(stats.compute))
     if store is not None:
         print(f"cache dir:   {store.directory}")
     return 0
+
+
+def _format_compute_stats(compute) -> str:
+    """One summary line for a kernel construction's ComputeStats."""
+    stages = ", ".join(
+        f"{stage} {seconds * 1000:.0f}ms"
+        for stage, seconds in compute.stage_seconds.items()
+    )
+    line = (
+        f"compute:     backend={compute.backend} "
+        f"(requested {compute.requested}), "
+        f"{compute.rows} rows at {compute.rows_per_second:,.0f} rows/s"
+    )
+    if compute.blocks:
+        line += f", {compute.blocks} block(s) x {compute.workers} worker(s)"
+    if compute.fallbacks:
+        line += f", {compute.fallbacks} fallback(s)"
+    if stages:
+        line += f" [{stages}]"
+    return line
 
 
 def _cmd_cache(args: argparse.Namespace) -> int:
@@ -629,19 +665,24 @@ def _cmd_cache(args: argparse.Namespace) -> int:
     # warm
     import time as _time
 
+    from repro.compute.stats import ComputeStats
     from repro.core.batch import compute_similarity_kernel, supports_vectorised_measure
 
     dataset = _resolve_dataset(args)
+    backend = getattr(args, "backend", "auto")
     for name in args.measures:
         measure = get_measure(name)
         if not supports_vectorised_measure(measure):
             print(f"{name}: skipped (no vectorised kernel)")
             continue
+        compute_stats = ComputeStats(requested=backend)
         start = _time.perf_counter()
         lookup = store.warm(
             dataset.social,
             measure,
-            lambda m=measure: compute_similarity_kernel(dataset.social, m),
+            lambda m=measure: compute_similarity_kernel(
+                dataset.social, m, backend=backend, stats=compute_stats
+            ),
         )
         elapsed = _time.perf_counter() - start
         state = "hit" if lookup.hit else "computed"
@@ -650,6 +691,8 @@ def _cmd_cache(args: argparse.Namespace) -> int:
             f"({lookup.matrix.num_users} users, {lookup.matrix.nnz} nnz) "
             f"-> {lookup.path}"
         )
+        if not lookup.hit and compute_stats.backend:
+            print("  " + _format_compute_stats(compute_stats))
     stats = store.stats
     print(
         f"cache stats: {stats.hits} hit(s), {stats.misses} miss(es), "

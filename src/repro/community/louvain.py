@@ -15,18 +15,36 @@ its clustering phase:
 The paper runs Louvain 10 times with different random node orderings and
 keeps the most modular result; :func:`best_louvain_clustering` packages
 that protocol.
+
+Two interchangeable backends drive the same level loop:
+
+- ``python`` — the original dict-of-dicts implementation below, kept as
+  the semantic reference;
+- ``vectorized`` — the same algorithm on flat numpy arrays (CSR-style
+  ``indptr``/``indices``/``weights``, a node→community vector, community
+  weight accumulators).  Tie-breaking is replicated exactly — candidate
+  communities are visited in first-appearance order and compared with the
+  same ``> best + 1e-12`` rule — and every edge weight in the hierarchy
+  is an integer-valued float (sums of 1.0), so all gain arithmetic is
+  exact and the two backends produce **identical partitions** for the
+  same rng (property-tested).  ``backend="auto"`` (the default) runs
+  vectorized and falls back to python on any failure, replaying the same
+  rng stream.
 """
 
 from __future__ import annotations
 
+import copy
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Tuple
+from typing import Any, Dict, List, Optional, Tuple
 
 import numpy as np
 
 from repro.community.clustering import Clustering
 from repro.community.modularity import modularity
+from repro.compute.stats import validate_backend
 from repro.graph.social_graph import SocialGraph
+from repro.resilience.faults import fault_point
 from repro.types import UserId
 
 __all__ = ["louvain", "best_louvain_clustering", "LouvainResult"]
@@ -183,85 +201,6 @@ def _flat_partition(levels: List[List[int]], num_base_nodes: int) -> List[int]:
     return assignment
 
 
-@dataclass(frozen=True)
-class LouvainResult:
-    """Outcome of one Louvain run.
-
-    Attributes:
-        clustering: the detected communities as a validated partition.
-        modularity: Q of the clustering on the input graph.
-        num_levels: number of aggregation levels the run used.
-        refined: whether multi-level refinement ran.
-    """
-
-    clustering: Clustering
-    modularity: float
-    num_levels: int
-    refined: bool
-
-
-def louvain(
-    graph: SocialGraph,
-    rng: Optional[np.random.Generator] = None,
-    refine: bool = True,
-) -> LouvainResult:
-    """Detect communities in ``graph`` with the Louvain method.
-
-    Args:
-        graph: the social graph to cluster.
-        rng: random source controlling node visit order (defaults to a
-            fresh seeded generator, so pass one for reproducibility).
-        refine: run the Rotta–Noack multi-level refinement pass (the paper
-            enables it).
-
-    Returns:
-        A :class:`LouvainResult`; for an edgeless graph every node becomes
-        its own community.
-    """
-    if rng is None:
-        rng = np.random.default_rng(0)
-
-    base, users = _AggregateGraph.from_social_graph(graph)
-    n = base.num_nodes
-    if n == 0:
-        return LouvainResult(Clustering([]), 0.0, 0, refined=False)
-    if base.total_weight == 0.0:
-        singletons = Clustering([[u] for u in users])
-        return LouvainResult(singletons, 0.0, 0, refined=False)
-
-    graphs: List[_AggregateGraph] = [base]
-    levels: List[List[int]] = []
-    current = base
-    prev_q = -1.0
-    while True:
-        node2com = list(range(current.num_nodes))
-        _one_level(current, node2com, rng)
-        node2com, num_coms = _renumber(node2com)
-        flat = _flat_partition(levels + [node2com], n)
-        q = _partition_modularity(base, flat)
-        if q - prev_q <= _MIN_LEVEL_GAIN and levels:
-            break
-        prev_q = q
-        levels.append(node2com)
-        if num_coms == current.num_nodes:
-            break
-        current = _induced_graph(current, node2com, num_coms)
-        graphs.append(current)
-
-    if refine and len(levels) > 1:
-        _refine_levels(graphs, levels, rng)
-
-    flat = _flat_partition(levels, n)
-    assignment = {users[i]: flat[i] for i in range(n)}
-    clustering = Clustering.from_assignment(assignment)
-    return LouvainResult(
-        clustering=clustering,
-        modularity=modularity(graph, clustering),
-        num_levels=len(levels),
-        refined=refine and len(levels) > 1,
-    )
-
-
 def _partition_modularity(base: _AggregateGraph, assignment: List[int]) -> float:
     """Modularity of a base-node assignment on the internal weighted graph."""
     m = base.total_weight
@@ -285,10 +224,442 @@ def _partition_modularity(base: _AggregateGraph, assignment: List[int]) -> float
     return q
 
 
-def _refine_levels(
-    graphs: List[_AggregateGraph],
-    levels: List[List[int]],
+# ----------------------------------------------------------------------
+# vectorized backend: the same algorithm on flat numpy arrays
+# ----------------------------------------------------------------------
+class _FlatGraph:
+    """CSR-style weighted graph for the vectorized Louvain backend.
+
+    Per-node neighbor runs (``indices[indptr[u]:indptr[u+1]]``) keep the
+    exact insertion order of the dict-based :class:`_AggregateGraph`, so
+    first-appearance community iteration — the tie-breaking order — is
+    identical between backends.
+    """
+
+    __slots__ = ("indptr", "indices", "weights", "loops", "total_weight", "_wdeg")
+
+    def __init__(
+        self,
+        indptr: np.ndarray,
+        indices: np.ndarray,
+        weights: np.ndarray,
+        loops: np.ndarray,
+        total_weight: float,
+    ) -> None:
+        self.indptr = indptr
+        self.indices = indices
+        self.weights = weights
+        self.loops = loops
+        self.total_weight = total_weight
+        self._wdeg: Optional[np.ndarray] = None
+
+    @property
+    def num_nodes(self) -> int:
+        return len(self.indptr) - 1
+
+    def weighted_degrees(self) -> np.ndarray:
+        """Per-node weighted degree, loops counted twice (cached)."""
+        if self._wdeg is None:
+            n = self.num_nodes
+            wdeg = np.zeros(n)
+            src = np.repeat(np.arange(n), np.diff(self.indptr))
+            np.add.at(wdeg, src, self.weights)
+            self._wdeg = wdeg + 2.0 * self.loops
+        return self._wdeg
+
+    @classmethod
+    def from_adjacency_lists(
+        cls,
+        nbr_lists: List[List[int]],
+        wt_lists: List[List[float]],
+        loops: np.ndarray,
+        total_weight: float,
+    ) -> "_FlatGraph":
+        n = len(nbr_lists)
+        counts = np.fromiter((len(row) for row in nbr_lists), np.int64, n)
+        nnz = int(counts.sum()) if n else 0
+        indptr = np.zeros(n + 1, dtype=np.int64)
+        np.cumsum(counts, out=indptr[1:])
+        indices = np.fromiter((j for row in nbr_lists for j in row), np.int64, nnz)
+        weights = np.fromiter((w for row in wt_lists for w in row), np.float64, nnz)
+        return cls(indptr, indices, weights, loops, total_weight)
+
+    @classmethod
+    def from_social_graph(
+        cls, graph: SocialGraph
+    ) -> Tuple["_FlatGraph", List[UserId]]:
+        """Convert a social graph; returns the graph and the node-id order."""
+        users = graph.users()
+        index = {user: i for i, user in enumerate(users)}
+        nbr_lists: List[List[int]] = [[] for _ in users]
+        for u, v in graph.edges():
+            iu, iv = index[u], index[v]
+            nbr_lists[iu].append(iv)
+            nbr_lists[iv].append(iu)
+        wt_lists = [[1.0] * len(row) for row in nbr_lists]
+        return (
+            cls.from_adjacency_lists(
+                nbr_lists, wt_lists, np.zeros(len(users)), float(graph.num_edges)
+            ),
+            users,
+        )
+
+
+def _one_level_flat(
+    graph: _FlatGraph,
+    node2com: np.ndarray,
     rng: np.random.Generator,
+) -> bool:
+    """Local moving over flat arrays; mirrors :func:`_one_level` move for move.
+
+    The weighted-degree vector and the community-degree accumulator are
+    computed vectorised once (the dict version re-sums a node's adjacency
+    on *every* visit of every sweep — the single largest cost in the
+    reference implementation).  The sequential move scan itself runs over
+    builtin-list mirrors of the CSR arrays: local moving is inherently
+    order-dependent, and element reads on lists avoid per-access numpy
+    scalar boxing while holding the exact same float64 values.
+
+    Candidate communities are visited in first-appearance order over the
+    node's neighbor run — the order the dict version iterates
+    ``links_to_com`` — and every link sum and community degree is an
+    integer-valued float, so gains, comparisons, and therefore moves are
+    bit-identical to the python backend.
+    """
+    m = graph.total_weight
+    if m <= 0.0:
+        return False
+
+    n = graph.num_nodes
+    wdeg_arr = graph.weighted_degrees()
+    com_degree_arr = np.zeros(n)
+    np.add.at(com_degree_arr, node2com, wdeg_arr)
+
+    order_arr = np.arange(n)
+    rng.shuffle(order_arr)
+
+    ptr = graph.indptr.tolist()
+    idx = graph.indices.tolist()
+    wts = graph.weights.tolist()
+    wdeg = wdeg_arr.tolist()
+    com_degree = com_degree_arr.tolist()
+    coms = node2com.tolist()
+    order = order_arr.tolist()
+    two_m = 2.0 * m
+
+    # Per-node (neighbor, weight) runs, paired once and reused across every
+    # sweep — the CSR row slices stay in neighbor order, so links_to_com
+    # fills in the same first-appearance order as the dict backend.
+    pairs = [
+        list(zip(idx[ptr[i] : ptr[i + 1]], wts[ptr[i] : ptr[i + 1]]))
+        for i in range(n)
+    ]
+
+    moved_any = False
+    improved = True
+    while improved:
+        improved = False
+        for node in order:
+            com = coms[node]
+            k_i = wdeg[node]
+            k_i_over_2m = k_i / two_m
+
+            links_to_com: Dict[int, float] = {}
+            links_get = links_to_com.get
+            for nbr, weight in pairs[node]:
+                c = coms[nbr]
+                links_to_com[c] = links_get(c, 0.0) + weight
+
+            com_degree[com] -= k_i
+            best_gain = links_to_com.get(com, 0.0) - com_degree[com] * k_i_over_2m
+            best_com = com
+            for c, dnc in links_to_com.items():
+                if c == com:
+                    continue
+                gain = dnc - com_degree[c] * k_i_over_2m
+                if gain > best_gain + 1e-12:
+                    best_gain = gain
+                    best_com = c
+
+            com_degree[best_com] += k_i
+            if best_com != com:
+                coms[node] = best_com
+                improved = True
+                moved_any = True
+    node2com[:] = coms
+    return moved_any
+
+
+def _renumber_flat(node2com: np.ndarray) -> Tuple[np.ndarray, int]:
+    """Vectorized first-appearance renumbering (matches :func:`_renumber`)."""
+    uniq, first, inverse = np.unique(
+        node2com, return_index=True, return_inverse=True
+    )
+    rank = np.empty(len(uniq), dtype=np.int64)
+    rank[np.argsort(first, kind="stable")] = np.arange(len(uniq), dtype=np.int64)
+    return rank[inverse], len(uniq)
+
+
+def _induced_flat(
+    graph: _FlatGraph, node2com: np.ndarray, num_coms: int
+) -> _FlatGraph:
+    """Collapse communities into super-nodes on flat arrays.
+
+    Coarse neighbor runs are emitted in first appearance order of each
+    inter-community pair over the fine-edge scan — the same insertion
+    order the dict version produces — and all weight sums are integer
+    accumulations, so the coarse graph is indistinguishable from the
+    python backend's.
+    """
+    n = graph.num_nodes
+    src = np.repeat(np.arange(n), np.diff(graph.indptr))
+    keep = graph.indices >= src  # count each undirected edge once
+    edge_u = node2com[src[keep]]
+    edge_v = node2com[graph.indices[keep]]
+    edge_w = graph.weights[keep]
+
+    loops = np.zeros(num_coms)
+    np.add.at(loops, node2com, graph.loops)
+    intra = edge_u == edge_v
+    np.add.at(loops, edge_u[intra], edge_w[intra])
+
+    inter = ~intra
+    lo = np.minimum(edge_u[inter], edge_v[inter])
+    hi = np.maximum(edge_u[inter], edge_v[inter])
+    pair_key = lo.astype(np.int64) * np.int64(num_coms) + hi.astype(np.int64)
+    uniq, first, inverse = np.unique(
+        pair_key, return_index=True, return_inverse=True
+    )
+    pair_weight = np.bincount(inverse, weights=edge_w[inter])
+
+    nbr_lists: List[List[int]] = [[] for _ in range(num_coms)]
+    wt_lists: List[List[float]] = [[] for _ in range(num_coms)]
+    for j in np.argsort(first, kind="stable"):
+        j = int(j)
+        com_a, com_b = divmod(int(uniq[j]), num_coms)
+        weight = float(pair_weight[j])
+        nbr_lists[com_a].append(com_b)
+        wt_lists[com_a].append(weight)
+        nbr_lists[com_b].append(com_a)
+        wt_lists[com_b].append(weight)
+    return _FlatGraph.from_adjacency_lists(
+        nbr_lists, wt_lists, loops, graph.total_weight
+    )
+
+
+def _flat_partition_flat(
+    levels: List[np.ndarray], num_base_nodes: int
+) -> np.ndarray:
+    assignment = np.arange(num_base_nodes, dtype=np.int64)
+    for level in levels:
+        assignment = level[assignment]
+    return assignment
+
+
+def _partition_modularity_flat(
+    base: _FlatGraph, assignment: np.ndarray
+) -> float:
+    """Modularity on flat arrays, bit-equal to :func:`_partition_modularity`.
+
+    The per-community terms use exact integer sums; the final float
+    accumulation visits communities in the same first-appearance order the
+    dict version iterates, so level-gain decisions never diverge between
+    backends.
+    """
+    m = base.total_weight
+    if m <= 0.0:
+        return 0.0
+    n = base.num_nodes
+    num_coms = int(assignment.max()) + 1
+    deg = np.bincount(assignment, weights=base.weighted_degrees(), minlength=num_coms)
+    intra = np.bincount(assignment, weights=base.loops, minlength=num_coms)
+    src = np.repeat(np.arange(n), np.diff(base.indptr))
+    keep = (base.indices >= src) & (assignment[src] == assignment[base.indices])
+    if keep.any():
+        np.add.at(intra, assignment[src[keep]], base.weights[keep])
+
+    uniq, first = np.unique(assignment, return_index=True)
+    q = 0.0
+    two_m = 2.0 * m
+    for j in np.argsort(first, kind="stable"):
+        c = int(uniq[j])
+        q += intra[c] / m - (deg[c] / two_m) ** 2
+    return q
+
+
+class _PythonBackend:
+    """Dispatch table for the reference dict-based implementation."""
+
+    name = "python"
+    from_social = staticmethod(_AggregateGraph.from_social_graph)
+    one_level = staticmethod(_one_level)
+    renumber = staticmethod(_renumber)
+    induced = staticmethod(_induced_graph)
+    partition = staticmethod(_flat_partition)
+    partition_modularity = staticmethod(_partition_modularity)
+
+    @staticmethod
+    def num_nodes(graph: _AggregateGraph) -> int:
+        return graph.num_nodes
+
+    @staticmethod
+    def identity(n: int) -> List[int]:
+        return list(range(n))
+
+    @staticmethod
+    def copy_assignment(assignment: List[int]) -> List[int]:
+        return list(assignment)
+
+    @staticmethod
+    def compose(assignment: List[int], upper: List[int]) -> List[int]:
+        return [upper[c] for c in assignment]
+
+
+class _VectorizedBackend:
+    """Dispatch table for the flat-array implementation."""
+
+    name = "vectorized"
+    from_social = staticmethod(_FlatGraph.from_social_graph)
+    one_level = staticmethod(_one_level_flat)
+    renumber = staticmethod(_renumber_flat)
+    induced = staticmethod(_induced_flat)
+    partition = staticmethod(_flat_partition_flat)
+    partition_modularity = staticmethod(_partition_modularity_flat)
+
+    @staticmethod
+    def num_nodes(graph: _FlatGraph) -> int:
+        return graph.num_nodes
+
+    @staticmethod
+    def identity(n: int) -> np.ndarray:
+        return np.arange(n, dtype=np.int64)
+
+    @staticmethod
+    def copy_assignment(assignment: np.ndarray) -> np.ndarray:
+        return assignment.copy()
+
+    @staticmethod
+    def compose(assignment: np.ndarray, upper: np.ndarray) -> np.ndarray:
+        return upper[assignment]
+
+
+@dataclass(frozen=True)
+class LouvainResult:
+    """Outcome of one Louvain run.
+
+    Attributes:
+        clustering: the detected communities as a validated partition.
+        modularity: Q of the clustering on the input graph.
+        num_levels: number of aggregation levels the run used.
+        refined: whether multi-level refinement ran.
+        backend: which compute backend produced the result (``"python"``
+            or ``"vectorized"``; the partition is identical either way).
+    """
+
+    clustering: Clustering
+    modularity: float
+    num_levels: int
+    refined: bool
+    backend: str = "python"
+
+
+def _run_louvain(
+    graph: SocialGraph,
+    rng: np.random.Generator,
+    refine: bool,
+    ops: Any,
+) -> LouvainResult:
+    """The backend-generic level loop (Blondel et al. + Rotta–Noack)."""
+    base, users = ops.from_social(graph)
+    n = ops.num_nodes(base)
+    if n == 0:
+        return LouvainResult(Clustering([]), 0.0, 0, refined=False, backend=ops.name)
+    if base.total_weight == 0.0:
+        singletons = Clustering([[u] for u in users])
+        return LouvainResult(singletons, 0.0, 0, refined=False, backend=ops.name)
+
+    graphs = [base]
+    levels: List[Any] = []
+    current = base
+    prev_q = -1.0
+    while True:
+        node2com = ops.identity(ops.num_nodes(current))
+        ops.one_level(current, node2com, rng)
+        node2com, num_coms = ops.renumber(node2com)
+        flat = ops.partition(levels + [node2com], n)
+        q = ops.partition_modularity(base, flat)
+        if q - prev_q <= _MIN_LEVEL_GAIN and levels:
+            break
+        prev_q = q
+        levels.append(node2com)
+        if num_coms == ops.num_nodes(current):
+            break
+        current = ops.induced(current, node2com, num_coms)
+        graphs.append(current)
+
+    if refine and len(levels) > 1:
+        _refine_levels(graphs, levels, rng, ops)
+
+    flat = ops.partition(levels, n)
+    assignment = {users[i]: int(flat[i]) for i in range(n)}
+    clustering = Clustering.from_assignment(assignment)
+    return LouvainResult(
+        clustering=clustering,
+        modularity=modularity(graph, clustering),
+        num_levels=len(levels),
+        refined=refine and len(levels) > 1,
+        backend=ops.name,
+    )
+
+
+def louvain(
+    graph: SocialGraph,
+    rng: Optional[np.random.Generator] = None,
+    refine: bool = True,
+    backend: str = "auto",
+) -> LouvainResult:
+    """Detect communities in ``graph`` with the Louvain method.
+
+    Args:
+        graph: the social graph to cluster.
+        rng: random source controlling node visit order (defaults to a
+            fresh seeded generator, so pass one for reproducibility).
+        refine: run the Rotta–Noack multi-level refinement pass (the paper
+            enables it).
+        backend: ``"auto"`` (vectorized, falling back to python on any
+            failure with the same rng stream), ``"vectorized"``, or
+            ``"python"``.  The partition does not depend on the choice.
+
+    Returns:
+        A :class:`LouvainResult`; for an edgeless graph every node becomes
+        its own community.
+
+    Raises:
+        ValueError: for an unknown backend name.
+    """
+    validate_backend(backend)
+    if rng is None:
+        rng = np.random.default_rng(0)
+    if backend == "python":
+        return _run_louvain(graph, rng, refine, _PythonBackend)
+    # Snapshot the generator so a fallback replays the identical stream —
+    # the python rerun then produces the exact partition the vectorized
+    # run would have.
+    rng_snapshot = copy.deepcopy(rng)
+    try:
+        fault_point("compute.louvain")
+        return _run_louvain(graph, rng, refine, _VectorizedBackend)
+    except Exception:
+        if backend == "vectorized":
+            raise
+        return _run_louvain(graph, rng_snapshot, refine, _PythonBackend)
+
+
+def _refine_levels(
+    graphs: List[Any],
+    levels: List[Any],
+    rng: np.random.Generator,
+    ops: Any = _PythonBackend,
 ) -> None:
     """Multi-level refinement: re-run local moving from coarse to fine.
 
@@ -299,12 +670,11 @@ def _refine_levels(
     """
     for li in range(len(levels) - 2, -1, -1):
         # Assignment of level-li nodes implied by the coarser levels.
-        coarse = levels[li]
-        node2com = list(coarse)
+        node2com = ops.copy_assignment(levels[li])
         for upper in levels[li + 1 :]:
-            node2com = [upper[c] for c in node2com]
-        _one_level(graphs[li], node2com, rng)
-        node2com, _num = _renumber(node2com)
+            node2com = ops.compose(node2com, upper)
+        ops.one_level(graphs[li], node2com, rng)
+        node2com, _num = ops.renumber(node2com)
         # Collapse everything above level li into this single refined level.
         del levels[li + 1 :]
         levels[li] = node2com
@@ -315,22 +685,26 @@ def best_louvain_clustering(
     runs: int = 10,
     seed: int = 0,
     refine: bool = True,
+    backend: str = "auto",
 ) -> LouvainResult:
     """The paper's clustering protocol: best of ``runs`` Louvain restarts.
 
     Each run uses an independent random node ordering; the run with the
     highest modularity wins (ties keep the earliest run, so results are
-    deterministic in ``seed``).
+    deterministic in ``seed`` — and independent of ``backend``).
 
     Raises:
-        ValueError: if ``runs`` < 1.
+        ValueError: if ``runs`` < 1 or the backend name is unknown.
     """
     if runs < 1:
         raise ValueError(f"runs must be >= 1, got {runs}")
+    validate_backend(backend)
     seeds = np.random.SeedSequence(seed).spawn(runs)
     best: Optional[LouvainResult] = None
     for child in seeds:
-        result = louvain(graph, rng=np.random.default_rng(child), refine=refine)
+        result = louvain(
+            graph, rng=np.random.default_rng(child), refine=refine, backend=backend
+        )
         if best is None or result.modularity > best.modularity:
             best = result
     assert best is not None

@@ -1,0 +1,39 @@
+"""Vectorised sparse compute backends for kernels and clustering.
+
+``repro.compute`` is the construction-speed layer: it builds the same
+similarity kernels and Louvain partitions as the pure-python reference
+implementations, but on scipy CSR algebra and flat numpy arrays, with a
+``auto | vectorized | python`` backend switch threaded through
+:class:`~repro.similarity.base.SimilarityCache`, the recommenders,
+:func:`~repro.core.batch.batch_recommend_all`, and the CLI.  ``auto``
+degrades to the python path on any vectorised failure — the same
+never-wrong-only-slower ladder as the serving degradation machinery.
+"""
+
+from repro.compute.adjacency import (
+    CSRAdjacency,
+    adjacency_csr,
+    clear_adjacency_cache,
+)
+from repro.compute.kernels import (
+    DEFAULT_BLOCK_SIZE,
+    build_kernel,
+    python_kernel,
+    resolve_backend,
+    supports_vectorized_kernel,
+)
+from repro.compute.stats import BACKENDS, ComputeStats, validate_backend
+
+__all__ = [
+    "BACKENDS",
+    "CSRAdjacency",
+    "ComputeStats",
+    "DEFAULT_BLOCK_SIZE",
+    "adjacency_csr",
+    "build_kernel",
+    "clear_adjacency_cache",
+    "python_kernel",
+    "resolve_backend",
+    "supports_vectorized_kernel",
+    "validate_backend",
+]

@@ -1,0 +1,103 @@
+"""Shared CSR adjacency export, cached per graph version.
+
+Every vectorised kernel starts from the same object: the 0/1 CSR
+adjacency of the social graph in the canonical
+:meth:`~repro.graph.social_graph.SocialGraph.stable_user_order`, plus the
+degree vector.  Building it is O(|U| + |E|) Python work, which would
+dominate repeated small-kernel builds, so this module memoises the export
+in a tiny LRU keyed by ``(id(graph), graph.version)``.  The version
+counter bumps on every structural mutation, so a stale entry can never be
+served for a live graph; against ``id()`` reuse after garbage collection,
+a hit is only honoured when its matrix is *the same object* the graph's
+own version-checked :meth:`~repro.graph.social_graph.SocialGraph.to_csr`
+cache returns — an identity a recycled address cannot forge.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+import scipy.sparse as sp
+
+from repro.graph.social_graph import SocialGraph
+from repro.types import UserId
+
+__all__ = ["CSRAdjacency", "adjacency_csr", "clear_adjacency_cache"]
+
+#: Cached adjacency exports; a handful covers every realistic workload
+#: (the experiments touch one social graph per dataset).
+_CACHE_MAX_ENTRIES = 8
+
+_cache: "OrderedDict[Tuple[int, int], CSRAdjacency]" = OrderedDict()
+
+
+@dataclass(frozen=True)
+class CSRAdjacency:
+    """A social graph's adjacency in vectorisable form.
+
+    Attributes:
+        matrix: symmetric 0/1 CSR adjacency (float64, sorted indices).
+        users: row/column order (the graph's stable user order).
+        index: user -> row position.
+        degrees: float64 degree vector aligned with ``users``.
+    """
+
+    matrix: sp.csr_matrix
+    users: List[UserId]
+    index: Dict[UserId, int]
+    degrees: np.ndarray
+
+    @property
+    def num_users(self) -> int:
+        return len(self.users)
+
+
+def _export(graph: SocialGraph) -> CSRAdjacency:
+    matrix, users = graph.to_csr()
+    return CSRAdjacency(
+        matrix=matrix,
+        users=users,
+        index={user: i for i, user in enumerate(users)},
+        degrees=graph.degree_array(users),
+    )
+
+
+def adjacency_csr(graph: SocialGraph, cache: bool = True) -> CSRAdjacency:
+    """The (memoised) CSR adjacency export of ``graph``.
+
+    Args:
+        graph: the social graph.
+        cache: set False to bypass the LRU entirely (useful when a caller
+            knows the graph is about to be mutated).
+
+    Returns:
+        A :class:`CSRAdjacency`; treat it as immutable — it may be shared
+        with every other caller that passed the same graph.
+    """
+    if not cache:
+        return _export(graph)
+    key = (id(graph), graph.version)
+    hit = _cache.get(key)
+    if hit is not None:
+        # Guard against id() reuse: the hit is only valid if its matrix is
+        # the very object the graph's own to_csr cache holds right now.
+        matrix, _ = graph.to_csr()
+        if hit.matrix is matrix:
+            _cache.move_to_end(key)
+            return hit
+        del _cache[key]
+    exported = _export(graph)
+    _cache[key] = exported
+    while len(_cache) > _CACHE_MAX_ENTRIES:
+        _cache.popitem(last=False)
+    return exported
+
+
+def clear_adjacency_cache() -> Optional[int]:
+    """Drop every memoised export; returns how many were cached."""
+    count = len(_cache)
+    _cache.clear()
+    return count

@@ -97,16 +97,32 @@ class BaseRecommender(abc.ABC):
     Args:
         measure: the social similarity measure to personalise with.
         n: default recommendation-list length.
+        compute_backend: how the similarity cache materialises rows —
+            ``"python"`` (default; bit-exact reference rows),
+            ``"vectorized"`` (build the whole kernel on the
+            :mod:`repro.compute` CSR path), or ``"auto"`` (vectorised when
+            supported, python on failure).  The default stays ``"python"``
+            because per-user serving touches few rows and the vectorised
+            rows of weighted measures can differ by one ulp, which could
+            flip exact ties; batch serving vectorises regardless.
 
     Raises:
-        ValueError: if ``n`` < 1.
+        ValueError: if ``n`` < 1 or the backend name is unknown.
     """
 
-    def __init__(self, measure: SimilarityMeasure, n: int = 10) -> None:
+    def __init__(
+        self,
+        measure: SimilarityMeasure,
+        n: int = 10,
+        compute_backend: str = "python",
+    ) -> None:
+        from repro.compute.stats import validate_backend
+
         if n < 1:
             raise ValueError(f"n must be >= 1, got {n}")
         self.measure = measure
         self.n = n
+        self.compute_backend = validate_backend(compute_backend)
         self._state: Optional[FittedState] = None
 
     # ------------------------------------------------------------------
@@ -127,7 +143,9 @@ class BaseRecommender(abc.ABC):
         self._state = FittedState(
             social=social,
             preferences=preferences,
-            similarity=SimilarityCache(self.measure, social),
+            similarity=SimilarityCache(
+                self.measure, social, backend=self.compute_backend
+            ),
             items=items,
             item_index={item: i for i, item in enumerate(items)},
         )

@@ -51,20 +51,13 @@ import numpy as np
 import scipy.sparse as sp
 
 from repro.cache.store import SimilarityStore, open_kernel_csr, save_kernel_artifact
+from repro.compute.kernels import build_kernel, supports_vectorized_kernel
+from repro.compute.stats import ComputeStats, validate_backend
 from repro.core.private import PrivateSocialRecommender
 from repro.exceptions import ReproError
 from repro.resilience.faults import fault_point
 from repro.similarity.base import SimilarityMeasure
-from repro.similarity.graph_distance import GraphDistance
-from repro.similarity.katz import Katz
-from repro.similarity.matrix import (
-    SimilarityMatrix,
-    adamic_adar_matrix,
-    common_neighbors_matrix,
-    graph_distance_matrix,
-    katz_matrix,
-    resource_allocation_matrix,
-)
+from repro.similarity.matrix import SimilarityMatrix
 from repro.types import RecommendationList, UserId
 
 __all__ = [
@@ -77,35 +70,35 @@ __all__ = [
 
 
 def _similarity_matrix_for(
-    graph, measure: SimilarityMeasure
+    graph,
+    measure: SimilarityMeasure,
+    backend: str = "auto",
+    stats: Optional[ComputeStats] = None,
 ) -> Optional[SimilarityMatrix]:
-    """The vectorised kernel for ``measure``, or None when unsupported."""
-    name = measure.name
-    if name == "cn":
-        return common_neighbors_matrix(graph)
-    if name == "aa":
-        return adamic_adar_matrix(graph)
-    if name == "ra":
-        return resource_allocation_matrix(graph)
-    if name == "gd" and isinstance(measure, GraphDistance):
-        if measure.max_distance == 2:
-            return graph_distance_matrix(graph)
+    """The batch kernel for ``measure``, or None when unsupported.
+
+    Construction goes through :func:`repro.compute.build_kernel`, so the
+    chosen ``backend`` (and its auto-fallback accounting) applies here and
+    everywhere else a kernel is built.
+    """
+    if not supports_vectorized_kernel(measure):
         return None
-    if name == "kz" and isinstance(measure, Katz):
-        if measure.max_length <= 3:
-            return katz_matrix(graph, measure.max_length, measure.alpha)
-        return None
-    return None
+    return build_kernel(graph, measure, backend=backend, stats=stats)
 
 
-def compute_similarity_kernel(graph, measure: SimilarityMeasure) -> SimilarityMatrix:
+def compute_similarity_kernel(
+    graph,
+    measure: SimilarityMeasure,
+    backend: str = "auto",
+    stats: Optional[ComputeStats] = None,
+) -> SimilarityMatrix:
     """The all-pairs kernel for ``measure`` (cache-warming entry point).
 
     Raises:
         ReproError: when ``measure`` has no vectorised kernel with its
             current settings (see :func:`supports_vectorised_measure`).
     """
-    matrix = _similarity_matrix_for(graph, measure)
+    matrix = _similarity_matrix_for(graph, measure, backend=backend, stats=stats)
     if matrix is None:
         raise ReproError(
             f"measure {measure!r} has no vectorised similarity kernel"
@@ -114,14 +107,13 @@ def compute_similarity_kernel(graph, measure: SimilarityMeasure) -> SimilarityMa
 
 
 def supports_vectorised_measure(measure: SimilarityMeasure) -> bool:
-    """Whether ``measure`` has a batch kernel (with its current settings)."""
-    if measure.name in ("cn", "aa", "ra"):
-        return True
-    if measure.name == "gd" and isinstance(measure, GraphDistance):
-        return measure.max_distance == 2
-    if measure.name == "kz" and isinstance(measure, Katz):
-        return measure.max_length <= 3
-    return False
+    """Whether ``measure`` has a batch kernel (with its current settings).
+
+    Delegates to :func:`repro.compute.supports_vectorized_kernel`: cn/aa/ra
+    always, Graph Distance at *any* cutoff (the blocked BFS kernel), and
+    Katz up to the paper's l <= 3.
+    """
+    return supports_vectorized_kernel(measure)
 
 
 @dataclass
@@ -144,6 +136,9 @@ class BatchStats:
             call (both zero when no store was passed).
         kernel_seconds: time spent obtaining the similarity kernel
             (near zero on a warm cache).
+        compute: the :class:`~repro.compute.stats.ComputeStats` of the
+            kernel construction, when one ran during this call (None on a
+            warm cache or the per-user path).
     """
 
     mode: str = "sequential"
@@ -157,6 +152,7 @@ class BatchStats:
     cache_hits: int = 0
     cache_misses: int = 0
     kernel_seconds: float = 0.0
+    compute: Optional[ComputeStats] = None
 
 
 class BatchResult(Dict[UserId, RecommendationList]):
@@ -227,6 +223,7 @@ def batch_recommend_all(
     store: Optional[SimilarityStore] = None,
     workers: Optional[int] = None,
     shard_size: Optional[int] = None,
+    backend: str = "auto",
 ) -> BatchResult:
     """Top-N recommendations for many users at once.
 
@@ -245,6 +242,11 @@ def batch_recommend_all(
         shard_size: users per pool shard (default: spread the target
             users over ``4 * workers`` shards so a slow shard cannot
             stall the whole batch).
+        backend: kernel construction backend
+            (``auto | vectorized | python``; see
+            :func:`repro.compute.build_kernel`).  Affects construction
+            speed only — scoring happens on the assembled kernel either
+            way.  Construction counters land on ``stats.compute``.
 
     Returns:
         :class:`BatchResult` — user -> :class:`RecommendationList`,
@@ -272,10 +274,12 @@ def batch_recommend_all(
         raise ValueError(f"workers must be >= 1, got {workers}")
     if shard_size is not None and shard_size < 1:
         raise ValueError(f"shard_size must be >= 1, got {shard_size}")
+    validate_backend(backend)
 
     target_users = list(users) if users is not None else state.social.users()
     results = BatchResult()
     stats = results.stats
+    compute_stats = ComputeStats(requested=backend)
 
     artifact_path: Optional[str] = None
     kernel_start = time.perf_counter()
@@ -286,19 +290,28 @@ def batch_recommend_all(
             lookup = store.get_or_compute(
                 state.social,
                 recommender.measure,
-                lambda: compute_similarity_kernel(state.social, recommender.measure),
+                lambda: compute_similarity_kernel(
+                    state.social,
+                    recommender.measure,
+                    backend=backend,
+                    stats=compute_stats,
+                ),
             )
             sim_matrix: Optional[SimilarityMatrix] = lookup.matrix
             artifact_path = lookup.path
             stats.cache_hits = store.stats.hits - before.hits
             stats.cache_misses = store.stats.misses - before.misses
         else:
-            sim_matrix = _similarity_matrix_for(state.social, recommender.measure)
+            sim_matrix = _similarity_matrix_for(
+                state.social, recommender.measure, backend=backend, stats=compute_stats
+            )
     except Exception:
         # A failing kernel degrades the whole batch to the (slower but
         # independent) per-user path rather than killing the run.
         sim_matrix = None
     stats.kernel_seconds = time.perf_counter() - kernel_start
+    if compute_stats.backend:  # a construction actually ran
+        stats.compute = compute_stats
 
     if sim_matrix is None:
         # No vectorised kernel: fall back to the per-user path.

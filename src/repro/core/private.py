@@ -45,12 +45,21 @@ __all__ = ["PrivateSocialRecommender", "louvain_strategy"]
 ClusteringStrategy = Callable[[SocialGraph], Clustering]
 
 
-def louvain_strategy(runs: int = 10, seed: int = 0) -> ClusteringStrategy:
-    """The paper's default strategy: best-of-``runs`` Louvain restarts."""
+def louvain_strategy(
+    runs: int = 10, seed: int = 0, backend: str = "auto"
+) -> ClusteringStrategy:
+    """The paper's default strategy: best-of-``runs`` Louvain restarts.
+
+    ``backend`` selects the Louvain implementation
+    (``auto | vectorized | python``); both produce identical partitions,
+    so the choice affects wall time only.
+    """
 
     def strategy(graph: SocialGraph) -> Clustering:
         fault_point("clustering.strategy")
-        return best_louvain_clustering(graph, runs=runs, seed=seed).clustering
+        return best_louvain_clustering(
+            graph, runs=runs, seed=seed, backend=backend
+        ).clustering
 
     return strategy
 
@@ -76,6 +85,9 @@ class PrivateSocialRecommender(BaseRecommender):
             edge set; noise scales by ``user_clamp``).
         user_clamp: per-user contribution bound under user-level
             protection.
+        compute_backend: backend for the similarity cache
+            (``auto | vectorized | python``; see
+            :class:`~repro.core.base.BaseRecommender`).
 
     After :meth:`fit`, the attributes :attr:`clustering_`,
     :attr:`noisy_weights_` and :attr:`ledger_` expose the fitted clustering,
@@ -92,8 +104,9 @@ class PrivateSocialRecommender(BaseRecommender):
         max_weight: float = 1.0,
         protection: str = "edge",
         user_clamp: int = 50,
+        compute_backend: str = "python",
     ) -> None:
-        super().__init__(measure, n=n)
+        super().__init__(measure, n=n, compute_backend=compute_backend)
         self.epsilon = validate_epsilon(epsilon)
         self.clustering_strategy = (
             clustering_strategy

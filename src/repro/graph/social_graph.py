@@ -13,12 +13,34 @@ maintained in one place.
 
 from __future__ import annotations
 
-from typing import Dict, FrozenSet, Iterable, Iterator, List, Set, Tuple
+from typing import Dict, FrozenSet, Iterable, Iterator, List, Optional, Set, Tuple
 
 from repro.exceptions import EdgeError, NodeNotFoundError
 from repro.types import UserId
 
-__all__ = ["SocialGraph"]
+__all__ = ["SocialGraph", "user_sort_key"]
+
+
+def user_sort_key(user: UserId) -> Tuple[int, int, str]:
+    """A total-order sort key over int and str user identifiers.
+
+    Integers order numerically, strings lexicographically, and the two
+    families never interleave — so a heterogeneous graph still has one
+    canonical user order, shared by :meth:`SocialGraph.stable_user_order`
+    and the content-addressed cache fingerprints in :mod:`repro.cache.keys`.
+
+    Raises:
+        TypeError: for identifiers that are not int or str (bool included;
+            ``True == 1`` would let distinct identifiers collide).
+    """
+    if isinstance(user, bool) or not isinstance(user, (int, str)):
+        raise TypeError(
+            f"user identifier {user!r} has no canonical order; "
+            f"only int and str identifiers are supported"
+        )
+    if isinstance(user, int):
+        return (0, user, "")
+    return (1, 0, user)
 
 
 class SocialGraph:
@@ -34,11 +56,13 @@ class SocialGraph:
         2
     """
 
-    __slots__ = ("_adjacency", "_num_edges")
+    __slots__ = ("_adjacency", "_num_edges", "_version", "_csr_cache")
 
     def __init__(self, edges: Iterable[Tuple[UserId, UserId]] = ()) -> None:
         self._adjacency: Dict[UserId, Set[UserId]] = {}
         self._num_edges = 0
+        self._version = 0
+        self._csr_cache: Optional[Tuple[int, object, List[UserId]]] = None
         for u, v in edges:
             self.add_edge(u, v)
 
@@ -47,7 +71,9 @@ class SocialGraph:
     # ------------------------------------------------------------------
     def add_user(self, user: UserId) -> None:
         """Add an isolated user node; a no-op if the user already exists."""
-        self._adjacency.setdefault(user, set())
+        if user not in self._adjacency:
+            self._adjacency[user] = set()
+            self._version += 1
 
     def add_users(self, users: Iterable[UserId]) -> None:
         """Add many user nodes at once."""
@@ -69,6 +95,7 @@ class SocialGraph:
             nbrs_u.add(v)
             nbrs_v.add(u)
             self._num_edges += 1
+        self._version += 1
 
     def remove_edge(self, u: UserId, v: UserId) -> None:
         """Remove the undirected edge ``{u, v}``.
@@ -86,6 +113,7 @@ class SocialGraph:
         self._adjacency[u].discard(v)
         self._adjacency[v].discard(u)
         self._num_edges -= 1
+        self._version += 1
 
     def remove_user(self, user: UserId) -> None:
         """Remove a user and all incident edges.
@@ -98,6 +126,7 @@ class SocialGraph:
         for nbr in list(self._adjacency[user]):
             self.remove_edge(user, nbr)
         del self._adjacency[user]
+        self._version += 1
 
     # ------------------------------------------------------------------
     # queries
@@ -110,6 +139,15 @@ class SocialGraph:
 
     def __iter__(self) -> Iterator[UserId]:
         return iter(self._adjacency)
+
+    @property
+    def version(self) -> int:
+        """A counter bumped on every structural mutation.
+
+        Lets derived views (CSR exports, the :mod:`repro.compute` adjacency
+        cache) detect staleness exactly, without hashing the edge set.
+        """
+        return self._version
 
     @property
     def num_users(self) -> int:
@@ -184,6 +222,88 @@ class SocialGraph:
         if not self._adjacency:
             return 0
         return max(len(nbrs) for nbrs in self._adjacency.values())
+
+    # ------------------------------------------------------------------
+    # vectorised views
+    # ------------------------------------------------------------------
+    def stable_user_order(self) -> List[UserId]:
+        """All user nodes in a canonical order independent of insertion.
+
+        Int and str identifiers sort via :func:`user_sort_key` — the same
+        order the cache fingerprints use, so a CSR export and its
+        content-addressed artifact always agree on row order.  Graphs with
+        exotic identifier types fall back to insertion order (they are not
+        cacheable anyway).
+        """
+        try:
+            return sorted(self._adjacency, key=user_sort_key)
+        except TypeError:
+            return list(self._adjacency)
+
+    def to_csr(self, users: Optional[List[UserId]] = None):
+        """The 0/1 adjacency matrix as ``(scipy.sparse.csr_matrix, users)``.
+
+        Args:
+            users: row/column order (default: :meth:`stable_user_order`).
+                Users absent from the graph raise ``NodeNotFoundError``;
+                neighbors outside ``users`` are dropped, giving the induced
+                subgraph's adjacency.
+
+        Returns:
+            The symmetric CSR adjacency (float64, sorted indices) and the
+            user order its rows follow.  The default-order export is cached
+            on the graph and invalidated by mutation — treat the returned
+            matrix as read-only.
+        """
+        import numpy as np
+        import scipy.sparse as sp
+
+        default_order = users is None
+        if default_order:
+            cached = self._csr_cache
+            if cached is not None and cached[0] == self._version:
+                return cached[1], list(cached[2])
+            users = self.stable_user_order()
+        index = {user: i for i, user in enumerate(users)}
+        rows: List[int] = []
+        cols: List[int] = []
+        for user in users:
+            try:
+                nbrs = self._adjacency[user]
+            except KeyError:
+                raise NodeNotFoundError(user) from None
+            i = index[user]
+            for nbr in nbrs:
+                j = index.get(nbr)
+                if j is not None:
+                    rows.append(i)
+                    cols.append(j)
+        n = len(users)
+        matrix = sp.csr_matrix(
+            (np.ones(len(rows)), (rows, cols)), shape=(n, n)
+        )
+        if default_order:
+            self._csr_cache = (self._version, matrix, list(users))
+        return matrix, users
+
+    def degree_array(self, users: Optional[List[UserId]] = None):
+        """Degrees as a float64 numpy vector aligned with ``users``.
+
+        Degrees are taken in the *full* graph (incident edges to any
+        neighbor), matching :meth:`degree`; pass the same ``users`` list
+        handed to :meth:`to_csr` to keep positions aligned.
+        """
+        import numpy as np
+
+        if users is None:
+            users = self.stable_user_order()
+        out = np.empty(len(users))
+        for i, user in enumerate(users):
+            try:
+                out[i] = len(self._adjacency[user])
+            except KeyError:
+                raise NodeNotFoundError(user) from None
+        return out
 
     # ------------------------------------------------------------------
     # derived views

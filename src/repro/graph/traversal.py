@@ -7,13 +7,55 @@ connected-component extraction, and the Sybil-attack construction.
 from __future__ import annotations
 
 from collections import deque
-from typing import Dict, Iterator, List, Optional
+from typing import Dict, Iterator, List, Optional, Tuple
 
 from repro.exceptions import NodeNotFoundError
 from repro.graph.social_graph import SocialGraph
 from repro.types import UserId
 
-__all__ = ["bfs_distances", "bfs_order", "shortest_path"]
+__all__ = ["bfs_layers", "bfs_distances", "bfs_order", "shortest_path"]
+
+
+def bfs_layers(
+    graph: SocialGraph, source: UserId, max_depth: Optional[int] = None
+) -> Iterator[Tuple[int, List[UserId]]]:
+    """Yield ``(depth, nodes)`` BFS layers outward from ``source``.
+
+    The single traversal primitive behind :func:`bfs_distances` and
+    :func:`bfs_order` (and the semantic twin of the blocked multi-source
+    BFS in :mod:`repro.compute.kernels`).  Layer 0 is ``[source]``; nodes
+    within each layer appear in discovery order — iterating the previous
+    layer in order and appending unseen neighbors — which is exactly the
+    FIFO-queue BFS order, so consumers preserve their historical
+    tie-breaking.
+
+    Args:
+        graph: the social graph to traverse.
+        source: the start node.
+        max_depth: if given, stop after the layer at this depth; this is
+            what lets Graph Distance honour the paper's d <= 2 cutoff
+            without exploring the whole small-world graph.
+
+    Raises:
+        NodeNotFoundError: if ``source`` is not in the graph.
+    """
+    if source not in graph:
+        raise NodeNotFoundError(source)
+    seen = {source}
+    layer = [source]
+    depth = 0
+    while layer:
+        yield depth, layer
+        if max_depth is not None and depth >= max_depth:
+            return
+        next_layer: List[UserId] = []
+        for node in layer:
+            for nbr in graph.neighbors(node):
+                if nbr not in seen:
+                    seen.add(nbr)
+                    next_layer.append(nbr)
+        layer = next_layer
+        depth += 1
 
 
 def bfs_distances(
@@ -25,9 +67,7 @@ def bfs_distances(
         graph: the social graph to traverse.
         source: the start node.
         max_depth: if given, stop expanding once this depth is reached; the
-            result then contains only users within ``max_depth`` hops.  This
-            is what lets Graph Distance and Katz honour the paper's d <= 2 /
-            k <= 3 cutoffs without exploring the whole small-world graph.
+            result then contains only users within ``max_depth`` hops.
 
     Returns:
         Mapping from user to hop count; includes ``source`` at distance 0.
@@ -35,20 +75,11 @@ def bfs_distances(
     Raises:
         NodeNotFoundError: if ``source`` is not in the graph.
     """
-    if source not in graph:
-        raise NodeNotFoundError(source)
-    distances: Dict[UserId, int] = {source: 0}
-    frontier = deque([source])
-    while frontier:
-        node = frontier.popleft()
-        depth = distances[node]
-        if max_depth is not None and depth >= max_depth:
-            continue
-        for nbr in graph.neighbors(node):
-            if nbr not in distances:
-                distances[nbr] = depth + 1
-                frontier.append(nbr)
-    return distances
+    return {
+        node: depth
+        for depth, layer in bfs_layers(graph, source, max_depth)
+        for node in layer
+    }
 
 
 def bfs_order(graph: SocialGraph, source: UserId) -> Iterator[UserId]:
@@ -57,17 +88,9 @@ def bfs_order(graph: SocialGraph, source: UserId) -> Iterator[UserId]:
     Raises:
         NodeNotFoundError: if ``source`` is not in the graph.
     """
-    if source not in graph:
-        raise NodeNotFoundError(source)
-    seen = {source}
-    frontier = deque([source])
-    while frontier:
-        node = frontier.popleft()
-        yield node
-        for nbr in graph.neighbors(node):
-            if nbr not in seen:
-                seen.add(nbr)
-                frontier.append(nbr)
+    for _, layer in bfs_layers(graph, source):
+        for node in layer:
+            yield node
 
 
 def shortest_path(

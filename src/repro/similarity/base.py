@@ -14,7 +14,7 @@ sweep per user instead of O(|U|) pairwise calls.
 from __future__ import annotations
 
 import abc
-from typing import Callable, Dict, FrozenSet, List, Type
+from typing import Callable, Dict, FrozenSet, List, Optional, Type
 
 from repro.exceptions import SimilarityError
 from repro.graph.social_graph import SocialGraph
@@ -61,8 +61,15 @@ class SimilarityMeasure(abc.ABC):
         return self.similarity_row(graph, u).get(v, 0.0)
 
     def similarity_set(self, graph: SocialGraph, user: UserId) -> FrozenSet[UserId]:
-        """``sim(u)``: the set of users with non-zero similarity to ``user``."""
-        return frozenset(self.similarity_row(graph, user))
+        """``sim(u)``: the set of users with *positive* similarity to ``user``.
+
+        Rows are contractually free of zero entries, but the explicit
+        threshold keeps the set well-defined even for a measure that leaks
+        explicit zeros — and matches :meth:`SimilarityCache.similarity_set`.
+        """
+        return frozenset(
+            v for v, s in self.similarity_row(graph, user).items() if s > 0.0
+        )
 
     def __repr__(self) -> str:
         return f"{type(self).__name__}()"
@@ -76,12 +83,31 @@ class SimilarityCache:
     each want the same rows; the cache makes those reads free after the
     first pass.  The cache assumes the graph is not mutated after wrapping —
     mutating it invalidates the cache silently, so wrap a finished snapshot.
+
+    ``backend`` picks how rows are materialised: ``"python"`` (the default)
+    computes each row with the measure's own ``similarity_row``;
+    ``"vectorized"`` builds the whole kernel at once on the
+    :mod:`repro.compute` CSR path (rows agree with the python backend
+    within 1e-9; CN / Graph Distance / Katz are bit-identical); ``"auto"``
+    tries vectorised when the measure supports it and silently degrades to
+    python on failure (counted in :attr:`last_compute_stats`).
     """
 
-    def __init__(self, measure: SimilarityMeasure, graph: SocialGraph) -> None:
+    def __init__(
+        self,
+        measure: SimilarityMeasure,
+        graph: SocialGraph,
+        backend: str = "python",
+    ) -> None:
+        from repro.compute.stats import ComputeStats, validate_backend
+
+        validate_backend(backend)
         self._measure = measure
         self._graph = graph
+        self._backend = backend
         self._rows: Dict[UserId, Dict[UserId, float]] = {}
+        self._kernel_built = False
+        self._last_stats: Optional[ComputeStats] = None
 
     @property
     def measure(self) -> SimilarityMeasure:
@@ -91,10 +117,49 @@ class SimilarityCache:
     def graph(self) -> SocialGraph:
         return self._graph
 
+    @property
+    def backend(self) -> str:
+        """The backend requested at construction (``auto|vectorized|python``)."""
+        return self._backend
+
+    @property
+    def last_compute_stats(self):
+        """The :class:`~repro.compute.stats.ComputeStats` of the most recent
+        kernel build, or None when no vectorised build has run."""
+        return self._last_stats
+
+    def _resolved_backend(self, backend: Optional[str] = None) -> str:
+        from repro.compute.kernels import resolve_backend
+
+        requested = self._backend if backend is None else backend
+        return resolve_backend(requested, self._measure)
+
+    def _build_kernel(self, backend: str) -> None:
+        """Materialise every row at once through :func:`repro.compute.build_kernel`."""
+        from repro.compute.kernels import build_kernel
+        from repro.compute.stats import ComputeStats
+
+        stats = ComputeStats(requested=backend)
+        kernel = build_kernel(
+            self._graph, self._measure, backend=backend, stats=stats
+        )
+        self._last_stats = stats
+        for user in kernel.users:
+            if user not in self._rows:
+                self._rows[user] = kernel.row(user)
+        self._kernel_built = True
+
     def row(self, user: UserId) -> Dict[UserId, float]:
         """Cached ``sim(u, .)`` row (returned mapping must not be mutated)."""
         cached = self._rows.get(user)
         if cached is None:
+            if not self._kernel_built and self._resolved_backend() == "vectorized":
+                self._build_kernel(self._backend)
+                cached = self._rows.get(user)
+                if cached is not None:
+                    return cached
+                # User absent from the kernel (e.g. added after wrapping);
+                # fall through to the per-row path.
             cached = self._measure.similarity_row(self._graph, user)
             self._rows[user] = cached
         return cached
@@ -105,8 +170,24 @@ class SimilarityCache:
             return 0.0
         return self.row(u).get(v, 0.0)
 
-    def precompute(self, users=None) -> None:
-        """Warm the cache for ``users`` (default: the whole graph)."""
+    def similarity_set(self, user: UserId) -> FrozenSet[UserId]:
+        """``sim(u)``: users with positive similarity, from the cached row."""
+        return frozenset(v for v, s in self.row(user).items() if s > 0.0)
+
+    def precompute(
+        self, users=None, backend: Optional[str] = None
+    ) -> None:
+        """Warm the cache for ``users`` (default: the whole graph).
+
+        Args:
+            users: the users to warm (vectorised builds always materialise
+                the full kernel; extra rows are kept — they were free).
+            backend: override the cache's construction-time backend for
+                this warm-up only.
+        """
+        resolved = self._resolved_backend(backend)
+        if resolved == "vectorized" and not self._kernel_built:
+            self._build_kernel(self._backend if backend is None else backend)
         for user in self._graph.users() if users is None else users:
             self.row(user)
 

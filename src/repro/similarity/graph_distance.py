@@ -37,13 +37,6 @@ class GraphDistance(SimilarityMeasure):
         distances = bounded_shortest_path_lengths(graph, user, self.max_distance)
         return {v: 1.0 / d for v, d in distances.items()}
 
-    def similarity(self, graph: SocialGraph, u: UserId, v: UserId) -> float:
-        if u == v:
-            return 0.0
-        distances = bounded_shortest_path_lengths(graph, u, self.max_distance)
-        d = distances.get(v)
-        return 0.0 if d is None else 1.0 / d
-
     def __repr__(self) -> str:
         return f"{type(self).__name__}(max_distance={self.max_distance})"
 

@@ -123,17 +123,14 @@ class SimilarityMatrix:
 
 
 def adjacency_matrix(graph: SocialGraph):
-    """The 0/1 adjacency matrix of the graph plus the row order."""
-    users = graph.users()
+    """The 0/1 adjacency matrix of the graph plus the row order.
+
+    Delegates to :meth:`~repro.graph.social_graph.SocialGraph.to_csr`, so
+    rows follow the canonical stable user order shared with the
+    :mod:`repro.compute` backend and the persistent kernel cache.
+    """
+    matrix, users = graph.to_csr()
     index = {u: i for i, u in enumerate(users)}
-    rows, cols = [], []
-    for u, v in graph.edges():
-        rows.extend((index[u], index[v]))
-        cols.extend((index[v], index[u]))
-    data = np.ones(len(rows))
-    matrix = sp.csr_matrix(
-        (data, (rows, cols)), shape=(len(users), len(users))
-    )
     return matrix, users, index
 
 

@@ -1,0 +1,134 @@
+"""Tests for the version-keyed CSR adjacency cache."""
+
+import numpy as np
+import pytest
+
+from repro.compute.adjacency import (
+    adjacency_csr,
+    clear_adjacency_cache,
+)
+from repro.graph.social_graph import SocialGraph
+
+
+@pytest.fixture(autouse=True)
+def _fresh_cache():
+    clear_adjacency_cache()
+    yield
+    clear_adjacency_cache()
+
+
+def _path_graph(n=5):
+    graph = SocialGraph()
+    for i in range(n - 1):
+        graph.add_edge(i, i + 1)
+    return graph
+
+
+class TestExport:
+    def test_matrix_matches_graph(self):
+        graph = _path_graph()
+        adj = adjacency_csr(graph)
+        assert adj.num_users == graph.num_users
+        assert adj.users == graph.stable_user_order()
+        dense = adj.matrix.toarray()
+        for u in graph.users():
+            for v in graph.users():
+                expected = 1.0 if graph.has_edge(u, v) else 0.0
+                assert dense[adj.index[u], adj.index[v]] == expected
+
+    def test_degrees_align_with_users(self):
+        graph = _path_graph()
+        adj = adjacency_csr(graph)
+        for user in graph.users():
+            assert adj.degrees[adj.index[user]] == graph.degree(user)
+
+    def test_empty_graph(self):
+        adj = adjacency_csr(SocialGraph())
+        assert adj.num_users == 0
+        assert adj.matrix.shape == (0, 0)
+
+    def test_string_identifiers(self):
+        graph = SocialGraph([("b", "a"), ("a", "c")])
+        adj = adjacency_csr(graph)
+        assert adj.users == ["a", "b", "c"]
+        assert adj.degrees[adj.index["a"]] == 2
+
+
+class TestMemoisation:
+    def test_repeat_call_returns_same_object(self):
+        graph = _path_graph()
+        first = adjacency_csr(graph)
+        second = adjacency_csr(graph)
+        assert second is first
+
+    def test_mutation_invalidates(self):
+        graph = _path_graph()
+        before = adjacency_csr(graph)
+        graph.add_edge(0, 4)
+        after = adjacency_csr(graph)
+        assert after is not before
+        assert after.matrix[after.index[0], after.index[4]] == 1.0
+
+    def test_edge_removal_invalidates(self):
+        graph = _path_graph()
+        before = adjacency_csr(graph)
+        graph.remove_edge(0, 1)
+        after = adjacency_csr(graph)
+        assert after is not before
+        assert after.matrix[after.index[0], after.index[1]] == 0.0
+
+    def test_cache_false_bypasses(self):
+        graph = _path_graph()
+        cached = adjacency_csr(graph)
+        uncached = adjacency_csr(graph, cache=False)
+        assert uncached is not cached
+        assert np.array_equal(
+            uncached.matrix.toarray(), cached.matrix.toarray()
+        )
+
+    def test_clear_reports_count(self):
+        adjacency_csr(_path_graph())
+        assert clear_adjacency_cache() == 1
+        assert clear_adjacency_cache() == 0
+
+    def test_distinct_graphs_do_not_collide(self):
+        a = _path_graph()
+        b = SocialGraph([(0, 1)])
+        adj_a = adjacency_csr(a)
+        adj_b = adjacency_csr(b)
+        assert adj_a.num_users == 5
+        assert adj_b.num_users == 2
+
+
+class TestGraphVersioning:
+    def test_version_bumps_on_mutation(self):
+        graph = SocialGraph()
+        v0 = graph.version
+        graph.add_user("a")
+        graph.add_edge("a", "b")
+        graph.remove_edge("a", "b")
+        graph.remove_user("b")
+        assert graph.version > v0
+
+    def test_noop_add_user_keeps_version(self):
+        graph = SocialGraph([("a", "b")])
+        before = graph.version
+        graph.add_user("a")
+        assert graph.version == before
+
+    def test_to_csr_cached_until_mutation(self):
+        graph = _path_graph()
+        matrix_a, _ = graph.to_csr()
+        matrix_b, _ = graph.to_csr()
+        assert matrix_b is matrix_a
+        graph.add_edge(0, 2)
+        matrix_c, _ = graph.to_csr()
+        assert matrix_c is not matrix_a
+
+    def test_explicit_user_order_not_cached(self):
+        graph = _path_graph()
+        order = list(reversed(graph.stable_user_order()))
+        matrix_a, users_a = graph.to_csr(order)
+        matrix_b, _ = graph.to_csr(order)
+        assert users_a == order
+        assert matrix_b is not matrix_a

@@ -59,11 +59,14 @@ class TestEquivalenceWithSequentialPath:
         user = lastfm_small.social.users()[0]
         assert batch[user].item_ids() == rec.recommend(user, n=5).item_ids()
 
-    def test_fallback_for_nondefault_gd_cutoff(self, lastfm_small):
+    def test_nondefault_gd_cutoff_vectorises(self, lastfm_small):
+        # The blocked BFS kernel covers any cutoff, not just the paper's
+        # d <= 2 — deeper cutoffs stay on the vectorised path now.
         rec = _fitted(lastfm_small, GraphDistance(max_distance=3))
         batch = batch_recommend_all(rec, n=5)
-        user = lastfm_small.social.users()[0]
-        assert batch[user].item_ids() == rec.recommend(user, n=5).item_ids()
+        assert batch.stats.mode != "per-user"
+        for user in lastfm_small.social.users()[:10]:
+            assert batch[user].item_ids() == rec.recommend(user, n=5).item_ids()
 
     def test_eps_inf_equivalence(self, lastfm_small):
         rec = _fitted(lastfm_small, CommonNeighbors(), epsilon=math.inf)
@@ -78,10 +81,11 @@ class TestSupportPredicate:
         assert supports_vectorised_measure(AdamicAdar())
         assert supports_vectorised_measure(ResourceAllocation())
         assert supports_vectorised_measure(GraphDistance(max_distance=2))
+        # The blocked BFS kernel supports any cutoff.
+        assert supports_vectorised_measure(GraphDistance(max_distance=3))
         assert supports_vectorised_measure(Katz(max_length=3))
 
     def test_unsupported_configurations(self):
-        assert not supports_vectorised_measure(GraphDistance(max_distance=3))
         assert not supports_vectorised_measure(Katz(max_length=4))
         assert not supports_vectorised_measure(Jaccard())
 

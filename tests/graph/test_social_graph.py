@@ -3,7 +3,7 @@
 import pytest
 
 from repro.exceptions import EdgeError, NodeNotFoundError
-from repro.graph.social_graph import SocialGraph
+from repro.graph.social_graph import SocialGraph, user_sort_key
 
 
 class TestConstruction:
@@ -184,3 +184,68 @@ class TestDerivedViews:
         adj = triangle_graph.adjacency()
         assert adj[1] == {2, 3}
         assert isinstance(adj[1], frozenset)
+
+
+class TestUserOrdering:
+    def test_sort_key_orders_ints_before_strings(self):
+        users = ["b", 10, "a", 2]
+        assert sorted(users, key=user_sort_key) == [2, 10, "a", "b"]
+
+    def test_sort_key_rejects_bool(self):
+        with pytest.raises(TypeError):
+            user_sort_key(True)
+
+    def test_sort_key_rejects_exotic_types(self):
+        with pytest.raises(TypeError):
+            user_sort_key((1, 2))
+
+    def test_stable_order_independent_of_insertion(self):
+        a = SocialGraph([(3, 1), (1, 2)])
+        b = SocialGraph([(1, 2), (2, 3)])
+        assert a.stable_user_order() == b.stable_user_order() == [1, 2, 3]
+
+    def test_stable_order_falls_back_to_insertion(self):
+        graph = SocialGraph()
+        exotic = (1, 2)
+        graph.add_user(exotic)
+        graph.add_user(frozenset({3}))
+        assert graph.stable_user_order() == [exotic, frozenset({3})]
+
+
+class TestCSRExport:
+    def test_matrix_is_symmetric_adjacency(self, triangle_graph):
+        matrix, users = triangle_graph.to_csr()
+        assert users == [1, 2, 3]
+        dense = matrix.toarray()
+        assert (dense == dense.T).all()
+        for i, u in enumerate(users):
+            for j, v in enumerate(users):
+                assert dense[i, j] == (1.0 if triangle_graph.has_edge(u, v) else 0.0)
+
+    def test_missing_user_in_explicit_order_raises(self, triangle_graph):
+        with pytest.raises(NodeNotFoundError):
+            triangle_graph.to_csr([1, 2, 99])
+
+    def test_subset_gives_induced_subgraph(self, star_graph):
+        matrix, users = star_graph.to_csr([1, 2, 3])
+        assert users == [1, 2, 3]
+        assert matrix.nnz == 0
+
+    def test_degree_array_matches_degree(self, star_graph):
+        degrees = star_graph.degree_array()
+        users = star_graph.stable_user_order()
+        for i, user in enumerate(users):
+            assert degrees[i] == star_graph.degree(user)
+
+    def test_degree_array_uses_full_graph_degrees(self, star_graph):
+        degrees = star_graph.degree_array([1, 0])
+        assert list(degrees) == [1.0, 5.0]
+
+    def test_version_counts_structural_mutations_only(self):
+        graph = SocialGraph()
+        graph.add_edge(1, 2)
+        v = graph.version
+        graph.add_user(1)
+        assert graph.version == v
+        graph.remove_edge(1, 2)
+        assert graph.version > v

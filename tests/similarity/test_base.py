@@ -83,3 +83,75 @@ class TestSimilarityCache:
         cache = SimilarityCache(measure, triangle_graph)
         assert cache.measure is measure
         assert cache.graph is triangle_graph
+
+
+class TestCacheBackends:
+    def test_unknown_backend_rejected(self, triangle_graph):
+        with pytest.raises(ValueError):
+            SimilarityCache(CommonNeighbors(), triangle_graph, backend="gpu")
+
+    def test_vectorized_rows_match_python(self, two_communities_graph):
+        python = SimilarityCache(AdamicAdar(), two_communities_graph)
+        vectorized = SimilarityCache(
+            AdamicAdar(), two_communities_graph, backend="vectorized"
+        )
+        for user in two_communities_graph.users():
+            expected = python.row(user)
+            actual = vectorized.row(user)
+            assert set(actual) == set(expected)
+            for other, score in expected.items():
+                assert actual[other] == pytest.approx(score, abs=1e-9)
+
+    def test_vectorized_row_skips_per_user_measure(self, triangle_graph):
+        calls = []
+
+        class Counting(CommonNeighbors):
+            def similarity_row(self, graph, user):
+                calls.append(user)
+                return super().similarity_row(graph, user)
+
+        cache = SimilarityCache(Counting(), triangle_graph, backend="vectorized")
+        cache.row(1)
+        assert calls == []
+        assert len(cache) == 3
+
+    def test_precompute_records_compute_stats(self, triangle_graph):
+        cache = SimilarityCache(
+            CommonNeighbors(), triangle_graph, backend="vectorized"
+        )
+        assert cache.last_compute_stats is None
+        cache.precompute()
+        stats = cache.last_compute_stats
+        assert stats is not None
+        assert stats.backend == "vectorized"
+        assert stats.rows == 3
+
+    def test_precompute_backend_override(self, triangle_graph):
+        cache = SimilarityCache(CommonNeighbors(), triangle_graph)
+        assert cache.backend == "python"
+        cache.precompute(backend="vectorized")
+        assert cache.last_compute_stats.backend == "vectorized"
+        assert len(cache) == 3
+
+    def test_auto_backend_degrades_for_unsupported_measure(self, triangle_graph):
+        from repro.similarity.neighborhood import Jaccard
+
+        cache = SimilarityCache(Jaccard(), triangle_graph, backend="auto")
+        assert cache.row(1) == Jaccard().similarity_row(triangle_graph, 1)
+
+    def test_similarity_set_drops_zero_scores(self, triangle_graph):
+        class WithZeros(CommonNeighbors):
+            def similarity_row(self, graph, user):
+                row = dict(super().similarity_row(graph, user))
+                row["phantom"] = 0.0
+                return row
+
+        cache = SimilarityCache(WithZeros(), triangle_graph)
+        assert "phantom" in cache.row(1)
+        assert cache.similarity_set(1) == frozenset({2, 3})
+
+    def test_similarity_set_matches_measure(self, triangle_graph):
+        cache = SimilarityCache(CommonNeighbors(), triangle_graph)
+        assert cache.similarity_set(1) == CommonNeighbors().similarity_set(
+            triangle_graph, 1
+        )
