@@ -47,6 +47,7 @@ from repro.exceptions import (
 )
 from repro.experiments.comparison import format_comparison_table, run_comparison
 from repro.experiments.degree_effect import run_degree_effect
+from repro.experiments.engine import ENGINES
 from repro.experiments.tradeoff import format_tradeoff_table, run_tradeoff
 from repro.similarity.base import get_measure
 
@@ -137,6 +138,33 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help="JSON-lines checkpoint file; completed cells are skipped on "
         "rerun, so a killed sweep resumes where it stopped",
+    )
+    p_trade.add_argument(
+        "--engine",
+        choices=ENGINES,
+        default="vectorized",
+        help="sweep engine: 'vectorized' batches each noise draw into one "
+        "matmul, 'reference' keeps the per-user loop (identical numbers)",
+    )
+    p_trade.add_argument(
+        "--workers",
+        type=_positive_int,
+        default=None,
+        help="process-pool size; >= 2 fans epsilon cells out in parallel "
+        "(vectorized engine only)",
+    )
+    p_trade.add_argument(
+        "--cache-dir",
+        default=None,
+        help="persist/reuse similarity kernels in this directory "
+        "(vectorized engine only)",
+    )
+    p_trade.add_argument(
+        "--backend",
+        choices=("auto", "vectorized", "python"),
+        default="auto",
+        help="kernel construction backend (default: auto — vectorised "
+        "when supported, python fallback on failure)",
     )
 
     p_degree = sub.add_parser("degree-effect", help="Figure 3 degree analysis")
@@ -280,8 +308,11 @@ def _cmd_stats(args: argparse.Namespace) -> int:
 
 
 def _cmd_tradeoff(args: argparse.Namespace) -> int:
+    from repro.cache import SimilarityStore
+
     dataset = _resolve_dataset(args)
     measures = [get_measure(name) for name in args.measures]
+    store = SimilarityStore(args.cache_dir) if args.cache_dir else None
     cells = run_tradeoff(
         dataset,
         measures,
@@ -291,10 +322,34 @@ def _cmd_tradeoff(args: argparse.Namespace) -> int:
         sample_size=args.sample_size,
         seed=args.seed,
         checkpoint=args.checkpoint,
+        engine=args.engine,
+        workers=args.workers,
+        store=store,
+        backend=args.backend,
     )
     for n in args.ns:
         print(format_tradeoff_table(cells, n))
         print()
+    stats = getattr(cells, "stats", None)
+    if stats is not None:
+        print(
+            f"engine:      mode={stats.mode}, {stats.workers} worker(s), "
+            f"{stats.cells} cell(s) x {stats.repeats} repeat(s) over "
+            f"{stats.measures} measure(s) in {stats.wall_seconds:.2f}s"
+        )
+        if stats.fallback_cells or stats.legacy_cells:
+            print(
+                f"degraded:    {stats.fallback_cells} cell(s) retried "
+                f"sequentially, {stats.legacy_cells} on the per-user path"
+            )
+        print(
+            f"kernel:      {stats.kernel_seconds * 1000:.0f} ms "
+            f"({stats.cache_hits} cache hit(s), {stats.cache_misses} miss(es))"
+        )
+        if stats.compute is not None:
+            print(_format_compute_stats(stats.compute))
+    if store is not None:
+        print(f"cache dir:   {store.directory}")
     return 0
 
 

@@ -16,9 +16,15 @@ All recommenders share the :class:`BaseRecommender` interface: ``fit`` on a
 from repro.core.base import BaseRecommender, FittedState
 from repro.core.baselines import NoiseOnEdges, NoiseOnUtility
 from repro.core.batch import batch_recommend_all
-from repro.core.cluster_weights import NoisyClusterWeights, noisy_cluster_item_weights
+from repro.core.cluster_weights import (
+    ClusterItemAverages,
+    NoisyClusterWeights,
+    apply_laplace_noise,
+    cluster_item_averages,
+    noisy_cluster_item_weights,
+)
 from repro.core.persistence import PublishedRelease, ReleaseServer
-from repro.core.private import PrivateSocialRecommender
+from repro.core.private import PrivateSocialRecommender, covering_clustering
 from repro.core.recommender import SocialRecommender
 
 __all__ = [
@@ -26,9 +32,13 @@ __all__ = [
     "FittedState",
     "SocialRecommender",
     "PrivateSocialRecommender",
+    "covering_clustering",
     "NoiseOnUtility",
     "NoiseOnEdges",
     "NoisyClusterWeights",
+    "ClusterItemAverages",
+    "cluster_item_averages",
+    "apply_laplace_noise",
     "noisy_cluster_item_weights",
     "batch_recommend_all",
     "PublishedRelease",

@@ -98,13 +98,16 @@ class BaseRecommender(abc.ABC):
         measure: the social similarity measure to personalise with.
         n: default recommendation-list length.
         compute_backend: how the similarity cache materialises rows —
-            ``"python"`` (default; bit-exact reference rows),
-            ``"vectorized"`` (build the whole kernel on the
-            :mod:`repro.compute` CSR path), or ``"auto"`` (vectorised when
-            supported, python on failure).  The default stays ``"python"``
-            because per-user serving touches few rows and the vectorised
-            rows of weighted measures can differ by one ulp, which could
-            flip exact ties; batch serving vectorises regardless.
+            ``"auto"`` (default: vectorised when the measure supports it,
+            python on failure), ``"vectorized"`` (build the whole kernel
+            on the :mod:`repro.compute` CSR path), or ``"python"``
+            (bit-exact reference rows).  Pass
+            ``compute_backend="python"`` to force the reference path —
+            e.g. when auditing the one-ulp row differences the weighted
+            measures can exhibit on the vectorised path (those could flip
+            exact ties); every other consumer (batch, cache, experiments)
+            resolves ``"auto"`` the same way, so the default is uniform
+            across the framework.
 
     Raises:
         ValueError: if ``n`` < 1 or the backend name is unknown.
@@ -114,7 +117,7 @@ class BaseRecommender(abc.ABC):
         self,
         measure: SimilarityMeasure,
         n: int = 10,
-        compute_backend: str = "python",
+        compute_backend: str = "auto",
     ) -> None:
         from repro.compute.stats import validate_backend
 

@@ -10,6 +10,19 @@ the edge's item — by at most ``1/|c|``, so each release is eps-DP by the
 Laplace mechanism and the whole collection is eps-DP by parallel
 composition over clusters (disjoint users) and items (disjoint edges).
 
+The mechanism factors into two halves, exposed separately because only
+the second depends on epsilon or randomness:
+
+- :func:`cluster_item_averages` — the *exact* sums/averages, a pure
+  function of the preference graph and the clustering.  Sweep drivers
+  compute it once per dataset and reuse it across every epsilon and
+  noise repeat (see :mod:`repro.experiments.engine`).
+- :func:`apply_laplace_noise` — one calibrated noise draw on top of the
+  exact averages.  A noise repeat costs exactly one Laplace tensor.
+
+:func:`noisy_cluster_item_weights` composes the two and remains the
+single entry point the recommender uses.
+
 The averages are materialised as a dense ``(num_items, num_clusters)``
 matrix: noise must be drawn for *every* cell, including the all-zero ones —
 skipping empty cells would reveal which (item, cluster) pairs have no
@@ -32,6 +45,7 @@ from dataclasses import dataclass
 from typing import Dict, List, Optional
 
 import numpy as np
+import scipy.sparse as sp
 
 from repro.community.clustering import Clustering
 from repro.exceptions import ClusteringError
@@ -39,7 +53,13 @@ from repro.graph.preference_graph import PreferenceGraph
 from repro.privacy.mechanisms import validate_epsilon
 from repro.types import ItemId
 
-__all__ = ["NoisyClusterWeights", "noisy_cluster_item_weights"]
+__all__ = [
+    "ClusterItemAverages",
+    "NoisyClusterWeights",
+    "cluster_item_averages",
+    "apply_laplace_noise",
+    "noisy_cluster_item_weights",
+]
 
 
 @dataclass(frozen=True)
@@ -76,6 +96,248 @@ class NoisyClusterWeights:
         return float(self.matrix[row, cluster_index])
 
 
+@dataclass(frozen=True)
+class ClusterItemAverages:
+    """The exact (pre-noise) half of module A_w.
+
+    This is *not* a differentially private release — it is the
+    epsilon-independent intermediate that sweep drivers hoist out of
+    their noise-repeat loops.  Publish it only after
+    :func:`apply_laplace_noise`.
+
+    Attributes:
+        matrix: ``(num_items, num_clusters)`` exact average weights.
+        items: item order matching the matrix rows.
+        item_index: item -> row.
+        clustering: the clustering used (column c = cluster c).
+        max_weight: the weight cap ``W`` the sums were clipped to.
+        protection: ``"edge"`` or ``"user"`` (fixes the sensitivity).
+        user_clamp: per-user edge bound under user-level protection.
+    """
+
+    matrix: np.ndarray
+    items: List[ItemId]
+    item_index: Dict[ItemId, int]
+    clustering: Clustering
+    max_weight: float
+    protection: str
+    user_clamp: int
+
+    def laplace_scales(self, epsilon: float) -> Optional[np.ndarray]:
+        """Per-cluster Laplace scale ``Delta / (|c| * eps)`` for ``epsilon``.
+
+        Returns None when no noise is drawn (``epsilon = inf`` or an empty
+        matrix).  ``Delta`` is ``W`` under edge-level protection and
+        ``W * user_clamp`` under user-level protection.
+        """
+        epsilon = validate_epsilon(epsilon)
+        if math.isinf(epsilon) or not self.matrix.size:
+            return None
+        sensitivity = (
+            self.max_weight
+            if self.protection == "edge"
+            else self.max_weight * self.user_clamp
+        )
+        sizes = np.asarray(self.clustering.sizes(), dtype=float)
+        return sensitivity / (sizes * epsilon)
+
+
+def _validate_parameters(
+    max_weight: float, protection: str, user_clamp: int
+) -> None:
+    from repro.exceptions import PrivacyError
+
+    if max_weight <= 0.0:
+        raise PrivacyError(f"max_weight must be positive, got {max_weight}")
+    if protection not in ("edge", "user"):
+        raise PrivacyError(
+            f"protection must be 'edge' or 'user', got {protection!r}"
+        )
+    if protection == "user" and user_clamp < 1:
+        raise PrivacyError(f"user_clamp must be >= 1, got {user_clamp}")
+
+
+def _clamped_user_items(
+    preferences: PreferenceGraph,
+    clustering: Clustering,
+    item_index: Dict[ItemId, int],
+    max_weight: float,
+    protection: str,
+    user_clamp: int,
+):
+    """Yield ``(cluster_column, item_dict)`` per contributing user.
+
+    Applies the user-level clamp (keep each user's first ``user_clamp``
+    edges in the fixed item order) and validates cluster coverage —
+    shared by both accumulation backends so they agree on exactly which
+    edges count.
+    """
+    for user in preferences.users():
+        owned = preferences.items_of(user)
+        if not owned:
+            continue
+        if user not in clustering:
+            raise ClusteringError(
+                f"user {user!r} has preference edges but is not in any cluster"
+            )
+        column = clustering.cluster_of(user)
+        if protection == "user" and len(owned) > user_clamp:
+            kept = sorted(owned, key=item_index.__getitem__)[:user_clamp]
+            owned = {item: owned[item] for item in kept}
+        yield column, owned
+
+
+def _exact_sums_python(
+    preferences: PreferenceGraph,
+    clustering: Clustering,
+    item_index: Dict[ItemId, int],
+    max_weight: float,
+    protection: str,
+    user_clamp: int,
+) -> np.ndarray:
+    """The reference accumulation: one Python pass over users and edges."""
+    sums = np.zeros((len(item_index), clustering.num_clusters))
+    for column, owned in _clamped_user_items(
+        preferences, clustering, item_index, max_weight, protection, user_clamp
+    ):
+        for item, weight in owned.items():
+            sums[item_index[item], column] += min(weight, max_weight)
+    return sums
+
+
+def _exact_sums_vectorized(
+    preferences: PreferenceGraph,
+    clustering: Clustering,
+    item_index: Dict[ItemId, int],
+    max_weight: float,
+    protection: str,
+    user_clamp: int,
+) -> np.ndarray:
+    """CSR accumulation: clipped preference matrix times cluster indicator.
+
+    Builds the (edges,) COO triplets in one pass, then reduces
+    ``W_pref^T @ C`` in scipy.  For the paper's unweighted model (and any
+    weight grid exactly representable in binary) the per-cell sums are
+    bit-identical to the python reference; the tests pin this.
+    """
+    num_items = len(item_index)
+    num_clusters = clustering.num_clusters
+    rows: List[int] = []
+    cols: List[int] = []
+    data: List[float] = []
+    for column, owned in _clamped_user_items(
+        preferences, clustering, item_index, max_weight, protection, user_clamp
+    ):
+        for item, weight in owned.items():
+            rows.append(item_index[item])
+            cols.append(column)
+            data.append(min(weight, max_weight))
+    sums = sp.csr_matrix(
+        (
+            np.asarray(data, dtype=float),
+            (np.asarray(rows, dtype=np.int64), np.asarray(cols, dtype=np.int64)),
+        ),
+        shape=(num_items, num_clusters),
+    )
+    return sums.toarray()
+
+
+def cluster_item_averages(
+    preferences: PreferenceGraph,
+    clustering: Clustering,
+    max_weight: float = 1.0,
+    protection: str = "edge",
+    user_clamp: int = 50,
+    backend: str = "auto",
+) -> ClusterItemAverages:
+    """Exact per-cluster average weights (lines 2–5 of Algorithm 1).
+
+    A pure function of the preference graph and the clustering: no
+    epsilon, no randomness.  Sweep drivers call it once per dataset and
+    re-noise the result per repeat with :func:`apply_laplace_noise`.
+
+    Args:
+        preferences: the private preference graph.
+        clustering: a partition of the users; every preference-graph user
+            with at least one edge must be covered.
+        max_weight: the weight cap ``W`` (edges are clipped to it).
+        protection: ``"edge"`` or ``"user"`` (see module docstring).
+        user_clamp: per-user edge bound under ``protection="user"``.
+        backend: how the exact sums are accumulated — ``"python"`` (the
+            reference loop), ``"vectorized"`` (a CSR product of the
+            clipped preference matrix with the cluster indicator), or
+            ``"auto"`` (vectorized; scipy is a hard dependency).  Both
+            backends count exactly the same edges; the tests pin their
+            equality.
+
+    Raises:
+        ClusteringError: if a user with preference edges is not clustered.
+        PrivacyError: for a non-positive ``max_weight`` or ``user_clamp``,
+            or an unknown protection level.
+        ValueError: for an unknown backend name.
+    """
+    from repro.compute.stats import validate_backend
+
+    validate_backend(backend)
+    _validate_parameters(max_weight, protection, user_clamp)
+
+    items = preferences.items()
+    item_index = {item: i for i, item in enumerate(items)}
+    num_clusters = clustering.num_clusters
+
+    accumulate = (
+        _exact_sums_python if backend == "python" else _exact_sums_vectorized
+    )
+    sums = accumulate(
+        preferences, clustering, item_index, max_weight, protection, user_clamp
+    )
+
+    sizes = np.asarray(clustering.sizes(), dtype=float)
+    if num_clusters:
+        averages = sums / sizes[np.newaxis, :]
+    else:
+        averages = sums
+
+    return ClusterItemAverages(
+        matrix=averages,
+        items=items,
+        item_index=item_index,
+        clustering=clustering,
+        max_weight=max_weight,
+        protection=protection,
+        user_clamp=user_clamp,
+    )
+
+
+def apply_laplace_noise(
+    averages: ClusterItemAverages,
+    epsilon: float,
+    rng: Optional[np.random.Generator] = None,
+) -> np.ndarray:
+    """One calibrated noise draw on the exact averages (lines 6–7).
+
+    Draws exactly one ``(num_items, num_clusters)`` Laplace tensor from
+    ``rng`` (or none at all for ``epsilon = inf`` / an empty matrix), so
+    a caller that re-seeds ``rng`` per repeat reproduces the recommender's
+    noise streams bit-for-bit.
+
+    Returns a fresh matrix; the averages object is never mutated.
+
+    Raises:
+        InvalidEpsilonError: for an invalid epsilon.
+    """
+    epsilon = validate_epsilon(epsilon)
+    if rng is None:
+        rng = np.random.default_rng(0)
+    scales = averages.laplace_scales(epsilon)
+    if scales is None:
+        return averages.matrix.copy()
+    noise = rng.laplace(
+        loc=0.0, scale=scales[np.newaxis, :], size=averages.matrix.shape
+    )
+    return averages.matrix + noise
+
+
 def noisy_cluster_item_weights(
     preferences: PreferenceGraph,
     clustering: Clustering,
@@ -84,8 +346,14 @@ def noisy_cluster_item_weights(
     max_weight: float = 1.0,
     protection: str = "edge",
     user_clamp: int = 50,
+    backend: str = "auto",
 ) -> NoisyClusterWeights:
-    """Run module A_w: release all noisy cluster-average weights.
+    """Run module A_w end to end: release all noisy cluster-average weights.
+
+    Composes :func:`cluster_item_averages` and :func:`apply_laplace_noise`;
+    see those for the split.  The noise stream is identical to every
+    previous version of this function: one Laplace draw of the full
+    ``(num_items, num_clusters)`` shape, or none for ``epsilon = inf``.
 
     Args:
         preferences: the private preference graph.
@@ -106,6 +374,8 @@ def noisy_cluster_item_weights(
         user_clamp: under ``protection="user"``, only each user's first
             ``user_clamp`` edges (in the graph's fixed item order)
             contribute; this bounds the per-user sensitivity.
+        backend: exact-sum accumulation backend
+            (see :func:`cluster_item_averages`).
 
     Raises:
         ClusteringError: if a user with preference edges is not clustered.
@@ -113,61 +383,20 @@ def noisy_cluster_item_weights(
         PrivacyError: for a non-positive ``max_weight`` or ``user_clamp``,
             or an unknown protection level.
     """
-    from repro.exceptions import PrivacyError
-
     epsilon = validate_epsilon(epsilon)
-    if max_weight <= 0.0:
-        raise PrivacyError(f"max_weight must be positive, got {max_weight}")
-    if protection not in ("edge", "user"):
-        raise PrivacyError(
-            f"protection must be 'edge' or 'user', got {protection!r}"
-        )
-    if protection == "user" and user_clamp < 1:
-        raise PrivacyError(f"user_clamp must be >= 1, got {user_clamp}")
-    if rng is None:
-        rng = np.random.default_rng(0)
-
-    items = preferences.items()
-    item_index = {item: i for i, item in enumerate(items)}
-    num_items = len(items)
-    num_clusters = clustering.num_clusters
-
-    sums = np.zeros((num_items, num_clusters))
-    for user in preferences.users():
-        owned = preferences.items_of(user)
-        if not owned:
-            continue
-        if user not in clustering:
-            raise ClusteringError(
-                f"user {user!r} has preference edges but is not in any cluster"
-            )
-        column = clustering.cluster_of(user)
-        if protection == "user" and len(owned) > user_clamp:
-            kept = sorted(owned, key=item_index.__getitem__)[:user_clamp]
-            owned = {item: owned[item] for item in kept}
-        for item, weight in owned.items():
-            sums[item_index[item], column] += min(weight, max_weight)
-
-    sizes = np.asarray(clustering.sizes(), dtype=float)
-    if num_clusters:
-        averages = sums / sizes[np.newaxis, :]
-    else:
-        averages = sums
-
-    if not math.isinf(epsilon) and num_items and num_clusters:
-        # Per-column scale Delta/(|c| * eps) with Delta = W (edge level) or
-        # W * user_clamp (user level); one draw per (item, cluster) cell.
-        sensitivity = max_weight if protection == "edge" else max_weight * user_clamp
-        scales = sensitivity / (sizes * epsilon)
-        noise = rng.laplace(
-            loc=0.0, scale=scales[np.newaxis, :], size=(num_items, num_clusters)
-        )
-        averages = averages + noise
-
+    averages = cluster_item_averages(
+        preferences,
+        clustering,
+        max_weight=max_weight,
+        protection=protection,
+        user_clamp=user_clamp,
+        backend=backend,
+    )
+    matrix = apply_laplace_noise(averages, epsilon, rng=rng)
     return NoisyClusterWeights(
-        matrix=averages,
-        items=items,
-        item_index=item_index,
+        matrix=matrix,
+        items=averages.items,
+        item_index=averages.item_index,
         clustering=clustering,
         epsilon=epsilon,
     )

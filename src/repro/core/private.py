@@ -39,10 +39,28 @@ from repro.resilience.faults import fault_point
 from repro.similarity.base import SimilarityMeasure
 from repro.types import ItemId, UserId
 
-__all__ = ["PrivateSocialRecommender", "louvain_strategy"]
+__all__ = ["PrivateSocialRecommender", "covering_clustering", "louvain_strategy"]
 
 # A clustering strategy maps the public social graph to a user partition.
 ClusteringStrategy = Callable[[SocialGraph], Clustering]
+
+
+def covering_clustering(clustering: Clustering, preferences) -> Clustering:
+    """Extend a social clustering to cover every preference-graph user.
+
+    Users that appear only in the preference graph (no social presence)
+    still hold private edges; give each a singleton cluster so their edges
+    are protected with sensitivity 1 rather than crashing the mechanism.
+    Socially isolated users get no utility from any similarity measure
+    anyway.  Singletons are appended after the social clusters in
+    ``preferences.users()`` order, so cluster indices of the input
+    clustering are preserved.  Returns the input unchanged when it already
+    covers every preference user.
+    """
+    uncovered = [u for u in preferences.users() if u not in clustering]
+    if not uncovered:
+        return clustering
+    return Clustering(list(clustering.clusters()) + [[u] for u in uncovered])
 
 
 def louvain_strategy(
@@ -104,7 +122,7 @@ class PrivateSocialRecommender(BaseRecommender):
         max_weight: float = 1.0,
         protection: str = "edge",
         user_clamp: int = 50,
-        compute_backend: str = "python",
+        compute_backend: str = "auto",
     ) -> None:
         super().__init__(measure, n=n, compute_backend=compute_backend)
         self.epsilon = validate_epsilon(epsilon)
@@ -125,19 +143,9 @@ class PrivateSocialRecommender(BaseRecommender):
     # fit: lines 1-7 of Algorithm 1
     # ------------------------------------------------------------------
     def _prepare(self, state: FittedState) -> None:
-        clustering = self.clustering_strategy(state.social)
-        # Users that appear only in the preference graph (no social
-        # presence) still hold private edges; give each a singleton cluster
-        # so their edges are protected with sensitivity 1 rather than
-        # crashing the mechanism.  Socially isolated users get no utility
-        # from any similarity measure anyway.
-        uncovered = [
-            u for u in state.preferences.users() if u not in clustering
-        ]
-        if uncovered:
-            clustering = Clustering(
-                list(clustering.clusters()) + [[u] for u in uncovered]
-            )
+        clustering = covering_clustering(
+            self.clustering_strategy(state.social), state.preferences
+        )
         self.clustering_ = clustering
         rng = np.random.default_rng(np.random.SeedSequence(self.seed))
         self.noisy_weights_ = noisy_cluster_item_weights(

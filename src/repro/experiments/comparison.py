@@ -11,6 +11,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence
 
+from repro.cache.store import SimilarityStore
 from repro.community.clustering import Clustering
 from repro.competitors.gs import GroupAndSmooth
 from repro.competitors.lrm import LowRankMechanism
@@ -18,6 +19,7 @@ from repro.core.baselines import NoiseOnEdges, NoiseOnUtility
 from repro.core.private import PrivateSocialRecommender, louvain_strategy
 from repro.datasets.dataset import SocialRecDataset
 from repro.exceptions import ExperimentError
+from repro.experiments.engine import SweepEngine, validate_engine
 from repro.experiments.evaluation import EvaluationContext, evaluate_factory
 from repro.graph.social_graph import SocialGraph
 from repro.similarity.base import SimilarityMeasure
@@ -84,6 +86,9 @@ def run_comparison(
     gs_group_size: int = 8,
     louvain_runs: int = 10,
     seed: int = 0,
+    engine: str = "vectorized",
+    store: Optional[SimilarityStore] = None,
+    backend: str = "auto",
 ) -> List[ComparisonCell]:
     """Run the Figure 4 comparison on one dataset.
 
@@ -99,34 +104,65 @@ def run_comparison(
             dataset; see :func:`repro.competitors.gs.select_group_size`).
         louvain_runs: restarts for the cluster framework's clustering.
         seed: master seed.
+        engine: ``"vectorized"`` (default) scores the ``cluster``
+            mechanism's cells with the batched sweep engine (the other
+            mechanisms have no batched factorisation and always take the
+            reference path); ``"reference"`` scores everything per user.
+        store: optional persistent similarity cache (vectorized engine).
+        backend: kernel construction backend (vectorized engine).
     """
+    validate_engine(engine)
     if not measures:
         raise ExperimentError("measures must be non-empty")
     clustering = louvain_strategy(runs=louvain_runs, seed=seed)(dataset.social)
+    sweep_engine: Optional[SweepEngine] = None
+    if engine == "vectorized" and "cluster" in mechanisms:
+        sweep_engine = SweepEngine(dataset, store=store, backend=backend)
     cells: List[ComparisonCell] = []
-    for measure in measures:
-        context = EvaluationContext.build(
-            dataset, measure, max_n=n, sample_size=sample_size, seed=seed
-        )
-        for mechanism in mechanisms:
-            for epsilon in epsilons:
-                factory = _mechanism_factory(
-                    mechanism, measure, epsilon, n, clustering, gs_group_size
-                )
-                mean, std = evaluate_factory(
-                    context, factory, n, repeats=repeats, base_seed=seed * 1000 + 7
-                )
-                cells.append(
-                    ComparisonCell(
-                        dataset=dataset.name,
-                        mechanism=mechanism,
-                        measure=measure.name,
-                        epsilon=epsilon,
-                        n=n,
-                        ndcg_mean=mean,
-                        ndcg_std=std,
+    try:
+        for measure in measures:
+            context = EvaluationContext.build(
+                dataset, measure, max_n=n, sample_size=sample_size, seed=seed
+            )
+            for mechanism in mechanisms:
+                for epsilon in epsilons:
+                    factory = _mechanism_factory(
+                        mechanism, measure, epsilon, n, clustering, gs_group_size
                     )
-                )
+                    scored = None
+                    if sweep_engine is not None and mechanism == "cluster":
+                        scored = sweep_engine.evaluate(
+                            context,
+                            clustering,
+                            epsilon,
+                            [n],
+                            repeats,
+                            base_seed=seed * 1000 + 7,
+                        ).get(n)
+                    if scored is not None:
+                        mean, std = scored
+                    else:
+                        mean, std = evaluate_factory(
+                            context,
+                            factory,
+                            n,
+                            repeats=repeats,
+                            base_seed=seed * 1000 + 7,
+                        )
+                    cells.append(
+                        ComparisonCell(
+                            dataset=dataset.name,
+                            mechanism=mechanism,
+                            measure=measure.name,
+                            epsilon=epsilon,
+                            n=n,
+                            ndcg_mean=mean,
+                            ndcg_std=std,
+                        )
+                    )
+    finally:
+        if sweep_engine is not None:
+            sweep_engine.close()
     return cells
 
 

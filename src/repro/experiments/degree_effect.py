@@ -13,11 +13,13 @@ from __future__ import annotations
 import math
 import statistics
 from dataclasses import dataclass
-from typing import List, Optional, Tuple
+from typing import Dict, List, Optional, Tuple
 
+from repro.cache.store import SimilarityStore
 from repro.community.clustering import Clustering
 from repro.core.private import PrivateSocialRecommender, louvain_strategy
 from repro.datasets.dataset import SocialRecDataset
+from repro.experiments.engine import SweepEngine, validate_engine
 from repro.experiments.evaluation import EvaluationContext
 from repro.graph.social_graph import SocialGraph
 from repro.similarity.base import SimilarityMeasure
@@ -58,6 +60,9 @@ def run_degree_effect(
     clustering: Optional[Clustering] = None,
     louvain_runs: int = 10,
     seed: int = 0,
+    engine: str = "vectorized",
+    store: Optional[SimilarityStore] = None,
+    backend: str = "auto",
 ) -> DegreeEffectResult:
     """Run the Figure 3 analysis: approximation error only (eps = inf).
 
@@ -70,7 +75,13 @@ def run_degree_effect(
         clustering: reuse a precomputed clustering.
         louvain_runs: restarts for the default clustering protocol.
         seed: master seed.
+        engine: ``"vectorized"`` (default) scores every user in one
+            batched pass; ``"reference"`` fits the recommender and ranks
+            per user.  Identical per-user scores either way.
+        store: optional persistent similarity cache (vectorized engine).
+        backend: kernel construction backend (vectorized engine).
     """
+    validate_engine(engine)
     if clustering is None:
         clustering = louvain_strategy(runs=louvain_runs, seed=seed)(dataset.social)
 
@@ -80,18 +91,32 @@ def run_degree_effect(
     context = EvaluationContext.build(
         dataset, measure, max_n=n, sample_size=sample_size, seed=seed
     )
-    recommender = PrivateSocialRecommender(
-        measure,
-        epsilon=math.inf,
-        n=n,
-        clustering_strategy=fixed_clustering,
-        seed=seed,
-    )
-    recommender.fit(dataset.social, dataset.preferences)
-    rankings = {
-        u: recommender.recommend(u, n=n).item_ids() for u in context.users
-    }
-    per_user = context.per_user_ndcg_of_rankings(rankings, n)
+    per_user: Optional[Dict[UserId, float]] = None
+    if engine == "vectorized":
+        sweep_engine = SweepEngine(dataset, store=store, backend=backend)
+        try:
+            per_user = sweep_engine.per_user_scores(
+                context, clustering, math.inf, seed, n
+            )
+        except Exception:
+            # Anything that breaks the batched path degrades to the
+            # reference per-user loop below — same scores, slower.
+            per_user = None
+        finally:
+            sweep_engine.close()
+    if per_user is None:
+        recommender = PrivateSocialRecommender(
+            measure,
+            epsilon=math.inf,
+            n=n,
+            clustering_strategy=fixed_clustering,
+            seed=seed,
+        )
+        recommender.fit(dataset.social, dataset.preferences)
+        rankings = {
+            u: recommender.recommend(u, n=n).item_ids() for u in context.users
+        }
+        per_user = context.per_user_ndcg_of_rankings(rankings, n)
 
     points: List[Tuple[UserId, int, float]] = []
     low: List[float] = []

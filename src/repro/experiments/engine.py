@@ -1,0 +1,945 @@
+"""The vectorised sweep engine behind the Figure 1–4 experiment drivers.
+
+The reference sweep (``evaluate_factory``) refits a recommender per
+(epsilon, N, repeat) cell: every repeat re-runs clustering bookkeeping,
+re-averages the preference edges, recomputes every user's similarity row
+in Python, and rescores rankings one user at a time.  Almost all of that
+work is invariant across the sweep.  This engine hoists each invariant to
+the outermost loop that still needs it:
+
+- per dataset: the exact cluster-item averages ``A``
+  (:func:`~repro.core.cluster_weights.cluster_item_averages`), the
+  covering clustering, the cluster indicator ``C``, and the cluster-size
+  vector of the degradation ladder;
+- per (dataset, measure): the similarity kernel ``S``
+  (:func:`~repro.compute.build_kernel`, optionally through a persistent
+  :class:`~repro.cache.store.SimilarityStore`), the evaluation users'
+  cluster profile ``P = S @ C``, the dense ideal-utility matrix, and the
+  cumulative reference DCG at every cutoff;
+- per (epsilon, repeat): *only* one Laplace tensor, one matmul
+  ``E = P @ (A + L)^T``, one vectorised ranking, and one cumulative-DCG
+  pass scoring every N at once.
+
+Equivalence with the per-user reference path is structural, not
+approximate: the noise stream reuses the recommender's exact generator
+discipline (one ``default_rng(SeedSequence(seed))`` laplace draw over the
+full matrix), the ranking reproduces ``top_n_from_vector``'s
+argpartition/stable-sort tie-breaking, the zero-signal users are served
+by the same degradation ladder, and the NDCG accumulation follows the
+scalar summation order.  The test suite pins rankings and scores against
+the reference engine.
+
+With ``workers >= 2`` the (epsilon) cells of one measure fan out over a
+process pool; workers memory-map the cached kernel artifact and the
+spilled evaluation arrays instead of receiving them pickled.  Failures
+degrade per cell: pooled cell -> in-parent sequential scoring -> the cell
+is abandoned to the caller's per-user reference path (fault sites
+``engine.cell`` and ``engine.repeat``).
+"""
+
+from __future__ import annotations
+
+import os
+import statistics
+import tempfile
+import time
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+import scipy.sparse as sp
+
+from repro.cache.store import SimilarityStore, open_kernel_csr, save_kernel_artifact
+from repro.community.clustering import Clustering
+from repro.compute.kernels import build_kernel, supports_vectorized_kernel
+from repro.compute.stats import ComputeStats, validate_backend
+from repro.core.cluster_weights import ClusterItemAverages, cluster_item_averages
+from repro.core.private import covering_clustering
+from repro.datasets.dataset import SocialRecDataset
+from repro.exceptions import ExperimentError
+from repro.experiments.evaluation import EvaluationContext
+from repro.metrics.ndcg import dcg_array
+from repro.privacy.mechanisms import validate_epsilon
+from repro.resilience.faults import fault_point
+from repro.similarity.matrix import SimilarityMatrix
+from repro.types import ItemId, UserId
+
+__all__ = ["ENGINES", "EngineStats", "SweepEngine", "validate_engine"]
+
+# The sweep engines the experiment drivers accept: "vectorized" is this
+# module; "reference" is the original per-user evaluate_factory loop.
+ENGINES = ("vectorized", "reference")
+
+# One cell of work: (epsilon, cutoffs, repeats).
+CellSpec = Tuple[float, Sequence[int], int]
+
+
+def validate_engine(engine: str) -> str:
+    """Validate an engine name, returning it unchanged.
+
+    Raises:
+        ValueError: for anything outside :data:`ENGINES`.
+    """
+    if engine not in ENGINES:
+        raise ValueError(
+            f"unknown engine {engine!r}; expected one of {', '.join(ENGINES)}"
+        )
+    return engine
+
+
+@dataclass
+class EngineStats:
+    """Perf counters for one :class:`SweepEngine` instance.
+
+    Attributes:
+        mode: ``"parallel"`` or ``"sequential"`` (last evaluate call).
+        workers: configured pool width (1 = in-process).
+        measures: distinct similarity kernels built or loaded.
+        cells: (epsilon) cells scored by the engine.
+        repeats: noise repeats scored across all cells.
+        fallback_cells: pooled cells rescored sequentially in-parent.
+        legacy_cells: cells abandoned entirely (the caller should rescore
+            them with the per-user reference path).
+        cache_hits / cache_misses: similarity-store lookups (zero without
+            a store).
+        kernel_seconds: time spent obtaining similarity kernels.
+        wall_seconds: total time inside ``evaluate_many``.
+        compute: the :class:`~repro.compute.stats.ComputeStats` of the
+            most recent kernel construction (None on a warm cache).
+    """
+
+    mode: str = ""
+    workers: int = 1
+    measures: int = 0
+    cells: int = 0
+    repeats: int = 0
+    fallback_cells: int = 0
+    legacy_cells: int = 0
+    cache_hits: int = 0
+    cache_misses: int = 0
+    kernel_seconds: float = 0.0
+    wall_seconds: float = 0.0
+    compute: Optional[ComputeStats] = None
+
+
+@dataclass
+class _KernelBundle:
+    """One measure's kernel plus the on-disk artifact workers can map."""
+
+    kernel: SimilarityMatrix
+    artifact_path: Optional[str]
+
+
+@dataclass
+class _EvalArrays:
+    """Dense per-context arrays shared across every epsilon and repeat."""
+
+    context: EvaluationContext
+    positions: np.ndarray  # kernel row of each evaluation user
+    utilities: np.ndarray  # (users x items) ideal utilities
+    reference_cum: np.ndarray  # (users x max_n) cumulative reference DCG
+
+
+@dataclass
+class _ClusterArrays:
+    """Per-clustering arrays shared across measures, epsilons, repeats."""
+
+    clustering: Clustering  # as passed by the caller (keeps id() stable)
+    covering: Clustering  # extended to cover preference-only users
+    users: List[UserId]  # kernel row order the indicator was built over
+    averages: ClusterItemAverages
+    indicator: sp.csr_matrix  # (kernel users x clusters)
+    sizes: np.ndarray  # cluster sizes, for the degradation ladder
+
+
+def _noised(matrix: np.ndarray, scales: Optional[np.ndarray], seed: int) -> np.ndarray:
+    """One repeat's released matrix, bit-identical to the recommender's.
+
+    Reproduces ``PrivateSocialRecommender._prepare``'s noise discipline:
+    a fresh ``default_rng(SeedSequence(seed))`` whose single ``laplace``
+    call covers the whole matrix (``scales`` broadcast over items).  At
+    ``scales is None`` (epsilon = inf, or an empty release) the generator
+    is still constructed — the reference builds it unconditionally — but
+    nothing is drawn.
+    """
+    rng = np.random.default_rng(np.random.SeedSequence(seed))
+    if scales is None:
+        return matrix
+    return matrix + rng.laplace(
+        loc=0.0, scale=scales[np.newaxis, :], size=matrix.shape
+    )
+
+
+def _rank_rows(estimates: np.ndarray, limit: int) -> np.ndarray:
+    """Top-``limit`` item positions per row of a dense estimate block.
+
+    Reproduces ``BaseRecommender.top_n_from_vector`` exactly: argpartition
+    selects each row's top set, then a stable sort on (-estimate, item
+    position) orders it.  The reference's lexsort keys make the final
+    ranking a function of the selected *set* alone, so sorting the
+    candidate positions ascending before the stable value sort yields the
+    identical ranking.
+    """
+    num_rows, num_items = estimates.shape
+    limit = min(limit, num_items)
+    if limit == 0:
+        return np.empty((num_rows, 0), dtype=np.intp)
+    negated = -estimates
+    if limit < num_items:
+        candidates = np.argpartition(negated, limit - 1, axis=1)[:, :limit]
+        candidates = np.sort(candidates, axis=1)
+    else:
+        candidates = np.tile(np.arange(num_items, dtype=np.intp), (num_rows, 1))
+    values = np.take_along_axis(negated, candidates, axis=1)
+    order = np.argsort(values, axis=1, kind="stable")
+    return np.take_along_axis(candidates, order, axis=1)
+
+
+def _degraded_estimates(
+    noised: np.ndarray, sizes: np.ndarray, column: int
+) -> Optional[np.ndarray]:
+    """The degradation-ladder estimates for one zero-signal user.
+
+    Mirrors :func:`repro.resilience.degradation.degradation_estimates`
+    tier for tier (``column`` is the user's cluster, -1 when the user is
+    outside the clustering); None means the empty tier (empty ranking).
+    """
+    if noised.size == 0:
+        return None
+    if column >= 0:
+        return np.asarray(noised[:, column], dtype=float)
+    total = sizes.sum()
+    if total <= 0:
+        return None
+    return np.asarray(noised @ (sizes / total), dtype=float)
+
+
+def _profile_rows(
+    kernel: sp.csr_matrix, positions: Sequence[int], indicator: sp.csr_matrix
+) -> np.ndarray:
+    """``P = S @ C`` restricted to the evaluation users' kernel rows."""
+    rows = kernel[list(positions), :] @ indicator
+    return np.asarray(rows.todense())
+
+
+def _rank_repeat(
+    profile: np.ndarray,
+    noised: np.ndarray,
+    sizes: np.ndarray,
+    columns: np.ndarray,
+    ns: Sequence[int],
+    chunk_size: int,
+) -> Dict[int, Tuple[np.ndarray, Dict[int, np.ndarray]]]:
+    """Rankings for one noise draw at every cutoff.
+
+    Returns, per cutoff ``n``, the ``(users x limit)`` matrix of ranked
+    item positions plus a per-row override map for the zero-signal users
+    served by the degradation ladder (an empty override array means the
+    empty tier's empty ranking).  ``E = P @ (A + L)^T`` is materialised in
+    row chunks so peak memory stays ``chunk_size * num_items`` floats.
+    """
+    num_users = profile.shape[0]
+    num_items = noised.shape[0]
+    release_t = np.ascontiguousarray(noised.T)
+    limits = {int(n): min(int(n), num_items) for n in ns}
+    ranked = {
+        n: np.empty((num_users, limit), dtype=np.intp)
+        for n, limit in limits.items()
+    }
+    for start in range(0, num_users, chunk_size):
+        stop = min(start + chunk_size, num_users)
+        estimates = profile[start:stop] @ release_t
+        for n, limit in limits.items():
+            ranked[n][start:stop] = _rank_rows(estimates, limit)
+    overrides: Dict[int, Dict[int, np.ndarray]] = {n: {} for n in limits}
+    for row in np.flatnonzero(~profile.any(axis=1)):
+        estimates = _degraded_estimates(noised, sizes, int(columns[row]))
+        for n, limit in limits.items():
+            if estimates is None:
+                overrides[n][int(row)] = np.empty(0, dtype=np.intp)
+            else:
+                overrides[n][int(row)] = _rank_rows(
+                    estimates[np.newaxis, :], limit
+                )[0]
+    return {n: (ranked[n], overrides[n]) for n in limits}
+
+
+def _private_dcg(
+    utilities: np.ndarray,
+    ranked: np.ndarray,
+    overrides: Dict[int, np.ndarray],
+) -> np.ndarray:
+    """Per-user DCG of the private rankings under the ideal utilities."""
+    utilities = np.asarray(utilities)
+    num_users = ranked.shape[0]
+    if ranked.shape[1]:
+        gains = np.take_along_axis(utilities, ranked, axis=1)
+        private = dcg_array(gains)[:, -1].copy()
+    else:
+        private = np.zeros(num_users)
+    for row, positions in overrides.items():
+        if positions.size:
+            gains = utilities[row, positions][np.newaxis, :]
+            private[row] = dcg_array(gains)[0, -1]
+        else:
+            private[row] = 0.0
+    return private
+
+
+def _cell_scores(
+    profile: np.ndarray,
+    utilities: np.ndarray,
+    reference_cum: np.ndarray,
+    averages_matrix: np.ndarray,
+    sizes: np.ndarray,
+    columns: np.ndarray,
+    ns: Sequence[int],
+    seeds: Sequence[int],
+    scales: Optional[np.ndarray],
+    chunk_size: int,
+    fault_site: Optional[str] = None,
+) -> Dict[int, List[float]]:
+    """Average NDCG@n per repeat for one (measure, epsilon) cell.
+
+    The scoring accumulation mirrors the scalar chain exactly:
+    ``ndcg_at_n``'s reference-DCG-positive division (1.0 otherwise),
+    ``average_ndcg``'s sequential per-user summation (``np.cumsum``), and
+    the division by the user count.
+    """
+    num_users = profile.shape[0]
+    if num_users == 0:
+        raise ExperimentError("cannot score a cell with no evaluation users")
+    averages_matrix = np.asarray(averages_matrix)
+    ref_width = reference_cum.shape[1]
+    reference_at = {
+        int(n): (
+            np.asarray(reference_cum[:, min(int(n), ref_width) - 1])
+            if ref_width
+            else np.zeros(num_users)
+        )
+        for n in ns
+    }
+    results: Dict[int, List[float]] = {int(n): [] for n in ns}
+    for seed in seeds:
+        if fault_site is not None:
+            fault_point(fault_site)
+        noised = _noised(averages_matrix, scales, int(seed))
+        per_n = _rank_repeat(profile, noised, sizes, columns, ns, chunk_size)
+        for n, (ranked, overrides) in per_n.items():
+            private = _private_dcg(utilities, ranked, overrides)
+            reference = reference_at[n]
+            scores = np.ones(num_users)
+            positive = reference > 0.0
+            scores[positive] = private[positive] / reference[positive]
+            results[n].append(float(np.cumsum(scores)[-1]) / num_users)
+    return results
+
+
+def _score_cell_worker(
+    artifact_path: str,
+    positions: List[int],
+    indicator_parts: Tuple[np.ndarray, np.ndarray, np.ndarray, Tuple[int, int]],
+    utilities_path: str,
+    reference_path: str,
+    averages_path: str,
+    sizes: np.ndarray,
+    columns: np.ndarray,
+    ns: Sequence[int],
+    seeds: Sequence[int],
+    scales: Optional[np.ndarray],
+    chunk_size: int,
+) -> Dict[int, List[float]]:
+    """Pool-worker entry point: score one (measure, epsilon) cell.
+
+    The kernel CSR buffers are memory-mapped straight out of the cached
+    artifact and the dense evaluation arrays out of their ``.npy`` spills,
+    so workers share one page-cache copy of every large input instead of
+    receiving them pickled.  Module-level so it pickles under every start
+    method.
+    """
+    kernel = open_kernel_csr(artifact_path)
+    data, indices, indptr, shape = indicator_parts
+    indicator = sp.csr_matrix((data, indices, indptr), shape=shape)
+    profile = _profile_rows(kernel, positions, indicator)
+    utilities = np.load(utilities_path, mmap_mode="r")
+    reference_cum = np.load(reference_path, mmap_mode="r")
+    averages_matrix = np.load(averages_path, mmap_mode="r")
+    return _cell_scores(
+        profile,
+        utilities,
+        reference_cum,
+        averages_matrix,
+        sizes,
+        columns,
+        ns,
+        seeds,
+        scales,
+        chunk_size,
+    )
+
+
+class SweepEngine:
+    """Shared vectorised scoring for every experiment driver.
+
+    One engine instance amortises kernels, cluster releases, and
+    evaluation arrays across measures, clusterings, epsilons, cutoffs,
+    and repeats; the drivers construct one per run and close it when the
+    sweep finishes (it is also a context manager).
+
+    Args:
+        dataset: the evaluation dataset.
+        store: optional persistent similarity cache for the kernels;
+            hit/miss counters land on :attr:`stats`.
+        workers: with ``workers >= 2``, the epsilon cells of each
+            ``evaluate_many`` call fan out over a process pool whose
+            workers memory-map the kernel artifact.  Default: in-process.
+        backend: kernel construction backend
+            (``auto | vectorized | python``); measures without a
+            vectorised kernel transparently use the per-user reference
+            builder either way.
+        chunk_size: evaluation users per dense scoring chunk; bounds peak
+            memory at roughly ``chunk_size * num_items`` floats.
+        max_weight / protection / user_clamp: release parameters,
+            matching :class:`~repro.core.private.PrivateSocialRecommender`
+            defaults.
+    """
+
+    def __init__(
+        self,
+        dataset: SocialRecDataset,
+        *,
+        store: Optional[SimilarityStore] = None,
+        workers: Optional[int] = None,
+        backend: str = "auto",
+        chunk_size: int = 1024,
+        max_weight: float = 1.0,
+        protection: str = "edge",
+        user_clamp: int = 50,
+    ) -> None:
+        validate_backend(backend)
+        if workers is not None and workers < 1:
+            raise ValueError(f"workers must be >= 1, got {workers}")
+        if chunk_size < 1:
+            raise ValueError(f"chunk_size must be >= 1, got {chunk_size}")
+        self.dataset = dataset
+        self.store = store
+        self.workers = workers
+        self.backend = backend
+        self.chunk_size = chunk_size
+        self.max_weight = max_weight
+        self.protection = protection
+        self.user_clamp = user_clamp
+        self.stats = EngineStats(workers=workers if workers else 1)
+        self._kernels: Dict[str, _KernelBundle] = {}
+        self._evals: Dict[int, _EvalArrays] = {}
+        self._clusters: Dict[int, _ClusterArrays] = {}
+        self._columns: Dict[Tuple[int, int], np.ndarray] = {}
+        self._profiles: Dict[Tuple[str, int, int], np.ndarray] = {}
+        self._item_index: Optional[Dict[ItemId, int]] = None
+        self._items_list: List[ItemId] = []
+        self._spill_dir: Optional[tempfile.TemporaryDirectory] = None
+        self._spill_paths: Dict[tuple, str] = {}
+        self._spill_count = 0
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+    def close(self) -> None:
+        """Release the spill directory (cached arrays stay usable)."""
+        if self._spill_dir is not None:
+            self._spill_dir.cleanup()
+            self._spill_dir = None
+            self._spill_paths.clear()
+            # Ephemeral artifacts lived in the spill dir; forget them so a
+            # later parallel call re-spills instead of mapping a dead path.
+            for bundle in self._kernels.values():
+                if bundle.artifact_path and not os.path.exists(
+                    bundle.artifact_path
+                ):
+                    bundle.artifact_path = None
+
+    def __enter__(self) -> "SweepEngine":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------
+    # cached preprocessing layers
+    # ------------------------------------------------------------------
+    def _kernel_for(self, measure) -> _KernelBundle:
+        bundle = self._kernels.get(measure.name)
+        if bundle is not None:
+            return bundle
+        started = time.perf_counter()
+        compute_stats = ComputeStats(requested=self.backend)
+        artifact_path: Optional[str] = None
+        if self.store is not None and supports_vectorized_kernel(measure):
+            before = self.store.stats.snapshot()
+            lookup = self.store.get_or_compute(
+                self.dataset.social,
+                measure,
+                lambda: build_kernel(
+                    self.dataset.social,
+                    measure,
+                    backend=self.backend,
+                    stats=compute_stats,
+                ),
+            )
+            kernel = lookup.matrix
+            artifact_path = lookup.path
+            self.stats.cache_hits += self.store.stats.hits - before.hits
+            self.stats.cache_misses += self.store.stats.misses - before.misses
+        else:
+            kernel = build_kernel(
+                self.dataset.social,
+                measure,
+                backend=self.backend,
+                stats=compute_stats,
+            )
+        bundle = _KernelBundle(kernel=kernel, artifact_path=artifact_path)
+        self._kernels[measure.name] = bundle
+        self.stats.measures += 1
+        self.stats.kernel_seconds += time.perf_counter() - started
+        if compute_stats.backend:  # a construction actually ran
+            self.stats.compute = compute_stats
+        return bundle
+
+    def _items(self) -> Tuple[List[ItemId], Dict[ItemId, int]]:
+        if self._item_index is None:
+            items = list(self.dataset.preferences.items())
+            self._item_index = {item: i for i, item in enumerate(items)}
+            self._items_list = items
+        return self._items_list, self._item_index
+
+    def _eval_for(self, context: EvaluationContext, bundle: _KernelBundle) -> _EvalArrays:
+        arrays = self._evals.get(id(context))
+        if arrays is not None:
+            return arrays
+        index = bundle.kernel.index
+        missing = [u for u in context.users if u not in index]
+        if missing:
+            raise ExperimentError(
+                f"evaluation users missing from the similarity kernel: "
+                f"{missing[:5]!r}"
+            )
+        positions = np.array([index[u] for u in context.users], dtype=np.intp)
+        _, item_index = self._items()
+        utilities = np.zeros((len(context.users), len(item_index)))
+        for row, user in enumerate(context.users):
+            for item, value in context.ideal_utilities[user].items():
+                column = item_index.get(item)
+                if column is not None:
+                    utilities[row, column] = value
+        reference_gains = np.zeros((len(context.users), context.max_n))
+        for row, user in enumerate(context.users):
+            ideal = context.ideal_utilities[user]
+            ranking = context.reference_rankings[user]
+            for position, item in enumerate(ranking[: context.max_n]):
+                reference_gains[row, position] = ideal.get(item, 0.0)
+        arrays = _EvalArrays(
+            context=context,
+            positions=positions,
+            utilities=utilities,
+            reference_cum=dcg_array(reference_gains),
+        )
+        self._evals[id(context)] = arrays
+        return arrays
+
+    def _cluster_for(
+        self, clustering: Clustering, bundle: _KernelBundle
+    ) -> _ClusterArrays:
+        arrays = self._clusters.get(id(clustering))
+        users = bundle.kernel.users
+        if arrays is not None and (
+            arrays.users is users or arrays.users == users
+        ):
+            return arrays
+        covering = covering_clustering(clustering, self.dataset.preferences)
+        averages = cluster_item_averages(
+            self.dataset.preferences,
+            covering,
+            max_weight=self.max_weight,
+            protection=self.protection,
+            user_clamp=self.user_clamp,
+            backend=self.backend,
+        )
+        rows, cols = [], []
+        for position, user in enumerate(users):
+            if user in covering:
+                rows.append(position)
+                cols.append(covering.cluster_of(user))
+        indicator = sp.csr_matrix(
+            (np.ones(len(rows)), (rows, cols)),
+            shape=(len(users), covering.num_clusters),
+        )
+        arrays = _ClusterArrays(
+            clustering=clustering,
+            covering=covering,
+            users=list(users),
+            averages=averages,
+            indicator=indicator,
+            sizes=np.asarray(covering.sizes(), dtype=float),
+        )
+        self._clusters[id(clustering)] = arrays
+        return arrays
+
+    def _columns_for(
+        self, context: EvaluationContext, cluster_arrays: _ClusterArrays
+    ) -> np.ndarray:
+        key = (id(context), id(cluster_arrays.covering))
+        columns = self._columns.get(key)
+        if columns is None:
+            covering = cluster_arrays.covering
+            columns = np.array(
+                [
+                    covering.cluster_of(u) if u in covering else -1
+                    for u in context.users
+                ],
+                dtype=np.intp,
+            )
+            self._columns[key] = columns
+        return columns
+
+    def _profile_for(
+        self,
+        measure_name: str,
+        bundle: _KernelBundle,
+        evals: _EvalArrays,
+        cluster_arrays: _ClusterArrays,
+    ) -> np.ndarray:
+        key = (measure_name, id(evals.context), id(cluster_arrays.covering))
+        profile = self._profiles.get(key)
+        if profile is None:
+            profile = _profile_rows(
+                bundle.kernel.matrix, evals.positions, cluster_arrays.indicator
+            )
+            self._profiles[key] = profile
+        return profile
+
+    # ------------------------------------------------------------------
+    # spill management (parallel mode)
+    # ------------------------------------------------------------------
+    def _spill_root(self) -> str:
+        if self._spill_dir is None:
+            self._spill_dir = tempfile.TemporaryDirectory(prefix="repro-engine-")
+        return self._spill_dir.name
+
+    def _spill_array(self, tag: tuple, array: np.ndarray) -> str:
+        path = self._spill_paths.get(tag)
+        if path is None:
+            self._spill_count += 1
+            path = os.path.join(self._spill_root(), f"spill-{self._spill_count}.npy")
+            np.save(path, np.ascontiguousarray(array))
+            self._spill_paths[tag] = path
+        return path
+
+    def _artifact_for(self, measure, bundle: _KernelBundle) -> str:
+        if bundle.artifact_path is None or not os.path.exists(bundle.artifact_path):
+            self._spill_count += 1
+            path = os.path.join(
+                self._spill_root(), f"kernel-{self._spill_count}.npz"
+            )
+            save_kernel_artifact(path, bundle.kernel, "ephemeral", measure)
+            bundle.artifact_path = path
+        return bundle.artifact_path
+
+    # ------------------------------------------------------------------
+    # evaluation
+    # ------------------------------------------------------------------
+    def evaluate_many(
+        self,
+        context: EvaluationContext,
+        clustering: Clustering,
+        cells: Sequence[CellSpec],
+        base_seed: int = 0,
+    ) -> Dict[Tuple[float, int], Tuple[float, float]]:
+        """Mean/std NDCG for a batch of (epsilon, ns, repeats) cells.
+
+        Repeat ``r`` of every cell draws its noise from seed
+        ``base_seed + r`` — the same stream ``evaluate_factory`` hands the
+        recommender factory, so results are interchangeable with the
+        reference engine.  Cells that fail even the in-parent sequential
+        rung are *omitted* from the result (and counted in
+        ``stats.legacy_cells``); callers rescore them with the per-user
+        reference path.
+
+        Args:
+            context: the cached non-private reference for this measure.
+            clustering: the (social) clustering shared by the sweep.
+            cells: ``(epsilon, ns, repeats)`` work items.
+            base_seed: repeat seed origin.
+
+        Returns:
+            ``{(epsilon, n): (mean, std)}`` for every cell that scored.
+
+        Raises:
+            ExperimentError: for invalid cutoffs/repeats (mirrors the
+                reference path's validation).
+        """
+        started = time.perf_counter()
+        normalised: List[Tuple[float, Tuple[int, ...], int]] = []
+        for epsilon, ns, repeats in cells:
+            epsilon = validate_epsilon(float(epsilon))
+            ns = tuple(int(n) for n in ns)
+            if not ns:
+                raise ExperimentError("each cell needs at least one n")
+            if min(ns) < 1:
+                raise ExperimentError(f"n must be >= 1, got {min(ns)}")
+            if max(ns) > context.max_n:
+                raise ExperimentError(
+                    f"requested n={max(ns)} exceeds the context's "
+                    f"max_n={context.max_n}"
+                )
+            if repeats < 1:
+                raise ExperimentError(f"repeats must be >= 1, got {repeats}")
+            normalised.append((epsilon, ns, int(repeats)))
+        results: Dict[Tuple[float, int], Tuple[float, float]] = {}
+        if not normalised:
+            return results
+
+        measure = context.measure
+        bundle = self._kernel_for(measure)
+        evals = self._eval_for(context, bundle)
+        cluster_arrays = self._cluster_for(clustering, bundle)
+        columns = self._columns_for(context, cluster_arrays)
+        averages = cluster_arrays.averages
+
+        pending = [
+            (
+                epsilon,
+                ns,
+                [base_seed + r for r in range(repeats)],
+                averages.laplace_scales(epsilon),
+            )
+            for epsilon, ns, repeats in normalised
+        ]
+        scored: Dict[int, Dict[int, List[float]]] = {}
+
+        def score_sequential(cell_index: int) -> None:
+            epsilon, ns, seeds, scales = pending[cell_index]
+            profile = self._profile_for(
+                measure.name, bundle, evals, cluster_arrays
+            )
+            scored[cell_index] = _cell_scores(
+                profile,
+                evals.utilities,
+                evals.reference_cum,
+                averages.matrix,
+                cluster_arrays.sizes,
+                columns,
+                ns,
+                seeds,
+                scales,
+                self.chunk_size,
+                fault_site="engine.repeat",
+            )
+
+        use_pool = (
+            self.workers is not None
+            and self.workers > 1
+            and len(pending) > 1
+        )
+        if use_pool:
+            self.stats.mode = "parallel"
+            artifact_path = self._artifact_for(measure, bundle)
+            utilities_path = self._spill_array(
+                ("utilities", id(context)), evals.utilities
+            )
+            reference_path = self._spill_array(
+                ("reference", id(context)), evals.reference_cum
+            )
+            averages_path = self._spill_array(
+                ("averages", id(cluster_arrays.covering)), averages.matrix
+            )
+            positions = [int(p) for p in evals.positions]
+            indicator = cluster_arrays.indicator
+            indicator_parts = (
+                indicator.data,
+                indicator.indices,
+                indicator.indptr,
+                indicator.shape,
+            )
+            with ProcessPoolExecutor(
+                max_workers=min(self.workers, len(pending))
+            ) as pool:
+                futures = [
+                    pool.submit(
+                        _score_cell_worker,
+                        artifact_path,
+                        positions,
+                        indicator_parts,
+                        utilities_path,
+                        reference_path,
+                        averages_path,
+                        cluster_arrays.sizes,
+                        columns,
+                        ns,
+                        seeds,
+                        scales,
+                        self.chunk_size,
+                    )
+                    for (_, ns, seeds, scales) in pending
+                ]
+                for cell_index, future in enumerate(futures):
+                    try:
+                        fault_point("engine.cell")
+                        scored[cell_index] = future.result()
+                    except Exception:
+                        # Worker died or was told to fail: rescore this
+                        # cell with the in-parent kernel (same math, same
+                        # result), then abandon it to the reference path
+                        # if even that fails.
+                        self.stats.fallback_cells += 1
+                        try:
+                            score_sequential(cell_index)
+                        except Exception:
+                            scored.pop(cell_index, None)
+                            self.stats.legacy_cells += 1
+        else:
+            self.stats.mode = "sequential"
+            for cell_index in range(len(pending)):
+                try:
+                    fault_point("engine.cell")
+                    score_sequential(cell_index)
+                except Exception:
+                    scored.pop(cell_index, None)
+                    self.stats.legacy_cells += 1
+
+        for cell_index, (epsilon, ns, seeds, _) in enumerate(pending):
+            per_cell = scored.get(cell_index)
+            if per_cell is None:
+                continue
+            self.stats.cells += 1
+            self.stats.repeats += len(seeds)
+            for n in ns:
+                per_repeat = per_cell[int(n)]
+                mean = statistics.fmean(per_repeat)
+                std = (
+                    statistics.pstdev(per_repeat)
+                    if len(per_repeat) > 1
+                    else 0.0
+                )
+                results[(epsilon, int(n))] = (mean, std)
+        self.stats.wall_seconds += time.perf_counter() - started
+        return results
+
+    def evaluate(
+        self,
+        context: EvaluationContext,
+        clustering: Clustering,
+        epsilon: float,
+        ns: Sequence[int],
+        repeats: int,
+        base_seed: int = 0,
+    ) -> Dict[int, Tuple[float, float]]:
+        """Mean/std NDCG@n for one epsilon at several cutoffs.
+
+        A convenience wrapper over :meth:`evaluate_many`; the result maps
+        each cutoff to ``(mean, std)`` and omits cutoffs whose cell was
+        abandoned to the reference path.
+        """
+        results = self.evaluate_many(
+            context, clustering, [(epsilon, tuple(ns), repeats)], base_seed
+        )
+        epsilon = validate_epsilon(float(epsilon))
+        return {
+            int(n): results[(epsilon, int(n))]
+            for n in ns
+            if (epsilon, int(n)) in results
+        }
+
+    # ------------------------------------------------------------------
+    # single-repeat introspection (degree-effect driver, equivalence tests)
+    # ------------------------------------------------------------------
+    def _repeat_state(self, context, clustering, epsilon, repeat_seed, ns):
+        epsilon = validate_epsilon(float(epsilon))
+        measure = context.measure
+        bundle = self._kernel_for(measure)
+        evals = self._eval_for(context, bundle)
+        cluster_arrays = self._cluster_for(clustering, bundle)
+        columns = self._columns_for(context, cluster_arrays)
+        profile = self._profile_for(measure.name, bundle, evals, cluster_arrays)
+        averages = cluster_arrays.averages
+        noised = _noised(
+            averages.matrix, averages.laplace_scales(epsilon), int(repeat_seed)
+        )
+        per_n = _rank_repeat(
+            profile,
+            noised,
+            cluster_arrays.sizes,
+            columns,
+            [int(n) for n in ns],
+            self.chunk_size,
+        )
+        return evals, cluster_arrays, per_n
+
+    def repeat_rankings(
+        self,
+        context: EvaluationContext,
+        clustering: Clustering,
+        epsilon: float,
+        repeat_seed: int,
+        ns: Sequence[int],
+    ) -> Dict[int, Dict[UserId, List[ItemId]]]:
+        """The exact per-user rankings of one noise repeat, per cutoff.
+
+        Equivalent to fitting ``PrivateSocialRecommender(measure,
+        epsilon, seed=repeat_seed, ...)`` and calling ``recommend(u, n)``
+        for every evaluation user — the equivalence tests pin this item
+        for item.
+        """
+        evals, cluster_arrays, per_n = self._repeat_state(
+            context, clustering, epsilon, repeat_seed, ns
+        )
+        items = cluster_arrays.averages.items
+        out: Dict[int, Dict[UserId, List[ItemId]]] = {}
+        for n, (ranked, overrides) in per_n.items():
+            rankings: Dict[UserId, List[ItemId]] = {}
+            for row, user in enumerate(context.users):
+                positions = overrides.get(row)
+                if positions is None:
+                    positions = ranked[row]
+                rankings[user] = [items[int(p)] for p in positions]
+            out[n] = rankings
+        return out
+
+    def per_user_scores(
+        self,
+        context: EvaluationContext,
+        clustering: Clustering,
+        epsilon: float,
+        repeat_seed: int,
+        n: int,
+    ) -> Dict[UserId, float]:
+        """NDCG@n per evaluation user for one noise repeat.
+
+        Matches ``context.per_user_ndcg_of_rankings`` on the same
+        rankings (used by the Figure 3 degree-effect driver).
+
+        Raises:
+            ExperimentError: when ``n`` exceeds the context's ``max_n``.
+        """
+        if n > context.max_n:
+            raise ExperimentError(
+                f"requested n={n} exceeds the context's max_n={context.max_n}"
+            )
+        evals, _, per_n = self._repeat_state(
+            context, clustering, epsilon, repeat_seed, [n]
+        )
+        ranked, overrides = per_n[int(n)]
+        private = _private_dcg(evals.utilities, ranked, overrides)
+        ref_width = evals.reference_cum.shape[1]
+        if ref_width:
+            reference = np.asarray(
+                evals.reference_cum[:, min(int(n), ref_width) - 1]
+            )
+        else:
+            reference = np.zeros(len(context.users))
+        scores = np.ones(len(context.users))
+        positive = reference > 0.0
+        scores[positive] = private[positive] / reference[positive]
+        return {
+            user: float(scores[row]) for row, user in enumerate(context.users)
+        }

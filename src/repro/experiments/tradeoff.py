@@ -5,25 +5,41 @@ the cluster-based private recommender against the non-private reference,
 averaged over repeated noise draws.  Epsilon = inf isolates the
 approximation error, exactly as in the leftmost points of the paper's
 figures.
+
+Two sweep engines produce identical numbers: ``engine="vectorized"`` (the
+default) factors the whole sweep onto the batch kernel via
+:class:`~repro.experiments.engine.SweepEngine` — one kernel, one cluster
+release, and one reference pass per measure, then one noise tensor + one
+matmul per repeat; ``engine="reference"`` is the original per-user
+``evaluate_factory`` loop.  Checkpoint keys and cell values do not depend
+on the engine, so a sweep checkpointed under one engine resumes under the
+other.
 """
 
 from __future__ import annotations
 
 import math
 from dataclasses import dataclass
-from typing import Callable, Dict, List, Optional, Sequence, Union
+from typing import Callable, Dict, List, Optional, Sequence, Tuple, Union
 
+from repro.cache.store import SimilarityStore
 from repro.community.clustering import Clustering
 from repro.core.private import PrivateSocialRecommender, louvain_strategy
 from repro.datasets.dataset import SocialRecDataset
 from repro.exceptions import ExperimentError
 from repro.experiments.checkpoint import SweepCheckpoint, encode_epsilon
+from repro.experiments.engine import EngineStats, SweepEngine, validate_engine
 from repro.experiments.evaluation import EvaluationContext, evaluate_factory
 from repro.graph.social_graph import SocialGraph
 from repro.resilience.faults import fault_point
 from repro.similarity.base import SimilarityMeasure
 
-__all__ = ["TradeoffCell", "run_tradeoff", "format_tradeoff_table"]
+__all__ = [
+    "TradeoffCell",
+    "TradeoffResult",
+    "run_tradeoff",
+    "format_tradeoff_table",
+]
 
 
 @dataclass(frozen=True)
@@ -72,6 +88,20 @@ def _cell_key(
     )
 
 
+class TradeoffResult(List[TradeoffCell]):
+    """A list of :class:`TradeoffCell` with a ``stats`` attribute.
+
+    Behaves exactly like the plain list previous versions returned;
+    ``stats`` carries the vectorized engine's
+    :class:`~repro.experiments.engine.EngineStats` counters (None when the
+    reference engine ran).
+    """
+
+    def __init__(self, *args) -> None:
+        super().__init__(*args)
+        self.stats: Optional[EngineStats] = None
+
+
 def run_tradeoff(
     dataset: SocialRecDataset,
     measures: Sequence[SimilarityMeasure],
@@ -83,7 +113,11 @@ def run_tradeoff(
     louvain_runs: int = 10,
     seed: int = 0,
     checkpoint: Optional[Union[str, SweepCheckpoint]] = None,
-) -> List[TradeoffCell]:
+    engine: str = "vectorized",
+    workers: Optional[int] = None,
+    store: Optional[SimilarityStore] = None,
+    backend: str = "auto",
+) -> TradeoffResult:
     """Run the Figure 1/2 sweep on one dataset.
 
     Args:
@@ -105,10 +139,23 @@ def run_tradeoff(
             skipped on rerun.  Each cell's noise streams derive from the
             master seed alone, so a resumed sweep is bit-identical to an
             uninterrupted one.
+        engine: ``"vectorized"`` (default) scores cells with the batched
+            :class:`~repro.experiments.engine.SweepEngine`;
+            ``"reference"`` keeps the original per-user loop.  Both
+            produce the same numbers and checkpoint keys.
+        workers: with ``workers >= 2`` the vectorized engine fans epsilon
+            cells out over a process pool (ignored by the reference
+            engine).
+        store: optional persistent similarity cache for the vectorized
+            engine's kernels.
+        backend: kernel construction backend for the vectorized engine
+            (``auto | vectorized | python``).
 
     Returns:
-        One :class:`TradeoffCell` per (measure, epsilon, n).
+        A :class:`TradeoffResult` — one :class:`TradeoffCell` per
+        (measure, epsilon, n), engine counters on ``.stats``.
     """
+    validate_engine(engine)
     if not measures:
         raise ExperimentError("measures must be non-empty")
     if not epsilons or not ns:
@@ -134,59 +181,100 @@ def run_tradeoff(
     def fixed_clustering(_graph: SocialGraph) -> Clustering:
         return clustering
 
+    sweep_engine: Optional[SweepEngine] = None
+    if engine == "vectorized":
+        sweep_engine = SweepEngine(
+            dataset, store=store, workers=workers, backend=backend
+        )
+
     max_n = max(ns)
-    cells: List[TradeoffCell] = []
-    for measure in measures:
-        context: Optional[EvaluationContext] = None
-        if any(cached(measure, e, n) is None for e in epsilons for n in ns):
-            context = EvaluationContext.build(
-                dataset, measure, max_n=max_n, sample_size=sample_size, seed=seed
-            )
-        for epsilon in epsilons:
-            factory: Callable[[int], PrivateSocialRecommender] = (
-                lambda repeat_seed, m=measure, e=epsilon: PrivateSocialRecommender(
-                    m,
-                    epsilon=e,
-                    n=max_n,
-                    clustering_strategy=fixed_clustering,
-                    seed=repeat_seed,
+    cells = TradeoffResult()
+    if sweep_engine is not None:
+        cells.stats = sweep_engine.stats
+    try:
+        for measure in measures:
+            context: Optional[EvaluationContext] = None
+            if any(cached(measure, e, n) is None for e in epsilons for n in ns):
+                context = EvaluationContext.build(
+                    dataset, measure, max_n=max_n, sample_size=sample_size, seed=seed
                 )
-            )
-            # With eps = inf the recommender is deterministic; one repeat
-            # suffices and keeps the sweep fast.
-            effective_repeats = 1 if math.isinf(epsilon) else repeats
-            for n in ns:
-                key = _cell_key(
-                    dataset, measure, epsilon, n, repeats, seed, sample_size
-                )
-                stored = cached(measure, epsilon, n)
-                if stored is not None:
-                    mean = float(stored["ndcg_mean"])
-                    std = float(stored["ndcg_std"])
-                else:
-                    fault_point("tradeoff.cell")
-                    assert context is not None
-                    mean, std = evaluate_factory(
+            # The vectorized engine scores every uncached (epsilon, n) of
+            # this measure in one batch; cells it abandons (or everything,
+            # under engine="reference") fall through to the per-user path.
+            engine_results: Dict[Tuple[float, int], Tuple[float, float]] = {}
+            if sweep_engine is not None and context is not None:
+                cell_specs = []
+                for epsilon in epsilons:
+                    needed = tuple(
+                        n for n in ns if cached(measure, epsilon, n) is None
+                    )
+                    if needed:
+                        cell_specs.append(
+                            (
+                                epsilon,
+                                needed,
+                                1 if math.isinf(epsilon) else repeats,
+                            )
+                        )
+                if cell_specs:
+                    engine_results = sweep_engine.evaluate_many(
                         context,
-                        factory,
-                        n,
-                        repeats=effective_repeats,
+                        clustering,
+                        cell_specs,
                         base_seed=seed * 1000 + 1,
                     )
-                    if checkpoint is not None:
-                        checkpoint.record(
-                            key, {"ndcg_mean": mean, "ndcg_std": std}
-                        )
-                cells.append(
-                    TradeoffCell(
-                        dataset=dataset.name,
-                        measure=measure.name,
-                        epsilon=epsilon,
-                        n=n,
-                        ndcg_mean=mean,
-                        ndcg_std=std,
+            for epsilon in epsilons:
+                factory: Callable[[int], PrivateSocialRecommender] = (
+                    lambda repeat_seed, m=measure, e=epsilon: PrivateSocialRecommender(
+                        m,
+                        epsilon=e,
+                        n=max_n,
+                        clustering_strategy=fixed_clustering,
+                        seed=repeat_seed,
                     )
                 )
+                # With eps = inf the recommender is deterministic; one repeat
+                # suffices and keeps the sweep fast.
+                effective_repeats = 1 if math.isinf(epsilon) else repeats
+                for n in ns:
+                    key = _cell_key(
+                        dataset, measure, epsilon, n, repeats, seed, sample_size
+                    )
+                    stored = cached(measure, epsilon, n)
+                    if stored is not None:
+                        mean = float(stored["ndcg_mean"])
+                        std = float(stored["ndcg_std"])
+                    else:
+                        fault_point("tradeoff.cell")
+                        assert context is not None
+                        scored = engine_results.get((epsilon, n))
+                        if scored is not None:
+                            mean, std = scored
+                        else:
+                            mean, std = evaluate_factory(
+                                context,
+                                factory,
+                                n,
+                                repeats=effective_repeats,
+                                base_seed=seed * 1000 + 1,
+                            )
+                        if checkpoint is not None:
+                            checkpoint.record(
+                                key, {"ndcg_mean": mean, "ndcg_std": std}
+                            )
+                    cells.append(
+                        TradeoffCell(
+                            dataset=dataset.name,
+                            measure=measure.name,
+                            epsilon=epsilon,
+                            n=n,
+                            ndcg_mean=mean,
+                            ndcg_std=std,
+                        )
+                    )
+    finally:
+        if sweep_engine is not None:
+            sweep_engine.close()
     return cells
 
 

@@ -20,7 +20,15 @@ from repro.metrics.coverage import (
     item_exposure,
     recommendation_gini,
 )
-from repro.metrics.ndcg import average_ndcg, dcg, ndcg_at_n, per_user_ndcg
+from repro.metrics.ndcg import (
+    average_ndcg,
+    dcg,
+    dcg_array,
+    dcg_discounts,
+    ndcg_at_n,
+    ndcg_from_gains,
+    per_user_ndcg,
+)
 from repro.metrics.ranking import precision_at_n, rank_items, recall_at_n
 
 __all__ = [
@@ -28,6 +36,9 @@ __all__ = [
     "ndcg_at_n",
     "average_ndcg",
     "per_user_ndcg",
+    "dcg_discounts",
+    "dcg_array",
+    "ndcg_from_gains",
     "rank_items",
     "precision_at_n",
     "recall_at_n",

@@ -22,9 +22,18 @@ from __future__ import annotations
 import math
 from typing import Dict, Iterable, Mapping, Sequence
 
+import numpy as np
+
 from repro.types import ItemId, UserId
 
-__all__ = ["dcg", "ndcg_at_n", "average_ndcg"]
+__all__ = [
+    "dcg",
+    "ndcg_at_n",
+    "average_ndcg",
+    "dcg_discounts",
+    "dcg_array",
+    "ndcg_from_gains",
+]
 
 
 def dcg(
@@ -102,6 +111,91 @@ def average_ndcg(
             private_rankings[user], reference_rankings[user], ideal_utilities[user], n
         )
     return total / len(users)
+
+
+def dcg_discounts(length: int) -> np.ndarray:
+    """Discount denominators ``max(1, log2(p) + 1)`` for ranks 1..length.
+
+    Computed with ``math.log2`` — the same call the scalar :func:`dcg`
+    makes — so the array path divides by bit-identical denominators.
+    """
+    return np.array(
+        [max(1.0, math.log2(position) + 1.0) for position in range(1, length + 1)]
+    )
+
+
+def dcg_array(gains: np.ndarray) -> np.ndarray:
+    """Cumulative DCG along the last axis of a gain tensor.
+
+    ``gains[..., p]`` is the ideal utility of the item ranked at position
+    ``p + 1``; entries past the end of a shorter ranking are zero.  The
+    result has the same shape, with ``out[..., k]`` equal to the DCG of
+    the first ``k + 1`` positions — every truncation of the ranking scored
+    in one pass.
+
+    Bit-identical to the scalar :func:`dcg` on each prefix: the
+    denominators come from :func:`dcg_discounts` (``math.log2``), the
+    per-position terms are the same ``gain / denominator`` division, and
+    ``np.cumsum`` accumulates them sequentially in rank order exactly like
+    the reference loop (the zero gains the loop skips are exact no-ops
+    under IEEE addition).
+    """
+    gains = np.asarray(gains, dtype=float)
+    length = gains.shape[-1]
+    if length == 0:
+        return np.zeros_like(gains)
+    return np.cumsum(gains / dcg_discounts(length), axis=-1)
+
+
+def ndcg_from_gains(
+    private_gains: np.ndarray,
+    reference_gains: np.ndarray,
+    ns: Sequence[int],
+) -> np.ndarray:
+    """NDCG@n for a batch of users at every cutoff, from gain matrices.
+
+    Args:
+        private_gains: ``(num_users, depth)`` — row ``u``, column ``p``
+            holds the ideal utility of the item the private recommender
+            ranked at position ``p + 1`` for user ``u`` **in the ranking
+            produced for the largest cutoff**; pad with zeros when a
+            ranking is shorter than ``depth``.  Callers whose per-cutoff
+            rankings are not prefixes of each other must build one gain
+            matrix per cutoff instead.
+        reference_gains: same layout for the non-private ranking.
+        ns: cutoffs; each must be >= 1.  Cutoffs beyond ``depth`` score
+            the full available ranking, like the scalar truncation.
+
+    Returns:
+        ``(num_users, len(ns))`` array; ``[u, j]`` is the NDCG@``ns[j]``
+        of user ``u``, exactly matching :func:`ndcg_at_n` on the same
+        rankings (including the 1.0 convention for a non-positive
+        reference DCG).
+
+    Raises:
+        ValueError: if any cutoff is < 1 or the shapes disagree.
+    """
+    private_gains = np.atleast_2d(np.asarray(private_gains, dtype=float))
+    reference_gains = np.atleast_2d(np.asarray(reference_gains, dtype=float))
+    if private_gains.shape != reference_gains.shape:
+        raise ValueError(
+            "gain matrices disagree: "
+            f"{private_gains.shape} vs {reference_gains.shape}"
+        )
+    cutoffs = np.asarray(list(ns), dtype=int)
+    if cutoffs.size and cutoffs.min() < 1:
+        raise ValueError(f"n must be >= 1, got {cutoffs.min()}")
+    num_users, depth = private_gains.shape
+    if depth == 0:
+        # Empty rankings: reference DCG is 0 everywhere -> all ones.
+        return np.ones((num_users, cutoffs.size))
+    columns = np.minimum(cutoffs, depth) - 1
+    private_dcg = dcg_array(private_gains)[:, columns]
+    reference_dcg = dcg_array(reference_gains)[:, columns]
+    scores = np.ones_like(private_dcg)
+    positive = reference_dcg > 0.0
+    scores[positive] = private_dcg[positive] / reference_dcg[positive]
+    return scores
 
 
 def per_user_ndcg(

@@ -84,20 +84,22 @@ class SimilarityCache:
     first pass.  The cache assumes the graph is not mutated after wrapping —
     mutating it invalidates the cache silently, so wrap a finished snapshot.
 
-    ``backend`` picks how rows are materialised: ``"python"`` (the default)
-    computes each row with the measure's own ``similarity_row``;
+    ``backend`` picks how rows are materialised: ``"auto"`` (the default)
+    tries vectorised when the measure supports it and silently degrades to
+    python on failure (counted in :attr:`last_compute_stats`);
     ``"vectorized"`` builds the whole kernel at once on the
     :mod:`repro.compute` CSR path (rows agree with the python backend
-    within 1e-9; CN / Graph Distance / Katz are bit-identical); ``"auto"``
-    tries vectorised when the measure supports it and silently degrades to
-    python on failure (counted in :attr:`last_compute_stats`).
+    within 1e-9; CN / Graph Distance / Katz are bit-identical);
+    ``"python"`` computes each row with the measure's own
+    ``similarity_row`` — pass it explicitly to force the bit-exact
+    reference path.
     """
 
     def __init__(
         self,
         measure: SimilarityMeasure,
         graph: SocialGraph,
-        backend: str = "python",
+        backend: str = "auto",
     ) -> None:
         from repro.compute.stats import ComputeStats, validate_backend
 

@@ -6,7 +6,11 @@ import numpy as np
 import pytest
 
 from repro.community.clustering import Clustering
-from repro.core.cluster_weights import noisy_cluster_item_weights
+from repro.core.cluster_weights import (
+    apply_laplace_noise,
+    cluster_item_averages,
+    noisy_cluster_item_weights,
+)
 from repro.exceptions import ClusteringError, InvalidEpsilonError
 from repro.graph.preference_graph import PreferenceGraph
 
@@ -149,6 +153,122 @@ class TestResultAccessors:
         result = noisy_cluster_item_weights(prefs, clustering, 0.7)
         assert result.epsilon == 0.7
         assert result.clustering is clustering
+
+
+class TestAveragesNoiseSplit:
+    """The cluster_item_averages / apply_laplace_noise factoring."""
+
+    def test_composition_matches_monolithic_call(self, prefs, clustering):
+        averages = cluster_item_averages(prefs, clustering)
+        split = apply_laplace_noise(averages, 0.5, rng=np.random.default_rng(7))
+        whole = noisy_cluster_item_weights(
+            prefs, clustering, 0.5, rng=np.random.default_rng(7)
+        )
+        assert np.array_equal(split, whole.matrix)
+
+    def test_averages_are_pure_and_reusable(self, prefs, clustering):
+        averages = cluster_item_averages(prefs, clustering)
+        before = averages.matrix.copy()
+        first = apply_laplace_noise(averages, 0.5, rng=np.random.default_rng(1))
+        second = apply_laplace_noise(averages, 0.5, rng=np.random.default_rng(2))
+        assert np.array_equal(averages.matrix, before)
+        assert not np.array_equal(first, second)
+
+    def test_infinite_epsilon_returns_copy_of_averages(self, prefs, clustering):
+        averages = cluster_item_averages(prefs, clustering)
+        exact = apply_laplace_noise(averages, math.inf)
+        assert np.array_equal(exact, averages.matrix)
+        assert exact is not averages.matrix
+
+    def test_laplace_scales_match_sensitivity(self, prefs, clustering):
+        averages = cluster_item_averages(prefs, clustering)
+        scales = averages.laplace_scales(0.5)
+        # Delta/( |c| eps ) with Delta = 1 and |c| = 2 for both clusters.
+        assert scales == pytest.approx([1.0, 1.0])
+        assert averages.laplace_scales(math.inf) is None
+
+    def test_user_level_scales(self, prefs, clustering):
+        averages = cluster_item_averages(
+            prefs, clustering, protection="user", user_clamp=10
+        )
+        assert averages.laplace_scales(1.0) == pytest.approx([5.0, 5.0])
+
+    def test_invalid_epsilon_rejected_before_noise(self, prefs, clustering):
+        averages = cluster_item_averages(prefs, clustering)
+        with pytest.raises(InvalidEpsilonError):
+            apply_laplace_noise(averages, -1.0)
+
+    def test_unknown_backend_rejected(self, prefs, clustering):
+        with pytest.raises(ValueError):
+            cluster_item_averages(prefs, clustering, backend="turbo")
+
+
+class TestBackendEquality:
+    """The CSR accumulation must equal the python reference bit-for-bit."""
+
+    def test_simple_graph(self, prefs, clustering):
+        py = cluster_item_averages(prefs, clustering, backend="python")
+        vec = cluster_item_averages(prefs, clustering, backend="vectorized")
+        auto = cluster_item_averages(prefs, clustering, backend="auto")
+        assert np.array_equal(py.matrix, vec.matrix)
+        assert np.array_equal(py.matrix, auto.matrix)
+        assert py.items == vec.items
+
+    def test_weighted_clipped_graph(self, clustering):
+        g = PreferenceGraph()
+        g.add_users([1, 2, 3, 4])
+        g.add_edge(1, "a", weight=3.0)
+        g.add_edge(2, "a", weight=0.25)
+        g.add_edge(2, "b", weight=0.5)
+        g.add_edge(3, "b", weight=1.5)
+        py = cluster_item_averages(g, clustering, max_weight=1.0, backend="python")
+        vec = cluster_item_averages(
+            g, clustering, max_weight=1.0, backend="vectorized"
+        )
+        assert np.array_equal(py.matrix, vec.matrix)
+
+    def test_user_level_clamp(self):
+        clustering = Clustering([[1, 2]])
+        g = PreferenceGraph()
+        g.add_users([1, 2])
+        for item in ["a", "b", "c", "d"]:
+            g.add_edge(1, item)
+        g.add_edge(2, "d")
+        kwargs = dict(protection="user", user_clamp=2)
+        py = cluster_item_averages(g, clustering, backend="python", **kwargs)
+        vec = cluster_item_averages(g, clustering, backend="vectorized", **kwargs)
+        assert np.array_equal(py.matrix, vec.matrix)
+        # The clamp kept only 1's first two items (graph item order).
+        assert py.matrix[py.item_index["c"], 0] == 0.0
+        assert py.matrix[py.item_index["d"], 0] == pytest.approx(0.5)
+
+    def test_random_unweighted_graph(self):
+        rng = np.random.default_rng(11)
+        g = PreferenceGraph()
+        users = list(range(40))
+        g.add_users(users)
+        for u in users:
+            for item in rng.choice(60, size=rng.integers(0, 12), replace=False):
+                g.add_edge(u, f"i{item}")
+        clustering = Clustering(
+            [users[:13], users[13:20], users[20:39], [users[39]]]
+        )
+        py = cluster_item_averages(g, clustering, backend="python")
+        vec = cluster_item_averages(g, clustering, backend="vectorized")
+        assert np.array_equal(py.matrix, vec.matrix)
+
+    def test_empty_graph(self):
+        g = PreferenceGraph()
+        clustering = Clustering([])
+        py = cluster_item_averages(g, clustering, backend="python")
+        vec = cluster_item_averages(g, clustering, backend="vectorized")
+        assert py.matrix.shape == vec.matrix.shape == (0, 0)
+
+    def test_unclustered_user_rejected_by_both(self, prefs):
+        partial = Clustering([[1, 2]])
+        for backend in ("python", "vectorized"):
+            with pytest.raises(ClusteringError):
+                cluster_item_averages(prefs, partial, backend=backend)
 
 
 class TestEmpiricalDifferentialPrivacy:

@@ -1,0 +1,360 @@
+"""Unit tests for the vectorized sweep engine.
+
+The contract under test is *exact* equivalence: every number the
+vectorized engine produces — cell means/stds, per-user scores, the item
+order of each ranking — must equal the reference per-user path
+bit-for-bit, because checkpoints and figures are engine-interchangeable.
+"""
+
+import math
+
+import pytest
+
+from repro.core.private import PrivateSocialRecommender, louvain_strategy
+from repro.experiments.comparison import run_comparison
+from repro.experiments.degree_effect import run_degree_effect
+from repro.experiments.engine import (
+    ENGINES,
+    SweepEngine,
+    validate_engine,
+)
+from repro.experiments.evaluation import EvaluationContext, evaluate_factory
+from repro.experiments.tradeoff import run_tradeoff
+from repro.resilience.faults import FaultPlan, FaultSpec
+from repro.similarity.adamic_adar import AdamicAdar
+from repro.similarity.common_neighbors import CommonNeighbors
+
+MEASURE = CommonNeighbors()
+
+
+@pytest.fixture(scope="module")
+def clustering(lastfm_small):
+    return louvain_strategy(runs=3, seed=0)(lastfm_small.social)
+
+
+@pytest.fixture(scope="module")
+def context(lastfm_small):
+    return EvaluationContext.build(lastfm_small, MEASURE, max_n=50, seed=0)
+
+
+@pytest.fixture
+def engine(lastfm_small):
+    eng = SweepEngine(lastfm_small)
+    yield eng
+    eng.close()
+
+
+def reference_scores(context, clustering, epsilon, n, repeats, base_seed):
+    """The per-user reference path for one cell, as the drivers run it."""
+
+    def fixed(_graph):
+        return clustering
+
+    factory = lambda seed: PrivateSocialRecommender(  # noqa: E731
+        MEASURE,
+        epsilon=epsilon,
+        n=context.max_n,
+        clustering_strategy=fixed,
+        seed=seed,
+    )
+    return evaluate_factory(
+        context, factory, n, repeats=repeats, base_seed=base_seed
+    )
+
+
+class TestValidation:
+    def test_known_engines(self):
+        for engine in ENGINES:
+            validate_engine(engine)
+
+    def test_unknown_engine_rejected(self):
+        with pytest.raises(ValueError, match="unknown engine"):
+            validate_engine("bogus")
+
+    def test_run_tradeoff_rejects_unknown_engine(self, lastfm_small):
+        with pytest.raises(ValueError, match="unknown engine"):
+            run_tradeoff(lastfm_small, [MEASURE], engine="bogus")
+
+    def test_bad_workers_rejected(self, lastfm_small):
+        with pytest.raises(ValueError, match="workers"):
+            SweepEngine(lastfm_small, workers=0)
+
+    def test_bad_chunk_size_rejected(self, lastfm_small):
+        with pytest.raises(ValueError, match="chunk_size"):
+            SweepEngine(lastfm_small, chunk_size=0)
+
+    def test_bad_backend_rejected(self, lastfm_small):
+        with pytest.raises(ValueError):
+            SweepEngine(lastfm_small, backend="gpu")
+
+
+class TestEquivalence:
+    @pytest.mark.parametrize("epsilon", [math.inf, 1.0, 0.1])
+    def test_evaluate_matches_reference_exactly(
+        self, engine, context, clustering, epsilon
+    ):
+        repeats = 1 if math.isinf(epsilon) else 2
+        scored = engine.evaluate(
+            context, clustering, epsilon, [10, 50], repeats, base_seed=11
+        )
+        for n in (10, 50):
+            mean, std = reference_scores(
+                context, clustering, epsilon, n, repeats, base_seed=11
+            )
+            assert scored[n] == (mean, std)
+
+    def test_chunked_scoring_identical(self, lastfm_small, context, clustering):
+        with SweepEngine(lastfm_small) as whole, SweepEngine(
+            lastfm_small, chunk_size=7
+        ) as chunked:
+            assert whole.evaluate(
+                context, clustering, 0.5, [10, 50], 2, base_seed=3
+            ) == chunked.evaluate(
+                context, clustering, 0.5, [10, 50], 2, base_seed=3
+            )
+
+    def test_repeat_rankings_match_recommender(
+        self, engine, context, clustering, lastfm_small
+    ):
+        def fixed(_graph):
+            return clustering
+
+        recommender = PrivateSocialRecommender(
+            MEASURE, epsilon=1.0, n=10, clustering_strategy=fixed, seed=5
+        )
+        recommender.fit(lastfm_small.social, lastfm_small.preferences)
+        rankings = engine.repeat_rankings(context, clustering, 1.0, 5, [10])[10]
+        for user in context.users:
+            assert rankings[user] == recommender.recommend(user, n=10).item_ids()
+
+    def test_per_user_scores_match_reference(
+        self, engine, context, clustering, lastfm_small
+    ):
+        def fixed(_graph):
+            return clustering
+
+        recommender = PrivateSocialRecommender(
+            MEASURE, epsilon=math.inf, n=50, clustering_strategy=fixed, seed=0
+        )
+        recommender.fit(lastfm_small.social, lastfm_small.preferences)
+        rankings = {
+            u: recommender.recommend(u, n=50).item_ids() for u in context.users
+        }
+        expected = context.per_user_ndcg_of_rankings(rankings, 50)
+        assert engine.per_user_scores(
+            context, clustering, math.inf, 0, 50
+        ) == expected
+
+    def test_run_tradeoff_engines_identical(self, lastfm_small):
+        kwargs = dict(
+            measures=[MEASURE, AdamicAdar()],
+            epsilons=(math.inf, 1.0, 0.1),
+            ns=(10, 50),
+            repeats=2,
+            seed=0,
+        )
+        vectorized = run_tradeoff(lastfm_small, engine="vectorized", **kwargs)
+        reference = run_tradeoff(lastfm_small, engine="reference", **kwargs)
+        assert list(vectorized) == list(reference)
+
+    def test_run_degree_effect_engines_identical(self, lastfm_small):
+        kwargs = dict(n=20, threshold=10, louvain_runs=2, seed=0)
+        vectorized = run_degree_effect(
+            lastfm_small, MEASURE, engine="vectorized", **kwargs
+        )
+        reference = run_degree_effect(
+            lastfm_small, MEASURE, engine="reference", **kwargs
+        )
+        assert vectorized == reference
+
+    def test_run_comparison_cluster_engines_identical(self, lastfm_small):
+        kwargs = dict(
+            epsilons=(1.0,),
+            n=10,
+            mechanisms=("cluster",),
+            repeats=2,
+            louvain_runs=2,
+            seed=0,
+        )
+        vectorized = run_comparison(
+            lastfm_small, [MEASURE], engine="vectorized", **kwargs
+        )
+        reference = run_comparison(
+            lastfm_small, [MEASURE], engine="reference", **kwargs
+        )
+        assert vectorized == reference
+
+    def test_clustering_ablation_engines_identical(self, lastfm_small):
+        from repro.community.strategies import (
+            single_cluster_clustering,
+            singleton_clustering,
+        )
+        from repro.experiments.ablation import run_clustering_ablation
+
+        users = lastfm_small.social.users()
+        strategies = {
+            "single-cluster": single_cluster_clustering(users),
+            "singleton": singleton_clustering(users),
+        }
+        kwargs = dict(
+            epsilon=1.0, n=10, repeats=2, strategies=strategies, seed=0
+        )
+        vectorized = run_clustering_ablation(
+            lastfm_small, MEASURE, engine="vectorized", **kwargs
+        )
+        reference = run_clustering_ablation(
+            lastfm_small, MEASURE, engine="reference", **kwargs
+        )
+        assert vectorized == reference
+
+    def test_checkpoint_interchangeable_across_engines(
+        self, lastfm_small, tmp_path
+    ):
+        """A sweep checkpointed under one engine resumes under the other."""
+        path = str(tmp_path / "sweep.jsonl")
+        kwargs = dict(
+            measures=[MEASURE],
+            epsilons=(1.0, 0.1),
+            ns=(10,),
+            repeats=2,
+            seed=0,
+            checkpoint=path,
+        )
+        first = run_tradeoff(lastfm_small, engine="vectorized", **kwargs)
+        resumed = run_tradeoff(lastfm_small, engine="reference", **kwargs)
+        assert list(first) == list(resumed)
+        # The resumed run read every cell from the checkpoint: its engine
+        # never scored anything.
+        assert resumed.stats is None
+
+
+class TestStats:
+    def test_vectorized_result_carries_stats(self, lastfm_small):
+        cells = run_tradeoff(
+            lastfm_small,
+            measures=[MEASURE],
+            epsilons=(1.0,),
+            ns=(10,),
+            repeats=2,
+            seed=0,
+            engine="vectorized",
+        )
+        assert cells.stats is not None
+        assert cells.stats.mode == "sequential"
+        assert cells.stats.cells == 1
+        assert cells.stats.repeats == 2
+        assert cells.stats.legacy_cells == 0
+        assert cells.stats.wall_seconds > 0.0
+
+    def test_reference_result_has_no_stats(self, lastfm_small):
+        cells = run_tradeoff(
+            lastfm_small,
+            measures=[MEASURE],
+            epsilons=(1.0,),
+            ns=(10,),
+            repeats=1,
+            seed=0,
+            engine="reference",
+        )
+        assert cells.stats is None
+
+
+class TestParallel:
+    def test_workers_match_sequential_exactly(
+        self, lastfm_small, context, clustering
+    ):
+        cells = [(1.0, (10, 50), 2), (0.1, (10, 50), 2)]
+        with SweepEngine(lastfm_small) as sequential, SweepEngine(
+            lastfm_small, workers=2
+        ) as parallel:
+            expected = sequential.evaluate_many(
+                context, clustering, cells, base_seed=1
+            )
+            actual = parallel.evaluate_many(
+                context, clustering, cells, base_seed=1
+            )
+        assert actual == expected
+        assert parallel.stats.mode == "parallel"
+        assert sequential.stats.mode == "sequential"
+
+    def test_single_cell_stays_sequential(
+        self, lastfm_small, context, clustering
+    ):
+        with SweepEngine(lastfm_small, workers=2) as engine:
+            engine.evaluate(context, clustering, 1.0, [10], 1)
+            assert engine.stats.mode == "sequential"
+
+
+class TestFaultLadder:
+    def test_sequential_cell_fault_abandons_to_reference(
+        self, engine, context, clustering
+    ):
+        plan = FaultPlan([FaultSpec(site="engine.cell", on_call=1)])
+        with plan.installed():
+            results = engine.evaluate_many(
+                context, clustering, [(1.0, (10,), 1), (0.1, (10,), 1)]
+            )
+        assert plan.fired == ["engine.cell#1:raise"]
+        assert engine.stats.legacy_cells == 1
+        assert (1.0, 10) not in results
+        assert (0.1, 10) in results
+
+    def test_repeat_fault_abandons_cell(self, engine, context, clustering):
+        plan = FaultPlan([FaultSpec(site="engine.repeat", on_call=2)])
+        with plan.installed():
+            results = engine.evaluate(context, clustering, 1.0, [10], 3)
+        assert results == {}
+        assert engine.stats.legacy_cells == 1
+
+    def test_parallel_cell_fault_rescored_in_parent(
+        self, lastfm_small, context, clustering
+    ):
+        cells = [(1.0, (10,), 2), (0.1, (10,), 2)]
+        with SweepEngine(lastfm_small, workers=2) as faulted:
+            plan = FaultPlan([FaultSpec(site="engine.cell", on_call=1)])
+            with plan.installed():
+                results = faulted.evaluate_many(
+                    context, clustering, cells, base_seed=1
+                )
+            assert faulted.stats.fallback_cells == 1
+            assert faulted.stats.legacy_cells == 0
+        with SweepEngine(lastfm_small) as clean:
+            expected = clean.evaluate_many(
+                context, clustering, cells, base_seed=1
+            )
+        assert results == expected
+
+    def test_parallel_double_fault_drops_only_that_cell(
+        self, lastfm_small, context, clustering
+    ):
+        cells = [(1.0, (10,), 1), (0.1, (10,), 1)]
+        with SweepEngine(lastfm_small, workers=2) as engine:
+            plan = FaultPlan(
+                [
+                    FaultSpec(site="engine.cell", on_call=1),
+                    FaultSpec(site="engine.repeat", repeat=True),
+                ]
+            )
+            with plan.installed():
+                results = engine.evaluate_many(context, clustering, cells)
+            assert engine.stats.fallback_cells == 1
+            assert engine.stats.legacy_cells == 1
+        assert (1.0, 10) not in results
+        assert (0.1, 10) in results
+
+    def test_tradeoff_driver_survives_engine_faults(self, lastfm_small):
+        """Cells the engine abandons fall through to evaluate_factory with
+        the exact same numbers."""
+        kwargs = dict(
+            measures=[MEASURE],
+            epsilons=(1.0, 0.1),
+            ns=(10,),
+            repeats=2,
+            seed=0,
+        )
+        plan = FaultPlan([FaultSpec(site="engine.cell", repeat=True)])
+        with plan.installed():
+            degraded = run_tradeoff(lastfm_small, engine="vectorized", **kwargs)
+        assert degraded.stats.legacy_cells == 2
+        clean = run_tradeoff(lastfm_small, engine="vectorized", **kwargs)
+        assert list(degraded) == list(clean)

@@ -2,9 +2,26 @@
 
 import math
 
+import numpy as np
 import pytest
 
-from repro.metrics.ndcg import average_ndcg, dcg, ndcg_at_n, per_user_ndcg
+from repro.metrics.ndcg import (
+    average_ndcg,
+    dcg,
+    dcg_array,
+    dcg_discounts,
+    ndcg_at_n,
+    ndcg_from_gains,
+    per_user_ndcg,
+)
+
+
+def _gain_row(ranking, utilities, depth):
+    """The gain vector the array path expects for one ranked list."""
+    row = [0.0] * depth
+    for position, item in enumerate(ranking[:depth]):
+        row[position] = utilities.get(item, 0.0)
+    return row
 
 
 class TestDcg:
@@ -72,6 +89,71 @@ class TestNdcgAtN:
         utilities = {"a": 3.0, "b": 2.0, "c": 1.0, "d": 0.5}
         score = ndcg_at_n(["d", "c", "b", "a"], ["a", "b", "c", "d"], utilities, 4)
         assert 0.0 <= score <= 1.0
+
+
+class TestArrayPath:
+    """The vectorised DCG/NDCG path must equal the scalar path exactly."""
+
+    def test_discounts_match_scalar_denominators(self):
+        discounts = dcg_discounts(6)
+        for position in range(1, 7):
+            assert discounts[position - 1] == max(
+                1.0, math.log2(position) + 1.0
+            )
+
+    def test_dcg_array_prefixes_match_scalar(self):
+        utilities = {"a": 3.0, "b": 0.0, "c": 1.25, "d": 0.7, "e": 2.0}
+        ranking = ["a", "b", "c", "d", "e"]
+        gains = np.array([_gain_row(ranking, utilities, 5)])
+        cumulative = dcg_array(gains)[0]
+        for k in range(1, 6):
+            assert cumulative[k - 1] == dcg(ranking[:k], utilities)
+
+    def test_dcg_array_empty(self):
+        assert dcg_array(np.zeros((3, 0))).shape == (3, 0)
+
+    def test_ndcg_from_gains_matches_scalar(self):
+        utilities = {"a": 3.0, "b": 2.0, "c": 1.0, "d": 0.5}
+        private = ["d", "c", "b", "a"]
+        reference = ["a", "b", "c", "d"]
+        ns = [1, 2, 3, 4]
+        scores = ndcg_from_gains(
+            np.array([_gain_row(private, utilities, 4)]),
+            np.array([_gain_row(reference, utilities, 4)]),
+            ns,
+        )
+        for j, n in enumerate(ns):
+            assert scores[0, j] == ndcg_at_n(private, reference, utilities, n)
+
+    def test_zero_reference_rows_score_one(self):
+        scores = ndcg_from_gains(
+            np.array([[1.0, 0.5], [0.0, 0.0]]),
+            np.array([[0.0, 0.0], [0.0, 0.0]]),
+            [1, 2],
+        )
+        assert np.array_equal(scores, np.ones((2, 2)))
+
+    def test_cutoff_beyond_depth_scores_full_ranking(self):
+        utilities = {"a": 2.0, "b": 1.0}
+        private, reference = ["b", "a"], ["a", "b"]
+        scores = ndcg_from_gains(
+            np.array([_gain_row(private, utilities, 2)]),
+            np.array([_gain_row(reference, utilities, 2)]),
+            [10],
+        )
+        assert scores[0, 0] == ndcg_at_n(private, reference, utilities, 10)
+
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            ndcg_from_gains(np.zeros((1, 2)), np.zeros((1, 3)), [1])
+
+    def test_invalid_cutoff_rejected(self):
+        with pytest.raises(ValueError):
+            ndcg_from_gains(np.zeros((1, 2)), np.zeros((1, 2)), [0])
+
+    def test_empty_depth_scores_one(self):
+        scores = ndcg_from_gains(np.zeros((2, 0)), np.zeros((2, 0)), [1, 5])
+        assert np.array_equal(scores, np.ones((2, 2)))
 
 
 class TestAverageNdcg:

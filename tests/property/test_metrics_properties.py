@@ -1,9 +1,10 @@
 """Property-based tests for the ranking metrics."""
 
+import numpy as np
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from repro.metrics.ndcg import dcg, ndcg_at_n
+from repro.metrics.ndcg import dcg, dcg_array, ndcg_at_n, ndcg_from_gains
 from repro.metrics.ranking import precision_at_n, rank_items, recall_at_n
 
 utilities_maps = st.dictionaries(
@@ -44,6 +45,47 @@ class TestNdcgProperties:
         best = rank_items(utilities)[:n]
         worst = list(reversed(rank_items(utilities)))[:n]
         assert dcg(best, utilities) >= dcg(worst, utilities) - 1e-9
+
+
+def _gain_row(ranking, utilities, depth):
+    row = [0.0] * depth
+    for position, item in enumerate(ranking[:depth]):
+        row[position] = utilities.get(item, 0.0)
+    return row
+
+
+class TestVectorizedNdcgEquivalence:
+    """The array path is a second implementation of Eq. 2: on arbitrary
+    utility maps, permutations, and cutoffs it must equal the scalar
+    ``ndcg_at_n`` bit for bit — not approximately."""
+
+    @given(utilities_maps, st.integers(0, 2**32 - 1), st.integers(1, 12))
+    @settings(max_examples=80, deadline=None)
+    def test_ndcg_from_gains_equals_scalar(self, utilities, shuffle_seed, depth):
+        import random
+
+        reference = rank_items(utilities)
+        private = list(reference)
+        random.Random(shuffle_seed).shuffle(private)
+        ns = list(range(1, depth + 1))
+        scores = ndcg_from_gains(
+            np.array([_gain_row(private, utilities, depth)]),
+            np.array([_gain_row(reference, utilities, depth)]),
+            ns,
+        )
+        for j, n in enumerate(ns):
+            expected = ndcg_at_n(private[:depth], reference[:depth], utilities, n)
+            assert scores[0, j] == expected
+
+    @given(utilities_maps, st.integers(1, 12))
+    @settings(max_examples=80, deadline=None)
+    def test_dcg_array_equals_scalar_on_prefixes(self, utilities, depth):
+        ranking = rank_items(utilities)
+        cumulative = dcg_array(
+            np.array([_gain_row(ranking, utilities, depth)])
+        )[0]
+        for k in range(1, depth + 1):
+            assert cumulative[k - 1] == dcg(ranking[:k], utilities)
 
 
 class TestRankingProperties:

@@ -58,7 +58,7 @@ class TestSimilarityCache:
                 calls.append(user)
                 return super().similarity_row(graph, user)
 
-        cache = SimilarityCache(Counting(), triangle_graph)
+        cache = SimilarityCache(Counting(), triangle_graph, backend="python")
         cache.row(1)
         cache.row(1)
         assert calls == [1]
@@ -74,7 +74,7 @@ class TestSimilarityCache:
         assert len(cache) == 3
 
     def test_precompute_subset(self, triangle_graph):
-        cache = SimilarityCache(CommonNeighbors(), triangle_graph)
+        cache = SimilarityCache(CommonNeighbors(), triangle_graph, backend="python")
         cache.precompute([1])
         assert len(cache) == 1
 
@@ -126,8 +126,12 @@ class TestCacheBackends:
         assert stats.backend == "vectorized"
         assert stats.rows == 3
 
-    def test_precompute_backend_override(self, triangle_graph):
+    def test_default_backend_is_auto(self, triangle_graph):
         cache = SimilarityCache(CommonNeighbors(), triangle_graph)
+        assert cache.backend == "auto"
+
+    def test_precompute_backend_override(self, triangle_graph):
+        cache = SimilarityCache(CommonNeighbors(), triangle_graph, backend="python")
         assert cache.backend == "python"
         cache.precompute(backend="vectorized")
         assert cache.last_compute_stats.backend == "vectorized"
@@ -146,7 +150,9 @@ class TestCacheBackends:
                 row["phantom"] = 0.0
                 return row
 
-        cache = SimilarityCache(WithZeros(), triangle_graph)
+        # Force the python path: the custom row override keeps the "cn"
+        # registry name, so "auto" would legitimately vectorise past it.
+        cache = SimilarityCache(WithZeros(), triangle_graph, backend="python")
         assert "phantom" in cache.row(1)
         assert cache.similarity_set(1) == frozenset({2, 3})
 

@@ -23,6 +23,21 @@ class TestParser:
         assert args.measures == ["cn"]
         assert args.epsilons == ["inf", "0.5"]
 
+    def test_tradeoff_engine_defaults(self):
+        args = build_parser().parse_args(["tradeoff"])
+        assert args.engine == "vectorized"
+        assert args.workers is None
+        assert args.cache_dir is None
+        assert args.backend == "auto"
+
+    def test_tradeoff_rejects_unknown_engine(self, capsys):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["tradeoff", "--engine", "bogus"])
+
+    def test_tradeoff_rejects_zero_workers(self, capsys):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["tradeoff", "--workers", "0"])
+
     def test_attack_epsilon_parsing(self):
         args = build_parser().parse_args(["attack", "--epsilon", "inf"])
         import math
@@ -199,8 +214,62 @@ class TestTradeoffCheckpoint:
         with open(ckpt, encoding="utf-8") as handle:
             assert len(handle.read().splitlines()) == 2
         # second run resumes from the checkpoint and prints the same table
+        # (the engine-stats epilogue differs: the resume scores nothing)
+        def table(out):
+            return out.split("engine:")[0]
+
         assert main(argv) == 0
-        assert capsys.readouterr().out == first
+        second = capsys.readouterr().out
+        assert table(second) == table(first)
+        assert "0 cell(s)" in second
+
+
+class TestTradeoffEngine:
+    def test_vectorized_prints_engine_stats(self, capsys):
+        argv = ["tradeoff", "--scale", "0.04", "--seed", "1", "--measures",
+                "cn", "--epsilons", "inf", "1.0", "--ns", "5",
+                "--repeats", "1"]
+        assert main(argv) == 0
+        out = capsys.readouterr().out
+        assert "engine:" in out
+        assert "mode=sequential" in out
+        assert "kernel:" in out
+        assert "compute:" in out
+
+    def test_reference_engine_prints_no_stats(self, capsys):
+        argv = ["tradeoff", "--scale", "0.04", "--seed", "1", "--measures",
+                "cn", "--epsilons", "1.0", "--ns", "5", "--repeats", "1",
+                "--engine", "reference"]
+        assert main(argv) == 0
+        out = capsys.readouterr().out
+        assert "NDCG@5" in out
+        assert "engine:" not in out
+
+    def test_engines_print_identical_tables(self, capsys):
+        argv = ["tradeoff", "--scale", "0.04", "--seed", "1", "--measures",
+                "cn", "aa", "--epsilons", "inf", "0.5", "--ns", "5",
+                "--repeats", "2"]
+        assert main(argv + ["--engine", "vectorized"]) == 0
+        vectorized = capsys.readouterr().out.split("engine:")[0]
+        assert main(argv + ["--engine", "reference"]) == 0
+        reference = capsys.readouterr().out
+        assert vectorized == reference
+
+    def test_workers_and_cache_dir(self, tmp_path, capsys):
+        cache_dir = str(tmp_path / "kernels")
+        argv = ["tradeoff", "--scale", "0.04", "--seed", "1", "--measures",
+                "cn", "--epsilons", "1.0", "0.5", "--ns", "5", "--repeats",
+                "2", "--workers", "2", "--cache-dir", cache_dir]
+        assert main(argv) == 0
+        out = capsys.readouterr().out
+        assert "mode=parallel" in out
+        assert "1 miss(es)" in out
+        assert f"cache dir:   {cache_dir}" in out
+
+        # Warm cache: the same sweep reports a kernel hit and no misses.
+        assert main(argv) == 0
+        out = capsys.readouterr().out
+        assert "1 cache hit(s), 0 miss(es)" in out
 
 
 class TestCacheCommand:
