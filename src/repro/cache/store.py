@@ -45,6 +45,7 @@ from repro.cache.keys import (
 )
 from repro.exceptions import CacheIntegrityError
 from repro.graph.social_graph import SocialGraph
+from repro.obs.registry import incr as obs_incr
 from repro.resilience.faults import fault_point
 from repro.similarity.base import SimilarityMeasure
 from repro.similarity.matrix import SimilarityMatrix
@@ -376,12 +377,14 @@ class SimilarityStore:
         cached = self._memory_get(key)
         if cached is not None:
             self.stats.memory_hits += 1
+            obs_incr("cache.memory_hit")
             return CacheLookup(matrix=cached, path=path, hit=True)
         corrupt = False
         if os.path.exists(path):
             try:
                 matrix, _ = load_kernel_artifact(path)
                 self.stats.disk_hits += 1
+                obs_incr("cache.disk_hit")
                 self._memory_put(key, matrix)
                 return CacheLookup(matrix=matrix, path=path, hit=True)
             except (CacheIntegrityError, OSError):
@@ -393,7 +396,9 @@ class SimilarityStore:
         matrix = compute()
         if corrupt:
             self.stats.corrupt_recomputed += 1
+            obs_incr("cache.corrupt_recomputed")
         self.stats.misses += 1
+        obs_incr("cache.miss")
         self.put(key, matrix, measure)
         self._memory_put(key, matrix)
         return CacheLookup(matrix=matrix, path=path, hit=False)
@@ -406,6 +411,7 @@ class SimilarityStore:
         path = self.path_for(key)
         save_kernel_artifact(path, matrix, key, measure)
         self.stats.stores += 1
+        obs_incr("cache.store")
         return path
 
     # ------------------------------------------------------------------
@@ -516,6 +522,7 @@ class SimilarityStore:
         while len(self._memory) > self.max_memory_entries:
             self._memory.popitem(last=False)
             self.stats.evictions += 1
+            obs_incr("cache.eviction")
 
     def __repr__(self) -> str:
         return (

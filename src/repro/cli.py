@@ -13,6 +13,13 @@ Commands:
   workers + similarity cache), reporting throughput counters.
 - ``cache``          — manage the persistent similarity-kernel cache
   (``info`` / ``warm`` / ``prune``).
+- ``obs``            — render a recorded observability trace
+  (``repro obs report``).
+
+``tradeoff``, ``batch``, and ``cache warm`` accept ``--profile[=PATH]``:
+the run executes under an active :mod:`repro.obs` registry and writes a
+JSON-lines trace plus a BENCH-style summary (spans, counters, the
+privacy ledger) next to it — see ``docs/observability.md``.
 
 All commands operate on the synthetic datasets (``--dataset lastfm`` /
 ``flixster`` with ``--scale``), or on a real crawl directory via
@@ -28,6 +35,8 @@ from __future__ import annotations
 import argparse
 import math
 import sys
+import time
+from contextlib import contextmanager
 from typing import List, Optional
 
 from repro.attacks.sybil import run_attack_experiment
@@ -109,6 +118,55 @@ def _parse_epsilon(token: str) -> float:
     return float(token)
 
 
+DEFAULT_PROFILE_PATH = "repro-obs.jsonl"
+
+
+def _add_profile_argument(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--profile",
+        nargs="?",
+        const=DEFAULT_PROFILE_PATH,
+        default=None,
+        metavar="PATH",
+        help="record an observability trace (JSON-lines) to PATH "
+        f"(default: {DEFAULT_PROFILE_PATH}) plus a BENCH-style summary "
+        "next to it, and print the span/counter/privacy-ledger report",
+    )
+
+
+@contextmanager
+def _profiled(command: str, trace_path: Optional[str]):
+    """Run a CLI command body under an active telemetry registry.
+
+    No-op when ``trace_path`` is None.  Otherwise the body runs inside a
+    root ``cli.<command>`` span; on exit (even a failing one) the trace
+    and its summary are written and the human report printed, so a
+    crashed run still leaves its telemetry behind.
+    """
+    if not trace_path:
+        yield
+        return
+    from repro import obs
+
+    registry = obs.Telemetry()
+    wall_start = time.perf_counter()
+    try:
+        with obs.telemetry(registry):
+            with obs.span(f"cli.{command}"):
+                yield
+    finally:
+        wall_seconds = time.perf_counter() - wall_start
+        snapshot = registry.snapshot()
+        meta = {"command": command, "wall_seconds": wall_seconds}
+        obs.write_trace(trace_path, snapshot, meta=meta)
+        summary_path = obs.summary_path_for(trace_path)
+        obs.write_summary(
+            summary_path, snapshot, wall_seconds=wall_seconds, meta=meta
+        )
+        print(f"profile:     trace {trace_path}, summary {summary_path}")
+        print(obs.format_report(snapshot, wall_seconds=wall_seconds))
+
+
 def build_parser() -> argparse.ArgumentParser:
     """The CLI argument parser (exposed for testing)."""
     parser = argparse.ArgumentParser(
@@ -166,6 +224,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="kernel construction backend (default: auto — vectorised "
         "when supported, python fallback on failure)",
     )
+    _add_profile_argument(p_trade)
 
     p_degree = sub.add_parser("degree-effect", help="Figure 3 degree analysis")
     _add_dataset_arguments(p_degree)
@@ -261,6 +320,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="kernel construction backend (default: auto — vectorised "
         "when supported, python fallback on failure)",
     )
+    _add_profile_argument(p_batch)
 
     p_cache = sub.add_parser(
         "cache", help="manage the persistent similarity-kernel cache"
@@ -297,6 +357,21 @@ def build_parser() -> argparse.ArgumentParser:
         choices=("auto", "vectorized", "python"),
         default="auto",
         help="kernel construction backend (default: auto)",
+    )
+    _add_profile_argument(p_cache_warm)
+
+    p_obs = sub.add_parser(
+        "obs", help="inspect recorded observability traces"
+    )
+    obs_sub = p_obs.add_subparsers(dest="obs_command", required=True)
+    p_obs_report = obs_sub.add_parser(
+        "report", help="render a --profile trace as human tables"
+    )
+    p_obs_report.add_argument("path", help="path to a .jsonl trace file")
+    p_obs_report.add_argument(
+        "--json",
+        action="store_true",
+        help="print the BENCH-style summary JSON instead of tables",
     )
     return parser
 
@@ -756,6 +831,36 @@ def _cmd_cache(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_obs(args: argparse.Namespace) -> int:
+    """Render a recorded ``--profile`` trace (tables or summary JSON)."""
+    import json as _json
+
+    from repro import obs
+
+    try:
+        snapshot, meta = obs.read_trace(args.path)
+    except (OSError, ValueError) as exc:
+        print(f"repro: error: {exc}", file=sys.stderr)
+        return 2
+    wall = meta.get("wall_seconds")
+    wall = float(wall) if isinstance(wall, (int, float)) else None
+    if args.json:
+        print(
+            _json.dumps(
+                obs.summary_dict(snapshot, wall_seconds=wall, meta=meta),
+                indent=2,
+            )
+        )
+        return 0
+    command = meta.get("command")
+    if command:
+        print(f"trace:       {args.path} (command: {command})")
+    else:
+        print(f"trace:       {args.path}")
+    print(obs.format_report(snapshot, wall_seconds=wall))
+    return 0
+
+
 _COMMANDS = {
     "stats": _cmd_stats,
     "tradeoff": _cmd_tradeoff,
@@ -768,6 +873,7 @@ _COMMANDS = {
     "check-release": _cmd_check_release,
     "batch": _cmd_batch,
     "cache": _cmd_cache,
+    "obs": _cmd_obs,
 }
 
 
@@ -779,8 +885,13 @@ def main(argv: Optional[List[str]] = None) -> int:
     anything else is a bug and keeps its traceback.
     """
     args = build_parser().parse_args(argv)
+    command = args.command
+    subcommand = getattr(args, f"{command}_command", None)
+    if subcommand:
+        command = f"{command}.{subcommand}"
     try:
-        return _COMMANDS[args.command](args)
+        with _profiled(command, getattr(args, "profile", None)):
+            return _COMMANDS[args.command](args)
     except ReproError as exc:
         for family, code in EXIT_CODES:
             if isinstance(exc, family):

@@ -44,6 +44,8 @@ from repro.community.clustering import Clustering
 from repro.community.modularity import modularity
 from repro.compute.stats import validate_backend
 from repro.graph.social_graph import SocialGraph
+from repro.obs.registry import incr as obs_incr
+from repro.obs.spans import span
 from repro.resilience.faults import fault_point
 from repro.types import UserId
 
@@ -603,6 +605,7 @@ def _run_louvain(
     flat = ops.partition(levels, n)
     assignment = {users[i]: int(flat[i]) for i in range(n)}
     clustering = Clustering.from_assignment(assignment)
+    obs_incr("louvain.levels", len(levels))
     return LouvainResult(
         clustering=clustering,
         modularity=modularity(graph, clustering),
@@ -640,19 +643,26 @@ def louvain(
     validate_backend(backend)
     if rng is None:
         rng = np.random.default_rng(0)
-    if backend == "python":
-        return _run_louvain(graph, rng, refine, _PythonBackend)
-    # Snapshot the generator so a fallback replays the identical stream —
-    # the python rerun then produces the exact partition the vectorized
-    # run would have.
-    rng_snapshot = copy.deepcopy(rng)
-    try:
-        fault_point("compute.louvain")
-        return _run_louvain(graph, rng, refine, _VectorizedBackend)
-    except Exception:
-        if backend == "vectorized":
-            raise
-        return _run_louvain(graph, rng_snapshot, refine, _PythonBackend)
+    with span("community.louvain"):
+        obs_incr("louvain.runs")
+        if backend == "python":
+            obs_incr("louvain.backend.python")
+            return _run_louvain(graph, rng, refine, _PythonBackend)
+        # Snapshot the generator so a fallback replays the identical
+        # stream — the python rerun then produces the exact partition the
+        # vectorized run would have.
+        rng_snapshot = copy.deepcopy(rng)
+        try:
+            fault_point("compute.louvain")
+            result = _run_louvain(graph, rng, refine, _VectorizedBackend)
+            obs_incr("louvain.backend.vectorized")
+            return result
+        except Exception:
+            if backend == "vectorized":
+                raise
+            obs_incr("louvain.fallbacks")
+            obs_incr("louvain.backend.python")
+            return _run_louvain(graph, rng_snapshot, refine, _PythonBackend)
 
 
 def _refine_levels(

@@ -40,6 +40,8 @@ from repro.compute.adjacency import CSRAdjacency, adjacency_csr
 from repro.compute.stats import ComputeStats, validate_backend
 from repro.exceptions import ReproError
 from repro.graph.social_graph import SocialGraph
+from repro.obs.adapters import publish_compute_stats
+from repro.obs.spans import span
 from repro.resilience.faults import fault_point
 from repro.similarity.matrix import SimilarityMatrix
 
@@ -338,8 +340,11 @@ def _vectorized_kernel(
     else:
         blocks = []
         for start, stop in bounds:
-            fault_point("compute.kernel.block")
-            blocks.append(_build_block(adj.matrix, adj.degrees, start, stop, params))
+            with span("compute.kernel.block"):
+                fault_point("compute.kernel.block")
+                blocks.append(
+                    _build_block(adj.matrix, adj.degrees, start, stop, params)
+                )
     stats.add_stage("blocks", time.perf_counter() - stage_start)
 
     stage_start = time.perf_counter()
@@ -386,6 +391,31 @@ def build_kernel(
         raise ValueError(f"block_size must be >= 1, got {block_size}")
     if stats is None:
         stats = ComputeStats()
+    with span("compute.build_kernel"):
+        try:
+            return _build_kernel(
+                graph,
+                measure,
+                backend=backend,
+                block_size=block_size,
+                workers=workers,
+                stats=stats,
+            )
+        finally:
+            # Mirror the construction counters into the active telemetry
+            # registry (no-op when disabled or nothing ran).
+            publish_compute_stats(stats)
+
+
+def _build_kernel(
+    graph: SocialGraph,
+    measure: Any,
+    *,
+    backend: str,
+    block_size: int,
+    workers: Optional[int],
+    stats: ComputeStats,
+) -> SimilarityMatrix:
     stats.requested = backend
     stats.measure = getattr(measure, "name", type(measure).__name__)
     resolved = resolve_backend(backend, measure)

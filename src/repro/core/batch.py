@@ -55,6 +55,8 @@ from repro.compute.kernels import build_kernel, supports_vectorized_kernel
 from repro.compute.stats import ComputeStats, validate_backend
 from repro.core.private import PrivateSocialRecommender
 from repro.exceptions import ReproError
+from repro.obs.adapters import publish_batch_stats
+from repro.obs.spans import span
 from repro.resilience.faults import fault_point
 from repro.similarity.base import SimilarityMeasure
 from repro.similarity.matrix import SimilarityMatrix
@@ -139,6 +141,13 @@ class BatchStats:
         compute: the :class:`~repro.compute.stats.ComputeStats` of the
             kernel construction, when one ran during this call (None on a
             warm cache or the per-user path).
+        tier_transitions: degradation-ladder transitions, keyed by edge
+            (``"kernel->per-user"``, ``"pool->parent"``,
+            ``"parent->per-user"``, ``"vectorized->per-user"``).
+            ``fallback_shards``/``fallback_users`` count *work items*;
+            this counts *transitions*, so a pool that degrades to the
+            in-parent ladder mid-run is visible even when every shard
+            still gets served.
     """
 
     mode: str = "sequential"
@@ -153,6 +162,11 @@ class BatchStats:
     cache_misses: int = 0
     kernel_seconds: float = 0.0
     compute: Optional[ComputeStats] = None
+    tier_transitions: Dict[str, int] = field(default_factory=dict)
+
+    def record_transition(self, edge: str) -> None:
+        """Count one degradation-ladder transition (e.g. ``"pool->parent"``)."""
+        self.tier_transitions[edge] = self.tier_transitions.get(edge, 0) + 1
 
 
 class BatchResult(Dict[UserId, RecommendationList]):
@@ -259,6 +273,30 @@ def batch_recommend_all(
         ValueError: for invalid ``n``, ``chunk_size``, ``workers``, or
             ``shard_size``.
     """
+    with span("batch.recommend_all"):
+        return _batch_recommend_all(
+            recommender,
+            users,
+            n,
+            chunk_size,
+            store=store,
+            workers=workers,
+            shard_size=shard_size,
+            backend=backend,
+        )
+
+
+def _batch_recommend_all(
+    recommender: PrivateSocialRecommender,
+    users: Optional[Iterable[UserId]] = None,
+    n: Optional[int] = None,
+    chunk_size: int = 512,
+    *,
+    store: Optional[SimilarityStore] = None,
+    workers: Optional[int] = None,
+    shard_size: Optional[int] = None,
+    backend: str = "auto",
+) -> BatchResult:
     start_time = time.perf_counter()
     state = recommender.state
     weights = recommender.noisy_weights_
@@ -309,6 +347,7 @@ def batch_recommend_all(
         # A failing kernel degrades the whole batch to the (slower but
         # independent) per-user path rather than killing the run.
         sim_matrix = None
+        stats.record_transition("kernel->per-user")
     stats.kernel_seconds = time.perf_counter() - kernel_start
     if compute_stats.backend:  # a construction actually ran
         stats.compute = compute_stats
@@ -359,6 +398,9 @@ def _finalise_stats(stats: BatchStats, served: int, start_time: float) -> None:
     stats.wall_seconds = time.perf_counter() - start_time
     if stats.wall_seconds > 0:
         stats.rows_per_second = served / stats.wall_seconds
+    # Mirror the finished call's counters into the active telemetry
+    # registry (no-op when observability is disabled).
+    publish_batch_stats(stats)
 
 
 def _merge_block(
@@ -406,29 +448,37 @@ def _run_sequential(
         chunk = target_users[start : start + chunk_size]
         chunk_start = time.perf_counter()
         stats.num_shards += 1
-        try:
-            fault_point("batch.chunk")
-            chunk_rows = [sim_matrix.index.get(user) for user in chunk]
-            present = [p for p in chunk_rows if p is not None]
-            dense = np.zeros((len(chunk), num_clusters))
-            if present:
-                dense_present = np.asarray(cluster_sims[present, :].todense())
-                cursor = 0
-                for i, p in enumerate(chunk_rows):
-                    if p is not None:
-                        dense[i, :] = dense_present[cursor, :]
-                        cursor += 1
-            estimates = dense @ release_t  # (chunk x items)
-            zero_rows = [i for i in range(len(chunk)) if not dense[i, :].any()]
-            _merge_block(recommender, results, chunk, estimates, zero_rows, limit)
-        except Exception:
-            # A chunk that fails mid-kernel (bad BLAS call, injected
-            # fault, memory pressure) degrades to the per-user path for
-            # just that chunk; the rest of the batch stays vectorised.
-            stats.fallback_shards += 1
-            for user in chunk:
-                results[user] = recommender.recommend(user, n=limit)
-            stats.fallback_users += len(chunk)
+        with span("batch.chunk"):
+            try:
+                fault_point("batch.chunk")
+                chunk_rows = [sim_matrix.index.get(user) for user in chunk]
+                present = [p for p in chunk_rows if p is not None]
+                dense = np.zeros((len(chunk), num_clusters))
+                if present:
+                    dense_present = np.asarray(
+                        cluster_sims[present, :].todense()
+                    )
+                    cursor = 0
+                    for i, p in enumerate(chunk_rows):
+                        if p is not None:
+                            dense[i, :] = dense_present[cursor, :]
+                            cursor += 1
+                estimates = dense @ release_t  # (chunk x items)
+                zero_rows = [
+                    i for i in range(len(chunk)) if not dense[i, :].any()
+                ]
+                _merge_block(
+                    recommender, results, chunk, estimates, zero_rows, limit
+                )
+            except Exception:
+                # A chunk that fails mid-kernel (bad BLAS call, injected
+                # fault, memory pressure) degrades to the per-user path for
+                # just that chunk; the rest of the batch stays vectorised.
+                stats.fallback_shards += 1
+                stats.record_transition("vectorized->per-user")
+                for user in chunk:
+                    results[user] = recommender.recommend(user, n=limit)
+                stats.fallback_users += len(chunk)
         stats.shard_seconds.append(time.perf_counter() - chunk_start)
 
 
@@ -488,29 +538,37 @@ def _run_parallel(
             for shard, positions, future in zip(shards, positions_per_shard, futures):
                 shard_start = time.perf_counter()
                 stats.num_shards += 1
-                try:
-                    fault_point("batch.shard")
-                    estimates, zero_rows = future.result()
-                except Exception:
-                    # Worker died or was told to fail: rescore this shard
-                    # with the in-parent kernel (same math, same result),
-                    # then per-user if even that fails.
-                    stats.fallback_shards += 1
+                with span("batch.shard"):
                     try:
-                        estimates, zero_rows = _score_positions(
-                            sim_matrix.matrix, indicator, release_t, positions
-                        )
+                        fault_point("batch.shard")
+                        estimates, zero_rows = future.result()
                     except Exception:
-                        for user in shard:
-                            results[user] = recommender.recommend(user, n=limit)
-                        stats.fallback_users += len(shard)
-                        stats.shard_seconds.append(
-                            time.perf_counter() - shard_start
-                        )
-                        continue
-                _merge_block(
-                    recommender, results, shard, estimates, zero_rows, limit
-                )
+                        # Worker died or was told to fail: rescore this
+                        # shard with the in-parent kernel (same math, same
+                        # result), then per-user if even that fails.
+                        stats.fallback_shards += 1
+                        stats.record_transition("pool->parent")
+                        try:
+                            estimates, zero_rows = _score_positions(
+                                sim_matrix.matrix,
+                                indicator,
+                                release_t,
+                                positions,
+                            )
+                        except Exception:
+                            stats.record_transition("parent->per-user")
+                            for user in shard:
+                                results[user] = recommender.recommend(
+                                    user, n=limit
+                                )
+                            stats.fallback_users += len(shard)
+                            stats.shard_seconds.append(
+                                time.perf_counter() - shard_start
+                            )
+                            continue
+                    _merge_block(
+                        recommender, results, shard, estimates, zero_rows, limit
+                    )
                 stats.shard_seconds.append(time.perf_counter() - shard_start)
     finally:
         if ephemeral is not None:

@@ -50,6 +50,7 @@ import scipy.sparse as sp
 from repro.community.clustering import Clustering
 from repro.exceptions import ClusteringError
 from repro.graph.preference_graph import PreferenceGraph
+from repro.obs.ledger import record_laplace_release
 from repro.privacy.mechanisms import validate_epsilon
 from repro.types import ItemId
 
@@ -123,6 +124,18 @@ class ClusterItemAverages:
     protection: str
     user_clamp: int
 
+    @property
+    def sensitivity(self) -> float:
+        """The L1 sensitivity numerator ``Delta`` of one cluster sum.
+
+        ``W`` under edge-level protection, ``W * user_clamp`` under
+        user-level protection; cluster ``c``'s average moves by at most
+        ``Delta / |c|``.
+        """
+        if self.protection == "edge":
+            return self.max_weight
+        return self.max_weight * self.user_clamp
+
     def laplace_scales(self, epsilon: float) -> Optional[np.ndarray]:
         """Per-cluster Laplace scale ``Delta / (|c| * eps)`` for ``epsilon``.
 
@@ -133,13 +146,8 @@ class ClusterItemAverages:
         epsilon = validate_epsilon(epsilon)
         if math.isinf(epsilon) or not self.matrix.size:
             return None
-        sensitivity = (
-            self.max_weight
-            if self.protection == "edge"
-            else self.max_weight * self.user_clamp
-        )
         sizes = np.asarray(self.clustering.sizes(), dtype=float)
-        return sensitivity / (sizes * epsilon)
+        return self.sensitivity / (sizes * epsilon)
 
 
 def _validate_parameters(
@@ -334,6 +342,12 @@ def apply_laplace_noise(
         return averages.matrix.copy()
     noise = rng.laplace(
         loc=0.0, scale=scales[np.newaxis, :], size=averages.matrix.shape
+    )
+    record_laplace_release(
+        epsilon,
+        averages.clustering.sizes(),
+        averages.sensitivity,
+        items=len(averages.items),
     )
     return averages.matrix + noise
 

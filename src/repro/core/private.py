@@ -32,6 +32,7 @@ from repro.core.base import BaseRecommender, FittedState
 from repro.core.cluster_weights import NoisyClusterWeights, noisy_cluster_item_weights
 from repro.exceptions import NodeNotFoundError, ReproError
 from repro.graph.social_graph import SocialGraph
+from repro.obs.registry import incr as obs_incr
 from repro.privacy.budget import BudgetLedger
 from repro.privacy.mechanisms import validate_epsilon
 from repro.resilience.degradation import degradation_estimates
@@ -215,6 +216,7 @@ class PrivateSocialRecommender(BaseRecommender):
         except NodeNotFoundError:
             sim_vector = None
         if sim_vector is not None and sim_vector.any():
+            obs_incr("serve.tier.personalized")
             estimates = weights.matrix @ sim_vector
             return self._recommend_from_vector(user, weights.items, estimates, limit)
         estimates, tier = degradation_estimates(weights, user)

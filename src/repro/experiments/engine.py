@@ -44,7 +44,7 @@ import statistics
 import tempfile
 import time
 from concurrent.futures import ProcessPoolExecutor
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
@@ -60,6 +60,9 @@ from repro.datasets.dataset import SocialRecDataset
 from repro.exceptions import ExperimentError
 from repro.experiments.evaluation import EvaluationContext
 from repro.metrics.ndcg import dcg_array
+from repro.obs.adapters import publish_engine_stats
+from repro.obs.ledger import record_laplace_release
+from repro.obs.spans import span
 from repro.privacy.mechanisms import validate_epsilon
 from repro.resilience.faults import fault_point
 from repro.similarity.matrix import SimilarityMatrix
@@ -107,6 +110,12 @@ class EngineStats:
         wall_seconds: total time inside ``evaluate_many``.
         compute: the :class:`~repro.compute.stats.ComputeStats` of the
             most recent kernel construction (None on a warm cache).
+        tier_transitions: degradation-ladder transitions, keyed by edge
+            (``"pool->parent"``, ``"parent->legacy"``,
+            ``"sequential->legacy"``).  ``fallback_cells`` /
+            ``legacy_cells`` count *cells*; this counts *transitions*, so
+            mid-run ladder drops are visible even when a cell later
+            succeeds on a lower rung.
     """
 
     mode: str = ""
@@ -121,6 +130,11 @@ class EngineStats:
     kernel_seconds: float = 0.0
     wall_seconds: float = 0.0
     compute: Optional[ComputeStats] = None
+    tier_transitions: Dict[str, int] = field(default_factory=dict)
+
+    def record_transition(self, edge: str) -> None:
+        """Count one degradation-ladder transition (e.g. ``"pool->parent"``)."""
+        self.tier_transitions[edge] = self.tier_transitions.get(edge, 0) + 1
 
 
 @dataclass
@@ -322,17 +336,20 @@ def _cell_scores(
     }
     results: Dict[int, List[float]] = {int(n): [] for n in ns}
     for seed in seeds:
-        if fault_site is not None:
-            fault_point(fault_site)
-        noised = _noised(averages_matrix, scales, int(seed))
-        per_n = _rank_repeat(profile, noised, sizes, columns, ns, chunk_size)
-        for n, (ranked, overrides) in per_n.items():
-            private = _private_dcg(utilities, ranked, overrides)
-            reference = reference_at[n]
-            scores = np.ones(num_users)
-            positive = reference > 0.0
-            scores[positive] = private[positive] / reference[positive]
-            results[n].append(float(np.cumsum(scores)[-1]) / num_users)
+        with span("engine.repeat"):
+            if fault_site is not None:
+                fault_point(fault_site)
+            noised = _noised(averages_matrix, scales, int(seed))
+            per_n = _rank_repeat(
+                profile, noised, sizes, columns, ns, chunk_size
+            )
+            for n, (ranked, overrides) in per_n.items():
+                private = _private_dcg(utilities, ranked, overrides)
+                reference = reference_at[n]
+                scores = np.ones(num_users)
+                positive = reference > 0.0
+                scores[positive] = private[positive] / reference[positive]
+                results[n].append(float(np.cumsum(scores)[-1]) / num_users)
     return results
 
 
@@ -441,12 +458,21 @@ class SweepEngine:
         self._spill_dir: Optional[tempfile.TemporaryDirectory] = None
         self._spill_paths: Dict[tuple, str] = {}
         self._spill_count = 0
+        self._stats_published = False
 
     # ------------------------------------------------------------------
     # lifecycle
     # ------------------------------------------------------------------
     def close(self) -> None:
-        """Release the spill directory (cached arrays stay usable)."""
+        """Release the spill directory (cached arrays stay usable).
+
+        Also publishes :attr:`stats` into the active telemetry registry
+        (once per engine, no-op when observability is disabled), so a
+        profiled run's summary carries the engine counters.
+        """
+        if not self._stats_published:
+            self._stats_published = True
+            publish_engine_stats(self.stats)
         if self._spill_dir is not None:
             self._spill_dir.cleanup()
             self._spill_dir = None
@@ -678,6 +704,16 @@ class SweepEngine:
             ExperimentError: for invalid cutoffs/repeats (mirrors the
                 reference path's validation).
         """
+        with span("engine.evaluate_many"):
+            return self._evaluate_many(context, clustering, cells, base_seed)
+
+    def _evaluate_many(
+        self,
+        context: EvaluationContext,
+        clustering: Clustering,
+        cells: Sequence[CellSpec],
+        base_seed: int = 0,
+    ) -> Dict[Tuple[float, int], Tuple[float, float]]:
         started = time.perf_counter()
         normalised: List[Tuple[float, Tuple[int, ...], int]] = []
         for epsilon, ns, repeats in cells:
@@ -722,19 +758,20 @@ class SweepEngine:
             profile = self._profile_for(
                 measure.name, bundle, evals, cluster_arrays
             )
-            scored[cell_index] = _cell_scores(
-                profile,
-                evals.utilities,
-                evals.reference_cum,
-                averages.matrix,
-                cluster_arrays.sizes,
-                columns,
-                ns,
-                seeds,
-                scales,
-                self.chunk_size,
-                fault_site="engine.repeat",
-            )
+            with span("engine.cell"):
+                scored[cell_index] = _cell_scores(
+                    profile,
+                    evals.utilities,
+                    evals.reference_cum,
+                    averages.matrix,
+                    cluster_arrays.sizes,
+                    columns,
+                    ns,
+                    seeds,
+                    scales,
+                    self.chunk_size,
+                    fault_site="engine.repeat",
+                )
 
         use_pool = (
             self.workers is not None
@@ -792,11 +829,13 @@ class SweepEngine:
                         # result), then abandon it to the reference path
                         # if even that fails.
                         self.stats.fallback_cells += 1
+                        self.stats.record_transition("pool->parent")
                         try:
                             score_sequential(cell_index)
                         except Exception:
                             scored.pop(cell_index, None)
                             self.stats.legacy_cells += 1
+                            self.stats.record_transition("parent->legacy")
         else:
             self.stats.mode = "sequential"
             for cell_index in range(len(pending)):
@@ -806,6 +845,7 @@ class SweepEngine:
                 except Exception:
                     scored.pop(cell_index, None)
                     self.stats.legacy_cells += 1
+                    self.stats.record_transition("sequential->legacy")
 
         for cell_index, (epsilon, ns, seeds, _) in enumerate(pending):
             per_cell = scored.get(cell_index)
@@ -813,6 +853,16 @@ class SweepEngine:
                 continue
             self.stats.cells += 1
             self.stats.repeats += len(seeds)
+            # Ledger each scored repeat's Laplace release in-parent (pool
+            # workers have no active registry); no-op when telemetry is
+            # disabled or no noise was drawn (epsilon = inf).
+            for _ in seeds:
+                record_laplace_release(
+                    epsilon,
+                    cluster_arrays.sizes,
+                    averages.sensitivity,
+                    items=len(averages.items),
+                )
             for n in ns:
                 per_repeat = per_cell[int(n)]
                 mean = statistics.fmean(per_repeat)
@@ -862,9 +912,15 @@ class SweepEngine:
         columns = self._columns_for(context, cluster_arrays)
         profile = self._profile_for(measure.name, bundle, evals, cluster_arrays)
         averages = cluster_arrays.averages
-        noised = _noised(
-            averages.matrix, averages.laplace_scales(epsilon), int(repeat_seed)
-        )
+        scales = averages.laplace_scales(epsilon)
+        noised = _noised(averages.matrix, scales, int(repeat_seed))
+        if scales is not None:
+            record_laplace_release(
+                epsilon,
+                cluster_arrays.sizes,
+                averages.sensitivity,
+                items=len(averages.items),
+            )
         per_n = _rank_repeat(
             profile,
             noised,

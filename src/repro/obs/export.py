@@ -1,0 +1,372 @@
+"""Exporters: JSON-lines traces, benchmark-style summaries, human tables.
+
+Three outputs, one snapshot in:
+
+- :func:`write_trace` / :func:`read_trace` — a JSON-lines trace file
+  (one record per span event, counter, gauge, span aggregate, and ledger
+  charge) that round-trips back into a
+  :class:`~repro.obs.registry.TelemetrySnapshot` bit-for-bit;
+- :func:`summary_dict` / :func:`write_summary` — a ``BENCH_run.json``
+  style summary: a top-level ``benchmarks`` list (one entry per span
+  path with pytest-benchmark-shaped ``stats``) that
+  ``benchmarks/check_regression.py`` can read, plus the counters, gauges,
+  and the composed privacy ledger;
+- :func:`format_report` — the human tables printed by
+  ``repro obs report`` and the ``--profile`` CLI flag.
+
+The trace format is versioned (``meta`` line first); unknown record
+types are ignored on read so newer traces degrade gracefully.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import os
+from typing import Dict, List, Optional, Tuple
+
+from repro.obs.ledger import PrivacyLedgerView
+from repro.obs.registry import LedgerEntry, SpanEvent, TelemetrySnapshot
+
+__all__ = [
+    "TRACE_FORMAT_VERSION",
+    "write_trace",
+    "read_trace",
+    "summary_dict",
+    "write_summary",
+    "summary_path_for",
+    "format_report",
+]
+
+TRACE_FORMAT_VERSION = 1
+
+
+def _finite(value: float):
+    """JSON-safe float: ``inf``/``nan`` become strings (json.loads-stable)."""
+    if math.isinf(value) or math.isnan(value):
+        return repr(value)
+    return value
+
+
+def _unfinite(value) -> float:
+    return float(value)
+
+
+def write_trace(
+    path: str,
+    snapshot: TelemetrySnapshot,
+    meta: Optional[Dict[str, object]] = None,
+) -> None:
+    """Write ``snapshot`` as a JSON-lines trace file.
+
+    The first line is a ``meta`` record carrying the format version plus
+    any caller-provided context (command line, dataset, ...); every
+    further line is one ``span`` / ``span_total`` / ``counter`` /
+    ``gauge`` / ``ledger`` record.
+    """
+    header: Dict[str, object] = {
+        "type": "meta",
+        "format": "repro-obs-trace",
+        "version": TRACE_FORMAT_VERSION,
+    }
+    if meta:
+        header.update(meta)
+    with open(path, "w", encoding="utf-8") as handle:
+        handle.write(json.dumps(header) + "\n")
+        for event in snapshot.spans:
+            handle.write(
+                json.dumps(
+                    {
+                        "type": "span",
+                        "path": event.path,
+                        "start": event.start,
+                        "duration": event.duration,
+                        "status": event.status,
+                    }
+                )
+                + "\n"
+            )
+        for span_path, (count, total) in sorted(snapshot.span_totals.items()):
+            handle.write(
+                json.dumps(
+                    {
+                        "type": "span_total",
+                        "path": span_path,
+                        "count": count,
+                        "seconds": total,
+                        "errors": snapshot.span_errors.get(span_path, 0),
+                    }
+                )
+                + "\n"
+            )
+        for name, value in sorted(snapshot.counters.items()):
+            handle.write(
+                json.dumps({"type": "counter", "name": name, "value": value})
+                + "\n"
+            )
+        for name, gauge in sorted(snapshot.gauges.items()):
+            handle.write(
+                json.dumps(
+                    {"type": "gauge", "name": name, "value": _finite(gauge)}
+                )
+                + "\n"
+            )
+        for entry in snapshot.ledger:
+            handle.write(
+                json.dumps(
+                    {
+                        "type": "ledger",
+                        "release": entry.release,
+                        "label": entry.label,
+                        "epsilon": _finite(entry.epsilon),
+                        "sensitivity": _finite(entry.sensitivity),
+                        "composition": entry.composition,
+                        "count": entry.count,
+                    }
+                )
+                + "\n"
+            )
+
+
+def read_trace(path: str) -> Tuple[TelemetrySnapshot, Dict[str, object]]:
+    """Parse a trace written by :func:`write_trace`.
+
+    Returns ``(snapshot, meta)``.  Unknown record types are skipped;
+    torn trailing lines (a killed writer) are tolerated.
+
+    Raises:
+        ValueError: when the file does not start with a recognised
+            ``meta`` record or declares an unsupported version.
+    """
+    snapshot = TelemetrySnapshot()
+    meta: Dict[str, object] = {}
+    with open(path, "r", encoding="utf-8") as handle:
+        for index, line in enumerate(handle):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                record = json.loads(line)
+            except json.JSONDecodeError:
+                if index == 0:
+                    raise ValueError(
+                        f"{path!r} is not a repro obs trace (unparseable "
+                        f"first line)"
+                    ) from None
+                continue  # torn trailing line
+            kind = record.get("type")
+            if index == 0:
+                if (
+                    kind != "meta"
+                    or record.get("format") != "repro-obs-trace"
+                ):
+                    raise ValueError(
+                        f"{path!r} is not a repro obs trace (missing meta "
+                        f"record)"
+                    )
+                if record.get("version") != TRACE_FORMAT_VERSION:
+                    raise ValueError(
+                        f"{path!r} has trace format "
+                        f"{record.get('version')!r}; this build reads "
+                        f"format {TRACE_FORMAT_VERSION}"
+                    )
+                meta = {
+                    k: v
+                    for k, v in record.items()
+                    if k not in ("type", "format", "version")
+                }
+                continue
+            if kind == "span":
+                snapshot.spans.append(
+                    SpanEvent(
+                        path=record["path"],
+                        start=float(record["start"]),
+                        duration=float(record["duration"]),
+                        status=record.get("status", "ok"),
+                    )
+                )
+            elif kind == "span_total":
+                snapshot.span_totals[record["path"]] = (
+                    int(record["count"]),
+                    float(record["seconds"]),
+                )
+                if record.get("errors"):
+                    snapshot.span_errors[record["path"]] = int(record["errors"])
+            elif kind == "counter":
+                snapshot.counters[record["name"]] = int(record["value"])
+            elif kind == "gauge":
+                snapshot.gauges[record["name"]] = _unfinite(record["value"])
+            elif kind == "ledger":
+                snapshot.ledger.append(
+                    LedgerEntry(
+                        release=record["release"],
+                        label=record["label"],
+                        epsilon=_unfinite(record["epsilon"]),
+                        sensitivity=_unfinite(record["sensitivity"]),
+                        composition=record.get("composition", "parallel"),
+                        count=int(record.get("count", 1)),
+                    )
+                )
+    return snapshot, meta
+
+
+def summary_dict(
+    snapshot: TelemetrySnapshot,
+    wall_seconds: Optional[float] = None,
+    meta: Optional[Dict[str, object]] = None,
+) -> Dict[str, object]:
+    """A ``BENCH_run.json``-compatible summary of one snapshot.
+
+    The ``benchmarks`` list mirrors pytest-benchmark's shape — one entry
+    per span path with ``stats.{mean, median, min, max, total, rounds}``
+    — so ``check_regression.py`` and the existing BENCH tooling can
+    consume observability summaries unchanged.  Counters, gauges, and the
+    composed privacy ledger ride alongside under their own keys.
+    """
+    benchmarks: List[Dict[str, object]] = []
+    for span_path in sorted(snapshot.span_totals):
+        count, total = snapshot.span_totals[span_path]
+        durations = [
+            e.duration for e in snapshot.spans if e.path == span_path
+        ]
+        mean = total / count if count else 0.0
+        stats: Dict[str, object] = {
+            "rounds": count,
+            "total": total,
+            "mean": mean,
+            "median": sorted(durations)[len(durations) // 2] if durations else mean,
+            "min": min(durations) if durations else mean,
+            "max": max(durations) if durations else mean,
+        }
+        benchmarks.append(
+            {
+                "name": span_path,
+                "fullname": f"obs::{span_path}",
+                "stats": stats,
+                "errors": snapshot.span_errors.get(span_path, 0),
+            }
+        )
+    view = PrivacyLedgerView(snapshot.ledger)
+    ledger: Dict[str, object] = {
+        "releases": [
+            {"release": release, "epsilon": epsilon, "charges": charges}
+            for release, epsilon, charges in view.summary()
+        ],
+        "total_epsilon": view.total_epsilon(),
+        "max_sensitivity": view.max_sensitivity(),
+    }
+    summary: Dict[str, object] = {
+        "format": "repro-obs-summary",
+        "version": TRACE_FORMAT_VERSION,
+        "benchmarks": benchmarks,
+        "counters": dict(sorted(snapshot.counters.items())),
+        "gauges": {
+            name: _finite(value)
+            for name, value in sorted(snapshot.gauges.items())
+        },
+        "privacy_ledger": ledger,
+    }
+    if wall_seconds is not None:
+        summary["wall_seconds"] = wall_seconds
+    if meta:
+        summary["meta"] = meta
+    return summary
+
+
+def summary_path_for(trace_path: str) -> str:
+    """Where the summary for ``trace_path`` lives.
+
+    ``BENCH_obs.jsonl -> BENCH_obs.json``; any other extension gets
+    ``.summary.json`` appended so the trace is never overwritten.
+    """
+    root, ext = os.path.splitext(trace_path)
+    if ext == ".jsonl":
+        return root + ".json"
+    return trace_path + ".summary.json"
+
+
+def write_summary(
+    path: str,
+    snapshot: TelemetrySnapshot,
+    wall_seconds: Optional[float] = None,
+    meta: Optional[Dict[str, object]] = None,
+) -> Dict[str, object]:
+    """Write :func:`summary_dict` as pretty JSON; returns the dict."""
+    summary = summary_dict(snapshot, wall_seconds=wall_seconds, meta=meta)
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(summary, handle, indent=2, sort_keys=False)
+        handle.write("\n")
+    return summary
+
+
+def _table(rows: List[List[str]]) -> List[str]:
+    widths = [max(len(row[c]) for row in rows) for c in range(len(rows[0]))]
+    return [
+        "  ".join(cell.ljust(widths[i]) for i, cell in enumerate(row)).rstrip()
+        for row in rows
+    ]
+
+
+def format_report(
+    snapshot: TelemetrySnapshot,
+    wall_seconds: Optional[float] = None,
+    top: int = 20,
+) -> str:
+    """Human-readable tables: spans, counters, and the privacy ledger."""
+    lines: List[str] = []
+    if snapshot.span_totals:
+        lines.append("spans (by total time):")
+        rows = [["path", "count", "total", "mean", "errors"]]
+        ordered = sorted(
+            snapshot.span_totals.items(), key=lambda kv: -kv[1][1]
+        )
+        for span_path, (count, total) in ordered[:top]:
+            rows.append(
+                [
+                    span_path,
+                    str(count),
+                    f"{total * 1000:.1f}ms",
+                    f"{total / count * 1000:.2f}ms" if count else "-",
+                    str(snapshot.span_errors.get(span_path, 0)),
+                ]
+            )
+        lines.extend("  " + line for line in _table(rows))
+        dropped = len(snapshot.span_totals) - min(len(snapshot.span_totals), top)
+        if dropped:
+            lines.append(f"  ... {dropped} more span path(s) omitted")
+        if wall_seconds is not None:
+            lines.append(f"  wall clock: {wall_seconds * 1000:.1f}ms")
+    if snapshot.counters:
+        lines.append("counters:")
+        rows = [["name", "value"]]
+        for name, value in sorted(snapshot.counters.items()):
+            rows.append([name, str(value)])
+        lines.extend("  " + line for line in _table(rows))
+    gauges = {n: v for n, v in snapshot.gauges.items()}
+    if gauges:
+        lines.append("gauges:")
+        rows = [["name", "value"]]
+        for name, value in sorted(gauges.items()):
+            rows.append([name, f"{value:g}"])
+        lines.extend("  " + line for line in _table(rows))
+    view = PrivacyLedgerView(snapshot.ledger)
+    if view.entries:
+        lines.append("privacy ledger (parallel composition per release):")
+        rows = [["release", "epsilon", "charges", "max sensitivity"]]
+        for release, epsilon, charges in view.summary():
+            rows.append(
+                [
+                    release,
+                    f"{epsilon:g}",
+                    str(charges),
+                    f"{view.max_sensitivity(release):g}",
+                ]
+            )
+        lines.extend("  " + line for line in _table(rows))
+        lines.append(
+            f"  total epsilon across releases (sequential): "
+            f"{view.total_epsilon():g}"
+        )
+    if not lines:
+        return "no telemetry recorded"
+    return "\n".join(lines)

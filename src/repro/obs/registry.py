@@ -1,0 +1,362 @@
+"""The telemetry registry: typed counters, gauges, and span aggregates.
+
+One :class:`Telemetry` instance is the single collection point for a
+run's observability data — counter increments, gauge values, hierarchical
+span timings (:mod:`repro.obs.spans`), and the privacy ledger
+(:mod:`repro.obs.ledger`).  The registry is:
+
+- **disabled by default** — no registry is installed until
+  :func:`set_telemetry` (or the :func:`telemetry` context manager) makes
+  one active, and every instrumentation helper (:func:`incr`,
+  :func:`add_gauge`, ``span()``) is a single module-global load plus an
+  ``is None`` check when nothing is installed, so library hot paths pay
+  effectively nothing;
+- **thread-safe** — all mutation goes through one lock;
+- **process-safe by snapshot** — :meth:`Telemetry.snapshot` returns a
+  plain-dataclass :class:`TelemetrySnapshot` that pickles across
+  ``ProcessPoolExecutor`` boundaries, and :meth:`Telemetry.merge` (or the
+  order-independent :func:`merge_snapshots`) folds worker snapshots back
+  into a parent registry.  Integer counters merge bit-exactly;
+  :func:`merge_snapshots` sorts every float contribution before summing
+  with ``math.fsum``, so the merged result is a function of the *multiset*
+  of snapshots, not their arrival order.
+
+Clocks are monotonic throughout (``time.perf_counter``): span starts are
+stored as offsets from the registry's construction instant, so traces
+from one process order correctly and never jump with wall-clock changes.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from math import fsum
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple
+
+__all__ = [
+    "SpanEvent",
+    "LedgerEntry",
+    "TelemetrySnapshot",
+    "Telemetry",
+    "get_telemetry",
+    "set_telemetry",
+    "telemetry",
+    "incr",
+    "add_gauge",
+    "set_gauge",
+    "merge_snapshots",
+]
+
+
+@dataclass(frozen=True)
+class SpanEvent:
+    """One completed span occurrence (an entry of the JSON-lines trace).
+
+    Attributes:
+        path: the full hierarchical name, outermost first, joined by
+            ``/`` — e.g. ``"cli.tradeoff/engine.evaluate_many"``.
+        start: seconds since the registry's epoch (monotonic clock).
+        duration: wall time inside the span, in seconds.
+        status: ``"ok"``, or ``"error"`` when the body raised.
+    """
+
+    path: str
+    start: float
+    duration: float
+    status: str = "ok"
+
+
+@dataclass(frozen=True)
+class LedgerEntry:
+    """One privacy-ledger line: a single mechanism charge.
+
+    Attributes:
+        release: identifies one mechanism invocation (all charges of one
+            release compose together; distinct releases compose
+            sequentially).
+        label: what was charged — e.g. ``"cluster[3]"``.
+        epsilon: the privacy parameter of this charge.
+        sensitivity: the L1 sensitivity the noise was calibrated to
+            (``Delta/|c|`` for the paper's cluster averages).
+        composition: ``"parallel"`` (disjoint data: the release costs the
+            max over such charges) or ``"sequential"`` (overlapping data:
+            charges add).
+        count: scalar releases this entry covers (e.g. items per
+            cluster column), for reporting only.
+    """
+
+    release: str
+    label: str
+    epsilon: float
+    sensitivity: float
+    composition: str = "parallel"
+    count: int = 1
+
+
+@dataclass
+class TelemetrySnapshot:
+    """A picklable, mergeable copy of a registry's state.
+
+    ``span_totals`` maps each span path to ``(count, total_seconds)``;
+    ``span_errors`` counts occurrences that ended in an exception.
+    """
+
+    counters: Dict[str, int] = field(default_factory=dict)
+    gauges: Dict[str, float] = field(default_factory=dict)
+    span_totals: Dict[str, Tuple[int, float]] = field(default_factory=dict)
+    span_errors: Dict[str, int] = field(default_factory=dict)
+    spans: List[SpanEvent] = field(default_factory=list)
+    ledger: List[LedgerEntry] = field(default_factory=list)
+
+
+class Telemetry:
+    """A thread-safe registry of counters, gauges, spans, and the ledger.
+
+    Args:
+        trace: record individual :class:`SpanEvent` occurrences (the
+            JSON-lines trace) in addition to the per-path aggregates.
+        max_events: bound on retained span events; occurrences beyond it
+            still aggregate but their events are dropped and counted
+            under the ``obs.dropped_events`` counter (no silent cap).
+    """
+
+    def __init__(self, trace: bool = True, max_events: int = 100_000) -> None:
+        if max_events < 0:
+            raise ValueError(f"max_events must be >= 0, got {max_events}")
+        self.trace = trace
+        self.max_events = max_events
+        self.epoch = time.perf_counter()
+        self._lock = threading.Lock()
+        self._counters: Dict[str, int] = {}
+        self._gauges: Dict[str, float] = {}
+        self._span_totals: Dict[str, Tuple[int, float]] = {}
+        self._span_errors: Dict[str, int] = {}
+        self._spans: List[SpanEvent] = []
+        self._ledger: List[LedgerEntry] = []
+
+    # ------------------------------------------------------------------
+    # recording
+    # ------------------------------------------------------------------
+    def incr(self, name: str, value: int = 1) -> None:
+        """Add ``value`` to the integer counter ``name``."""
+        with self._lock:
+            self._counters[name] = self._counters.get(name, 0) + int(value)
+
+    def add_gauge(self, name: str, value: float) -> None:
+        """Accumulate ``value`` onto the float gauge ``name``."""
+        with self._lock:
+            self._gauges[name] = self._gauges.get(name, 0.0) + float(value)
+
+    def set_gauge(self, name: str, value: float) -> None:
+        """Overwrite the float gauge ``name`` (last write wins)."""
+        with self._lock:
+            self._gauges[name] = float(value)
+
+    def record_span(
+        self, path: str, start: float, duration: float, status: str = "ok"
+    ) -> None:
+        """Fold one completed span occurrence into the registry.
+
+        Called by :func:`repro.obs.spans.span`; ``start`` is an offset
+        from :attr:`epoch` on the monotonic clock.
+        """
+        with self._lock:
+            count, total = self._span_totals.get(path, (0, 0.0))
+            self._span_totals[path] = (count + 1, total + duration)
+            if status != "ok":
+                self._span_errors[path] = self._span_errors.get(path, 0) + 1
+            if self.trace:
+                if len(self._spans) < self.max_events:
+                    self._spans.append(
+                        SpanEvent(
+                            path=path,
+                            start=start,
+                            duration=duration,
+                            status=status,
+                        )
+                    )
+                else:
+                    self._counters["obs.dropped_events"] = (
+                        self._counters.get("obs.dropped_events", 0) + 1
+                    )
+
+    def record_ledger(self, entry: LedgerEntry) -> None:
+        """Append one privacy-ledger charge."""
+        with self._lock:
+            self._ledger.append(entry)
+
+    # ------------------------------------------------------------------
+    # reading / merging
+    # ------------------------------------------------------------------
+    def counter(self, name: str) -> int:
+        """Current value of counter ``name`` (0 if never incremented)."""
+        with self._lock:
+            return self._counters.get(name, 0)
+
+    def gauge(self, name: str) -> float:
+        """Current value of gauge ``name`` (0.0 if never set)."""
+        with self._lock:
+            return self._gauges.get(name, 0.0)
+
+    def span_total(self, path: str) -> Tuple[int, float]:
+        """``(count, total_seconds)`` for span ``path`` (0, 0.0 if unseen)."""
+        with self._lock:
+            return self._span_totals.get(path, (0, 0.0))
+
+    @property
+    def ledger_entries(self) -> List[LedgerEntry]:
+        with self._lock:
+            return list(self._ledger)
+
+    def snapshot(self) -> TelemetrySnapshot:
+        """A picklable copy of the full registry state."""
+        with self._lock:
+            return TelemetrySnapshot(
+                counters=dict(self._counters),
+                gauges=dict(self._gauges),
+                span_totals=dict(self._span_totals),
+                span_errors=dict(self._span_errors),
+                spans=list(self._spans),
+                ledger=list(self._ledger),
+            )
+
+    def merge(self, snapshot: TelemetrySnapshot) -> None:
+        """Fold a worker snapshot into this registry.
+
+        Integer counters and span counts merge bit-exactly; float gauges
+        and span totals accumulate in call order (use
+        :func:`merge_snapshots` when order-independence of float sums
+        matters).
+        """
+        with self._lock:
+            for name, value in snapshot.counters.items():
+                self._counters[name] = self._counters.get(name, 0) + value
+            for name, value in snapshot.gauges.items():
+                self._gauges[name] = self._gauges.get(name, 0.0) + value
+            for path, (count, total) in snapshot.span_totals.items():
+                base_count, base_total = self._span_totals.get(path, (0, 0.0))
+                self._span_totals[path] = (base_count + count, base_total + total)
+            for path, errors in snapshot.span_errors.items():
+                self._span_errors[path] = self._span_errors.get(path, 0) + errors
+            room = self.max_events - len(self._spans)
+            if self.trace and room > 0:
+                self._spans.extend(snapshot.spans[:room])
+                dropped = len(snapshot.spans) - room
+            else:
+                dropped = len(snapshot.spans) if self.trace else 0
+            if dropped > 0:
+                self._counters["obs.dropped_events"] = (
+                    self._counters.get("obs.dropped_events", 0) + dropped
+                )
+            self._ledger.extend(snapshot.ledger)
+
+
+def merge_snapshots(snapshots: Sequence[TelemetrySnapshot]) -> TelemetrySnapshot:
+    """Merge snapshots into one, independent of their order.
+
+    Integer fields sum exactly.  Every float aggregate (gauges, span
+    total seconds) is computed with ``math.fsum`` over the *sorted*
+    contribution list, and event/ledger lists are concatenated then
+    sorted on all fields — so the result is a pure function of the
+    multiset of snapshots.  The property tests pin permutation
+    invariance bit for bit.
+    """
+    counter_parts: Dict[str, List[int]] = {}
+    gauge_parts: Dict[str, List[float]] = {}
+    span_count_parts: Dict[str, List[int]] = {}
+    span_second_parts: Dict[str, List[float]] = {}
+    error_parts: Dict[str, List[int]] = {}
+    spans: List[SpanEvent] = []
+    ledger: List[LedgerEntry] = []
+    for snapshot in snapshots:
+        for name, value in snapshot.counters.items():
+            counter_parts.setdefault(name, []).append(value)
+        for name, value in snapshot.gauges.items():
+            gauge_parts.setdefault(name, []).append(value)
+        for path, (count, total) in snapshot.span_totals.items():
+            span_count_parts.setdefault(path, []).append(count)
+            span_second_parts.setdefault(path, []).append(total)
+        for path, errors in snapshot.span_errors.items():
+            error_parts.setdefault(path, []).append(errors)
+        spans.extend(snapshot.spans)
+        ledger.extend(snapshot.ledger)
+    spans.sort(key=lambda e: (e.start, e.path, e.duration, e.status))
+    ledger.sort(
+        key=lambda e: (
+            e.release,
+            e.label,
+            e.epsilon,
+            e.sensitivity,
+            e.composition,
+            e.count,
+        )
+    )
+    return TelemetrySnapshot(
+        counters={name: sum(parts) for name, parts in counter_parts.items()},
+        gauges={name: fsum(sorted(parts)) for name, parts in gauge_parts.items()},
+        span_totals={
+            path: (sum(parts), fsum(sorted(span_second_parts[path])))
+            for path, parts in span_count_parts.items()
+        },
+        span_errors={path: sum(parts) for path, parts in error_parts.items()},
+        spans=spans,
+        ledger=ledger,
+    )
+
+
+# ----------------------------------------------------------------------
+# the active registry (None = observability disabled, all hooks no-op)
+# ----------------------------------------------------------------------
+_ACTIVE: Optional[Telemetry] = None
+
+
+def get_telemetry() -> Optional[Telemetry]:
+    """The active registry, or None when observability is disabled."""
+    return _ACTIVE
+
+
+def set_telemetry(registry: Optional[Telemetry]) -> Optional[Telemetry]:
+    """Install ``registry`` as the active one; returns the previous one."""
+    global _ACTIVE
+    previous = _ACTIVE
+    _ACTIVE = registry
+    return previous
+
+
+@contextmanager
+def telemetry(registry: Optional[Telemetry] = None) -> Iterator[Telemetry]:
+    """Activate a registry for the dynamic extent of the ``with`` block.
+
+    Creates a fresh :class:`Telemetry` when none is passed; the previous
+    active registry (usually None) is restored on exit, even on error.
+    """
+    if registry is None:
+        registry = Telemetry()
+    previous = set_telemetry(registry)
+    try:
+        yield registry
+    finally:
+        set_telemetry(previous)
+
+
+def incr(name: str, value: int = 1) -> None:
+    """Increment a counter on the active registry (no-op when disabled)."""
+    registry = _ACTIVE
+    if registry is not None:
+        registry.incr(name, value)
+
+
+def add_gauge(name: str, value: float) -> None:
+    """Accumulate onto a gauge on the active registry (no-op when disabled)."""
+    registry = _ACTIVE
+    if registry is not None:
+        registry.add_gauge(name, value)
+
+
+def set_gauge(name: str, value: float) -> None:
+    """Set a gauge on the active registry (no-op when disabled)."""
+    registry = _ACTIVE
+    if registry is not None:
+        registry.set_gauge(name, value)

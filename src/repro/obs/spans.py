@@ -1,0 +1,74 @@
+"""Hierarchical monotonic-clock span timers.
+
+``span(name)`` is the library's one timing primitive::
+
+    with span("engine.evaluate_many"):
+        with span("engine.cell"):
+            ...
+
+Nested spans compose their names into a ``/``-joined path
+(``"engine.evaluate_many/engine.cell"``), so one aggregate table shows
+where time went *within* each caller.  The stack is thread-local: spans
+on different threads never interleave their paths.
+
+Design points:
+
+- **disabled = free**: with no active registry the context manager
+  yields ``None`` without touching the clock or the thread-local stack;
+- **monotonic**: durations come from ``time.perf_counter`` and starts
+  are offsets from the registry epoch, so traces are ordering-safe;
+- **exception-safe**: a raising body records the span with
+  ``status="error"`` and pops the stack before propagating, so later
+  spans never inherit a stale parent path.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from contextlib import contextmanager
+from typing import Iterator, Optional
+
+from repro.obs.registry import get_telemetry
+
+__all__ = ["span", "current_span_path"]
+
+_STATE = threading.local()
+
+
+def current_span_path() -> Optional[str]:
+    """The innermost open span's full path on this thread, or None."""
+    stack = getattr(_STATE, "stack", None)
+    return stack[-1] if stack else None
+
+
+@contextmanager
+def span(name: str) -> Iterator[Optional[str]]:
+    """Time a block under ``name``, nested below any enclosing span.
+
+    Yields the span's full hierarchical path (or None when observability
+    is disabled, in which case nothing is recorded at all).
+    """
+    registry = get_telemetry()
+    if registry is None:
+        yield None
+        return
+    stack = getattr(_STATE, "stack", None)
+    if stack is None:
+        stack = []
+        _STATE.stack = stack
+    path = f"{stack[-1]}/{name}" if stack else name
+    stack.append(path)
+    started = time.perf_counter()
+    status = "ok"
+    try:
+        yield path
+    except BaseException:
+        status = "error"
+        raise
+    finally:
+        stack.pop()
+        ended = time.perf_counter()
+        registry.record_span(
+            path, started - registry.epoch, ended - started, status
+        )

@@ -28,6 +28,8 @@ from typing import Optional, Tuple
 
 import numpy as np
 
+from repro.obs.registry import incr as obs_incr
+
 __all__ = [
     "TIER_PERSONALIZED",
     "TIER_CLUSTER",
@@ -62,12 +64,16 @@ def degradation_estimates(weights, user) -> Tuple[Optional[np.ndarray], str]:
     """
     clustering = weights.clustering
     if weights.matrix.size == 0 or clustering.num_clusters == 0:
+        obs_incr(f"serve.tier.{TIER_EMPTY}")
         return None, TIER_EMPTY
     if user in clustering:
         column = clustering.cluster_of(user)
+        obs_incr(f"serve.tier.{TIER_CLUSTER}")
         return np.asarray(weights.matrix[:, column], dtype=float), TIER_CLUSTER
     sizes = np.asarray(clustering.sizes(), dtype=float)
     total = sizes.sum()
     if total <= 0:
+        obs_incr(f"serve.tier.{TIER_EMPTY}")
         return None, TIER_EMPTY
+    obs_incr(f"serve.tier.{TIER_GLOBAL}")
     return np.asarray(weights.matrix @ (sizes / total), dtype=float), TIER_GLOBAL

@@ -39,6 +39,8 @@ from contextlib import contextmanager
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Sequence, Type
 
+from repro.obs.registry import get_telemetry
+
 __all__ = [
     "FaultSpec",
     "FaultPlan",
@@ -191,7 +193,12 @@ def fault_point(site: str, path: Optional[str] = None) -> None:
 
     A site that no installed plan matches is a no-op.  With several plans
     installed the innermost fires first; a raising fault stops the walk.
+    When telemetry is active every hit is counted under
+    ``fault.site.<site>``, whether or not any plan fires.
     """
+    registry = get_telemetry()
+    if registry is not None:
+        registry.incr(f"fault.site.{site}")
     if not _STACK:
         return
     for plan in reversed(_STACK):

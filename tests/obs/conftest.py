@@ -1,0 +1,31 @@
+"""Fixtures for the observability tests.
+
+The registry is process-global state; every test here must leave it
+disabled, or unrelated tests would silently start recording telemetry.
+The autouse guard makes a leak a hard failure at the leaking test.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.obs import Telemetry, get_telemetry, set_telemetry
+
+
+@pytest.fixture(autouse=True)
+def _no_registry_leaks():
+    """Fail the test that leaves a registry installed, then clean up."""
+    assert get_telemetry() is None, "a previous test leaked a registry"
+    yield
+    leaked = get_telemetry()
+    set_telemetry(None)
+    assert leaked is None, "this test leaked an active telemetry registry"
+
+
+@pytest.fixture
+def registry():
+    """A fresh, *active* registry for the duration of one test."""
+    reg = Telemetry()
+    previous = set_telemetry(reg)
+    yield reg
+    set_telemetry(previous)

@@ -1,0 +1,185 @@
+"""Exporter tests: trace round-trips, summaries, tables, `repro obs report`."""
+
+import json
+import math
+
+import pytest
+
+from repro.cli import main
+from repro.obs import (
+    LedgerEntry,
+    Telemetry,
+    format_report,
+    read_trace,
+    span,
+    summary_dict,
+    summary_path_for,
+    telemetry,
+    write_summary,
+    write_trace,
+)
+from repro.obs.export import TRACE_FORMAT_VERSION
+
+
+@pytest.fixture
+def snapshot():
+    """A snapshot exercising every record type, including inf values."""
+    reg = Telemetry()
+    with telemetry(reg):
+        with span("outer"):
+            with span("inner"):
+                pass
+        try:
+            with span("failing"):
+                raise ValueError
+        except ValueError:
+            pass
+        reg.incr("hits", 3)
+        reg.set_gauge("finite", 1.5)
+        reg.set_gauge("infinite", math.inf)
+        reg.record_ledger(LedgerEntry("A_w#1", "cluster[0]", 0.5, 0.25))
+        reg.record_ledger(LedgerEntry("A_w#1", "cluster[1]", 0.5, 0.125))
+    return reg.snapshot()
+
+
+class TestTraceRoundTrip:
+    def test_bit_exact_round_trip(self, tmp_path, snapshot):
+        path = str(tmp_path / "trace.jsonl")
+        write_trace(path, snapshot, meta={"command": "test"})
+        loaded, meta = read_trace(path)
+        assert loaded == snapshot
+        assert meta == {"command": "test"}
+
+    def test_meta_line_comes_first_with_version(self, tmp_path, snapshot):
+        path = str(tmp_path / "trace.jsonl")
+        write_trace(path, snapshot)
+        with open(path) as handle:
+            first = json.loads(handle.readline())
+        assert first["type"] == "meta"
+        assert first["format"] == "repro-obs-trace"
+        assert first["version"] == TRACE_FORMAT_VERSION
+
+    def test_torn_trailing_line_tolerated(self, tmp_path, snapshot):
+        path = str(tmp_path / "trace.jsonl")
+        write_trace(path, snapshot)
+        with open(path, "a") as handle:
+            handle.write('{"type": "counter", "na')  # killed mid-append
+        loaded, _ = read_trace(path)
+        assert loaded == snapshot
+
+    def test_unknown_record_types_skipped(self, tmp_path, snapshot):
+        path = str(tmp_path / "trace.jsonl")
+        write_trace(path, snapshot)
+        with open(path, "a") as handle:
+            handle.write(json.dumps({"type": "from-the-future", "x": 1}) + "\n")
+        loaded, _ = read_trace(path)
+        assert loaded == snapshot
+
+    def test_non_trace_file_rejected(self, tmp_path):
+        path = tmp_path / "not-a-trace.jsonl"
+        path.write_text("hello world\n")
+        with pytest.raises(ValueError, match="not a repro obs trace"):
+            read_trace(str(path))
+        path.write_text('{"type": "counter", "name": "a", "value": 1}\n')
+        with pytest.raises(ValueError, match="missing meta"):
+            read_trace(str(path))
+
+    def test_wrong_version_rejected(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        path.write_text(
+            '{"type": "meta", "format": "repro-obs-trace", "version": 999}\n'
+        )
+        with pytest.raises(ValueError, match="format 999"):
+            read_trace(str(path))
+
+    def test_infinite_gauge_survives_json(self, tmp_path, snapshot):
+        path = str(tmp_path / "trace.jsonl")
+        write_trace(path, snapshot)
+        loaded, _ = read_trace(path)
+        assert math.isinf(loaded.gauges["infinite"])
+        # The file itself stays strict-JSON parseable line by line.
+        with open(path) as handle:
+            for line in handle:
+                json.loads(line)
+
+
+class TestSummary:
+    def test_benchmark_shaped_entries(self, snapshot):
+        summary = summary_dict(snapshot, wall_seconds=1.0)
+        assert summary["format"] == "repro-obs-summary"
+        assert summary["wall_seconds"] == 1.0
+        by_name = {b["name"]: b for b in summary["benchmarks"]}
+        assert set(by_name) == {"outer", "outer/inner", "failing"}
+        stats = by_name["outer"]["stats"]
+        assert set(stats) == {"rounds", "total", "mean", "median", "min", "max"}
+        assert stats["rounds"] == 1
+        assert stats["min"] <= stats["mean"] <= stats["max"]
+        assert by_name["failing"]["errors"] == 1
+
+    def test_ledger_composes_in_summary(self, snapshot):
+        ledger = summary_dict(snapshot)["privacy_ledger"]
+        assert ledger["total_epsilon"] == 0.5  # parallel: max, not sum
+        assert ledger["max_sensitivity"] == 0.25
+        (release,) = ledger["releases"]
+        assert release == {"release": "A_w#1", "epsilon": 0.5, "charges": 2}
+
+    def test_write_summary_round_trips_through_json(self, tmp_path, snapshot):
+        path = str(tmp_path / "summary.json")
+        written = write_summary(path, snapshot, wall_seconds=2.0)
+        with open(path) as handle:
+            assert json.load(handle) == written
+
+    def test_summary_path_for(self):
+        assert summary_path_for("BENCH_obs.jsonl") == "BENCH_obs.json"
+        assert summary_path_for("dir/t.jsonl") == "dir/t.json"
+        assert summary_path_for("trace.json") == "trace.json.summary.json"
+        assert summary_path_for("trace") == "trace.summary.json"
+
+
+class TestFormatReport:
+    def test_empty_snapshot(self):
+        assert format_report(Telemetry().snapshot()) == "no telemetry recorded"
+
+    def test_tables_cover_all_sections(self, snapshot):
+        report = format_report(snapshot, wall_seconds=0.5)
+        assert "spans (by total time):" in report
+        assert "outer/inner" in report
+        assert "wall clock:" in report
+        assert "counters:" in report
+        assert "hits" in report
+        assert "gauges:" in report
+        assert "privacy ledger" in report
+        assert "total epsilon across releases" in report
+
+    def test_top_limit_reported_not_silent(self, snapshot):
+        report = format_report(snapshot, top=1)
+        assert "2 more span path(s) omitted" in report
+
+
+class TestObsReportCommand:
+    def test_report_renders_tables(self, tmp_path, capsys, snapshot):
+        path = str(tmp_path / "trace.jsonl")
+        write_trace(path, snapshot, meta={"command": "tradeoff"})
+        assert main(["obs", "report", path]) == 0
+        out = capsys.readouterr().out
+        assert f"trace:       {path} (command: tradeoff)" in out
+        assert "privacy ledger" in out
+
+    def test_report_json_is_the_summary(self, tmp_path, capsys, snapshot):
+        path = str(tmp_path / "trace.jsonl")
+        write_trace(path, snapshot, meta={"wall_seconds": 0.75})
+        assert main(["obs", "report", path, "--json"]) == 0
+        summary = json.loads(capsys.readouterr().out)
+        assert summary["format"] == "repro-obs-summary"
+        assert summary["wall_seconds"] == 0.75
+        assert summary["privacy_ledger"]["total_epsilon"] == 0.5
+
+    def test_missing_file_exits_2(self, tmp_path, capsys):
+        assert main(["obs", "report", str(tmp_path / "nope.jsonl")]) == 2
+        assert "repro: error:" in capsys.readouterr().err
+
+    def test_non_trace_file_exits_2(self, tmp_path, capsys):
+        path = tmp_path / "junk.jsonl"
+        path.write_text("not json\n")
+        assert main(["obs", "report", str(path)]) == 2
+        assert "repro: error:" in capsys.readouterr().err

@@ -1,0 +1,130 @@
+"""Unit tests for the privacy ledger: composition math and recording."""
+
+import math
+
+import pytest
+
+from repro.obs import (
+    LedgerEntry,
+    PrivacyLedgerView,
+    record_laplace_release,
+    record_mechanism,
+)
+from repro.obs.ledger import _MAX_PARALLEL_ENTRIES
+
+
+def entry(release, epsilon, sensitivity=0.1, composition="parallel"):
+    return LedgerEntry(
+        release=release,
+        label="c",
+        epsilon=epsilon,
+        sensitivity=sensitivity,
+        composition=composition,
+    )
+
+
+class TestCompositionMath:
+    def test_parallel_charges_cost_their_max(self):
+        view = PrivacyLedgerView(
+            [entry("r", 0.5), entry("r", 0.5), entry("r", 0.5)]
+        )
+        assert view.release_epsilon("r") == 0.5
+        assert view.total_epsilon() == 0.5
+
+    def test_sequential_charges_add(self):
+        view = PrivacyLedgerView(
+            [
+                entry("r", 0.3, composition="sequential"),
+                entry("r", 0.2, composition="sequential"),
+            ]
+        )
+        assert view.release_epsilon("r") == pytest.approx(0.5)
+
+    def test_mixed_composition_is_max_plus_sum(self):
+        view = PrivacyLedgerView(
+            [
+                entry("r", 0.4),
+                entry("r", 0.1),
+                entry("r", 0.25, composition="sequential"),
+            ]
+        )
+        assert view.release_epsilon("r") == pytest.approx(0.4 + 0.25)
+
+    def test_distinct_releases_compose_sequentially(self):
+        view = PrivacyLedgerView(
+            [entry("a", 1.0), entry("a", 1.0), entry("b", 0.5)]
+        )
+        assert view.release_epsilons() == {"a": 1.0, "b": 0.5}
+        assert view.total_epsilon() == pytest.approx(1.5)
+
+    def test_releases_in_first_seen_order(self):
+        view = PrivacyLedgerView([entry("b", 1.0), entry("a", 1.0)])
+        assert view.releases() == ["b", "a"]
+
+    def test_max_sensitivity(self):
+        view = PrivacyLedgerView(
+            [entry("a", 1.0, sensitivity=0.05), entry("b", 1.0, sensitivity=0.5)]
+        )
+        assert view.max_sensitivity() == 0.5
+        assert view.max_sensitivity("a") == 0.05
+        assert PrivacyLedgerView([]).max_sensitivity() == 0.0
+
+    def test_summary_rows(self):
+        view = PrivacyLedgerView([entry("a", 1.0), entry("a", 0.5)])
+        assert view.summary() == [("a", 1.0, 2)]
+
+
+class TestRecordMechanism:
+    def test_noop_when_disabled(self):
+        record_mechanism("r", "c", 1.0, 0.1)  # must not raise
+
+    def test_records_into_active_registry(self, registry):
+        record_mechanism("r", "c", 1.0, 0.1, composition="sequential", count=3)
+        (recorded,) = registry.ledger_entries
+        assert recorded == LedgerEntry("r", "c", 1.0, 0.1, "sequential", 3)
+
+
+class TestRecordLaplaceRelease:
+    def test_noop_when_disabled(self):
+        assert record_laplace_release(1.0, [3, 4], 1.0) is None
+
+    def test_noop_for_infinite_epsilon(self, registry):
+        assert record_laplace_release(math.inf, [3, 4], 1.0) is None
+        assert registry.ledger_entries == []
+
+    def test_noop_for_empty_clusters(self, registry):
+        assert record_laplace_release(1.0, [], 1.0) is None
+        assert record_laplace_release(1.0, [0, 0], 1.0) is None
+        assert registry.ledger_entries == []
+
+    def test_one_parallel_charge_per_cluster_summing_to_epsilon(self, registry):
+        release = record_laplace_release(0.5, [2, 5, 10], 1.0, items=7)
+        entries = registry.ledger_entries
+        assert len(entries) == 3
+        assert all(e.release == release for e in entries)
+        assert all(e.composition == "parallel" for e in entries)
+        assert all(e.epsilon == 0.5 for e in entries)
+        assert all(e.count == 7 for e in entries)
+        # Sensitivity is Delta/|c| per cluster: the paper's calibration.
+        assert sorted(e.sensitivity for e in entries) == [0.1, 0.2, 0.5]
+        view = PrivacyLedgerView(entries)
+        assert view.release_epsilon(release) == 0.5
+        assert view.total_epsilon() == 0.5
+
+    def test_release_ids_are_unique(self, registry):
+        first = record_laplace_release(1.0, [2], 1.0)
+        second = record_laplace_release(1.0, [2], 1.0)
+        assert first != second
+        assert PrivacyLedgerView(registry.ledger_entries).total_epsilon() == 2.0
+
+    def test_huge_cluster_count_aggregates_to_worst_case(self, registry):
+        sizes = list(range(1, _MAX_PARALLEL_ENTRIES + 2))  # 1025 clusters
+        release = record_laplace_release(0.25, sizes, 2.0, items=3)
+        (aggregated,) = registry.ledger_entries
+        assert aggregated.release == release
+        assert aggregated.epsilon == 0.25
+        assert aggregated.sensitivity == 2.0  # numerator / min size (1)
+        assert aggregated.count == len(sizes) * 3
+        assert "aggregated" in aggregated.label
+        # The composed total is unchanged by the aggregation.
+        assert PrivacyLedgerView([aggregated]).total_epsilon() == 0.25

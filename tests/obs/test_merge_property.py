@@ -1,0 +1,74 @@
+"""Property test: merged snapshots are independent of arrival order.
+
+`merge_snapshots` is the process-safety contract: parent registries fold
+worker snapshots in whatever order the pool completes them, so the merge
+must be a pure function of the *multiset* of snapshots — bit for bit,
+floats included.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.obs import LedgerEntry, SpanEvent, TelemetrySnapshot, merge_snapshots
+
+# A tiny name alphabet so collisions across snapshots are common: the
+# interesting merges are the ones that actually sum shared keys.
+names = st.sampled_from(["a", "b", "c", "x.y", "x.y/z"])
+finite = st.floats(
+    allow_nan=False, allow_infinity=False, min_value=-1e6, max_value=1e6
+)
+small = st.integers(min_value=0, max_value=1000)
+
+
+span_events = st.builds(
+    SpanEvent,
+    path=names,
+    start=finite,
+    duration=finite,
+    status=st.sampled_from(["ok", "error"]),
+)
+
+ledger_entries = st.builds(
+    LedgerEntry,
+    release=names,
+    label=names,
+    epsilon=finite,
+    sensitivity=finite,
+    composition=st.sampled_from(["parallel", "sequential"]),
+    count=small,
+)
+
+snapshots = st.builds(
+    TelemetrySnapshot,
+    counters=st.dictionaries(names, small, max_size=4),
+    gauges=st.dictionaries(names, finite, max_size=4),
+    span_totals=st.dictionaries(names, st.tuples(small, finite), max_size=4),
+    span_errors=st.dictionaries(names, small, max_size=4),
+    spans=st.lists(span_events, max_size=4),
+    ledger=st.lists(ledger_entries, max_size=4),
+)
+
+
+class TestMergeOrderIndependence:
+    @given(st.lists(snapshots, max_size=6), st.randoms(use_true_random=False))
+    @settings(max_examples=100, deadline=None)
+    def test_any_permutation_merges_bit_identically(self, parts, rng):
+        shuffled = list(parts)
+        rng.shuffle(shuffled)
+        assert merge_snapshots(shuffled) == merge_snapshots(parts)
+
+    @given(st.lists(snapshots, max_size=4))
+    @settings(max_examples=50, deadline=None)
+    def test_counters_sum_exactly(self, parts):
+        merged = merge_snapshots(parts)
+        for name, value in merged.counters.items():
+            assert value == sum(p.counters.get(name, 0) for p in parts)
+
+    @given(st.lists(snapshots, max_size=4))
+    @settings(max_examples=50, deadline=None)
+    def test_events_and_ledger_preserved_as_multisets(self, parts):
+        merged = merge_snapshots(parts)
+        all_spans = [e for p in parts for e in p.spans]
+        all_ledger = [e for p in parts for e in p.ledger]
+        assert sorted(merged.spans, key=repr) == sorted(all_spans, key=repr)
+        assert sorted(merged.ledger, key=repr) == sorted(all_ledger, key=repr)

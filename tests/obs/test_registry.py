@@ -1,0 +1,200 @@
+"""Unit tests for the telemetry registry: counters, snapshots, merging."""
+
+import pickle
+import threading
+from concurrent.futures import ProcessPoolExecutor
+
+import pytest
+
+from repro.obs import (
+    LedgerEntry,
+    Telemetry,
+    TelemetrySnapshot,
+    add_gauge,
+    get_telemetry,
+    incr,
+    merge_snapshots,
+    set_gauge,
+    set_telemetry,
+    span,
+    telemetry,
+)
+
+
+def _worker_snapshot(worker_id: int) -> TelemetrySnapshot:
+    """Record telemetry in a (forked) pool worker and ship the snapshot.
+
+    Module-level so ProcessPoolExecutor can pickle it by reference.
+    """
+    registry = Telemetry()
+    with telemetry(registry):
+        for _ in range(worker_id + 1):
+            incr("work.items")
+        incr(f"work.worker.{worker_id}")
+        add_gauge("work.seconds", 0.25 * (worker_id + 1))
+        with span("work.unit"):
+            pass
+    return registry.snapshot()
+
+
+class TestCountersAndGauges:
+    def test_counter_accumulates(self):
+        reg = Telemetry()
+        reg.incr("a")
+        reg.incr("a", 4)
+        assert reg.counter("a") == 5
+        assert reg.counter("unseen") == 0
+
+    def test_add_gauge_accumulates_set_gauge_overwrites(self):
+        reg = Telemetry()
+        reg.add_gauge("g", 1.5)
+        reg.add_gauge("g", 2.5)
+        assert reg.gauge("g") == 4.0
+        reg.set_gauge("g", 7.0)
+        assert reg.gauge("g") == 7.0
+        assert reg.gauge("unseen") == 0.0
+
+    def test_counter_values_are_ints(self):
+        reg = Telemetry()
+        reg.incr("a", 2.0)  # coerced, never a float in the snapshot
+        assert reg.snapshot().counters["a"] == 2
+        assert isinstance(reg.snapshot().counters["a"], int)
+
+    def test_bad_max_events_rejected(self):
+        with pytest.raises(ValueError, match="max_events"):
+            Telemetry(max_events=-1)
+
+
+class TestDisabledByDefault:
+    def test_no_registry_installed_by_default(self):
+        assert get_telemetry() is None
+
+    def test_module_helpers_noop_when_disabled(self):
+        # Must not raise and must not install anything.
+        incr("a")
+        add_gauge("g", 1.0)
+        set_gauge("g", 2.0)
+        assert get_telemetry() is None
+
+    def test_context_manager_restores_previous(self):
+        outer = Telemetry()
+        set_telemetry(outer)
+        try:
+            with telemetry() as inner:
+                assert get_telemetry() is inner
+                assert inner is not outer
+            assert get_telemetry() is outer
+        finally:
+            set_telemetry(None)
+
+    def test_context_manager_restores_on_error(self):
+        with pytest.raises(RuntimeError):
+            with telemetry():
+                raise RuntimeError("boom")
+        assert get_telemetry() is None
+
+
+class TestThreadSafety:
+    def test_concurrent_increments_are_exact(self):
+        reg = Telemetry()
+        threads = [
+            threading.Thread(
+                target=lambda: [reg.incr("hits") for _ in range(2000)]
+            )
+            for _ in range(8)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert reg.counter("hits") == 8 * 2000
+
+
+class TestSnapshots:
+    def test_snapshot_is_picklable_and_detached(self):
+        reg = Telemetry()
+        reg.incr("a")
+        reg.record_span("s", 0.0, 0.5)
+        reg.record_ledger(LedgerEntry("r", "c", 1.0, 0.1))
+        snap = reg.snapshot()
+        clone = pickle.loads(pickle.dumps(snap))
+        assert clone == snap
+        reg.incr("a")  # later mutation must not leak into the snapshot
+        assert snap.counters["a"] == 1
+
+    def test_span_events_bounded_with_explicit_drop_counter(self):
+        reg = Telemetry(max_events=2)
+        for _ in range(5):
+            reg.record_span("s", 0.0, 0.1)
+        snap = reg.snapshot()
+        assert len(snap.spans) == 2
+        assert snap.counters["obs.dropped_events"] == 3
+        assert snap.span_totals["s"] == (5, pytest.approx(0.5))
+
+    def test_error_spans_counted(self):
+        reg = Telemetry()
+        reg.record_span("s", 0.0, 0.1, status="error")
+        reg.record_span("s", 0.2, 0.1)
+        snap = reg.snapshot()
+        assert snap.span_errors["s"] == 1
+        assert snap.span_totals["s"][0] == 2
+
+
+class TestMerge:
+    def test_merge_counters_bit_exact(self):
+        parent = Telemetry()
+        parent.incr("a", 3)
+        child = Telemetry()
+        child.incr("a", 4)
+        child.incr("b", 1)
+        parent.merge(child.snapshot())
+        assert parent.counter("a") == 7
+        assert parent.counter("b") == 1
+
+    def test_merge_across_forked_workers_bit_exact(self):
+        """Counters recorded in pool workers fold back without loss."""
+        parent = Telemetry()
+        with ProcessPoolExecutor(max_workers=2) as pool:
+            for snap in pool.map(_worker_snapshot, range(4)):
+                parent.merge(snap)
+        assert parent.counter("work.items") == 1 + 2 + 3 + 4
+        for worker_id in range(4):
+            assert parent.counter(f"work.worker.{worker_id}") == 1
+        # 0.25 multiples are exactly representable: equality is exact.
+        assert parent.gauge("work.seconds") == 0.25 * (1 + 2 + 3 + 4)
+        count, total = parent.span_total("work.unit")
+        assert count == 4 and total >= 0.0
+
+    def test_merge_respects_event_bound(self):
+        parent = Telemetry(max_events=1)
+        child = Telemetry()
+        child.record_span("s", 0.0, 0.1)
+        child.record_span("s", 0.2, 0.1)
+        parent.merge(child.snapshot())
+        snap = parent.snapshot()
+        assert len(snap.spans) == 1
+        assert snap.counters["obs.dropped_events"] == 1
+
+
+class TestMergeSnapshots:
+    def test_empty_merge(self):
+        assert merge_snapshots([]) == TelemetrySnapshot()
+
+    def test_merge_snapshots_totals(self):
+        a = TelemetrySnapshot(counters={"x": 1}, gauges={"g": 0.5})
+        b = TelemetrySnapshot(counters={"x": 2, "y": 7}, gauges={"g": 0.25})
+        merged = merge_snapshots([a, b])
+        assert merged.counters == {"x": 3, "y": 7}
+        assert merged.gauges == {"g": 0.75}
+
+    def test_merge_snapshots_order_independent(self):
+        a = TelemetrySnapshot(
+            counters={"x": 1},
+            gauges={"g": 0.1},
+            span_totals={"s": (2, 0.3)},
+            span_errors={"s": 1},
+        )
+        b = TelemetrySnapshot(gauges={"g": 0.2}, span_totals={"s": (1, 0.7)})
+        c = TelemetrySnapshot(counters={"x": 5}, gauges={"g": 1e-9})
+        assert merge_snapshots([a, b, c]) == merge_snapshots([c, b, a])
+        assert merge_snapshots([b, a, c]) == merge_snapshots([a, c, b])

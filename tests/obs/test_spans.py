@@ -1,0 +1,121 @@
+"""Unit tests for hierarchical span timers."""
+
+import threading
+
+import pytest
+
+from repro.obs import Telemetry, current_span_path, span, telemetry
+
+
+class TestDisabled:
+    def test_span_yields_none_and_records_nothing(self):
+        with span("anything") as path:
+            assert path is None
+        assert current_span_path() is None
+
+    def test_no_stack_pollution_when_disabled(self):
+        with span("outer"):
+            # Even nested, disabled spans never build a path.
+            with span("inner") as path:
+                assert path is None
+
+
+class TestNesting:
+    def test_paths_compose_with_slashes(self, registry):
+        with span("a") as outer:
+            assert outer == "a"
+            with span("b") as mid:
+                assert mid == "a/b"
+                with span("c") as inner:
+                    assert inner == "a/b/c"
+                    assert current_span_path() == "a/b/c"
+            assert current_span_path() == "a"
+        assert current_span_path() is None
+        snap = registry.snapshot()
+        assert set(snap.span_totals) == {"a", "a/b", "a/b/c"}
+        assert [e.path for e in snap.spans] == ["a/b/c", "a/b", "a"]
+
+    def test_sibling_spans_share_parent(self, registry):
+        with span("parent"):
+            with span("x"):
+                pass
+            with span("x"):
+                pass
+        count, total = registry.span_total("parent/x")
+        assert count == 2
+        assert total >= 0.0
+
+    def test_durations_are_monotonic(self, registry):
+        with span("outer"):
+            with span("inner"):
+                pass
+        snap = registry.snapshot()
+        outer = snap.span_totals["outer"][1]
+        inner = snap.span_totals["outer/inner"][1]
+        assert 0.0 <= inner <= outer
+        # Starts are offsets from the registry epoch: inner starts later.
+        events = {e.path: e for e in snap.spans}
+        assert events["outer"].start <= events["outer/inner"].start
+
+
+class TestExceptionSafety:
+    def test_error_recorded_and_reraised(self, registry):
+        with pytest.raises(ValueError, match="boom"):
+            with span("failing"):
+                raise ValueError("boom")
+        snap = registry.snapshot()
+        assert snap.span_errors["failing"] == 1
+        assert snap.spans[0].status == "error"
+
+    def test_stack_popped_after_error(self, registry):
+        with pytest.raises(RuntimeError):
+            with span("outer"):
+                with span("inner"):
+                    raise RuntimeError
+        assert current_span_path() is None
+        # A later span must not inherit the dead path.
+        with span("clean") as path:
+            assert path == "clean"
+
+    def test_nested_error_marks_only_raising_levels(self, registry):
+        with span("outer"):
+            try:
+                with span("inner"):
+                    raise KeyError("k")
+            except KeyError:
+                pass
+        snap = registry.snapshot()
+        assert snap.span_errors.get("outer/inner") == 1
+        assert "outer" not in snap.span_errors
+
+
+class TestThreadLocality:
+    def test_threads_never_interleave_paths(self, registry):
+        paths = []
+        barrier = threading.Barrier(2)
+
+        def work(name):
+            with span(name):
+                barrier.wait()  # both spans open simultaneously
+                paths.append(current_span_path())
+
+        threads = [threading.Thread(target=work, args=(n,)) for n in ("t1", "t2")]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert sorted(paths) == ["t1", "t2"]  # no "t1/t2" cross-thread path
+
+
+class TestRegistrySwitch:
+    def test_span_records_into_the_registry_active_at_entry(self):
+        first = Telemetry()
+        with telemetry(first):
+            with span("s"):
+                pass
+        second = Telemetry()
+        with telemetry(second):
+            with span("s"):
+                pass
+        assert first.span_total("s")[0] == 1
+        assert second.span_total("s")[0] == 1
