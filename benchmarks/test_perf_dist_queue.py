@@ -1,0 +1,69 @@
+"""Micro-benchmarks of the filesystem work queue's lease protocol.
+
+Not a paper artifact — pytest-benchmark timings for the ``repro.dist``
+queue operations (claim, heartbeat, complete, status scan) so the
+per-cell coordination overhead stays visibly negligible next to the
+seconds-scale cells it schedules.  Each round gets a fresh queue
+directory: lease-protocol operations mutate queue state, so they cannot
+be re-run against the same claim.
+"""
+
+import itertools
+
+from repro.dist import SweepQueue
+from repro.dist.queue import CellTask, task_id_for
+
+_EPSILONS = [f"{eps:.1f}" for eps in (0.1 * k for k in range(1, 33))]
+_COUNTER = itertools.count()
+
+
+def make_queue(tmp_path, cells=32):
+    tasks = [
+        CellTask(task_id=task_id_for("cn", eps), measure="cn", epsilon=eps)
+        for eps in _EPSILONS[:cells]
+    ]
+    spec = {"measures": ["cn"], "epsilons": _EPSILONS[:cells], "version": 1}
+    root = str(tmp_path / f"queue-{next(_COUNTER)}")
+    return SweepQueue.create(root, spec, tasks)
+
+
+class TestLeaseProtocolCost:
+    def test_benchmark_claim(self, tmp_path, benchmark):
+        """Cost of one successful claim (task scan + O_EXCL lease)."""
+
+        def setup():
+            return (make_queue(tmp_path),), {}
+
+        benchmark.pedantic(
+            lambda queue: queue.claim("bench", 60.0),
+            setup=setup,
+            rounds=20,
+        )
+
+    def test_benchmark_heartbeat(self, tmp_path, benchmark):
+        """Cost of one lease renewal (ownership check + atomic rewrite)."""
+        queue = make_queue(tmp_path)
+        lease = queue.claim("bench", 60.0)
+        benchmark(lambda: queue.heartbeat(lease, 60.0))
+
+    def test_benchmark_complete(self, tmp_path, benchmark):
+        """Cost of one completion (durable done marker + lease removal)."""
+
+        def setup():
+            queue = make_queue(tmp_path)
+            return (queue, queue.claim("bench", 60.0)), {}
+
+        benchmark.pedantic(
+            lambda queue, lease: queue.complete(lease),
+            setup=setup,
+            rounds=20,
+        )
+
+    def test_benchmark_status_scan(self, tmp_path, benchmark):
+        """Cost of one full status scan over a mixed 32-cell queue."""
+        queue = make_queue(tmp_path)
+        for _ in range(8):
+            queue.complete(queue.claim("bench", 60.0))
+        for _ in range(4):
+            queue.claim("bench", 60.0)
+        benchmark(queue.status)

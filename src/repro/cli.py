@@ -13,8 +13,14 @@ Commands:
   workers + similarity cache), reporting throughput counters.
 - ``cache``          — manage the persistent similarity-kernel cache
   (``info`` / ``warm`` / ``prune``).
-- ``obs``            — render a recorded observability trace
-  (``repro obs report``).
+- ``obs``            — inspect recorded observability data:
+  ``repro obs report`` renders a trace, ``repro obs trend`` diffs two
+  BENCH-style summaries (median-normalized timings + counter deltas).
+- ``sweep``          — fault-tolerant distributed sweeps over a
+  filesystem work queue: ``submit`` decomposes a tradeoff sweep into
+  leaseable cell tasks, ``worker`` claims and computes them (any number
+  of processes/hosts sharing the queue directory), ``status`` reports
+  progress, ``reap`` reclaims leases left behind by dead workers.
 
 ``tradeoff``, ``batch``, and ``cache warm`` accept ``--profile[=PATH]``:
 the run executes under an active :mod:`repro.obs` registry and writes a
@@ -373,6 +379,109 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="print the BENCH-style summary JSON instead of tables",
     )
+    p_obs_trend = obs_sub.add_parser(
+        "trend",
+        help="diff two BENCH-style summaries (pytest-benchmark or "
+        "--profile summary JSON): median-normalized timing drift plus "
+        "counter deltas",
+    )
+    p_obs_trend.add_argument("current", help="summary JSON from this run")
+    p_obs_trend.add_argument("baseline", help="summary JSON to compare against")
+    p_obs_trend.add_argument(
+        "--threshold",
+        type=float,
+        default=0.25,
+        help="normalized slowdown fraction to flag as drift "
+        "(default: %(default)s)",
+    )
+    p_obs_trend.add_argument(
+        "--strict",
+        action="store_true",
+        help="exit non-zero when any benchmark drifts beyond the threshold "
+        "(default: informational, exit 0)",
+    )
+
+    p_sweep = sub.add_parser(
+        "sweep",
+        help="distributed tradeoff sweeps over a filesystem work queue",
+    )
+    sweep_sub = p_sweep.add_subparsers(dest="sweep_command", required=True)
+
+    p_sweep_submit = sweep_sub.add_parser(
+        "submit",
+        help="decompose a tradeoff sweep into leaseable cell tasks "
+        "(idempotent for the same sweep)",
+    )
+    _add_dataset_arguments(p_sweep_submit)
+    p_sweep_submit.add_argument("--queue", required=True, help="queue directory")
+    p_sweep_submit.add_argument(
+        "--measures", nargs="+", default=["cn", "aa", "gd", "kz"],
+        help="similarity measures (default: cn aa gd kz)",
+    )
+    p_sweep_submit.add_argument(
+        "--epsilons", nargs="+", default=["inf", "1.0", "0.6", "0.1", "0.05", "0.01"],
+        help="privacy settings; 'inf' means no noise",
+    )
+    p_sweep_submit.add_argument("--ns", nargs="+", type=int, default=[10, 50, 100])
+    p_sweep_submit.add_argument("--repeats", type=int, default=5)
+    p_sweep_submit.add_argument("--sample-size", type=int, default=None)
+    p_sweep_submit.add_argument("--louvain-runs", type=int, default=10)
+    p_sweep_submit.add_argument(
+        "--engine", choices=ENGINES, default="vectorized",
+        help="sweep engine workers run cells with (default: vectorized)",
+    )
+    p_sweep_submit.add_argument(
+        "--backend",
+        choices=("auto", "vectorized", "python"),
+        default="auto",
+        help="kernel construction backend (default: auto)",
+    )
+    p_sweep_submit.add_argument(
+        "--max-attempts",
+        type=_positive_int,
+        default=3,
+        help="failed attempts before a cell is quarantined (default: 3)",
+    )
+
+    p_sweep_worker = sweep_sub.add_parser(
+        "worker",
+        help="claim and compute cells from a queue until it is drained",
+    )
+    p_sweep_worker.add_argument("--queue", required=True, help="queue directory")
+    p_sweep_worker.add_argument(
+        "--worker-id", default=None, help="lease identity (default: host-pid)"
+    )
+    p_sweep_worker.add_argument(
+        "--lease-ttl",
+        type=float,
+        default=30.0,
+        help="seconds a lease stays valid between heartbeats (default: 30)",
+    )
+    p_sweep_worker.add_argument(
+        "--max-cells",
+        type=_positive_int,
+        default=None,
+        help="stop after completing this many cells (default: drain)",
+    )
+    p_sweep_worker.add_argument(
+        "--max-idle",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="give up after this long without claiming anything "
+        "(default: wait while work remains)",
+    )
+
+    p_sweep_status = sweep_sub.add_parser(
+        "status", help="one progress snapshot of a queue"
+    )
+    p_sweep_status.add_argument("--queue", required=True, help="queue directory")
+
+    p_sweep_reap = sweep_sub.add_parser(
+        "reap",
+        help="reclaim expired leases left behind by dead workers",
+    )
+    p_sweep_reap.add_argument("--queue", required=True, help="queue directory")
     return parser
 
 
@@ -832,10 +941,25 @@ def _cmd_cache(args: argparse.Namespace) -> int:
 
 
 def _cmd_obs(args: argparse.Namespace) -> int:
-    """Render a recorded ``--profile`` trace (tables or summary JSON)."""
+    """Inspect observability data: render a trace or diff two summaries."""
     import json as _json
 
     from repro import obs
+
+    if args.obs_command == "trend":
+        try:
+            report = obs.compare_summaries(
+                args.current, args.baseline, threshold=args.threshold
+            )
+        except (OSError, ValueError) as exc:
+            print(f"repro: error: {exc}", file=sys.stderr)
+            return 2
+        print(f"current:     {args.current}")
+        print(f"baseline:    {args.baseline}")
+        print(obs.format_trend(report, threshold=args.threshold))
+        if args.strict and report.regressions:
+            return 1
+        return 0
 
     try:
         snapshot, meta = obs.read_trace(args.path)
@@ -861,6 +985,95 @@ def _cmd_obs(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_sweep(args: argparse.Namespace) -> int:
+    """Distributed sweep queue operations (submit/worker/status/reap)."""
+    from repro.dist import (
+        SweepQueue,
+        SweepSpec,
+        SweepWorker,
+        dataset_descriptor,
+        submit_tradeoff_sweep,
+    )
+
+    if args.sweep_command == "submit":
+        if args.data_dir:
+            descriptor = dataset_descriptor(data_dir=args.data_dir)
+        else:
+            scale = (
+                args.scale if args.dataset == "lastfm" else args.scale * 0.1
+            )
+            descriptor = dataset_descriptor(
+                preset=args.dataset, scale=scale, seed=args.seed
+            )
+        spec = SweepSpec.build(
+            dataset=descriptor,
+            measures=args.measures,
+            epsilons=[_parse_epsilon(e) for e in args.epsilons],
+            ns=args.ns,
+            repeats=args.repeats,
+            sample_size=args.sample_size,
+            louvain_runs=args.louvain_runs,
+            seed=args.seed,
+            engine=args.engine,
+            backend=args.backend,
+            max_attempts=args.max_attempts,
+        )
+        queue = submit_tradeoff_sweep(args.queue, spec)
+        status = queue.status()
+        print(f"queue:       {args.queue}")
+        print(f"sweep:       {spec.describe()}")
+        print(
+            f"tasks:       {status.total} cell(s) "
+            f"({status.done} already done, {status.pending} pending)"
+        )
+        print(f"run workers: repro sweep worker --queue {args.queue}")
+        return 0
+    if args.sweep_command == "worker":
+        worker = SweepWorker(
+            args.queue,
+            worker_id=args.worker_id,
+            lease_ttl=args.lease_ttl,
+            max_cells=args.max_cells,
+            max_idle_s=args.max_idle,
+        )
+        print(f"worker {worker.worker_id} attached to {args.queue}")
+        stats = worker.run()
+        print(
+            f"worker done: {stats.cells_completed} cell(s) completed, "
+            f"{stats.cells_failed} failed, "
+            f"{stats.cells_skipped_cached} already checkpointed, "
+            f"{stats.lease_losses} lease(s) lost"
+        )
+        return 0
+    if args.sweep_command == "status":
+        queue = SweepQueue(args.queue)
+        status = queue.status()
+        print(f"queue:       {args.queue}")
+        print(
+            f"cells:       {status.total} total = {status.done} done, "
+            f"{status.pending} pending, {status.leased} leased "
+            f"({status.expired} expired), {status.poisoned} poisoned"
+        )
+        for task_id in queue.task_ids():
+            if queue.is_poisoned(task_id):
+                record = queue.poison_record(task_id) or {}
+                print(
+                    f"  poisoned: {task_id} after "
+                    f"{record.get('attempts', '?')} attempt(s): "
+                    f"{record.get('reason', 'unknown')}"
+                )
+        return 0
+    # reap
+    queue = SweepQueue(args.queue)
+    reclaimed = queue.reap()
+    status = queue.status()
+    print(
+        f"reaped {reclaimed} expired lease(s); {status.remaining} cell(s) "
+        f"remaining ({status.poisoned} poisoned)"
+    )
+    return 0
+
+
 _COMMANDS = {
     "stats": _cmd_stats,
     "tradeoff": _cmd_tradeoff,
@@ -874,6 +1087,7 @@ _COMMANDS = {
     "batch": _cmd_batch,
     "cache": _cmd_cache,
     "obs": _cmd_obs,
+    "sweep": _cmd_sweep,
 }
 
 

@@ -1,0 +1,46 @@
+"""Fault-tolerant distributed sweep orchestration.
+
+A filesystem-backed work queue (no external broker) that decomposes
+``run_tradeoff``-shaped sweeps into leaseable cell tasks.  Workers claim
+cells via atomic lease files, renew them with heartbeats, and publish
+results through the ordinary :class:`~repro.experiments.checkpoint.
+SweepCheckpoint` — so a SIGKILL'd, hung, or fault-injected worker never
+loses a finished cell and never wedges the sweep, and the distributed
+result is bit-identical to a single-process run.
+
+See ``docs/robustness.md`` ("Distributed sweeps") for the lease
+lifecycle and recovery guarantees.
+"""
+
+from repro.dist.orchestrator import (
+    collect_results,
+    queue_status,
+    run_distributed_tradeoff,
+    submit_tradeoff_sweep,
+)
+from repro.dist.queue import (
+    CellTask,
+    Lease,
+    QueueStatus,
+    SweepQueue,
+    task_id_for,
+)
+from repro.dist.spec import SweepSpec, dataset_descriptor
+from repro.dist.worker import SweepWorker, WorkerStats, default_worker_id
+
+__all__ = [
+    "CellTask",
+    "Lease",
+    "QueueStatus",
+    "SweepQueue",
+    "SweepSpec",
+    "SweepWorker",
+    "WorkerStats",
+    "collect_results",
+    "dataset_descriptor",
+    "default_worker_id",
+    "queue_status",
+    "run_distributed_tradeoff",
+    "submit_tradeoff_sweep",
+    "task_id_for",
+]

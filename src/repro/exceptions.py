@@ -24,6 +24,9 @@ __all__ = [
     "CacheIntegrityError",
     "RetryExhaustedError",
     "ExperimentError",
+    "SweepQueueError",
+    "LeaseLostError",
+    "PoisonedCellError",
 ]
 
 
@@ -148,3 +151,38 @@ class RetryExhaustedError(ReproError):
 
 class ExperimentError(ReproError):
     """An experiment configuration or run is invalid."""
+
+
+class SweepQueueError(ExperimentError):
+    """A distributed sweep queue is missing, malformed, or inconsistent.
+
+    Subclasses :class:`ExperimentError` so the CLI's experiment exit-code
+    family (and any existing handler) covers distributed sweeps too.
+    """
+
+
+class LeaseLostError(SweepQueueError):
+    """A worker's lease on a cell expired or was reclaimed by a peer.
+
+    Raised by heartbeat renewal when the lease file no longer names this
+    worker.  Losing a lease is not fatal — the cell is deterministic, so
+    whichever worker finishes records the identical result — but the
+    loser should stop heartbeating and move on.
+    """
+
+
+class PoisonedCellError(SweepQueueError):
+    """A sweep cell exhausted its attempt budget and was quarantined.
+
+    Attributes:
+        task_id: the quarantined cell's task id.
+        attempts: failed attempts when the cell was poisoned.
+    """
+
+    def __init__(self, task_id: str, attempts: int, reason: str = "") -> None:
+        message = f"cell {task_id!r} poisoned after {attempts} attempt(s)"
+        if reason:
+            message += f": {reason}"
+        super().__init__(message)
+        self.task_id = task_id
+        self.attempts = attempts

@@ -27,8 +27,28 @@ import os
 from typing import Dict, Iterable, Optional, Tuple
 
 from repro.exceptions import ExperimentError
+from repro.obs.registry import incr
 
-__all__ = ["SweepCheckpoint", "encode_epsilon", "decode_epsilon"]
+__all__ = ["SweepCheckpoint", "encode_epsilon", "decode_epsilon", "fsync_directory"]
+
+
+def fsync_directory(path: str) -> None:
+    """Fsync a directory so a freshly-created entry survives power loss.
+
+    Filesystems that do not support opening directories (or fsyncing
+    them) are tolerated silently — durability degrades to the platform's
+    guarantee, which is the pre-existing behaviour.
+    """
+    try:
+        fd = os.open(path if path else ".", os.O_RDONLY)
+    except OSError:
+        return
+    try:
+        os.fsync(fd)
+    except OSError:
+        pass
+    finally:
+        os.close(fd)
 
 
 def encode_epsilon(epsilon: float) -> str:
@@ -57,6 +77,9 @@ class SweepCheckpoint:
     def __init__(self, path: str) -> None:
         self.path = path
         self._cells: Dict[Tuple[str, ...], dict] = {}
+        #: duplicate cell keys seen while loading (last record wins; the
+        #: count is also published as ``checkpoint.duplicate_cells``).
+        self.duplicate_cells = 0
         self._load()
 
     # ------------------------------------------------------------------
@@ -87,16 +110,31 @@ class SweepCheckpoint:
                 raise ExperimentError(
                     f"checkpoint {self.path!r} line {index + 1} is corrupt: {exc}"
                 ) from exc
+            if key in self._cells:
+                # Concurrent workers can legitimately both finish a cell
+                # (lease reclaim race); the records are bit-identical, but
+                # a duplicate is still worth surfacing to telemetry.
+                incr("checkpoint.duplicate_cells")
+                self.duplicate_cells += 1
             self._cells[key] = payload
 
     def record(self, key: Iterable[str], payload: dict) -> None:
-        """Durably append one completed cell."""
+        """Durably append one completed cell.
+
+        The record is flushed and fsynced; on the append that *creates*
+        the file the parent directory is fsynced too, so a brand-new
+        checkpoint cannot vanish wholesale on power loss (an fsynced file
+        whose directory entry was never persisted is gone just the same).
+        """
         key = tuple(str(part) for part in key)
         line = json.dumps({"key": list(key), "payload": payload})
+        created = not os.path.exists(self.path)
         with open(self.path, "a", encoding="utf-8") as handle:
             handle.write(line + "\n")
             handle.flush()
             os.fsync(handle.fileno())
+        if created:
+            fsync_directory(os.path.dirname(os.path.abspath(self.path)))
         self._cells[key] = payload
 
     # ------------------------------------------------------------------

@@ -37,6 +37,7 @@ from repro.similarity.base import SimilarityMeasure
 __all__ = [
     "TradeoffCell",
     "TradeoffResult",
+    "cell_key",
     "run_tradeoff",
     "format_tradeoff_table",
 ]
@@ -62,9 +63,9 @@ class TradeoffCell:
     ndcg_std: float
 
 
-def _cell_key(
-    dataset: SocialRecDataset,
-    measure: SimilarityMeasure,
+def cell_key(
+    dataset_name: str,
+    measure_name: str,
     epsilon: float,
     n: int,
     repeats: int,
@@ -75,16 +76,33 @@ def _cell_key(
 
     Includes every input that changes the cell's value, so a checkpoint
     written by one configuration is never silently reused by another.
+    Public because the distributed sweep layer (:mod:`repro.dist`) uses
+    the same keys to decide which cells a shared checkpoint already
+    covers.
     """
     return (
         "tradeoff",
-        dataset.name,
-        measure.name,
+        dataset_name,
+        measure_name,
         encode_epsilon(epsilon),
         str(n),
         str(repeats),
         str(seed),
         str(sample_size),
+    )
+
+
+def _cell_key(
+    dataset: SocialRecDataset,
+    measure: SimilarityMeasure,
+    epsilon: float,
+    n: int,
+    repeats: int,
+    seed: int,
+    sample_size: Optional[int],
+) -> tuple:
+    return cell_key(
+        dataset.name, measure.name, epsilon, n, repeats, seed, sample_size
     )
 
 

@@ -14,7 +14,9 @@ measured ad hoc:
 - :mod:`repro.obs.adapters` — ``ComputeStats``/``EngineStats``/
   ``BatchStats`` published into and reconstructed from the registry;
 - :mod:`repro.obs.export` — JSON-lines traces, ``BENCH``-style
-  summaries, and human tables (``repro obs report``).
+  summaries, and human tables (``repro obs report``);
+- :mod:`repro.obs.trend` — median-normalized diffing of two BENCH-style
+  summaries (``repro obs trend``).
 
 Everything here is importable with zero third-party dependencies and
 no-ops completely when no registry is active, so instrumented library
@@ -56,6 +58,12 @@ from repro.obs.registry import (
     telemetry,
 )
 from repro.obs.spans import current_span_path, span
+from repro.obs.trend import (
+    TrendReport,
+    compare_summaries,
+    format_trend,
+    load_summary,
+)
 
 __all__ = [
     "Telemetry",
@@ -86,4 +94,8 @@ __all__ = [
     "write_summary",
     "summary_path_for",
     "format_report",
+    "TrendReport",
+    "compare_summaries",
+    "format_trend",
+    "load_summary",
 ]

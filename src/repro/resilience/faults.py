@@ -106,7 +106,10 @@ def bit_flip_file(path: str, seed: int = 0) -> int:
     size = os.path.getsize(path)
     if size == 0:
         return -1
-    rng = random.Random(hash(("bitflip", seed, size)))
+    # Seed from a string, not hash(str, ...): str hashing is salted per
+    # process (PYTHONHASHSEED), which made the "deterministic" offset
+    # vary across runs — and sometimes land in bytes no loader checks.
+    rng = random.Random(f"bitflip:{seed}:{size}")
     offset = rng.randrange(size)
     bit = rng.randrange(8)
     with open(path, "r+b") as handle:

@@ -51,7 +51,16 @@ class RetryPolicy:
             ``[-jitter, +jitter]`` and added; derived deterministically
             from ``seed`` and the attempt number.
         deadline: optional wall-clock budget in seconds for all attempts
-            *and* sleeps together; exceeding it stops retrying early.
+            *and* sleeps together; exceeding it stops retrying early
+            with :class:`~repro.exceptions.RetryExhaustedError`.
+        deadline_s: optional *total* wall-clock budget with re-raise
+            semantics: when repeated slow failures would push the loop
+            past this budget, the **original** exception is re-raised
+            (not wrapped) with ``retry_attempts`` and ``retry_elapsed_s``
+            attributes attached.  The backoff schedule itself is
+            untouched, so seeded determinism is preserved — a deadline
+            only decides *whether* the next deterministic sleep happens,
+            never how long it is.
         retry_on: exception types that count as transient.
         seed: jitter seed.
         sleep / clock: injectable for tests (defaults: ``time.sleep`` /
@@ -68,6 +77,7 @@ class RetryPolicy:
     max_delay: float = 2.0
     jitter: float = 0.1
     deadline: Optional[float] = None
+    deadline_s: Optional[float] = None
     retry_on: Tuple[Type[BaseException], ...] = (OSError,)
     seed: int = 0
     sleep: Callable[[float], None] = field(default=time.sleep, repr=False)
@@ -80,6 +90,24 @@ class RetryPolicy:
             raise ValueError("delays must be non-negative")
         if not 0 <= self.jitter <= 1:
             raise ValueError(f"jitter must be in [0, 1], got {self.jitter}")
+        if self.deadline_s is not None and self.deadline_s <= 0:
+            raise ValueError(
+                f"deadline_s must be positive, got {self.deadline_s}"
+            )
+
+    def _over_deadline_s(
+        self, exc: BaseException, attempt: int, elapsed: float, pause: float
+    ) -> bool:
+        """Whether ``deadline_s`` forbids sleeping ``pause`` and retrying.
+
+        On the way out the original exception is annotated with how far
+        the loop got, so callers that catch it still see the retry story.
+        """
+        if self.deadline_s is None or elapsed + pause <= self.deadline_s:
+            return False
+        exc.retry_attempts = attempt  # type: ignore[attr-defined]
+        exc.retry_elapsed_s = elapsed  # type: ignore[attr-defined]
+        return True
 
     # ------------------------------------------------------------------
     # delay schedule
@@ -110,7 +138,10 @@ class RetryPolicy:
 
         Raises:
             RetryExhaustedError: when every attempt failed (chained to the
-                last underlying exception), or the deadline ran out.
+                last underlying exception), or the ``deadline`` ran out.
+            BaseException: the *original* failure, re-raised with
+                ``retry_attempts`` / ``retry_elapsed_s`` attached, when
+                ``deadline_s`` ran out first.
         """
         started = self.clock()
         last: Optional[BaseException] = None
@@ -122,10 +153,11 @@ class RetryPolicy:
                 if attempt == self.max_attempts:
                     break
                 pause = self.delay_for(attempt)
-                if self.deadline is not None:
-                    elapsed = self.clock() - started
-                    if elapsed + pause > self.deadline:
-                        raise RetryExhaustedError(attempt, exc) from exc
+                elapsed = self.clock() - started
+                if self._over_deadline_s(exc, attempt, elapsed, pause):
+                    raise
+                if self.deadline is not None and elapsed + pause > self.deadline:
+                    raise RetryExhaustedError(attempt, exc) from exc
                 if pause > 0:
                     self.sleep(pause)
         assert last is not None
@@ -182,10 +214,11 @@ class Attempt:
         if not self.policy.retries_remaining(self.number):
             raise RetryExhaustedError(self.number, exc) from exc
         pause = self.policy.delay_for(self.number)
-        if self.policy.deadline is not None:
-            elapsed = self.policy.clock() - self.started
-            if elapsed + pause > self.policy.deadline:
-                raise RetryExhaustedError(self.number, exc) from exc
+        elapsed = self.policy.clock() - self.started
+        if self.policy._over_deadline_s(exc, self.number, elapsed, pause):
+            return False  # re-raise the original, annotated
+        if self.policy.deadline is not None and elapsed + pause > self.policy.deadline:
+            raise RetryExhaustedError(self.number, exc) from exc
         if pause > 0:
             self.policy.sleep(pause)
         return True

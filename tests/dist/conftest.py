@@ -1,0 +1,91 @@
+"""Shared fixtures for the distributed-sweep tests.
+
+Everything runs on the same tiny synthetic dataset and sweep grid the
+checkpoint resume tests use, so "distributed == single-process" is
+asserted against an independently computed baseline.
+"""
+
+import math
+
+import pytest
+
+from repro.datasets.synthetic import SyntheticDatasetSpec
+from repro.dist import SweepSpec, dataset_descriptor, submit_tradeoff_sweep
+from repro.experiments.tradeoff import run_tradeoff
+from repro.similarity.base import get_measure
+
+EPSILONS = [math.inf, 1.0, 0.5]
+NS = [5]
+REPEATS = 2
+SEED = 3
+MEASURES = ["cn"]
+
+
+class FakeClock:
+    """A wall clock tests can advance by hand (shared by queue + workers)."""
+
+    def __init__(self, start: float = 1000.0):
+        self.now = start
+
+    def __call__(self) -> float:
+        return self.now
+
+    def advance(self, seconds: float) -> None:
+        self.now += seconds
+
+
+@pytest.fixture(scope="module")
+def tiny_dataset():
+    return SyntheticDatasetSpec.lastfm_like(scale=0.04).generate(seed=1)
+
+
+@pytest.fixture(scope="module")
+def baseline(tiny_dataset):
+    """The single-process ground truth the distributed runs must match."""
+    cells = run_tradeoff(
+        tiny_dataset,
+        [get_measure(m) for m in MEASURES],
+        epsilons=EPSILONS,
+        ns=NS,
+        repeats=REPEATS,
+        seed=SEED,
+    )
+    return [
+        (c.measure, c.epsilon, c.n, c.ndcg_mean, c.ndcg_std) for c in cells
+    ]
+
+
+def tiny_spec(dataset, **overrides) -> SweepSpec:
+    kwargs = dict(
+        repeats=REPEATS,
+        seed=SEED,
+        max_attempts=3,
+    )
+    kwargs.update(overrides)
+    return SweepSpec.build(
+        dataset=dataset_descriptor(dataset=dataset),
+        measures=MEASURES,
+        epsilons=EPSILONS,
+        ns=NS,
+        **kwargs,
+    )
+
+
+@pytest.fixture
+def queue_factory(tiny_dataset, tmp_path):
+    """Create initialised queues for the tiny sweep on demand."""
+
+    def make(clock=None, **spec_overrides):
+        spec = tiny_spec(tiny_dataset, **spec_overrides)
+        kwargs = {"clock": clock} if clock is not None else {}
+        return submit_tradeoff_sweep(
+            str(tmp_path / "queue"), spec, **kwargs
+        )
+
+    return make
+
+
+def as_tuples(cells):
+    return [
+        (c.measure, c.epsilon, c.n, c.ndcg_mean, c.ndcg_std) for c in cells
+    ]

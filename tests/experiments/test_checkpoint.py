@@ -13,7 +13,9 @@ from repro.experiments.checkpoint import (
     SweepCheckpoint,
     decode_epsilon,
     encode_epsilon,
+    fsync_directory,
 )
+from repro.obs import Telemetry, telemetry
 from repro.experiments.tradeoff import run_tradeoff
 from repro.resilience import FaultPlan, FaultSpec
 from repro.similarity.common_neighbors import CommonNeighbors
@@ -77,6 +79,52 @@ class TestSweepCheckpoint:
         ckpt.clear()
         assert len(ckpt) == 0
         assert not os.path.exists(path)
+
+    def test_duplicate_records_counted_last_wins(self, tmp_path):
+        """Concurrent workers can both finish a cell (lease reclaim race);
+        the loader keeps the last record and surfaces the duplicate."""
+        path = tmp_path / "sweep.jsonl"
+        lines = [
+            json.dumps({"key": ["a"], "payload": {"mean": 0.1}}),
+            json.dumps({"key": ["b"], "payload": {"mean": 0.2}}),
+            json.dumps({"key": ["a"], "payload": {"mean": 0.1}}),
+        ]
+        path.write_text("\n".join(lines) + "\n")
+        registry = Telemetry()
+        with telemetry(registry):
+            ckpt = SweepCheckpoint(str(path))
+        assert len(ckpt) == 2
+        assert ckpt.duplicate_cells == 1
+        assert registry.snapshot().counters["checkpoint.duplicate_cells"] == 1
+
+    def test_torn_final_line_with_duplicates(self, tmp_path):
+        """A kill mid-append on a queue shared by racing workers: torn
+        tail dropped, earlier duplicate still counted, data intact."""
+        path = tmp_path / "sweep.jsonl"
+        good = json.dumps({"key": ["a"], "payload": {"mean": 0.1}})
+        path.write_text(
+            good + "\n" + good + "\n" + '{"key": ["b"], "pay'
+        )
+        ckpt = SweepCheckpoint(str(path))
+        assert len(ckpt) == 1
+        assert ckpt.duplicate_cells == 1
+        assert ckpt.get(("a",)) == {"mean": 0.1}
+        assert ckpt.get(("b",)) is None
+
+    def test_fsync_directory_tolerates_odd_paths(self, tmp_path):
+        fsync_directory(str(tmp_path))
+        fsync_directory("")  # empty dirname (relative checkpoint path)
+        fsync_directory(str(tmp_path / "does-not-exist"))
+
+    def test_first_record_creates_durable_file(self, tmp_path):
+        """The dir-fsync branch runs on the append that creates the file
+        (and only then) without disturbing the record itself."""
+        path = str(tmp_path / "nested" / "sweep.jsonl")
+        os.makedirs(os.path.dirname(path))
+        ckpt = SweepCheckpoint(path)
+        ckpt.record(("a",), {"mean": 0.1})
+        ckpt.record(("b",), {"mean": 0.2})
+        assert len(SweepCheckpoint(path)) == 2
 
 
 @pytest.fixture(scope="module")
@@ -144,6 +192,49 @@ class TestResume:
         with counter.installed():
             sweep(tiny_dataset, tiny_clustering, checkpoint=path, seed=4)
         assert counter.calls_to("tradeoff.cell") == 3  # all recomputed
+
+    @pytest.mark.faults
+    def test_resume_under_engine_faults_with_workers(
+        self, tiny_dataset, tiny_clustering, tmp_path
+    ):
+        """Interrupt a workers=2 sweep twice while every pooled cell is
+        also failing (engine.cell raises, forcing the pool -> in-parent
+        degradation), reloading the checkpoint between legs: the final
+        result must still be bit-identical to a clean single-process
+        sweep."""
+        baseline = sweep(tiny_dataset, tiny_clustering)
+
+        path = str(tmp_path / "sweep.jsonl")
+
+        def leg(interrupt_at=None):
+            specs = [FaultSpec(site="engine.cell", on_call=1, repeat=True)]
+            if interrupt_at is not None:
+                specs.append(
+                    FaultSpec(site="tradeoff.cell", on_call=interrupt_at)
+                )
+            plan = FaultPlan(specs)
+            with plan.installed():
+                return run_tradeoff(
+                    tiny_dataset,
+                    [CommonNeighbors()],
+                    epsilons=[math.inf, 1.0, 0.5],
+                    ns=[5],
+                    repeats=2,
+                    clustering=tiny_clustering,
+                    seed=3,
+                    checkpoint=SweepCheckpoint(path),  # fresh reload per leg
+                    workers=2,
+                )
+
+        with pytest.raises(OSError):
+            leg(interrupt_at=2)
+        assert len(SweepCheckpoint(path)) == 1
+        with pytest.raises(OSError):
+            leg(interrupt_at=2)
+        assert len(SweepCheckpoint(path)) == 2
+        resumed = leg()
+        assert resumed == baseline
+        assert len(SweepCheckpoint(path)) == 3
 
     def test_checkpoint_accepts_instance(self, tiny_dataset, tiny_clustering, tmp_path):
         ckpt = SweepCheckpoint(str(tmp_path / "sweep.jsonl"))

@@ -150,6 +150,82 @@ class TestCall:
         assert policy.call(lambda a, b=0: a + b, 2, b=3) == 5
 
 
+class TestDeadlineSeconds:
+    """deadline_s: a total wall-clock budget that re-raises the ORIGINAL
+    error (annotated) instead of wrapping it — unlike ``deadline``."""
+
+    def test_rejects_non_positive(self):
+        with pytest.raises(ValueError):
+            RetryPolicy(deadline_s=0)
+        with pytest.raises(ValueError):
+            RetryPolicy(deadline_s=-1.0)
+
+    def test_reraises_original_with_annotations(self):
+        clock = FakeClock()
+        sleeps = []
+
+        def sleeping(seconds):
+            sleeps.append(seconds)
+            clock.advance(seconds)
+
+        policy = RetryPolicy(max_attempts=10, base_delay=5.0, jitter=0.0,
+                             max_delay=20.0, deadline_s=6.0, sleep=sleeping,
+                             clock=clock)
+        with pytest.raises(OSError) as excinfo:
+            policy.call(flaky(10))
+        # first sleep (5s) fits the 6s budget, the second (10s) does not;
+        # the original OSError comes back annotated, not wrapped.
+        assert sleeps == [pytest.approx(5.0)]
+        assert excinfo.value.retry_attempts == 2
+        assert excinfo.value.retry_elapsed_s == pytest.approx(5.0)
+
+    def test_schedule_unchanged_by_deadline(self):
+        """Seeded determinism: the deadline decides whether the next
+        sleep happens, never how long it is."""
+        with_deadline = RetryPolicy(jitter=0.3, seed=7, deadline_s=100.0)
+        without = RetryPolicy(jitter=0.3, seed=7)
+        assert [with_deadline.delay_for(i) for i in (1, 2, 3)] == [
+            without.delay_for(i) for i in (1, 2, 3)
+        ]
+
+    def test_within_budget_retries_normally(self):
+        clock = FakeClock()
+        policy = RetryPolicy(max_attempts=3, base_delay=0.01, jitter=0.0,
+                             deadline_s=60.0, sleep=lambda s: clock.advance(s),
+                             clock=clock)
+        assert policy.call(flaky(2)) == "ok"
+
+    def test_exhaustion_inside_budget_still_wraps(self):
+        """deadline_s changes nothing when attempts run out first."""
+        policy = RetryPolicy(max_attempts=2, base_delay=0.0, jitter=0.0,
+                             deadline_s=1000.0, sleep=lambda _: None)
+        with pytest.raises(RetryExhaustedError):
+            policy.call(flaky(10))
+
+    def test_both_deadlines_deadline_s_wins_when_tighter(self):
+        clock = FakeClock()
+        policy = RetryPolicy(max_attempts=10, base_delay=5.0, jitter=0.0,
+                             max_delay=20.0, deadline=50.0, deadline_s=2.0,
+                             sleep=lambda s: clock.advance(s), clock=clock)
+        with pytest.raises(OSError) as excinfo:
+            policy.call(flaky(10))
+        assert excinfo.value.retry_attempts == 1
+
+    def test_attempts_loop_respects_deadline_s(self):
+        clock = FakeClock()
+        policy = RetryPolicy(max_attempts=10, base_delay=5.0, jitter=0.0,
+                             max_delay=20.0, deadline_s=6.0,
+                             sleep=lambda s: clock.advance(s), clock=clock)
+        attempts_entered = []
+        with pytest.raises(OSError) as excinfo:
+            for attempt in policy.attempts():
+                with attempt:
+                    attempts_entered.append(attempt.number)
+                    raise OSError("always broken")
+        assert attempts_entered == [1, 2]
+        assert excinfo.value.retry_attempts == 2
+
+
 class TestDecorator:
     def test_decorated_function_retries(self):
         policy = RetryPolicy(max_attempts=3, base_delay=0.0, jitter=0.0,

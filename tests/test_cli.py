@@ -336,3 +336,46 @@ class TestBatchCommand:
         out = capsys.readouterr().out
         assert "mode=parallel" in out
         assert "shards:" in out
+
+
+class TestSweepCommands:
+    SUBMIT = ["sweep", "submit", "--scale", "0.04", "--seed", "1",
+              "--measures", "cn", "--epsilons", "inf", "1.0",
+              "--ns", "5", "--repeats", "2"]
+
+    def test_parser_requires_sweep_subcommand(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["sweep"])
+
+    def test_submit_worker_status_reap_round_trip(self, tmp_path, capsys):
+        queue_dir = str(tmp_path / "queue")
+        assert main(self.SUBMIT + ["--queue", queue_dir]) == 0
+        out = capsys.readouterr().out
+        assert "2 cell(s)" in out and "repro sweep worker" in out
+
+        # Resubmitting the identical sweep is idempotent...
+        assert main(self.SUBMIT + ["--queue", queue_dir]) == 0
+        capsys.readouterr()
+        # ...but a different spec at the same queue is refused (exit 5).
+        different = list(self.SUBMIT)
+        different[different.index("--seed") + 1] = "9"
+        assert main(different + ["--queue", queue_dir]) == 5
+        assert "different sweep spec" in capsys.readouterr().err
+
+        assert main(["sweep", "worker", "--queue", queue_dir,
+                     "--max-idle", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "2 cell(s) completed" in out
+
+        assert main(["sweep", "status", "--queue", queue_dir]) == 0
+        out = capsys.readouterr().out
+        assert "2 done" in out and "0 poisoned" in out
+
+        assert main(["sweep", "reap", "--queue", queue_dir]) == 0
+        out = capsys.readouterr().out
+        assert "reaped 0 expired lease(s)" in out
+
+    def test_status_of_missing_queue_exits_5(self, tmp_path, capsys):
+        missing = str(tmp_path / "nothing")
+        assert main(["sweep", "status", "--queue", missing]) == 5
+        assert "not an initialised" in capsys.readouterr().err
