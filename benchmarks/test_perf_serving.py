@@ -1,0 +1,172 @@
+"""Serving-tier latency and throughput benchmarks (CI-gated).
+
+Not a paper artifact — pytest-benchmark timings of the online serving
+path so the CI regression gate catches latency/QPS regressions:
+
+- per-request scoring cost straight through the engine (the executor's
+  unit of work);
+- end-to-end HTTP latency and sustained QPS under the deterministic
+  closed-loop load generator (p50/p99/QPS reported via
+  ``benchmark.extra_info`` and landed in BENCH_ci.json);
+- hot-swap cost: load + verify + flip + drain with no load applied.
+
+The benchmarked numbers are wall-clock means (what ``check_regression``
+gates); the loadgen percentiles ride along as ``extra_info`` for the
+BENCH artifact.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import threading
+
+import pytest
+
+from repro.core.persistence import PublishedRelease
+from repro.core.private import PrivateSocialRecommender
+from repro.serve import (
+    AdmissionController,
+    AdmissionPolicy,
+    HotSwapper,
+    LoadgenConfig,
+    LoadGenerator,
+    RecommendationServer,
+    ServerConfig,
+    ServingEngine,
+)
+from repro.similarity.common_neighbors import CommonNeighbors
+
+from .conftest import print_banner
+
+REQUESTS = 150
+CONCURRENCY = 8
+
+
+@pytest.fixture(scope="module")
+def serve_release(lastfm_bench):
+    recommender = PrivateSocialRecommender(
+        CommonNeighbors(), epsilon=0.5, seed=7
+    )
+    recommender.fit(lastfm_bench.social, lastfm_bench.preferences)
+    return PublishedRelease.from_recommender(recommender)
+
+
+@pytest.fixture(scope="module")
+def warm_engine(lastfm_bench, serve_release):
+    return ServingEngine(serve_release, lastfm_bench.social)
+
+
+class _BenchServer:
+    """A served release on a background loop, shared by one benchmark."""
+
+    def __init__(self, release, social):
+        engine = ServingEngine(release, social)
+        self.server = RecommendationServer(
+            HotSwapper(engine),
+            AdmissionController(AdmissionPolicy(max_queue=256)),
+            social,
+            ServerConfig(threads=4),
+        )
+        self.loop = None
+        self._ready = threading.Event()
+        self._thread = threading.Thread(target=self._run, daemon=True)
+        self._thread.start()
+        if not self._ready.wait(timeout=60.0):
+            raise RuntimeError("benchmark server did not start")
+
+    def _run(self):
+        asyncio.run(self._main())
+
+    async def _main(self):
+        self.loop = asyncio.get_running_loop()
+        await self.server.start()
+        self._ready.set()
+        await self.server.serve_until_shutdown()
+
+    @property
+    def port(self):
+        return self.server.port
+
+    def stop(self):
+        # request_shutdown toggles an asyncio.Event: marshal the call
+        # onto the serve loop rather than poking it cross-thread.
+        if self._thread.is_alive() and self.loop is not None:
+            try:
+                self.loop.call_soon_threadsafe(self.server.request_shutdown)
+            except RuntimeError:
+                pass
+        self._thread.join(30.0)
+
+
+@pytest.fixture(scope="module")
+def bench_server(lastfm_bench, serve_release):
+    server = _BenchServer(serve_release, lastfm_bench.social)
+    yield server
+    server.stop()
+
+
+class TestServingLatency:
+    def test_benchmark_engine_recommend(
+        self, benchmark, warm_engine, lastfm_bench
+    ):
+        """Per-request scoring cost with a warm kernel (executor unit)."""
+        users = sorted(lastfm_bench.social.users())
+        counter = iter(range(10**9))
+
+        def one_request():
+            user = users[next(counter) % len(users)]
+            return warm_engine.recommend(user, 10)
+
+        result = benchmark(one_request)
+        assert result.tier
+
+    def test_benchmark_http_closed_loop(
+        self, benchmark, bench_server, lastfm_bench
+    ):
+        """End-to-end latency/QPS through HTTP under closed-loop load."""
+        users = sorted(lastfm_bench.social.users())
+        reports = []
+
+        def one_run():
+            generator = LoadGenerator(
+                users,
+                LoadgenConfig(
+                    requests=REQUESTS, concurrency=CONCURRENCY, seed=17
+                ),
+            )
+            report = generator.run("127.0.0.1", bench_server.port)
+            reports.append(report)
+            return report
+
+        report = benchmark.pedantic(one_run, rounds=3, iterations=1)
+        assert report.error_count == 0
+        assert report.count == REQUESTS
+        best = max(reports, key=lambda r: r.qps)
+        benchmark.extra_info["p50_ms"] = round(best.p50_ms, 3)
+        benchmark.extra_info["p99_ms"] = round(best.p99_ms, 3)
+        benchmark.extra_info["qps"] = round(best.qps, 1)
+        benchmark.extra_info["requests"] = REQUESTS
+        benchmark.extra_info["concurrency"] = CONCURRENCY
+        print_banner(
+            f"serving: {best.qps:,.0f} req/s sustained, "
+            f"p50 {best.p50_ms:.2f} ms, p99 {best.p99_ms:.2f} ms "
+            f"({REQUESTS} requests, closed loop x{CONCURRENCY})"
+        )
+
+    def test_benchmark_hot_swap(
+        self, benchmark, tmp_path, lastfm_bench, serve_release
+    ):
+        """Cost of one unloaded swap: load + verify + warm + flip + drain."""
+        path = str(tmp_path / "swap-release.npz")
+        serve_release.save(path)
+
+        def setup():
+            engine = ServingEngine(serve_release, lastfm_bench.social)
+            return (HotSwapper(engine),), {}
+
+        def do_swap(swapper):
+            result = swapper.swap(path, lastfm_bench.social)
+            assert result.drained
+            return result
+
+        benchmark.pedantic(do_swap, setup=setup, rounds=5)

@@ -21,6 +21,12 @@ Commands:
   leaseable cell tasks, ``worker`` claims and computes them (any number
   of processes/hosts sharing the queue directory), ``status`` reports
   progress, ``reap`` reclaims leases left behind by dead workers.
+- ``serve``          — the online serving tier: ``publish`` fits and
+  saves a release artifact, ``run`` starts the long-lived asyncio HTTP
+  service over it (admission control riding the degradation ladder,
+  hot release swap via ``POST /admin/swap``), ``bench`` drives a
+  seeded load generator against a server (or a self-hosted one) and
+  reports p50/p99 latency and sustained QPS.
 
 ``tradeoff``, ``batch``, and ``cache warm`` accept ``--profile[=PATH]``:
 the run executes under an active :mod:`repro.obs` registry and writes a
@@ -482,6 +488,145 @@ def build_parser() -> argparse.ArgumentParser:
         help="reclaim expired leases left behind by dead workers",
     )
     p_sweep_reap.add_argument("--queue", required=True, help="queue directory")
+
+    p_serve = sub.add_parser(
+        "serve",
+        help="online serving tier: async HTTP service over a published release",
+    )
+    serve_sub = p_serve.add_subparsers(dest="serve_command", required=True)
+
+    p_serve_publish = serve_sub.add_parser(
+        "publish",
+        help="fit the private recommender and save its release artifact",
+    )
+    _add_dataset_arguments(p_serve_publish)
+    p_serve_publish.add_argument("--measure", default="cn")
+    p_serve_publish.add_argument("--epsilon", type=_parse_epsilon, default=0.5)
+    p_serve_publish.add_argument(
+        "--release", required=True, help="write the .npz artifact here"
+    )
+
+    p_serve_run = serve_sub.add_parser(
+        "run", help="start the long-lived HTTP recommendation service"
+    )
+    _add_dataset_arguments(p_serve_run)
+    p_serve_run.add_argument(
+        "--release",
+        default=None,
+        help="serve this .npz artifact (default: fit one in-process from "
+        "the dataset arguments)",
+    )
+    p_serve_run.add_argument("--measure", default="cn")
+    p_serve_run.add_argument(
+        "--epsilon",
+        type=_parse_epsilon,
+        default=0.5,
+        help="privacy parameter when fitting in-process (ignored with "
+        "--release)",
+    )
+    p_serve_run.add_argument("--host", default="127.0.0.1")
+    p_serve_run.add_argument(
+        "--port", type=int, default=0, help="bind port (0: ephemeral)"
+    )
+    p_serve_run.add_argument("--n", type=_positive_int, default=10)
+    p_serve_run.add_argument(
+        "--threads", type=_positive_int, default=4, help="scoring thread pool"
+    )
+    p_serve_run.add_argument(
+        "--max-queue",
+        type=_positive_int,
+        default=64,
+        help="admitted-request bound; beyond it requests are shed "
+        "(default: 64)",
+    )
+    p_serve_run.add_argument(
+        "--cluster-at",
+        type=float,
+        default=0.5,
+        help="queue-depth fraction where responses degrade to "
+        "cluster-popularity (default: 0.5)",
+    )
+    p_serve_run.add_argument(
+        "--global-at",
+        type=float,
+        default=0.75,
+        help="queue-depth fraction where responses degrade to global "
+        "popularity (default: 0.75)",
+    )
+    p_serve_run.add_argument(
+        "--max-requests",
+        type=_positive_int,
+        default=None,
+        help="shut down cleanly after serving this many requests "
+        "(default: serve until POST /admin/shutdown)",
+    )
+    p_serve_run.add_argument(
+        "--mmap-dir",
+        default=None,
+        help="memory-map release matrices via a content-addressed .npy "
+        "cache in this directory",
+    )
+    p_serve_run.add_argument(
+        "--cache-dir",
+        default=None,
+        help="warm similarity kernels through a persistent "
+        "SimilarityStore in this directory (initial load and every swap)",
+    )
+    _add_profile_argument(p_serve_run)
+
+    p_serve_bench = serve_sub.add_parser(
+        "bench",
+        help="drive the seeded load generator and report p50/p99/QPS",
+    )
+    _add_dataset_arguments(p_serve_bench)
+    p_serve_bench.add_argument(
+        "--connect",
+        default=None,
+        metavar="HOST:PORT",
+        help="target a running server (default: self-host one in-process "
+        "from the dataset arguments)",
+    )
+    p_serve_bench.add_argument("--measure", default="cn")
+    p_serve_bench.add_argument(
+        "--epsilon", type=_parse_epsilon, default=0.5,
+        help="privacy parameter for the self-hosted release",
+    )
+    p_serve_bench.add_argument("--requests", type=_positive_int, default=200)
+    p_serve_bench.add_argument(
+        "--mode", choices=("closed", "open"), default="closed"
+    )
+    p_serve_bench.add_argument(
+        "--concurrency", type=_positive_int, default=8,
+        help="closed-loop in-flight bound (default: 8)",
+    )
+    p_serve_bench.add_argument(
+        "--rate", type=float, default=200.0,
+        help="open-loop arrivals per second (default: 200)",
+    )
+    p_serve_bench.add_argument("--n", type=_positive_int, default=10)
+    p_serve_bench.add_argument(
+        "--threads", type=_positive_int, default=4,
+        help="self-hosted scoring thread pool",
+    )
+    p_serve_bench.add_argument(
+        "--expect-tier",
+        default=None,
+        help="exit non-zero unless at least one response was served "
+        "from this tier",
+    )
+    p_serve_bench.add_argument(
+        "--shutdown",
+        action="store_true",
+        help="POST /admin/shutdown to the --connect server afterwards",
+    )
+    p_serve_bench.add_argument(
+        "--wait-ready",
+        type=float,
+        default=30.0,
+        help="seconds to wait for a --connect server to answer /health "
+        "(default: 30)",
+    )
+    _add_profile_argument(p_serve_bench)
     return parser
 
 
@@ -1074,6 +1219,239 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     return 0
 
 
+def _serve_release(args, dataset):
+    """Load (or fit in-process) the release a serve command operates on.
+
+    Returns ``(release, path)`` where ``path`` is None for in-process
+    releases.
+    """
+    from repro.core.persistence import PublishedRelease
+
+    path = getattr(args, "release", None)
+    if path:
+        release = PublishedRelease.load(
+            path, mmap_dir=getattr(args, "mmap_dir", None)
+        )
+        return release, path
+    recommender = PrivateSocialRecommender(
+        get_measure(args.measure),
+        epsilon=args.epsilon,
+        n=getattr(args, "n", 10),
+        seed=args.seed,
+    )
+    recommender.fit(dataset.social, dataset.preferences)
+    return PublishedRelease.from_recommender(recommender), None
+
+
+def _serve_build_server(args, dataset, release, path):
+    from repro.serve import (
+        AdmissionController,
+        AdmissionPolicy,
+        HotSwapper,
+        RecommendationServer,
+        ServerConfig,
+        ServingEngine,
+    )
+
+    store = None
+    if getattr(args, "cache_dir", None):
+        from repro.cache import SimilarityStore
+
+        store = SimilarityStore(args.cache_dir)
+    engine = ServingEngine(
+        release, dataset.social, generation=0, path=path, store=store
+    )
+    policy = AdmissionPolicy(
+        max_queue=getattr(args, "max_queue", 64),
+        cluster_at=getattr(args, "cluster_at", 0.5),
+        global_at=getattr(args, "global_at", 0.75),
+    )
+    config = ServerConfig(
+        host=getattr(args, "host", "127.0.0.1"),
+        port=getattr(args, "port", 0),
+        n_default=args.n,
+        threads=args.threads,
+        max_requests=getattr(args, "max_requests", None),
+        mmap_dir=getattr(args, "mmap_dir", None),
+    )
+    return RecommendationServer(
+        HotSwapper(engine),
+        AdmissionController(policy),
+        dataset.social,
+        config,
+        store=store,
+    )
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    """Online serving tier: publish an artifact, run the service, bench it."""
+    import asyncio
+    import signal
+
+    if args.serve_command == "publish":
+        from repro.core.persistence import PublishedRelease
+
+        dataset = _resolve_dataset(args)
+        recommender = PrivateSocialRecommender(
+            get_measure(args.measure), epsilon=args.epsilon, seed=args.seed
+        )
+        recommender.fit(dataset.social, dataset.preferences)
+        release = PublishedRelease.from_recommender(recommender)
+        release.save(args.release)
+        weights = release.weights
+        epsilon = "inf" if math.isinf(release.epsilon) else f"{release.epsilon:g}"
+        print(f"release:     {args.release}")
+        print(
+            f"provenance:  measure {release.measure_name}, epsilon {epsilon}, "
+            f"{len(weights.items)} items x "
+            f"{weights.clustering.num_clusters} clusters "
+            f"({weights.clustering.num_users} users)"
+        )
+        return 0
+
+    if args.serve_command == "run":
+        dataset = _resolve_dataset(args)
+        release, path = _serve_release(args, dataset)
+        server = _serve_build_server(args, dataset, release, path)
+
+        async def _run() -> None:
+            loop = asyncio.get_running_loop()
+            for signum in (signal.SIGINT, signal.SIGTERM):
+                try:
+                    loop.add_signal_handler(signum, server.request_shutdown)
+                except (NotImplementedError, RuntimeError):
+                    pass  # non-unix platforms / nested loops
+            await server.start()
+            desc = server.swapper.current.describe()
+            print(
+                f"serving on http://{server.config.host}:{server.port} "
+                f"(generation {desc['generation']}, "
+                f"{desc['num_users']} users, {desc['num_items']} items, "
+                f"measure {desc['measure']})",
+                flush=True,
+            )
+            await server.serve_until_shutdown()
+
+        asyncio.run(_run())
+        tiers = ", ".join(
+            f"{tier}={count}"
+            for tier, count in sorted(server.tier_counts.items())
+        )
+        print(
+            f"shutdown:    clean ({server.requests_served} request(s) "
+            f"served, {server.errors} error(s))"
+        )
+        print(f"tiers:       [{tiers or 'none'}]")
+        print(
+            f"admission:   peak depth {server.admission.peak_depth}, "
+            f"{server.admission.shed_count} shed"
+        )
+        return 0
+
+    return _cmd_serve_bench(args)
+
+
+def _cmd_serve_bench(args: argparse.Namespace) -> int:
+    import asyncio
+    import time as _time
+
+    from repro.serve import (
+        LoadgenConfig,
+        LoadGenerator,
+        http_get_json,
+        http_request_json,
+    )
+
+    dataset = _resolve_dataset(args)
+    users = sorted(dataset.social.users())
+    generator = LoadGenerator(
+        users,
+        LoadgenConfig(
+            requests=args.requests,
+            mode=args.mode,
+            concurrency=args.concurrency,
+            rate=args.rate,
+            n=args.n,
+            seed=args.seed,
+        ),
+    )
+
+    if args.connect:
+        host, _, port_text = args.connect.rpartition(":")
+        try:
+            port = int(port_text)
+        except ValueError:
+            print(
+                f"repro: error: --connect expects HOST:PORT, "
+                f"got {args.connect!r}",
+                file=sys.stderr,
+            )
+            return 2
+
+        async def _bench_remote():
+            deadline = _time.monotonic() + args.wait_ready
+            while True:
+                try:
+                    status, _ = await http_get_json(host, port, "/health")
+                    if status == 200:
+                        break
+                except (OSError, ValueError):
+                    pass
+                if _time.monotonic() >= deadline:
+                    raise ConnectionError(
+                        f"server at {host}:{port} not ready within "
+                        f"{args.wait_ready:g}s"
+                    )
+                await asyncio.sleep(0.1)
+            report = await generator.run_async(host, port)
+            if args.shutdown:
+                await http_request_json(host, port, "POST", "/admin/shutdown")
+            return report
+
+        try:
+            report = asyncio.run(_bench_remote())
+        except ConnectionError as exc:
+            print(f"repro: error: {exc}", file=sys.stderr)
+            return 2
+        target = f"{host}:{port}"
+    else:
+        release, path = _serve_release(args, dataset)
+        server = _serve_build_server(args, dataset, release, path)
+
+        async def _bench_selfhost():
+            await server.start()
+            report = await generator.run_async("127.0.0.1", server.port)
+            server.request_shutdown()
+            await server.serve_until_shutdown()
+            return report
+
+        report = asyncio.run(_bench_selfhost())
+        target = "self-hosted"
+
+    print(
+        f"loadgen:     {args.mode} loop, {args.requests} request(s), "
+        f"seed {args.seed}, target {target}"
+    )
+    print(f"result:      {report.summary()}")
+    print(f"p50:         {report.p50_ms:.2f} ms")
+    print(f"p99:         {report.p99_ms:.2f} ms")
+    print(f"qps:         {report.qps:,.1f}")
+    if args.expect_tier is not None:
+        served = report.tier_counts().get(args.expect_tier, 0)
+        if served == 0 or report.error_count:
+            print(
+                f"repro: error: expected tier {args.expect_tier!r} "
+                f"(served {served} of it, {report.error_count} error(s))",
+                file=sys.stderr,
+            )
+            return 1
+        print(
+            f"expect-tier: OK ({served} response(s) from "
+            f"{args.expect_tier!r}, 0 errors)"
+        )
+    return 0
+
+
 _COMMANDS = {
     "stats": _cmd_stats,
     "tradeoff": _cmd_tradeoff,
@@ -1088,6 +1466,7 @@ _COMMANDS = {
     "cache": _cmd_cache,
     "obs": _cmd_obs,
     "sweep": _cmd_sweep,
+    "serve": _cmd_serve,
 }
 
 

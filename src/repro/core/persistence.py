@@ -37,7 +37,12 @@ from repro.exceptions import (
     ReleaseIntegrityError,
 )
 from repro.graph.social_graph import SocialGraph
-from repro.resilience.degradation import degradation_estimates
+from repro.obs.registry import incr as obs_incr
+from repro.resilience.degradation import (
+    DEGRADATION_LADDER,
+    TIER_PERSONALIZED,
+    degradation_estimates,
+)
 from repro.resilience.faults import fault_point
 from repro.resilience.retry import RetryPolicy
 from repro.similarity.base import SimilarityCache, SimilarityMeasure, get_measure
@@ -88,6 +93,45 @@ def _read_release_arrays(path: str) -> Tuple[np.ndarray, bytes, Optional[str]]:
             f"release file {path!r} is corrupt or not a release archive: {exc}"
         ) from exc
     return matrix, payload, checksum
+
+
+def _mmap_matrix(matrix: np.ndarray, digest: str, mmap_dir: str) -> np.ndarray:
+    """Return a read-only memory map of ``matrix`` cached under ``mmap_dir``.
+
+    The cache file is named by the release's content digest, so it can
+    never be stale: a different release maps to a different file.  The
+    first load materialises ``<digest>.npy`` atomically (tmp + fsync +
+    ``os.replace``); later loads — and other processes serving the same
+    release — share the page cache instead of each holding a private
+    copy of the matrix.  A cache file that fails to parse or does not
+    match the verified in-memory matrix's shape/dtype is rewritten.
+    """
+    os.makedirs(mmap_dir, exist_ok=True)
+    cache_path = os.path.join(mmap_dir, f"{digest}.npy")
+    canonical = np.ascontiguousarray(matrix, dtype=np.float64)
+    mapped: Optional[np.ndarray] = None
+    if os.path.exists(cache_path):
+        try:
+            mapped = np.load(cache_path, mmap_mode="r")
+        except (OSError, ValueError):
+            mapped = None
+        if mapped is not None and (
+            mapped.shape != canonical.shape or mapped.dtype != canonical.dtype
+        ):
+            mapped = None
+    if mapped is None:
+        tmp_path = f"{cache_path}.tmp.{os.getpid()}"
+        try:
+            with open(tmp_path, "wb") as handle:
+                np.save(handle, canonical)
+                handle.flush()
+                os.fsync(handle.fileno())
+            os.replace(tmp_path, cache_path)
+        finally:
+            if os.path.exists(tmp_path):
+                os.remove(tmp_path)
+        mapped = np.load(cache_path, mmap_mode="r")
+    return mapped
 
 
 def _check_json_ids(values, kind: str) -> None:
@@ -209,7 +253,10 @@ class PublishedRelease:
 
     @classmethod
     def load(
-        cls, path: str, retry: Optional[RetryPolicy] = None
+        cls,
+        path: str,
+        retry: Optional[RetryPolicy] = None,
+        mmap_dir: Optional[str] = None,
     ) -> "PublishedRelease":
         """Read and verify an artifact previously written by :meth:`save`.
 
@@ -218,6 +265,12 @@ class PublishedRelease:
             retry: optional policy applied to the IO read; transient
                 ``OSError`` failures are retried, integrity failures are
                 permanent and never retried.
+            mmap_dir: when given, the (checksum-verified) weight matrix
+                is served as a read-only memory map backed by a
+                content-addressed ``<digest>.npy`` cache under this
+                directory, instead of a private in-RAM copy — the long
+                -lived serving tier's mode, where several generations
+                and processes may hold releases concurrently.
 
         Raises:
             ReleaseIntegrityError: for corrupt or truncated archives,
@@ -273,6 +326,9 @@ class PublishedRelease:
             raise ReleaseIntegrityError(
                 f"release file {path!r} has incomplete metadata: {exc!r}"
             ) from exc
+        if mmap_dir is not None:
+            digest = checksum or _payload_digest(matrix, payload)
+            matrix = _mmap_matrix(matrix, digest, mmap_dir)
         clustering = Clustering.from_assignment(assignment)
         weights = NoisyClusterWeights(
             matrix=matrix,
@@ -315,6 +371,32 @@ class ReleaseServer:
         self.measure = measure
         self._similarity = SimilarityCache(measure, social)
 
+    def warm(self, store=None) -> None:
+        """Precompute the similarity kernel off the request path.
+
+        With a :class:`~repro.cache.store.SimilarityStore` the kernel is
+        built (or mmap'd straight back) through the persistent
+        content-addressed cache, so a freshly swapped-in release costs
+        one artifact read, not a kernel build.  Without one, the
+        in-memory cache precomputes.  Measures with no vectorised
+        kernel fall back to per-row precomputation either way.
+        """
+        if store is not None:
+            from repro.core.batch import (
+                compute_similarity_kernel,
+                supports_vectorised_measure,
+            )
+
+            if supports_vectorised_measure(self.measure):
+                lookup = store.warm(
+                    self.social,
+                    self.measure,
+                    lambda: compute_similarity_kernel(self.social, self.measure),
+                )
+                self._similarity.adopt_kernel(lookup.matrix)
+                return
+        self._similarity.precompute()
+
     def _cluster_similarity_vector(self, user: UserId) -> np.ndarray:
         clustering = self.release.weights.clustering
         vector = np.zeros(clustering.num_clusters)
@@ -329,7 +411,9 @@ class ReleaseServer:
         estimates = weights.matrix @ self._cluster_similarity_vector(user)
         return {item: float(estimates[i]) for i, item in enumerate(weights.items)}
 
-    def recommend(self, user: UserId, n: int = 10) -> RecommendationList:
+    def recommend(
+        self, user: UserId, n: int = 10, max_tier: str = TIER_PERSONALIZED
+    ) -> RecommendationList:
         """Top-N recommendations for ``user`` from the release.
 
         Never raises for an unservable user: queries from users outside
@@ -341,20 +425,35 @@ class ReleaseServer:
         post-processing of the published matrix: no additional epsilon
         is ever spent.
 
+        Args:
+            user: the target user.
+            n: list length.
+            max_tier: best ladder rung to serve from.  The serving
+                tier's admission control passes a lower rung under
+                overload — skipping the similarity computation entirely
+                — which trades personalization for latency at zero
+                additional privacy cost.
+
         Raises:
-            ValueError: if ``n`` < 1.
+            ValueError: if ``n`` < 1 or ``max_tier`` is not a ladder rung.
         """
         if n < 1:
             raise ValueError(f"n must be >= 1, got {n}")
+        if max_tier not in DEGRADATION_LADDER:
+            raise ValueError(
+                f"max_tier must be one of {DEGRADATION_LADDER}, got {max_tier!r}"
+            )
         weights = self.release.weights
-        try:
-            sim_vector = self._cluster_similarity_vector(user)
-        except NodeNotFoundError:
-            sim_vector = None
-        if sim_vector is not None and sim_vector.any():
-            estimates = weights.matrix @ sim_vector
-            return top_n_from_vector(user, weights.items, estimates, n)
-        estimates, tier = degradation_estimates(weights, user)
+        if max_tier == TIER_PERSONALIZED:
+            try:
+                sim_vector = self._cluster_similarity_vector(user)
+            except NodeNotFoundError:
+                sim_vector = None
+            if sim_vector is not None and sim_vector.any():
+                obs_incr(f"serve.tier.{TIER_PERSONALIZED}")
+                estimates = weights.matrix @ sim_vector
+                return top_n_from_vector(user, weights.items, estimates, n)
+        estimates, tier = degradation_estimates(weights, user, max_tier=max_tier)
         if estimates is None:
             return as_recommendation_list(user, [], tier=tier)
         return top_n_from_vector(user, weights.items, estimates, n, tier=tier)

@@ -48,7 +48,9 @@ TIER_EMPTY = "empty"
 DEGRADATION_LADDER = (TIER_PERSONALIZED, TIER_CLUSTER, TIER_GLOBAL, TIER_EMPTY)
 
 
-def degradation_estimates(weights, user) -> Tuple[Optional[np.ndarray], str]:
+def degradation_estimates(
+    weights, user, max_tier: str = TIER_CLUSTER
+) -> Tuple[Optional[np.ndarray], str]:
     """Fallback utility estimates for a user without personalized signal.
 
     Args:
@@ -56,17 +58,38 @@ def degradation_estimates(weights, user) -> Tuple[Optional[np.ndarray], str]:
             release (not imported by name to avoid a core ↔ resilience
             import cycle).
         user: the target user.
+        max_tier: the best ladder rung the caller allows.  The serving
+            tier's admission control uses this to shed load *down* the
+            ladder under overload: capping at :data:`TIER_GLOBAL` skips
+            the per-user cluster lookup, capping at :data:`TIER_EMPTY`
+            returns the empty rung immediately.  Every rung is
+            post-processing of the published matrix, so a cap never
+            changes the privacy cost — only how personalized the answer
+            is.  :data:`TIER_PERSONALIZED` is not produced here and is
+            treated as :data:`TIER_CLUSTER` (the best fallback rung).
 
     Returns:
         ``(estimates, tier)`` where ``estimates`` aligns with
         ``weights.items`` (or is None for :data:`TIER_EMPTY`) and ``tier``
         is the ladder rung that produced it.
+
+    Raises:
+        ValueError: for a ``max_tier`` not on the ladder.
     """
+    if max_tier not in DEGRADATION_LADDER:
+        raise ValueError(
+            f"max_tier must be one of {DEGRADATION_LADDER}, got {max_tier!r}"
+        )
+    cap = DEGRADATION_LADDER.index(max_tier)
     clustering = weights.clustering
-    if weights.matrix.size == 0 or clustering.num_clusters == 0:
+    if (
+        cap >= DEGRADATION_LADDER.index(TIER_EMPTY)
+        or weights.matrix.size == 0
+        or clustering.num_clusters == 0
+    ):
         obs_incr(f"serve.tier.{TIER_EMPTY}")
         return None, TIER_EMPTY
-    if user in clustering:
+    if cap <= DEGRADATION_LADDER.index(TIER_CLUSTER) and user in clustering:
         column = clustering.cluster_of(user)
         obs_incr(f"serve.tier.{TIER_CLUSTER}")
         return np.asarray(weights.matrix[:, column], dtype=float), TIER_CLUSTER

@@ -1,0 +1,59 @@
+"""repro.serve — the online serving tier.
+
+The paper's end product is a *released* artifact: once the noisy
+cluster-item averages are published, recommendations are pure
+post-processing and can be served forever at zero additional privacy
+cost.  This package turns that observation into a long-lived service:
+
+- :mod:`repro.serve.admission` — bounded-queue admission control whose
+  depth thresholds shift responses down the degradation ladder
+  (personalized → cluster-popularity → global-popularity → empty)
+  instead of erroring under overload;
+- :mod:`repro.serve.engine` — a release generation bound to its
+  :class:`~repro.core.persistence.ReleaseServer` with in-flight
+  refcounting, so hot swaps can drain the old generation;
+- :mod:`repro.serve.swap` — hot release swap: load release vN+1 in the
+  background, atomically flip the serving reference, drain vN;
+- :mod:`repro.serve.server` — the asyncio HTTP front end (stdlib
+  streams, no dependencies) with ``/recommend``, ``/health``,
+  ``/stats``, and admin swap/shutdown endpoints;
+- :mod:`repro.serve.loadgen` — a deterministic seeded load generator
+  (closed- and open-loop) used by the tests, the serving benchmark,
+  and ``repro serve bench``.
+
+Everything is stdlib + numpy; telemetry flows through :mod:`repro.obs`
+(``serve.tier.*``, ``serve.admission.*``, ``serve.swap.*`` counters and
+``serve.request`` spans) and is inert unless a registry is active.
+See ``docs/serving.md``.
+"""
+
+from repro.serve.admission import AdmissionController, AdmissionPolicy
+from repro.serve.engine import ServingEngine
+from repro.serve.loadgen import (
+    LoadgenConfig,
+    LoadGenerator,
+    LoadReport,
+    RequestRecord,
+    http_get_json,
+    http_request_json,
+    percentile,
+)
+from repro.serve.server import RecommendationServer, ServerConfig
+from repro.serve.swap import HotSwapper, SwapResult
+
+__all__ = [
+    "AdmissionController",
+    "AdmissionPolicy",
+    "ServingEngine",
+    "HotSwapper",
+    "SwapResult",
+    "RecommendationServer",
+    "ServerConfig",
+    "LoadgenConfig",
+    "LoadGenerator",
+    "LoadReport",
+    "RequestRecord",
+    "percentile",
+    "http_get_json",
+    "http_request_json",
+]

@@ -1,0 +1,149 @@
+"""Admission control: overload sheds down the ladder, never errors.
+
+The accuracy/privacy trade-off line of work (Machanavajjhala et al.,
+*Accurate or Private?*) is exactly why a private recommender must
+degrade rather than retry under load: once the release is published,
+every rung of the degradation ladder is free post-processing, so the
+cheapest response to overload is a *less personalized* answer — not an
+error, and never a fresh mechanism invocation that would spend epsilon.
+
+:class:`AdmissionController` tracks the depth of the request queue
+(admitted but not yet completed requests) against a bounded
+:class:`AdmissionPolicy`.  Depth thresholds map to the best ladder rung
+a request may be served from:
+
+- below ``cluster_at * max_queue`` — fully personalized;
+- below ``global_at * max_queue`` — cluster-popularity (skip the
+  per-user similarity computation, the expensive part);
+- below ``max_queue`` — global popularity (one precomputable vector);
+- at ``max_queue`` — shed: the request is answered immediately with the
+  empty rung and never enters the queue.
+
+Decisions are counted under ``serve.admission.<tier>`` and
+``serve.admission.shed``; the high-water mark is the
+``serve.depth.peak`` gauge.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass
+
+from repro.obs.registry import get_telemetry
+from repro.obs.registry import incr as obs_incr
+from repro.resilience.degradation import (
+    TIER_CLUSTER,
+    TIER_EMPTY,
+    TIER_GLOBAL,
+    TIER_PERSONALIZED,
+)
+
+__all__ = ["AdmissionPolicy", "AdmissionController"]
+
+
+@dataclass(frozen=True)
+class AdmissionPolicy:
+    """Depth thresholds for the admission ladder.
+
+    Args:
+        max_queue: hard bound on admitted-but-unfinished requests; a
+            request arriving at this depth is shed (served the empty
+            rung without queueing).
+        cluster_at: depth fraction of ``max_queue`` at which responses
+            drop from personalized to cluster-popularity.
+        global_at: depth fraction at which responses drop further to
+            global popularity.
+    """
+
+    max_queue: int = 64
+    cluster_at: float = 0.5
+    global_at: float = 0.75
+
+    def __post_init__(self) -> None:
+        if self.max_queue < 1:
+            raise ValueError(f"max_queue must be >= 1, got {self.max_queue}")
+        if not 0.0 < self.cluster_at <= 1.0:
+            raise ValueError(
+                f"cluster_at must be in (0, 1], got {self.cluster_at}"
+            )
+        if not self.cluster_at <= self.global_at <= 1.0:
+            raise ValueError(
+                f"global_at must be in [cluster_at, 1], got {self.global_at}"
+            )
+
+    def tier_for_depth(self, depth: int) -> str:
+        """Best ladder rung for a request arriving at queue ``depth``."""
+        if depth >= self.max_queue:
+            return TIER_EMPTY
+        if depth >= self.global_at * self.max_queue:
+            return TIER_GLOBAL
+        if depth >= self.cluster_at * self.max_queue:
+            return TIER_CLUSTER
+        return TIER_PERSONALIZED
+
+
+class AdmissionController:
+    """Depth-tracked admission decisions for one serving process.
+
+    Thread-safe: the HTTP front end decides on the event loop but the
+    work completes on executor threads, so :meth:`admit` and
+    :meth:`release` may race.
+    """
+
+    def __init__(self, policy: AdmissionPolicy) -> None:
+        self.policy = policy
+        self._lock = threading.Lock()
+        self._depth = 0
+        self._peak = 0
+        self._shed = 0
+
+    @property
+    def depth(self) -> int:
+        """Requests currently admitted and not yet released."""
+        with self._lock:
+            return self._depth
+
+    @property
+    def peak_depth(self) -> int:
+        """High-water mark of the queue depth over the process lifetime."""
+        with self._lock:
+            return self._peak
+
+    @property
+    def shed_count(self) -> int:
+        """Requests answered with the empty rung without queueing."""
+        with self._lock:
+            return self._shed
+
+    def admit(self) -> str:
+        """Decide the best tier for an arriving request.
+
+        Returns the ladder rung the request may be served from.  Any
+        rung other than :data:`TIER_EMPTY` takes a queue slot that the
+        caller must give back with :meth:`release`; a shed
+        (:data:`TIER_EMPTY`) request takes no slot and must *not* be
+        released.
+        """
+        with self._lock:
+            tier = self.policy.tier_for_depth(self._depth)
+            if tier == TIER_EMPTY:
+                self._shed += 1
+            else:
+                self._depth += 1
+                if self._depth > self._peak:
+                    self._peak = self._depth
+                    registry = get_telemetry()
+                    if registry is not None:
+                        registry.set_gauge("serve.depth.peak", float(self._peak))
+        if tier == TIER_EMPTY:
+            obs_incr("serve.admission.shed")
+        else:
+            obs_incr(f"serve.admission.{tier}")
+        return tier
+
+    def release(self) -> None:
+        """Give back the queue slot of one admitted request."""
+        with self._lock:
+            if self._depth <= 0:
+                raise RuntimeError("release() without a matching admit()")
+            self._depth -= 1

@@ -1,0 +1,380 @@
+"""The asyncio HTTP front end of the serving tier.
+
+Stdlib only: ``asyncio`` streams accept connections and parse a minimal
+HTTP/1.1 request; scoring runs on a bounded thread pool (numpy releases
+the GIL in the matrix products, so threads scale on the hot path and
+the pool's backlog is exactly the queue depth admission control reads).
+
+Endpoints:
+
+- ``GET /recommend?user=U&n=N`` — top-N recommendations.  Admission
+  control picks the best degradation-ladder rung for the current queue
+  depth; overload answers from cheaper rungs (and ultimately sheds to
+  the empty rung) instead of erroring.  The response reports ``tier``,
+  ``degraded``, and the serving ``generation``.
+- ``GET /health`` — liveness plus the current generation's provenance.
+- ``GET /stats`` — request totals, tier counts, queue depth/peak, and
+  (when telemetry is active) the ``serve.*`` counters.
+- ``POST /admin/swap?path=P`` — hot-swap to the release artifact at
+  ``P``: load + verify in the background, atomically flip, drain the
+  old generation (:mod:`repro.serve.swap`).
+- ``POST /admin/shutdown`` — graceful shutdown: stop accepting, drain
+  in-flight requests, exit cleanly.
+
+Per-request latency is recorded under the ``serve.request`` span and
+the ``serve.latency_total_s`` gauge; the ``serve.request`` fault site
+fires inside the scoring body so tests can stall or fail requests
+deterministically.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import time
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass
+from typing import Dict, Optional, Tuple
+from urllib.parse import parse_qs, urlsplit
+
+from repro.exceptions import ReproError
+from repro.obs.registry import add_gauge as obs_add_gauge
+from repro.obs.registry import get_telemetry
+from repro.obs.registry import incr as obs_incr
+from repro.obs.spans import span
+from repro.resilience.degradation import TIER_EMPTY
+from repro.resilience.faults import fault_point
+from repro.serve.admission import AdmissionController
+from repro.serve.swap import HotSwapper
+
+__all__ = ["ServerConfig", "RecommendationServer"]
+
+_REASONS = {
+    200: "OK",
+    400: "Bad Request",
+    404: "Not Found",
+    405: "Method Not Allowed",
+    409: "Conflict",
+    500: "Internal Server Error",
+}
+
+_MAX_REQUEST_LINE = 8192
+_MAX_HEADER_LINES = 64
+
+
+def _parse_user(raw: str):
+    """Query-string user ids: ints round-trip, anything else stays str."""
+    try:
+        return int(raw)
+    except ValueError:
+        return raw
+
+
+@dataclass(frozen=True)
+class ServerConfig:
+    """Knobs of one serving process.
+
+    Args:
+        host / port: bind address; port 0 picks an ephemeral port
+            (read it back from :attr:`RecommendationServer.port`).
+        n_default: list length when the request does not pass ``n``.
+        threads: scoring thread-pool size.
+        max_requests: after this many ``/recommend`` responses the
+            server shuts down cleanly (None: serve forever) — the
+            harness/CI smoke mode.
+        drain_timeout_s: bound on the old generation's drain during a
+            hot swap, and on the final drain at shutdown.
+        mmap_dir: when set, swapped-in releases are loaded with their
+            matrix memory-mapped from this content-addressed cache.
+    """
+
+    host: str = "127.0.0.1"
+    port: int = 0
+    n_default: int = 10
+    threads: int = 4
+    max_requests: Optional[int] = None
+    drain_timeout_s: float = 30.0
+    mmap_dir: Optional[str] = None
+
+    def __post_init__(self) -> None:
+        if self.n_default < 1:
+            raise ValueError(f"n_default must be >= 1, got {self.n_default}")
+        if self.threads < 1:
+            raise ValueError(f"threads must be >= 1, got {self.threads}")
+        if self.max_requests is not None and self.max_requests < 1:
+            raise ValueError(
+                f"max_requests must be >= 1, got {self.max_requests}"
+            )
+
+
+class RecommendationServer:
+    """One long-lived serving process over a hot-swappable release.
+
+    Args:
+        swapper: owns the current release generation (and future ones).
+        admission: the bounded-queue admission controller.
+        social: the public social graph swapped-in releases are served
+            against (the release artifact does not carry the graph).
+        config: bind address and serving knobs.
+        store: optional persistent
+            :class:`~repro.cache.store.SimilarityStore`; swapped-in
+            generations warm their similarity kernel through it.
+    """
+
+    def __init__(
+        self,
+        swapper: HotSwapper,
+        admission: AdmissionController,
+        social,
+        config: ServerConfig = ServerConfig(),
+        store=None,
+    ) -> None:
+        self.swapper = swapper
+        self.admission = admission
+        self.social = social
+        self.config = config
+        self.store = store
+        self.port: Optional[int] = None
+        self.requests_served = 0
+        self.tier_counts: Dict[str, int] = {}
+        self.errors = 0
+        self._server: Optional[asyncio.AbstractServer] = None
+        self._executor = ThreadPoolExecutor(
+            max_workers=config.threads, thread_name_prefix="serve"
+        )
+        self._shutdown = asyncio.Event()
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+    async def start(self) -> None:
+        """Bind and start accepting connections; sets :attr:`port`."""
+        self._server = await asyncio.start_server(
+            self._handle_connection, self.config.host, self.config.port
+        )
+        self.port = self._server.sockets[0].getsockname()[1]
+
+    async def serve_until_shutdown(self) -> None:
+        """Run until ``/admin/shutdown`` (or ``max_requests``), then drain."""
+        if self._server is None:
+            await self.start()
+        await self._shutdown.wait()
+        await self._close()
+
+    def request_shutdown(self) -> None:
+        """Ask the serve loop to stop accepting and drain (idempotent)."""
+        self._shutdown.set()
+
+    async def _close(self) -> None:
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+        # Drain: every admitted request still holds a queue slot; wait
+        # for the pool to hand all of them back before tearing down.
+        deadline = time.perf_counter() + self.config.drain_timeout_s
+        while self.admission.depth > 0 and time.perf_counter() < deadline:
+            await asyncio.sleep(0.01)
+        self._executor.shutdown(wait=True)
+
+    # ------------------------------------------------------------------
+    # connection handling
+    # ------------------------------------------------------------------
+    async def _handle_connection(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        try:
+            parsed = await self._read_request(reader)
+            if parsed is None:
+                return
+            method, path, query = parsed
+            status, payload = await self._route(method, path, query)
+        except ValueError as exc:
+            status, payload = 400, {"error": str(exc)}
+        except Exception as exc:  # a handler bug must not kill the loop
+            self.errors += 1
+            obs_incr("serve.errors")
+            status, payload = 500, {"error": f"{type(exc).__name__}: {exc}"}
+        try:
+            writer.write(_encode_response(status, payload))
+            await writer.drain()
+        except (ConnectionError, BrokenPipeError):
+            pass
+        finally:
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionError, BrokenPipeError):
+                pass
+
+    async def _read_request(
+        self, reader: asyncio.StreamReader
+    ) -> Optional[Tuple[str, str, Dict[str, list]]]:
+        """Parse ``(method, path, query)``; None for an empty connection."""
+        line = await reader.readline()
+        if not line.strip():
+            return None
+        if len(line) > _MAX_REQUEST_LINE:
+            raise ValueError("request line too long")
+        parts = line.decode("latin-1").split()
+        if len(parts) < 2:
+            raise ValueError("malformed request line")
+        method, target = parts[0].upper(), parts[1]
+        for _ in range(_MAX_HEADER_LINES):
+            header = await reader.readline()
+            if header in (b"\r\n", b"\n", b""):
+                break
+        split = urlsplit(target)
+        return method, split.path, parse_qs(split.query)
+
+    # ------------------------------------------------------------------
+    # routing
+    # ------------------------------------------------------------------
+    async def _route(
+        self, method: str, path: str, query: Dict[str, list]
+    ) -> Tuple[int, dict]:
+        if path == "/recommend":
+            if method != "GET":
+                return 405, {"error": "use GET /recommend"}
+            return await self._handle_recommend(query)
+        if path == "/health":
+            engine = self.swapper.current
+            return 200, {
+                "status": "ok",
+                "inflight_depth": self.admission.depth,
+                "requests_served": self.requests_served,
+                "release": engine.describe(),
+            }
+        if path == "/stats":
+            return 200, self._stats_payload()
+        if path == "/admin/swap":
+            if method != "POST":
+                return 405, {"error": "use POST /admin/swap"}
+            return await self._handle_swap(query)
+        if path == "/admin/shutdown":
+            if method != "POST":
+                return 405, {"error": "use POST /admin/shutdown"}
+            self.request_shutdown()
+            return 200, {"status": "shutting-down"}
+        return 404, {"error": f"no route {path!r}"}
+
+    async def _handle_recommend(self, query: Dict[str, list]) -> Tuple[int, dict]:
+        if "user" not in query:
+            return 400, {"error": "missing required query parameter 'user'"}
+        user = _parse_user(query["user"][0])
+        try:
+            n = int(query.get("n", [self.config.n_default])[0])
+        except ValueError:
+            return 400, {"error": "n must be an integer"}
+        if n < 1:
+            return 400, {"error": f"n must be >= 1, got {n}"}
+
+        arrival = time.perf_counter()
+        tier_cap = self.admission.admit()
+        engine = self.swapper.acquire_current()
+        try:
+            if tier_cap == TIER_EMPTY:
+                # Shed: answered inline from the empty rung, no queue slot.
+                result = engine.recommend(user, n, max_tier=TIER_EMPTY)
+                shed = True
+            else:
+                shed = False
+                loop = asyncio.get_running_loop()
+
+                def work():
+                    with span("serve.request"):
+                        fault_point("serve.request")
+                        return engine.recommend(user, n, max_tier=tier_cap)
+
+                try:
+                    result = await loop.run_in_executor(self._executor, work)
+                finally:
+                    self.admission.release()
+        except ReproError as exc:
+            self.errors += 1
+            obs_incr("serve.errors")
+            return 500, {"error": f"{type(exc).__name__}: {exc}"}
+        finally:
+            engine.release_ref()
+
+        latency = time.perf_counter() - arrival
+        obs_incr("serve.requests")
+        obs_add_gauge("serve.latency_total_s", latency)
+        self.requests_served += 1
+        self.tier_counts[result.tier] = self.tier_counts.get(result.tier, 0) + 1
+        payload = {
+            "user": user,
+            "n": n,
+            "tier": result.tier,
+            "degraded": result.degraded,
+            "shed": shed,
+            "generation": engine.generation,
+            "items": [[entry.item, entry.utility] for entry in result.items],
+        }
+        if (
+            self.config.max_requests is not None
+            and self.requests_served >= self.config.max_requests
+        ):
+            self.request_shutdown()
+        return 200, payload
+
+    async def _handle_swap(self, query: Dict[str, list]) -> Tuple[int, dict]:
+        if "path" not in query:
+            return 400, {"error": "missing required query parameter 'path'"}
+        path = query["path"][0]
+        loop = asyncio.get_running_loop()
+
+        def do_swap():
+            return self.swapper.swap(
+                path,
+                self.social,
+                mmap_dir=self.config.mmap_dir,
+                drain_timeout_s=self.config.drain_timeout_s,
+                store=self.store,
+            )
+
+        try:
+            result = await loop.run_in_executor(self._executor, do_swap)
+        except ReproError as exc:
+            return 409, {
+                "error": f"{type(exc).__name__}: {exc}",
+                "generation": self.swapper.generation,
+            }
+        return 200, {
+            "old_generation": result.old_generation,
+            "new_generation": result.new_generation,
+            "path": result.path,
+            "inflight_at_flip": result.inflight_at_flip,
+            "drained": result.drained,
+            "drain_seconds": result.drain_seconds,
+        }
+
+    def _stats_payload(self) -> dict:
+        payload = {
+            "requests_served": self.requests_served,
+            "errors": self.errors,
+            "tier_counts": dict(self.tier_counts),
+            "depth": self.admission.depth,
+            "peak_depth": self.admission.peak_depth,
+            "shed": self.admission.shed_count,
+            "generation": self.swapper.generation,
+        }
+        registry = get_telemetry()
+        if registry is not None:
+            counters = registry.snapshot().counters
+            payload["counters"] = {
+                name: value
+                for name, value in sorted(counters.items())
+                if name.startswith(("serve.", "fault.site.serve"))
+            }
+        return payload
+
+
+def _encode_response(status: int, payload: dict) -> bytes:
+    body = json.dumps(payload).encode("utf-8")
+    head = (
+        f"HTTP/1.1 {status} {_REASONS.get(status, 'Unknown')}\r\n"
+        f"Content-Type: application/json\r\n"
+        f"Content-Length: {len(body)}\r\n"
+        f"Connection: close\r\n\r\n"
+    )
+    return head.encode("ascii") + body

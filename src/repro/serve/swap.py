@@ -1,0 +1,151 @@
+"""Hot release swap: load vN+1 in the background, flip, drain vN.
+
+The release artifact is the unit of privacy accounting — a new release
+(a re-publication with fresh noise, a different epsilon, an updated
+clustering) arrives as a new ``.npz`` file.  The serving tier must pick
+it up **without dropping a single in-flight request**:
+
+1. **load** — the new artifact is read and checksum-verified off the
+   request path (``serve.swap`` is a fault site: a corrupt or torn
+   vN+1 fails the swap and vN keeps serving untouched);
+2. **flip** — the current-generation reference changes under the
+   swapper's lock, the same lock every request acquires its engine
+   under, so after the flip no new request can start against vN;
+3. **drain** — the swapper waits for vN's in-flight count to reach
+   zero.  Requests that started on vN finish on vN (they hold a
+   reference), so the drain is a bounded wait, not a cancellation.
+
+Counters: ``serve.swap.started`` / ``completed`` / ``failed``, the
+``serve.swap.inflight_at_flip`` gauge, and ``serve.swap.drain_seconds``.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.core.persistence import PublishedRelease
+from repro.graph.social_graph import SocialGraph
+from repro.obs.registry import incr as obs_incr
+from repro.obs.registry import set_gauge as obs_set_gauge
+from repro.resilience.faults import fault_point
+from repro.resilience.retry import RetryPolicy
+from repro.serve.engine import ServingEngine
+from repro.similarity.base import SimilarityMeasure
+
+__all__ = ["HotSwapper", "SwapResult"]
+
+
+@dataclass(frozen=True)
+class SwapResult:
+    """What one completed hot swap reports.
+
+    Attributes:
+        old_generation / new_generation: the flip edge.
+        path: artifact the new generation was loaded from.
+        inflight_at_flip: vN requests still executing at the instant of
+            the flip (they all completed on vN if ``drained`` is True).
+        drained: whether vN reached zero in-flight within the timeout.
+        drain_seconds: how long the drain wait took.
+    """
+
+    old_generation: int
+    new_generation: int
+    path: str
+    inflight_at_flip: int
+    drained: bool
+    drain_seconds: float
+
+
+class HotSwapper:
+    """Owns the current :class:`ServingEngine` and swaps it atomically.
+
+    ``acquire_current()`` takes the in-flight reference *under the same
+    lock* the flip runs under, closing the race where a request reads
+    the old engine, the flip completes and drains, and only then the
+    request registers itself.
+    """
+
+    def __init__(self, engine: ServingEngine) -> None:
+        self._lock = threading.Lock()
+        self._current = engine
+        self._swapping = threading.Lock()
+
+    @property
+    def current(self) -> ServingEngine:
+        """The engine serving new requests right now."""
+        with self._lock:
+            return self._current
+
+    @property
+    def generation(self) -> int:
+        return self.current.generation
+
+    def acquire_current(self) -> ServingEngine:
+        """Atomically pick the current engine and count a request on it.
+
+        The caller must pair this with ``engine.release_ref()``.
+        """
+        with self._lock:
+            return self._current.acquire()
+
+    def swap(
+        self,
+        path: str,
+        social: SocialGraph,
+        measure: Optional[SimilarityMeasure] = None,
+        mmap_dir: Optional[str] = None,
+        retry: Optional[RetryPolicy] = None,
+        drain_timeout_s: float = 30.0,
+        store=None,
+    ) -> SwapResult:
+        """Load the release at ``path``, flip to it, and drain the old one.
+
+        Swaps serialise: a second concurrent swap blocks until the first
+        finishes.  A failed load (corrupt artifact, injected fault at
+        the ``serve.swap`` site) leaves the old generation serving and
+        counts ``serve.swap.failed``.
+
+        Raises:
+            ReleaseIntegrityError / DatasetError: from the artifact load;
+                the current generation is untouched.
+        """
+        with self._swapping:
+            obs_incr("serve.swap.started")
+            old = self.current
+            try:
+                release = PublishedRelease.load(
+                    path, retry=retry, mmap_dir=mmap_dir
+                )
+                fault_point("serve.swap", path=path)
+                new_engine = ServingEngine(
+                    release,
+                    social,
+                    measure=measure,
+                    generation=old.generation + 1,
+                    path=path,
+                    store=store,
+                )
+            except BaseException:
+                obs_incr("serve.swap.failed")
+                raise
+            with self._lock:
+                old = self._current
+                self._current = new_engine
+            inflight_at_flip = old.inflight
+            obs_set_gauge("serve.swap.inflight_at_flip", float(inflight_at_flip))
+            drain_start = time.perf_counter()
+            drained = old.wait_drained(timeout_s=drain_timeout_s)
+            drain_seconds = time.perf_counter() - drain_start
+            obs_set_gauge("serve.swap.drain_seconds", drain_seconds)
+            obs_incr("serve.swap.completed")
+            return SwapResult(
+                old_generation=old.generation,
+                new_generation=new_engine.generation,
+                path=path,
+                inflight_at_flip=inflight_at_flip,
+                drained=drained,
+                drain_seconds=drain_seconds,
+            )

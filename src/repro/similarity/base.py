@@ -176,6 +176,19 @@ class SimilarityCache:
         """``sim(u)``: users with positive similarity, from the cached row."""
         return frozenset(v for v, s in self.row(user).items() if s > 0.0)
 
+    def adopt_kernel(self, kernel) -> None:
+        """Seed the cache from an externally built kernel.
+
+        The serving tier warms release generations through the persistent
+        :class:`~repro.cache.store.SimilarityStore`; adopting the stored
+        :class:`~repro.similarity.matrix.SimilarityMatrix` means no
+        request ever pays the kernel build.  Rows already cached win.
+        """
+        for user in kernel.users:
+            if user not in self._rows:
+                self._rows[user] = kernel.row(user)
+        self._kernel_built = True
+
     def precompute(
         self, users=None, backend: Optional[str] = None
     ) -> None:

@@ -1,0 +1,187 @@
+"""Fixtures for the serving-tier tests.
+
+Two pieces of shared machinery:
+
+- the telemetry registry fixtures (mirroring ``tests/obs/conftest.py``),
+  because the serving tier reports through the process-global registry
+  and a leaked registry would bleed counters across tests;
+- :class:`ServerHarness`, which runs one
+  :class:`~repro.serve.RecommendationServer` on a background event-loop
+  thread and exposes synchronous ``get``/``post`` helpers, so tests can
+  exercise the real asyncio HTTP path without being async themselves.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import threading
+import time
+
+import pytest
+
+from repro.core.persistence import PublishedRelease
+from repro.core.private import PrivateSocialRecommender
+from repro.datasets.synthetic import SyntheticDatasetSpec
+from repro.obs import Telemetry, get_telemetry, set_telemetry
+from repro.serve import (
+    AdmissionController,
+    AdmissionPolicy,
+    HotSwapper,
+    RecommendationServer,
+    ServerConfig,
+    ServingEngine,
+    http_get_json,
+    http_request_json,
+)
+from repro.similarity.base import get_measure
+
+
+@pytest.fixture(autouse=True)
+def _no_registry_leaks():
+    """Fail the test that leaves a registry installed, then clean up."""
+    assert get_telemetry() is None, "a previous test leaked a registry"
+    yield
+    leaked = get_telemetry()
+    set_telemetry(None)
+    assert leaked is None, "this test leaked an active telemetry registry"
+
+
+@pytest.fixture
+def registry():
+    """A fresh, *active* registry for the duration of one test."""
+    reg = Telemetry()
+    previous = set_telemetry(reg)
+    yield reg
+    set_telemetry(previous)
+
+
+@pytest.fixture(scope="session")
+def serve_dataset():
+    """A small synthetic dataset sized for fast fits and many requests."""
+    return SyntheticDatasetSpec.lastfm_like(scale=0.05).generate(seed=77)
+
+
+def fit_release(dataset, epsilon=0.5, seed=7):
+    """Fit a private recommender on ``dataset`` and extract its release."""
+    recommender = PrivateSocialRecommender(
+        get_measure("cn"), epsilon=epsilon, seed=seed
+    )
+    recommender.fit(dataset.social, dataset.preferences)
+    return PublishedRelease.from_recommender(recommender)
+
+
+@pytest.fixture(scope="session")
+def serve_release(serve_dataset):
+    """One fitted release, shared by every serving test."""
+    return fit_release(serve_dataset)
+
+
+@pytest.fixture(scope="session")
+def serve_users(serve_dataset):
+    """The request-target universe, in deterministic order."""
+    return sorted(serve_dataset.social.users())
+
+
+@pytest.fixture(scope="session")
+def popular_user(serve_dataset, serve_users):
+    """A user guaranteed to have similarity signal (highest degree)."""
+    social = serve_dataset.social
+    return max(serve_users, key=lambda u: (len(social.neighbors(u)), u))
+
+
+def wait_for(predicate, timeout_s=30.0, interval=0.01):
+    """Poll ``predicate`` until true or the timeout elapses."""
+    deadline = time.monotonic() + timeout_s
+    while time.monotonic() < deadline:
+        if predicate():
+            return True
+        time.sleep(interval)
+    return predicate()
+
+
+class ServerHarness:
+    """One RecommendationServer on a background event-loop thread."""
+
+    def __init__(self, server: RecommendationServer) -> None:
+        self.server = server
+        self.loop = None
+        self._ready = threading.Event()
+        self._thread = threading.Thread(
+            target=self._run, name="serve-harness", daemon=True
+        )
+
+    def _run(self) -> None:
+        asyncio.run(self._main())
+
+    async def _main(self) -> None:
+        self.loop = asyncio.get_running_loop()
+        await self.server.start()
+        self._ready.set()
+        await self.server.serve_until_shutdown()
+
+    def start(self) -> int:
+        self._thread.start()
+        if not self._ready.wait(timeout=30.0):
+            raise RuntimeError("server did not come up within 30s")
+        return self.server.port
+
+    @property
+    def port(self) -> int:
+        return self.server.port
+
+    @property
+    def running(self) -> bool:
+        return self._thread.is_alive()
+
+    def get(self, target: str):
+        return asyncio.run(http_get_json("127.0.0.1", self.server.port, target))
+
+    def post(self, target: str):
+        return asyncio.run(
+            http_request_json("127.0.0.1", self.server.port, "POST", target)
+        )
+
+    def stop(self, timeout_s: float = 30.0) -> bool:
+        """Idempotent clean shutdown; True when the serve loop exited."""
+        if self._thread.is_alive() and self.loop is not None:
+            try:
+                self.loop.call_soon_threadsafe(self.server.request_shutdown)
+            except RuntimeError:
+                pass  # loop already closed on its own
+        if self._thread.is_alive():
+            self._thread.join(timeout_s)
+        return not self._thread.is_alive()
+
+
+@pytest.fixture
+def make_server(serve_dataset, serve_release):
+    """Factory building + starting a harnessed server on an ephemeral port.
+
+    Every harness created through the factory is stopped (and asserted
+    to have shut down cleanly) at teardown.
+    """
+    harnesses = []
+
+    def factory(release=None, policy=None, config=None, store=None, path=None):
+        engine = ServingEngine(
+            release if release is not None else serve_release,
+            serve_dataset.social,
+            generation=0,
+            path=path,
+            store=store,
+        )
+        server = RecommendationServer(
+            HotSwapper(engine),
+            AdmissionController(policy or AdmissionPolicy()),
+            serve_dataset.social,
+            config or ServerConfig(),
+            store=store,
+        )
+        harness = ServerHarness(server)
+        harnesses.append(harness)
+        harness.start()
+        return harness
+
+    yield factory
+    for harness in harnesses:
+        assert harness.stop(), "server thread failed to shut down"

@@ -1,0 +1,113 @@
+"""Unit tests for the admission policy and controller."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.resilience.degradation import (
+    TIER_CLUSTER,
+    TIER_EMPTY,
+    TIER_GLOBAL,
+    TIER_PERSONALIZED,
+)
+from repro.serve import AdmissionController, AdmissionPolicy
+
+
+class TestAdmissionPolicy:
+    def test_defaults_are_valid(self):
+        policy = AdmissionPolicy()
+        assert policy.max_queue == 64
+        assert policy.tier_for_depth(0) == TIER_PERSONALIZED
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"max_queue": 0},
+            {"cluster_at": 0.0},
+            {"cluster_at": 1.5},
+            {"cluster_at": 0.8, "global_at": 0.5},
+            {"global_at": 1.5},
+        ],
+    )
+    def test_invalid_policies_rejected(self, kwargs):
+        with pytest.raises(ValueError):
+            AdmissionPolicy(**kwargs)
+
+    def test_tier_thresholds(self):
+        policy = AdmissionPolicy(max_queue=8, cluster_at=0.5, global_at=0.75)
+        assert [policy.tier_for_depth(d) for d in range(10)] == [
+            TIER_PERSONALIZED,
+            TIER_PERSONALIZED,
+            TIER_PERSONALIZED,
+            TIER_PERSONALIZED,
+            TIER_CLUSTER,
+            TIER_CLUSTER,
+            TIER_GLOBAL,
+            TIER_GLOBAL,
+            TIER_EMPTY,
+            TIER_EMPTY,
+        ]
+
+    def test_full_ladder_is_reachable(self):
+        policy = AdmissionPolicy(max_queue=4, cluster_at=0.25, global_at=0.5)
+        tiers = {policy.tier_for_depth(d) for d in range(5)}
+        assert tiers == {
+            TIER_PERSONALIZED,
+            TIER_CLUSTER,
+            TIER_GLOBAL,
+            TIER_EMPTY,
+        }
+
+
+class TestAdmissionController:
+    def test_admit_release_cycle(self):
+        controller = AdmissionController(AdmissionPolicy(max_queue=4))
+        assert controller.admit() == TIER_PERSONALIZED
+        assert controller.depth == 1
+        controller.release()
+        assert controller.depth == 0
+        assert controller.peak_depth == 1
+
+    def test_sheds_at_capacity_without_taking_a_slot(self):
+        controller = AdmissionController(
+            AdmissionPolicy(max_queue=2, cluster_at=1.0, global_at=1.0)
+        )
+        assert controller.admit() == TIER_PERSONALIZED
+        assert controller.admit() == TIER_PERSONALIZED
+        # Queue full: shed, depth unchanged, no release owed.
+        assert controller.admit() == TIER_EMPTY
+        assert controller.depth == 2
+        assert controller.shed_count == 1
+        controller.release()
+        assert controller.admit() == TIER_PERSONALIZED
+
+    def test_depth_walks_down_the_ladder(self):
+        controller = AdmissionController(
+            AdmissionPolicy(max_queue=4, cluster_at=0.25, global_at=0.5)
+        )
+        seen = [controller.admit() for _ in range(5)]
+        assert seen == [
+            TIER_PERSONALIZED,
+            TIER_CLUSTER,
+            TIER_GLOBAL,
+            TIER_GLOBAL,
+            TIER_EMPTY,
+        ]
+
+    def test_release_underflow_raises(self):
+        controller = AdmissionController(AdmissionPolicy())
+        with pytest.raises(RuntimeError):
+            controller.release()
+
+    def test_decisions_are_counted(self, registry):
+        controller = AdmissionController(
+            AdmissionPolicy(max_queue=2, cluster_at=0.5, global_at=1.0)
+        )
+        controller.admit()  # personalized
+        controller.admit()  # cluster (depth 1 >= 0.5 * 2)
+        controller.admit()  # shed (depth 2 == max_queue)
+        counters = registry.snapshot().counters
+        assert counters[f"serve.admission.{TIER_PERSONALIZED}"] == 1
+        assert counters[f"serve.admission.{TIER_CLUSTER}"] == 1
+        assert counters["serve.admission.shed"] == 1
+        assert registry.snapshot().gauges["serve.depth.peak"] == 2.0

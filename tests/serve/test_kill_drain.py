@@ -1,0 +1,179 @@
+"""Kill a real serving process mid-swap: artifacts intact, restart serves.
+
+A subprocess server runs release v1 with an injected ``slow`` fault at
+the ``serve.swap`` site, so a triggered swap stalls deterministically
+*after* loading v2 and before the flip.  The test SIGKILLs it there and
+checks the failure domain: both release artifacts still checksum-verify
+(the swap path never writes to them), the mmap sidecar cache survives,
+and a fresh process over the same artifacts comes straight back up and
+serves — the serving-tier analogue of ``tests/dist/test_kill_recovery``.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import glob
+import os
+import signal
+import subprocess
+import sys
+import threading
+from urllib.parse import quote
+
+import pytest
+
+import repro
+from repro.core.persistence import PublishedRelease
+from repro.serve import http_get_json, http_request_json
+
+from .conftest import fit_release, wait_for
+
+# Serves argv[1] (a release artifact) with the same synthetic dataset
+# recipe the test fixtures use; argv[2] is the mmap cache dir, argv[3]
+# the file the ephemeral port is announced through.  Swaps stall 300s
+# at the serve.swap fault site — until SIGKILLed.
+SERVER_SCRIPT = """
+import asyncio
+import sys
+
+from repro.core.persistence import PublishedRelease
+from repro.datasets.synthetic import SyntheticDatasetSpec
+from repro.resilience.faults import FaultPlan, FaultSpec
+from repro.serve import (
+    AdmissionController,
+    AdmissionPolicy,
+    HotSwapper,
+    RecommendationServer,
+    ServerConfig,
+    ServingEngine,
+)
+
+release_path, mmap_dir, port_file = sys.argv[1], sys.argv[2], sys.argv[3]
+dataset = SyntheticDatasetSpec.lastfm_like(scale=0.05).generate(seed=77)
+release = PublishedRelease.load(release_path, mmap_dir=mmap_dir)
+engine = ServingEngine(release, dataset.social, path=release_path)
+server = RecommendationServer(
+    HotSwapper(engine),
+    AdmissionController(AdmissionPolicy()),
+    dataset.social,
+    ServerConfig(mmap_dir=mmap_dir),
+)
+plan = FaultPlan(
+    [FaultSpec(site="serve.swap", kind="slow", delay=300.0, on_call=1)]
+)
+
+
+async def main():
+    with plan.installed():
+        await server.start()
+        tmp = port_file + ".tmp"
+        with open(tmp, "w") as handle:
+            handle.write(str(server.port))
+        import os
+
+        os.replace(tmp, port_file)
+        await server.serve_until_shutdown()
+
+
+asyncio.run(main())
+"""
+
+
+def _get(port, target):
+    return asyncio.run(http_get_json("127.0.0.1", port, target))
+
+
+def _spawn(v1, mmap_dir, port_file):
+    env = dict(os.environ)
+    src_dir = os.path.dirname(os.path.dirname(repro.__file__))
+    env["PYTHONPATH"] = src_dir + os.pathsep + env.get("PYTHONPATH", "")
+    return subprocess.Popen(
+        [sys.executable, "-c", SERVER_SCRIPT, v1, mmap_dir, port_file],
+        env=env,
+    )
+
+
+def _await_port(port_file, proc):
+    arrived = wait_for(
+        lambda: os.path.exists(port_file) or proc.poll() is not None,
+        timeout_s=120.0,
+    )
+    assert proc.poll() is None, "server subprocess died during startup"
+    assert arrived, "server subprocess never announced its port"
+    with open(port_file) as handle:
+        return int(handle.read())
+
+
+@pytest.mark.faults
+class TestKillMidSwap:
+    def test_sigkill_mid_swap_leaves_artifacts_and_restart_serves(
+        self, serve_dataset, serve_release, popular_user, tmp_path
+    ):
+        v1 = str(tmp_path / "v1.npz")
+        serve_release.save(v1)
+        v2 = str(tmp_path / "v2.npz")
+        fit_release(serve_dataset, epsilon=0.8, seed=11).save(v2)
+        mmap_dir = str(tmp_path / "mmap")
+        port_file = str(tmp_path / "port")
+
+        proc = _spawn(v1, mmap_dir, port_file)
+        try:
+            port = _await_port(port_file, proc)
+            status, health = _get(port, "/health")
+            assert status == 200 and health["release"]["generation"] == 0
+            status, served = _get(port, f"/recommend?user={popular_user}")
+            assert status == 200 and served["generation"] == 0
+
+            # Trigger the swap; it stalls at the fault site, so the
+            # POST never returns — fire it from a scratch thread.
+            threading.Thread(
+                target=lambda: _swallow_post(port, f"/admin/swap?path={quote(v2)}"),
+                daemon=True,
+            ).start()
+            # The fault fires after v2 is loaded (and mmap-cached):
+            # once the second sidecar file exists the subprocess is at
+            # (or moments from) the stall point.
+            assert wait_for(
+                lambda: len(glob.glob(os.path.join(mmap_dir, "*.npy"))) >= 2,
+                timeout_s=120.0,
+            ), "swap never loaded the new artifact"
+
+            proc.send_signal(signal.SIGKILL)
+            proc.wait(timeout=30.0)
+        finally:
+            if proc.poll() is None:
+                proc.kill()
+                proc.wait(timeout=30.0)
+
+        # Failure domain: the kill can lose the process, never the
+        # artifacts — both releases still checksum-verify.
+        for path in (v1, v2):
+            reloaded = PublishedRelease.load(path, mmap_dir=mmap_dir)
+            assert reloaded.weights.matrix.size > 0
+
+        # A fresh process over the same artifacts serves immediately.
+        port_file2 = str(tmp_path / "port2")
+        proc2 = _spawn(v1, mmap_dir, port_file2)
+        try:
+            port2 = _await_port(port_file2, proc2)
+            status, health = _get(port2, "/health")
+            assert status == 200 and health["release"]["generation"] == 0
+            status, served = _get(port2, f"/recommend?user={popular_user}")
+            assert status == 200
+            assert served["tier"]  # answered from some ladder rung
+            status, _ = asyncio.run(
+                http_request_json("127.0.0.1", port2, "POST", "/admin/shutdown")
+            )
+            assert status == 200
+            assert proc2.wait(timeout=30.0) == 0  # clean drain + exit
+        finally:
+            if proc2.poll() is None:
+                proc2.kill()
+                proc2.wait(timeout=30.0)
+
+
+def _swallow_post(port, target):
+    try:
+        asyncio.run(http_request_json("127.0.0.1", port, "POST", target))
+    except (OSError, ValueError):
+        pass  # connection dies with the SIGKILLed server

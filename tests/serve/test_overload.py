@@ -1,0 +1,75 @@
+"""Overload behaviour: a saturating burst sheds down the ladder, never errors.
+
+The acceptance criterion for admission control: with scoring stalled
+(an injected ``slow`` fault) and an open-loop burst far past capacity,
+the server answers every request with *some* rung of the degradation
+ladder — personalized when there is room, cluster/global popularity as
+the queue fills, the empty rung once it is full — and returns zero
+errors.  Every rung is post-processing of the published release, so the
+whole episode spends zero additional epsilon.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.resilience.degradation import TIER_EMPTY, TIER_PERSONALIZED
+from repro.resilience.faults import FaultPlan, FaultSpec
+from repro.serve import (
+    AdmissionPolicy,
+    LoadgenConfig,
+    LoadGenerator,
+    ServerConfig,
+)
+
+
+@pytest.mark.faults
+class TestOverload:
+    def test_saturating_burst_shifts_tiers_without_errors(
+        self, registry, make_server, serve_users
+    ):
+        policy = AdmissionPolicy(max_queue=4, cluster_at=0.25, global_at=0.5)
+        harness = make_server(policy=policy, config=ServerConfig(threads=2))
+        # Stall every scoring call: 2 threads x 0.3s per request while
+        # the open loop offers ~400 req/s — the queue must fill.
+        plan = FaultPlan(
+            [FaultSpec(site="serve.request", kind="slow", delay=0.3, repeat=True)]
+        )
+        generator = LoadGenerator(
+            serve_users,
+            LoadgenConfig(requests=40, mode="open", rate=400.0, seed=9),
+        )
+        with plan.installed():
+            report = generator.run("127.0.0.1", harness.port)
+
+        assert report.count == 40
+        assert report.error_count == 0  # shed, never error
+        counts = report.tier_counts()
+        # The burst walked the ladder: full answers while there was
+        # room, shed (empty) answers once the queue was full.
+        assert counts.get(TIER_PERSONALIZED, 0) >= 1
+        assert counts.get(TIER_EMPTY, 0) >= 10
+        assert len(counts) >= 3
+        shed_records = [r for r in report.records if r.shed]
+        assert len(shed_records) == counts[TIER_EMPTY]
+        assert all(r.status == 200 for r in shed_records)
+
+        counters = registry.snapshot().counters
+        assert counters["serve.admission.shed"] == counts[TIER_EMPTY]
+        assert counters[f"serve.tier.{TIER_EMPTY}"] == counts[TIER_EMPTY]
+        assert counters.get("serve.errors", 0) == 0
+        # The queue really saturated.
+        assert registry.snapshot().gauges["serve.depth.peak"] == 4.0
+        assert harness.server.admission.peak_depth == 4
+
+    def test_light_load_stays_personalized(self, make_server, serve_users):
+        harness = make_server()
+        generator = LoadGenerator(
+            serve_users, LoadgenConfig(requests=10, concurrency=1, seed=2)
+        )
+        report = generator.run("127.0.0.1", harness.port)
+        assert report.error_count == 0
+        # Sequential requests never queue: nothing sheds, nothing
+        # degrades below the ladder rung the user's own signal allows.
+        assert all(not r.shed for r in report.records)
+        assert report.tier_counts().get(TIER_EMPTY, 0) == 0
