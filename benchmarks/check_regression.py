@@ -33,14 +33,28 @@ import statistics
 import sys
 
 
-def load_means(path):
-    """Map fully-qualified benchmark name -> mean seconds."""
+def load_runs(path):
+    """Map fully-qualified benchmark name -> {mean, peak_rss_bytes}.
+
+    ``peak_rss_bytes`` comes from the conftest's ``extra_info`` stamp
+    and is None for runs (e.g. old baselines) that never recorded it.
+    """
     with open(path, encoding="utf-8") as handle:
         payload = json.load(handle)
-    return {
-        bench["fullname"]: bench["stats"]["mean"]
-        for bench in payload.get("benchmarks", [])
-    }
+    runs = {}
+    for bench in payload.get("benchmarks", []):
+        runs[bench["fullname"]] = {
+            "mean": bench["stats"]["mean"],
+            "peak_rss_bytes": bench.get("extra_info", {}).get(
+                "peak_rss_bytes"
+            ),
+        }
+    return runs
+
+
+def load_means(path):
+    """Map fully-qualified benchmark name -> mean seconds."""
+    return {name: run["mean"] for name, run in load_runs(path).items()}
 
 
 def compare(current, baseline, threshold):
@@ -88,6 +102,41 @@ def missing_required(current, patterns):
     ]
 
 
+def compare_memory(current, baseline, patterns, mem_threshold):
+    """Gate peak RSS for ``--require``'d benchmarks present in both runs.
+
+    Unlike wall-clock, peak RSS is not normalized by a machine-speed
+    median — the same code allocates the same arrays on any machine, so
+    the raw ratio current/baseline is directly meaningful and
+    ``mem_threshold`` is pure headroom for allocator/runner noise.
+    """
+    gated = sorted(
+        name
+        for name, run in current.items()
+        if run["peak_rss_bytes"] is not None
+        and any(pattern in name for pattern in patterns)
+        and baseline.get(name, {}).get("peak_rss_bytes") is not None
+    )
+    if not gated:
+        return ["no shared peak-RSS records for required benchmarks"], []
+    lines = ["", f"{'rss ratio':>9}  {'current':>9}  {'baseline':>9}  benchmark"]
+    failed = []
+    limit = 1.0 + mem_threshold
+    for name in gated:
+        cur = current[name]["peak_rss_bytes"]
+        base = baseline[name]["peak_rss_bytes"]
+        ratio = cur / base
+        flag = ""
+        if ratio > limit:
+            failed.append(name)
+            flag = f"  MEMORY REGRESSION (> {limit:.2f}x)"
+        lines.append(
+            f"{ratio:>9.3f}  {cur / 2**20:>8.1f}M  {base / 2**20:>8.1f}M  "
+            f"{name}{flag}"
+        )
+    return lines, failed
+
+
 def main(argv=None):
     parser = argparse.ArgumentParser(
         description="Fail when a benchmark regresses against the baseline."
@@ -112,19 +161,30 @@ def main(argv=None):
         help="fail unless some current benchmark name contains PATTERN "
         "(repeatable); guards against a gated module silently not running",
     )
+    parser.add_argument(
+        "--mem-threshold",
+        type=float,
+        default=0.5,
+        help="allowed peak-RSS growth fraction for --require'd benchmarks "
+        "with recorded extra_info peak_rss_bytes (default: %(default)s)",
+    )
     args = parser.parse_args(argv)
     if args.threshold <= 0:
         parser.error("--threshold must be positive")
+    if args.mem_threshold <= 0:
+        parser.error("--mem-threshold must be positive")
 
     try:
-        current = load_means(args.current)
-        baseline = load_means(args.baseline)
+        current_runs = load_runs(args.current)
+        baseline_runs = load_runs(args.baseline)
     except OSError as error:
         print(f"check_regression: cannot read benchmark JSON: {error}")
         return 2
     except (json.JSONDecodeError, KeyError, TypeError) as error:
         print(f"check_regression: malformed benchmark JSON: {error!r}")
         return 2
+    current = {name: run["mean"] for name, run in current_runs.items()}
+    baseline = {name: run["mean"] for name, run in baseline_runs.items()}
     absent = missing_required(current, args.require)
     if absent:
         print(
@@ -133,7 +193,11 @@ def main(argv=None):
         )
         return 1
     lines, failed = compare(current, baseline, args.threshold)
-    print("\n".join(lines))
+    mem_lines, mem_failed = compare_memory(
+        current_runs, baseline_runs, args.require, args.mem_threshold
+    )
+    print("\n".join(lines + mem_lines))
+    failed = failed + mem_failed
     if failed:
         print(f"\nFAIL: {len(failed)} benchmark(s) regressed beyond threshold")
         return 1

@@ -15,6 +15,8 @@ crossovers.
 
 from __future__ import annotations
 
+import sys
+
 import pytest
 
 from repro.datasets.synthetic import SyntheticDatasetSpec
@@ -40,6 +42,37 @@ def flixster_bench():
 def all_measures():
     """The paper's four framework instantiations: AA, CN, GD, KZ."""
     return [AdamicAdar(), CommonNeighbors(), GraphDistance(), Katz()]
+
+
+def peak_rss_bytes() -> int:
+    """The process's high-water RSS in bytes (``getrusage`` portably)."""
+    import resource
+
+    peak = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+    if sys.platform != "darwin":
+        peak *= 1024  # ru_maxrss is KiB on Linux, bytes on macOS
+    return int(peak)
+
+
+@pytest.fixture(autouse=True)
+def _record_peak_rss(request):
+    """Stamp the peak RSS onto every pytest-benchmark record.
+
+    ``extra_info["peak_rss_bytes"]`` lands in ``BENCH_ci.json``, where
+    ``check_regression.py --mem-threshold`` gates it alongside time for
+    the ``--require``'d modules.  The value is the *process* high-water
+    mark — monotone across a session, so it bounds (rather than
+    isolates) one benchmark's footprint; regressions still show because
+    module ordering is stable.
+    """
+    benchmark = (
+        request.getfixturevalue("benchmark")
+        if "benchmark" in request.fixturenames
+        else None
+    )
+    yield
+    if benchmark is not None:
+        benchmark.extra_info["peak_rss_bytes"] = peak_rss_bytes()
 
 
 def print_banner(title: str) -> None:

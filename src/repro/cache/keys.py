@@ -26,13 +26,14 @@ import hashlib
 import json
 from typing import TYPE_CHECKING
 
-from repro.graph.social_graph import SocialGraph, user_sort_key
+from repro.graph.social_graph import user_sort_key
 
 if TYPE_CHECKING:  # import only for annotations; keeps this module
     from repro.similarity.base import SimilarityMeasure  # cycle-free
 
 __all__ = [
     "KERNEL_FORMAT_VERSION",
+    "GraphFingerprintHasher",
     "graph_fingerprint",
     "measure_fingerprint",
     "similarity_cache_key",
@@ -56,15 +57,83 @@ def _tag(identifier) -> str:
     return f"s:{identifier}"
 
 
-def graph_fingerprint(graph: SocialGraph) -> str:
+class GraphFingerprintHasher:
+    """Incremental :func:`graph_fingerprint` over streamed, sorted input.
+
+    The out-of-core CSR builder (:mod:`repro.graph.bigcsr`) never holds
+    the whole edge set, but it *does* emit users and edges in exactly the
+    canonical fingerprint order (contiguous int users ``0..n-1``, then
+    undirected edges ``(u, v)`` with ``u < v`` ascending).  This hasher
+    consumes that stream and produces a digest bit-identical to
+    :func:`graph_fingerprint` of the equivalent in-memory
+    :class:`~repro.graph.social_graph.SocialGraph` — so the two
+    representations share one content-addressed kernel cache.
+
+    Callers are responsible for the ordering contract; the hasher only
+    encodes.
+    """
+
+    def __init__(self) -> None:
+        self._digest = hashlib.sha256()
+        self._sealed_users = False
+
+    def add_int_users(self, count: int, start: int = 0) -> None:
+        """Hash the contiguous int users ``start .. start+count-1``."""
+        if self._sealed_users:
+            raise ValueError("users must be hashed before any edges")
+        digest = self._digest
+        for base in range(start, start + count, 65536):
+            stop = min(base + 65536, start + count)
+            digest.update(
+                "".join(f"i:{u}\x00" for u in range(base, stop)).encode("ascii")
+            )
+
+    def add_sorted_int_edges(self, u_array, v_array) -> None:
+        """Hash undirected int edges ``(u, v)``, ``u < v``, ascending.
+
+        Accepts numpy arrays (or sequences); successive calls must
+        continue the global ``(u, v)`` sort order.
+        """
+        if not self._sealed_users:
+            self._digest.update(b"\x01")
+            self._sealed_users = True
+        digest = self._digest
+        u_list = u_array.tolist() if hasattr(u_array, "tolist") else list(u_array)
+        v_list = v_array.tolist() if hasattr(v_array, "tolist") else list(v_array)
+        for base in range(0, len(u_list), 65536):
+            digest.update(
+                "".join(
+                    f"i:{u}\x00i:{v}\x00"
+                    for u, v in zip(
+                        u_list[base : base + 65536], v_list[base : base + 65536]
+                    )
+                ).encode("ascii")
+            )
+
+    def hexdigest(self) -> str:
+        """The fingerprint accumulated so far (users sealed if not yet)."""
+        if not self._sealed_users:
+            digest = self._digest.copy()
+            digest.update(b"\x01")
+            return digest.hexdigest()
+        return self._digest.hexdigest()
+
+
+def graph_fingerprint(graph) -> str:
     """SHA-256 hex digest of the graph's structure.
 
     Invariant under node/edge insertion order; sensitive to any node or
-    edge added or removed.
+    edge added or removed.  Graph representations that precompute their
+    own canonical fingerprint (``BigCSRGraph`` stores it in the artifact
+    metadata) short-circuit here, so content-addressing a million-user
+    mmap'd graph never walks its edges in Python.
 
     Raises:
         TypeError: for user identifiers that are not int or str.
     """
+    precomputed = getattr(graph, "fingerprint", None)
+    if isinstance(precomputed, str) and precomputed:
+        return precomputed
     digest = hashlib.sha256()
     # The same canonical order SocialGraph.stable_user_order / to_csr use,
     # so a cached kernel's row order is reconstructible from its key inputs.
@@ -104,7 +173,7 @@ def measure_fingerprint(measure: SimilarityMeasure) -> str:
     )
 
 
-def similarity_cache_key(graph: SocialGraph, measure: SimilarityMeasure) -> str:
+def similarity_cache_key(graph, measure: SimilarityMeasure) -> str:
     """The content-hash key a kernel artifact is stored under.
 
     Raises:

@@ -44,7 +44,7 @@ from repro.cache.keys import (
     similarity_cache_key,
 )
 from repro.exceptions import CacheIntegrityError
-from repro.graph.social_graph import SocialGraph
+from repro.graph.protocol import GraphLike
 from repro.obs.registry import incr as obs_incr
 from repro.resilience.faults import fault_point
 from repro.similarity.base import SimilarityMeasure
@@ -347,7 +347,7 @@ class SimilarityStore:
     # ------------------------------------------------------------------
     # addressing
     # ------------------------------------------------------------------
-    def key_for(self, graph: SocialGraph, measure: SimilarityMeasure) -> str:
+    def key_for(self, graph: GraphLike, measure: SimilarityMeasure) -> str:
         """The content-hash key for ``(graph, measure)``."""
         return similarity_cache_key(graph, measure)
 
@@ -360,7 +360,7 @@ class SimilarityStore:
     # ------------------------------------------------------------------
     def get_or_compute(
         self,
-        graph: SocialGraph,
+        graph: GraphLike,
         measure: SimilarityMeasure,
         compute: Callable[[], SimilarityMatrix],
     ) -> CacheLookup:
@@ -494,7 +494,7 @@ class SimilarityStore:
 
     def warm(
         self,
-        graph: SocialGraph,
+        graph: GraphLike,
         measure: SimilarityMeasure,
         compute: Callable[[], SimilarityMatrix],
     ) -> CacheLookup:

@@ -561,6 +561,14 @@ def build_parser() -> argparse.ArgumentParser:
         "(default: serve until POST /admin/shutdown)",
     )
     p_serve_run.add_argument(
+        "--deadline-ms",
+        type=float,
+        default=None,
+        help="default per-request deadline in milliseconds; expired "
+        "requests are answered inline from the next degradation rung "
+        "(default: none; requests may override with ?deadline_ms=)",
+    )
+    p_serve_run.add_argument(
         "--mmap-dir",
         default=None,
         help="memory-map release matrices via a content-addressed .npy "
@@ -1273,6 +1281,7 @@ def _serve_build_server(args, dataset, release, path):
         threads=args.threads,
         max_requests=getattr(args, "max_requests", None),
         mmap_dir=getattr(args, "mmap_dir", None),
+        deadline_ms=getattr(args, "deadline_ms", None),
     )
     return RecommendationServer(
         HotSwapper(engine),

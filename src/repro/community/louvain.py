@@ -43,7 +43,7 @@ import numpy as np
 from repro.community.clustering import Clustering
 from repro.community.modularity import modularity
 from repro.compute.stats import validate_backend
-from repro.graph.social_graph import SocialGraph
+from repro.graph.protocol import GraphLike
 from repro.obs.registry import incr as obs_incr
 from repro.obs.spans import span
 from repro.resilience.faults import fault_point
@@ -89,14 +89,30 @@ class _AggregateGraph:
 
     @classmethod
     def from_social_graph(
-        cls, graph: SocialGraph
+        cls, graph: GraphLike
     ) -> Tuple["_AggregateGraph", List[UserId]]:
-        """Convert a social graph; returns the graph and the node-id order."""
+        """Convert a social graph; returns the graph and the node-id order.
+
+        Edges are ingested in *canonical sorted order* regardless of how
+        the input representation iterates them.  The adjacency dicts'
+        insertion order decides modularity tie-breaks during local
+        moving, so without a canonical order the same graph stored as an
+        in-memory ``SocialGraph`` and as an mmap-backed ``BigCSRGraph``
+        could yield different partitions for the same seed.
+        """
         users = graph.users()
-        index = {user: i for i, user in enumerate(users)}
-        agg = cls(len(users))
-        for u, v in graph.edges():
-            agg.add_edge(index[u], index[v], 1.0)
+        if isinstance(users, range) and users == range(len(users)):
+            agg = cls(len(users))
+            pairs = sorted(graph.edges())
+        else:
+            index = {user: i for i, user in enumerate(users)}
+            agg = cls(len(users))
+            pairs = sorted(
+                (index[u], index[v]) if index[u] <= index[v] else (index[v], index[u])
+                for u, v in graph.edges()
+            )
+        for u, v in pairs:
+            agg.add_edge(u, v, 1.0)
         return agg, users
 
 
@@ -288,14 +304,27 @@ class _FlatGraph:
 
     @classmethod
     def from_social_graph(
-        cls, graph: SocialGraph
+        cls, graph: GraphLike
     ) -> Tuple["_FlatGraph", List[UserId]]:
-        """Convert a social graph; returns the graph and the node-id order."""
+        """Convert a social graph; returns the graph and the node-id order.
+
+        Edges are ingested in canonical sorted order (the same rule as
+        ``_AggregateGraph.from_social_graph``): neighbor-run order is the
+        tie-breaking order of local moving, so it must not depend on
+        whether the graph arrived as a ``SocialGraph`` or a mmap-backed
+        ``BigCSRGraph``.
+        """
         users = graph.users()
-        index = {user: i for i, user in enumerate(users)}
+        if isinstance(users, range) and users == range(len(users)):
+            pairs = sorted(graph.edges())
+        else:
+            index = {user: i for i, user in enumerate(users)}
+            pairs = sorted(
+                (index[u], index[v]) if index[u] <= index[v] else (index[v], index[u])
+                for u, v in graph.edges()
+            )
         nbr_lists: List[List[int]] = [[] for _ in users]
-        for u, v in graph.edges():
-            iu, iv = index[u], index[v]
+        for iu, iv in pairs:
             nbr_lists[iu].append(iv)
             nbr_lists[iv].append(iu)
         wt_lists = [[1.0] * len(row) for row in nbr_lists]
@@ -566,7 +595,7 @@ class LouvainResult:
 
 
 def _run_louvain(
-    graph: SocialGraph,
+    graph: GraphLike,
     rng: np.random.Generator,
     refine: bool,
     ops: Any,
@@ -616,7 +645,7 @@ def _run_louvain(
 
 
 def louvain(
-    graph: SocialGraph,
+    graph: GraphLike,
     rng: Optional[np.random.Generator] = None,
     refine: bool = True,
     backend: str = "auto",
@@ -691,7 +720,7 @@ def _refine_levels(
 
 
 def best_louvain_clustering(
-    graph: SocialGraph,
+    graph: GraphLike,
     runs: int = 10,
     seed: int = 0,
     refine: bool = True,

@@ -11,18 +11,22 @@ served for a live graph; against ``id()`` reuse after garbage collection,
 a hit is only honoured when its matrix is *the same object* the graph's
 own version-checked :meth:`~repro.graph.social_graph.SocialGraph.to_csr`
 cache returns — an identity a recycled address cannot forge.
+
+The export accepts any :class:`~repro.graph.protocol.GraphLike` — for an
+out-of-core :class:`~repro.graph.bigcsr.BigCSRGraph` the matrix is the
+artifact's mmap'd buffers, ``users`` is a ``range`` (never a
+materialised list), and ``index`` is an O(1) identity mapping — so a
+million-user export allocates no per-user Python objects at all.
 """
 
 from __future__ import annotations
 
 from collections import OrderedDict
-from dataclasses import dataclass
-from typing import Dict, List, Optional, Tuple
+from typing import Iterator, Mapping, Optional, Sequence, Tuple
 
 import numpy as np
 import scipy.sparse as sp
 
-from repro.graph.social_graph import SocialGraph
 from repro.types import UserId
 
 __all__ = ["CSRAdjacency", "adjacency_csr", "clear_adjacency_cache"]
@@ -34,42 +38,96 @@ _CACHE_MAX_ENTRIES = 8
 _cache: "OrderedDict[Tuple[int, int], CSRAdjacency]" = OrderedDict()
 
 
-@dataclass(frozen=True)
+class _IdentityIndex(Mapping):
+    """``{0: 0, 1: 1, ..., n-1: n-1}`` without storing n dict entries.
+
+    The position index of a graph whose stable user order is
+    ``range(n)`` — lookups are range checks, not hash probes, and the
+    object is O(1) regardless of graph size.
+    """
+
+    __slots__ = ("_n",)
+
+    def __init__(self, n: int) -> None:
+        self._n = n
+
+    def __getitem__(self, user: UserId) -> int:
+        if (
+            isinstance(user, (int, np.integer))
+            and not isinstance(user, bool)
+            and 0 <= int(user) < self._n
+        ):
+            return int(user)
+        raise KeyError(user)
+
+    def __contains__(self, user: object) -> bool:
+        try:
+            self[user]
+        except KeyError:
+            return False
+        return True
+
+    def __iter__(self) -> Iterator[int]:
+        return iter(range(self._n))
+
+    def __len__(self) -> int:
+        return self._n
+
+
 class CSRAdjacency:
     """A social graph's adjacency in vectorisable form.
 
     Attributes:
         matrix: symmetric 0/1 CSR adjacency (float64, sorted indices).
-        users: row/column order (the graph's stable user order).
-        index: user -> row position.
+        users: row/column order (the graph's stable user order); a
+            ``list`` for in-memory graphs, a ``range`` for out-of-core
+            CSR graphs.
+        index: user -> row position mapping.
         degrees: float64 degree vector aligned with ``users``.
     """
 
-    matrix: sp.csr_matrix
-    users: List[UserId]
-    index: Dict[UserId, int]
-    degrees: np.ndarray
+    __slots__ = ("matrix", "users", "index", "degrees")
+
+    def __init__(
+        self,
+        matrix: sp.csr_matrix,
+        users: Sequence[UserId],
+        index: Mapping[UserId, int],
+        degrees: np.ndarray,
+    ) -> None:
+        self.matrix = matrix
+        self.users = users
+        self.index = index
+        self.degrees = degrees
 
     @property
     def num_users(self) -> int:
         return len(self.users)
 
 
-def _export(graph: SocialGraph) -> CSRAdjacency:
+def _export(graph) -> CSRAdjacency:
     matrix, users = graph.to_csr()
+    if isinstance(users, range) and users == range(len(users)):
+        # Out-of-core path: identity order, no per-user Python objects.
+        index: Mapping[UserId, int] = _IdentityIndex(len(users))
+        degrees = graph.degree_array()
+    else:
+        index = {user: i for i, user in enumerate(users)}
+        degrees = graph.degree_array(users)
     return CSRAdjacency(
         matrix=matrix,
         users=users,
-        index={user: i for i, user in enumerate(users)},
-        degrees=graph.degree_array(users),
+        index=index,
+        degrees=degrees,
     )
 
 
-def adjacency_csr(graph: SocialGraph, cache: bool = True) -> CSRAdjacency:
+def adjacency_csr(graph, cache: bool = True) -> CSRAdjacency:
     """The (memoised) CSR adjacency export of ``graph``.
 
     Args:
-        graph: the social graph.
+        graph: any :class:`~repro.graph.protocol.GraphLike` — in-memory
+            ``SocialGraph`` or mmap-backed ``BigCSRGraph``.
         cache: set False to bypass the LRU entirely (useful when a caller
             knows the graph is about to be mutated).
 

@@ -29,6 +29,8 @@ counts and exact ``1/d`` scores), property-tested in
 
 from __future__ import annotations
 
+import os
+import tempfile
 import time
 from concurrent.futures import ProcessPoolExecutor
 from typing import Any, Dict, List, Optional, Tuple
@@ -39,7 +41,7 @@ import scipy.sparse as sp
 from repro.compute.adjacency import CSRAdjacency, adjacency_csr
 from repro.compute.stats import ComputeStats, validate_backend
 from repro.exceptions import ReproError
-from repro.graph.social_graph import SocialGraph
+from repro.graph.protocol import GraphLike
 from repro.obs.adapters import publish_compute_stats
 from repro.obs.spans import span
 from repro.resilience.faults import fault_point
@@ -55,6 +57,11 @@ __all__ = [
 #: Rows per construction block; at lastfm scale one block of the densest
 #: kernel (Katz l=3) stays in the tens of megabytes.
 DEFAULT_BLOCK_SIZE = 2048
+
+#: Estimated bytes of working memory per stored kernel entry while a
+#: block is being built: 8 (float64 data) + 8 (worst-case int64 index)
+#: doubled for scipy's product temporaries.
+_BUDGET_BYTES_PER_ENTRY = 32
 
 
 # ----------------------------------------------------------------------
@@ -223,6 +230,126 @@ def _graph_distance_block(
     return sp.csr_matrix(scores)
 
 
+# ----------------------------------------------------------------------
+# memory budgeting: adaptive block bounds + block spill
+# ----------------------------------------------------------------------
+def _estimated_row_cost(adj: CSRAdjacency, params: Dict[str, Any]) -> np.ndarray:
+    """Per-row upper-bound estimate of a kernel block's stored entries.
+
+    One spmv: ``(A @ deg)[u]`` is the number of two-hop walk endpoints
+    from ``u`` counted with multiplicity — an upper bound on row ``u``'s
+    nnz in any two-hop kernel (cn/aa/ra, Katz l<=2, gd d<=2).  Deeper
+    kernels scale the walk estimate by the extra hop count.  Always >= 1
+    so empty rows still advance the block partition.
+    """
+    degrees = adj.degrees
+    two_hop = adj.matrix @ degrees
+    kind = params["kind"]
+    if kind == "kz":
+        hops = int(params.get("max_length") or 1)
+    elif kind == "gd":
+        hops = int(params.get("max_distance") or 2)
+    else:
+        hops = 2
+    factor = max(1.0, float(hops) - 1.0)
+    return np.maximum(two_hop * factor + degrees + 1.0, 1.0)
+
+
+def _budget_bounds(
+    adj: CSRAdjacency,
+    params: Dict[str, Any],
+    memory_budget_bytes: int,
+    block_size: int,
+) -> List[Tuple[int, int]]:
+    """Variable row-block bounds whose estimated working set fits the budget.
+
+    A greedy cut over the cumulative row-cost estimate: each block takes
+    rows until the next row would push the estimated product working set
+    past ``memory_budget_bytes`` (a single pathological row still gets a
+    singleton block — rows cannot split).  ``block_size`` stays an upper
+    bound on rows per block, so a generous budget degenerates to the
+    fixed-size partition.
+    """
+    cumulative = np.cumsum(_estimated_row_cost(adj, params))
+    budget_entries = max(1.0, memory_budget_bytes / _BUDGET_BYTES_PER_ENTRY)
+    n = adj.num_users
+    bounds: List[Tuple[int, int]] = []
+    start = 0
+    consumed = 0.0
+    while start < n:
+        stop = int(
+            np.searchsorted(cumulative, consumed + budget_entries, side="right")
+        )
+        stop = min(max(stop, start + 1), start + block_size, n)
+        bounds.append((start, stop))
+        consumed = float(cumulative[stop - 1])
+        start = stop
+    return bounds
+
+
+class _BlockSpiller:
+    """Spills finished kernel row blocks to ``.npy`` scratch files.
+
+    Under a memory budget, holding every finished block until the final
+    ``vstack`` would defeat the budget: the blocks *are* the kernel.
+    Instead each finished block's CSR buffers go to disk immediately and
+    :meth:`assemble` streams them back one at a time into preallocated
+    final arrays — peak memory is one in-flight block plus the final
+    kernel, never the 2x of ``vstack``'s concatenate-then-copy.
+    """
+
+    def __init__(self, directory: str, stats: ComputeStats) -> None:
+        self._dir = directory
+        self._stats = stats
+        self._blocks: List[Tuple[int, int]] = []  # (nnz, rows) per block
+
+    def _prefix(self, i: int) -> str:
+        return os.path.join(self._dir, f"block-{i:05d}")
+
+    def add(self, block: sp.csr_matrix) -> None:
+        prefix = self._prefix(len(self._blocks))
+        np.save(prefix + ".data.npy", block.data)
+        np.save(prefix + ".indices.npy", block.indices)
+        np.save(prefix + ".indptr.npy", block.indptr)
+        self._blocks.append((int(block.nnz), int(block.shape[0])))
+        self._stats.spill_blocks += 1
+        self._stats.spill_bytes += (
+            block.data.nbytes + block.indices.nbytes + block.indptr.nbytes
+        )
+
+    def assemble(self, num_cols: int) -> sp.csr_matrix:
+        total_nnz = sum(nnz for nnz, _ in self._blocks)
+        total_rows = sum(rows for _, rows in self._blocks)
+        limit = np.iinfo(np.int32).max
+        idx_dtype = (
+            np.int64 if (total_nnz > limit or num_cols > limit) else np.int32
+        )
+        data = np.empty(total_nnz, dtype=np.float64)
+        indices = np.empty(total_nnz, dtype=idx_dtype)
+        indptr = np.zeros(total_rows + 1, dtype=idx_dtype)
+        nnz_offset = 0
+        row_offset = 0
+        for i, (nnz, rows) in enumerate(self._blocks):
+            prefix = self._prefix(i)
+            data[nnz_offset : nnz_offset + nnz] = np.load(prefix + ".data.npy")
+            indices[nnz_offset : nnz_offset + nnz] = np.load(
+                prefix + ".indices.npy"
+            )
+            block_indptr = np.load(prefix + ".indptr.npy").astype(np.int64)
+            indptr[row_offset + 1 : row_offset + rows + 1] = (
+                block_indptr[1:] + nnz_offset
+            )
+            nnz_offset += nnz
+            row_offset += rows
+        matrix = sp.csr_matrix(
+            (data, indices, indptr), shape=(total_rows, num_cols), copy=False
+        )
+        # Blocks come out of scipy ops in canonical form; skip the O(nnz)
+        # re-verification.
+        matrix.has_sorted_indices = True
+        return matrix
+
+
 def _build_block(
     adjacency: sp.csr_matrix,
     degrees: np.ndarray,
@@ -267,7 +394,7 @@ def _block_worker(
 # kernel construction
 # ----------------------------------------------------------------------
 def python_kernel(
-    graph: SocialGraph,
+    graph: GraphLike,
     measure: Any,
     adjacency: Optional[CSRAdjacency] = None,
 ) -> SimilarityMatrix:
@@ -297,11 +424,12 @@ def python_kernel(
 
 
 def _vectorized_kernel(
-    graph: SocialGraph,
+    graph: GraphLike,
     measure: Any,
     params: Dict[str, Any],
     block_size: int,
     workers: Optional[int],
+    memory_budget_bytes: Optional[int],
     stats: ComputeStats,
 ) -> SimilarityMatrix:
     stage_start = time.perf_counter()
@@ -311,11 +439,39 @@ def _vectorized_kernel(
     n = adj.num_users
     if n == 0:
         return SimilarityMatrix.from_csr(sp.csr_matrix((0, 0)), [])
-    bounds = [(s, min(s + block_size, n)) for s in range(0, n, block_size)]
+    if memory_budget_bytes is not None:
+        bounds = _budget_bounds(adj, params, memory_budget_bytes, block_size)
+    else:
+        bounds = [(s, min(s + block_size, n)) for s in range(0, n, block_size)]
     stats.blocks = len(bounds)
 
+    if memory_budget_bytes is not None:
+        with tempfile.TemporaryDirectory(prefix="kernel-spill-") as spill_dir:
+            return _run_blocks(
+                adj, bounds, params, workers, stats,
+                spiller=_BlockSpiller(spill_dir, stats),
+            )
+    return _run_blocks(adj, bounds, params, workers, stats, spiller=None)
+
+
+def _run_blocks(
+    adj: CSRAdjacency,
+    bounds: List[Tuple[int, int]],
+    params: Dict[str, Any],
+    workers: Optional[int],
+    stats: ComputeStats,
+    spiller: Optional[_BlockSpiller],
+) -> SimilarityMatrix:
+    n = adj.num_users
     stage_start = time.perf_counter()
-    blocks: List[sp.csr_matrix]
+    blocks: List[sp.csr_matrix] = []
+
+    def _finish_block(block: sp.csr_matrix) -> None:
+        if spiller is not None:
+            spiller.add(block)
+        else:
+            blocks.append(block)
+
     if workers is not None and workers > 1 and len(bounds) > 1:
         stats.workers = workers
         adjacency_parts = (
@@ -331,42 +487,47 @@ def _vectorized_kernel(
                 )
                 for start, stop in bounds
             ]
-            blocks = []
             for future in futures:
                 data, indices, indptr, shape = future.result()
-                blocks.append(
+                _finish_block(
                     sp.csr_matrix((data, indices, indptr), shape=shape)
                 )
     else:
-        blocks = []
         for start, stop in bounds:
             with span("compute.kernel.block"):
                 fault_point("compute.kernel.block")
-                blocks.append(
+                _finish_block(
                     _build_block(adj.matrix, adj.degrees, start, stop, params)
                 )
     stats.add_stage("blocks", time.perf_counter() - stage_start)
 
     stage_start = time.perf_counter()
-    matrix = sp.csr_matrix(sp.vstack(blocks, format="csr"))
+    if spiller is not None:
+        matrix = spiller.assemble(n)
+    else:
+        matrix = sp.csr_matrix(sp.vstack(blocks, format="csr"))
     result = SimilarityMatrix.from_csr(matrix, adj.users)
     stats.add_stage("assemble", time.perf_counter() - stage_start)
     return result
 
 
 def build_kernel(
-    graph: SocialGraph,
+    graph: GraphLike,
     measure: Any,
     *,
     backend: str = "auto",
     block_size: int = DEFAULT_BLOCK_SIZE,
     workers: Optional[int] = None,
+    memory_budget_bytes: Optional[int] = None,
     stats: Optional[ComputeStats] = None,
 ) -> SimilarityMatrix:
     """Build the all-pairs similarity kernel for ``measure`` on ``graph``.
 
     Args:
-        graph: the (public) social graph.
+        graph: the (public) social graph — either an in-memory
+            ``SocialGraph`` or an mmap-backed
+            :class:`~repro.graph.bigcsr.BigCSRGraph`; any
+            :class:`~repro.graph.protocol.GraphLike` works.
         measure: any registered similarity measure.
         backend: ``"auto"`` (vectorised when supported, python fallback on
             any vectorised failure), ``"vectorized"`` (fail rather than
@@ -375,6 +536,14 @@ def build_kernel(
             memory on the vectorised path.
         workers: with ``workers >= 2``, fan row blocks out across a
             process pool (vectorised path only).
+        memory_budget_bytes: hard target for the construction working
+            set (vectorised path).  When set, block bounds are derived
+            adaptively from a per-row cost estimate so each block's
+            product stays within the budget, and finished blocks spill
+            to ``.npy`` scratch files instead of accumulating in memory
+            (``compute.spill.*`` counters record the traffic).  The
+            *result* kernel still materialises — the budget governs
+            construction overhead, not output size.
         stats: optional :class:`ComputeStats` to fill with per-stage wall
             times, throughput, and the backend actually used.
 
@@ -383,14 +552,21 @@ def build_kernel(
         follow the graph's stable user order under either backend.
 
     Raises:
-        ValueError: for an unknown backend or invalid ``block_size``.
+        ValueError: for an unknown backend or invalid ``block_size`` /
+            ``memory_budget_bytes``.
         ReproError: when ``backend="vectorized"`` and the measure has no
             vectorised builder as configured.
     """
     if block_size < 1:
         raise ValueError(f"block_size must be >= 1, got {block_size}")
+    if memory_budget_bytes is not None and memory_budget_bytes < 1:
+        raise ValueError(
+            f"memory_budget_bytes must be >= 1, got {memory_budget_bytes}"
+        )
     if stats is None:
         stats = ComputeStats()
+    if memory_budget_bytes is not None:
+        stats.memory_budget_bytes = memory_budget_bytes
     with span("compute.build_kernel"):
         try:
             return _build_kernel(
@@ -399,6 +575,7 @@ def build_kernel(
                 backend=backend,
                 block_size=block_size,
                 workers=workers,
+                memory_budget_bytes=memory_budget_bytes,
                 stats=stats,
             )
         finally:
@@ -408,12 +585,13 @@ def build_kernel(
 
 
 def _build_kernel(
-    graph: SocialGraph,
+    graph: GraphLike,
     measure: Any,
     *,
     backend: str,
     block_size: int,
     workers: Optional[int],
+    memory_budget_bytes: Optional[int],
     stats: ComputeStats,
 ) -> SimilarityMatrix:
     stats.requested = backend
@@ -431,7 +609,13 @@ def _build_kernel(
         try:
             fault_point("compute.kernel")
             result = _vectorized_kernel(
-                graph, measure, params, block_size, workers, stats
+                graph,
+                measure,
+                params,
+                block_size,
+                workers,
+                memory_budget_bytes,
+                stats,
             )
             stats.backend = "vectorized"
             stats.finish(

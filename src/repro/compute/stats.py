@@ -35,6 +35,11 @@ class ComputeStats:
         blocks: row blocks the construction was split into.
         workers: processes used (1 = in-process).
         fallbacks: vectorised attempts that degraded to the python path.
+        memory_budget_bytes: the caller's peak-memory target for block
+            construction (0 = unbudgeted).
+        spill_blocks: finished row blocks spilled to ``.npy`` scratch
+            files instead of held in memory.
+        spill_bytes: total bytes written to spill files.
         stage_seconds: wall time per construction stage
             (``adjacency``, ``blocks``, ``assemble``, ``rows``).
         total_seconds: end-to-end construction wall time.
@@ -49,6 +54,9 @@ class ComputeStats:
     blocks: int = 0
     workers: int = 1
     fallbacks: int = 0
+    memory_budget_bytes: int = 0
+    spill_blocks: int = 0
+    spill_bytes: int = 0
     stage_seconds: Dict[str, float] = field(default_factory=dict)
     total_seconds: float = 0.0
     rows_per_second: float = 0.0

@@ -23,7 +23,7 @@ import numpy as np
 
 from repro.exceptions import ReproError
 from repro.graph.preference_graph import PreferenceGraph
-from repro.graph.social_graph import SocialGraph
+from repro.graph.protocol import GraphLike
 from repro.metrics.ranking import rank_items
 from repro.similarity.base import SimilarityCache, SimilarityMeasure
 from repro.types import ItemId, RecommendationList, UserId, as_recommendation_list
@@ -84,7 +84,7 @@ class FittedState:
         item_index: item -> position in ``items``.
     """
 
-    social: SocialGraph
+    social: GraphLike
     preferences: PreferenceGraph
     similarity: SimilarityCache
     items: list
@@ -132,7 +132,7 @@ class BaseRecommender(abc.ABC):
     # fitting
     # ------------------------------------------------------------------
     def fit(
-        self, social: SocialGraph, preferences: PreferenceGraph
+        self, social: GraphLike, preferences: PreferenceGraph
     ) -> "BaseRecommender":
         """Snapshot the input graphs and run model-specific preparation.
 

@@ -31,7 +31,7 @@ from repro.community.louvain import best_louvain_clustering
 from repro.core.base import BaseRecommender, FittedState
 from repro.core.cluster_weights import NoisyClusterWeights, noisy_cluster_item_weights
 from repro.exceptions import NodeNotFoundError, ReproError
-from repro.graph.social_graph import SocialGraph
+from repro.graph.protocol import GraphLike
 from repro.obs.registry import incr as obs_incr
 from repro.privacy.budget import BudgetLedger
 from repro.privacy.mechanisms import validate_epsilon
@@ -43,7 +43,7 @@ from repro.types import ItemId, UserId
 __all__ = ["PrivateSocialRecommender", "covering_clustering", "louvain_strategy"]
 
 # A clustering strategy maps the public social graph to a user partition.
-ClusteringStrategy = Callable[[SocialGraph], Clustering]
+ClusteringStrategy = Callable[[GraphLike], Clustering]
 
 
 def covering_clustering(clustering: Clustering, preferences) -> Clustering:
@@ -74,7 +74,7 @@ def louvain_strategy(
     so the choice affects wall time only.
     """
 
-    def strategy(graph: SocialGraph) -> Clustering:
+    def strategy(graph: GraphLike) -> Clustering:
         fault_point("clustering.strategy")
         return best_louvain_clustering(
             graph, runs=runs, seed=seed, backend=backend

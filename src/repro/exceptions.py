@@ -14,6 +14,7 @@ __all__ = [
     "NodeNotFoundError",
     "ItemNotFoundError",
     "EdgeError",
+    "GraphArtifactError",
     "ClusteringError",
     "PrivacyError",
     "BudgetExhaustedError",
@@ -56,6 +57,16 @@ class ItemNotFoundError(GraphError, KeyError):
 
 class EdgeError(GraphError):
     """An edge is invalid (self-loop, duplicate, negative weight, ...)."""
+
+
+class GraphArtifactError(GraphError):
+    """An on-disk CSR graph artifact is corrupt, truncated, or malformed.
+
+    Raised by :mod:`repro.graph.bigcsr` when an artifact fails its
+    checksum, carries an unsupported format version, or violates CSR
+    invariants — the same integrity discipline as
+    :class:`CacheIntegrityError` for kernel artifacts.
+    """
 
 
 class ClusteringError(ReproError):

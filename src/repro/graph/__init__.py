@@ -10,6 +10,12 @@ This package implements the two input structures of the paper's model
 
 plus the pure-graph algorithms the similarity measures and community
 detection are built on (BFS, connected components, bounded path counting).
+
+Two interchangeable representations of ``G_s`` exist — the in-memory
+:class:`SocialGraph` and the mmap-backed, out-of-core
+:class:`~repro.graph.bigcsr.BigCSRGraph` — unified by the structural
+:class:`~repro.graph.protocol.GraphLike` protocol that every consumer
+(kernels, Louvain, caches, sweeps, serving) accepts.
 """
 
 from repro.graph.analysis import (
@@ -19,15 +25,27 @@ from repro.graph.analysis import (
     degree_histogram,
     sampled_path_length,
 )
+from repro.graph.bigcsr import (
+    BigCSRGraph,
+    BigCSRWriter,
+    bigcsr_from_social_graph,
+    open_bigcsr,
+)
 from repro.graph.components import connected_components, largest_component
 from repro.graph.paths import bounded_shortest_path_lengths, count_paths_up_to
 from repro.graph.preference_graph import PreferenceGraph
+from repro.graph.protocol import GraphLike
 from repro.graph.social_graph import SocialGraph
 from repro.graph.traversal import bfs_distances, bfs_order
 
 __all__ = [
     "SocialGraph",
     "PreferenceGraph",
+    "BigCSRGraph",
+    "BigCSRWriter",
+    "GraphLike",
+    "bigcsr_from_social_graph",
+    "open_bigcsr",
     "connected_components",
     "largest_component",
     "bfs_distances",

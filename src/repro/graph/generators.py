@@ -60,7 +60,9 @@ def erdos_renyi_graph(n: int, p: float, rng: np.random.Generator) -> SocialGraph
     total = n * (n - 1) // 2
     index = -1
     while True:
-        skip = int(np.floor(np.log(1.0 - rng.random()) / log_q))
+        # For subnormal p the quotient can overflow to inf; any skip
+        # >= total ends the loop, so clamping there changes nothing.
+        skip = int(min(np.floor(np.log(1.0 - rng.random()) / log_q), float(total)))
         index += skip + 1
         if index >= total:
             break

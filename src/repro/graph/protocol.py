@@ -1,0 +1,90 @@
+"""The ``GraphLike`` protocol: what every graph consumer may assume.
+
+Two representations of a social graph coexist in the framework:
+
+- :class:`~repro.graph.social_graph.SocialGraph` — an in-memory
+  adjacency-set dictionary, mutable, ideal up to a few hundred thousand
+  users;
+- :class:`~repro.graph.bigcsr.BigCSRGraph` — an immutable, mmap-backed
+  CSR artifact on disk, the canonical representation for million-user
+  graphs that must never fully materialise as Python objects.
+
+Every consumer — :func:`repro.compute.kernels.build_kernel`, Louvain,
+:class:`~repro.similarity.base.SimilarityCache`, the sweep engine, the
+serving tier — accepts either through this structural protocol, without
+conversion.  The protocol is intentionally the *intersection* the
+consumers actually use, not the full ``SocialGraph`` surface: mutation
+(``add_edge`` and friends) is deliberately absent, because the on-disk
+representation is immutable by design.
+
+Checked structurally (``isinstance`` works via ``runtime_checkable``),
+but consumers should simply call the methods — both implementations are
+tested against the same contract in ``tests/graph``.
+"""
+
+from __future__ import annotations
+
+from typing import (
+    Dict,
+    FrozenSet,
+    Iterator,
+    Optional,
+    Protocol,
+    Sequence,
+    Tuple,
+    runtime_checkable,
+)
+
+from repro.types import UserId
+
+__all__ = ["GraphLike"]
+
+
+@runtime_checkable
+class GraphLike(Protocol):
+    """Structural interface shared by ``SocialGraph`` and ``BigCSRGraph``.
+
+    Implementations guarantee:
+
+    - ``stable_user_order`` is the canonical row order shared with the
+      content-addressed caches (ints numerically, strs lexicographically);
+    - ``to_csr()`` returns a symmetric 0/1 float64 CSR adjacency with
+      sorted indices, aligned with the returned user order, that callers
+      must treat as read-only;
+    - ``version`` bumps on every structural mutation (immutable
+      representations report a constant), so derived views can detect
+      staleness exactly.
+    """
+
+    @property
+    def version(self) -> int: ...
+
+    @property
+    def num_users(self) -> int: ...
+
+    @property
+    def num_edges(self) -> int: ...
+
+    def __contains__(self, user: UserId) -> bool: ...
+
+    def __len__(self) -> int: ...
+
+    def __iter__(self) -> Iterator[UserId]: ...
+
+    def users(self) -> Sequence[UserId]: ...
+
+    def edges(self) -> Iterator[Tuple[UserId, UserId]]: ...
+
+    def has_edge(self, u: UserId, v: UserId) -> bool: ...
+
+    def neighbors(self, user: UserId) -> FrozenSet[UserId]: ...
+
+    def degree(self, user: UserId) -> int: ...
+
+    def degrees(self) -> Dict[UserId, int]: ...
+
+    def stable_user_order(self) -> Sequence[UserId]: ...
+
+    def to_csr(self, users: Optional[Sequence[UserId]] = None): ...
+
+    def degree_array(self, users: Optional[Sequence[UserId]] = None): ...

@@ -60,6 +60,12 @@ def publish_compute_stats(stats, registry: Optional[Telemetry] = None) -> None:
     registry.incr("compute.nnz", stats.nnz)
     registry.incr("compute.blocks", stats.blocks)
     registry.incr("compute.fallbacks", stats.fallbacks)
+    registry.incr("compute.spill.blocks", stats.spill_blocks)
+    registry.incr("compute.spill.bytes", stats.spill_bytes)
+    if stats.memory_budget_bytes:
+        registry.set_gauge(
+            "compute.memory_budget_bytes", stats.memory_budget_bytes
+        )
     registry.set_gauge("compute.workers", stats.workers)
     registry.add_gauge("compute.total_seconds", stats.total_seconds)
     registry.set_gauge("compute.rows_per_second", stats.rows_per_second)
@@ -155,6 +161,11 @@ def compute_stats_view(snapshot: TelemetrySnapshot):
         blocks=snapshot.counters.get("compute.blocks", 0),
         workers=int(snapshot.gauges.get("compute.workers", 1)),
         fallbacks=snapshot.counters.get("compute.fallbacks", 0),
+        memory_budget_bytes=int(
+            snapshot.gauges.get("compute.memory_budget_bytes", 0)
+        ),
+        spill_blocks=snapshot.counters.get("compute.spill.blocks", 0),
+        spill_bytes=snapshot.counters.get("compute.spill.bytes", 0),
         total_seconds=snapshot.gauges.get("compute.total_seconds", 0.0),
         rows_per_second=snapshot.gauges.get("compute.rows_per_second", 0.0),
     )

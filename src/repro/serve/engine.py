@@ -16,7 +16,7 @@ import threading
 from typing import Optional
 
 from repro.core.persistence import PublishedRelease, ReleaseServer
-from repro.graph.social_graph import SocialGraph
+from repro.graph.protocol import GraphLike
 from repro.resilience.degradation import TIER_PERSONALIZED
 from repro.similarity.base import SimilarityMeasure
 from repro.types import RecommendationList, UserId
@@ -48,7 +48,7 @@ class ServingEngine:
     def __init__(
         self,
         release: PublishedRelease,
-        social: SocialGraph,
+        social: GraphLike,
         measure: Optional[SimilarityMeasure] = None,
         generation: int = 0,
         path: Optional[str] = None,

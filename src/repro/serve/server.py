@@ -42,7 +42,7 @@ from repro.obs.registry import add_gauge as obs_add_gauge
 from repro.obs.registry import get_telemetry
 from repro.obs.registry import incr as obs_incr
 from repro.obs.spans import span
-from repro.resilience.degradation import TIER_EMPTY
+from repro.resilience.degradation import DEGRADATION_LADDER, TIER_EMPTY
 from repro.resilience.faults import fault_point
 from repro.serve.admission import AdmissionController
 from repro.serve.swap import HotSwapper
@@ -86,6 +86,14 @@ class ServerConfig:
             hot swap, and on the final drain at shutdown.
         mmap_dir: when set, swapped-in releases are loaded with their
             matrix memory-mapped from this content-addressed cache.
+        deadline_ms: default per-request deadline.  When scoring has not
+            returned within this budget the request is answered *inline*
+            from the next degradation rung instead of waiting; the
+            abandoned scoring still runs to completion on its thread
+            (executor futures cannot be cancelled) and only then frees
+            its queue slot.  Requests may override with
+            ``?deadline_ms=``.  None: no deadline unless the request
+            asks for one.
     """
 
     host: str = "127.0.0.1"
@@ -95,6 +103,7 @@ class ServerConfig:
     max_requests: Optional[int] = None
     drain_timeout_s: float = 30.0
     mmap_dir: Optional[str] = None
+    deadline_ms: Optional[float] = None
 
     def __post_init__(self) -> None:
         if self.n_default < 1:
@@ -104,6 +113,10 @@ class ServerConfig:
         if self.max_requests is not None and self.max_requests < 1:
             raise ValueError(
                 f"max_requests must be >= 1, got {self.max_requests}"
+            )
+        if self.deadline_ms is not None and self.deadline_ms <= 0:
+            raise ValueError(
+                f"deadline_ms must be > 0, got {self.deadline_ms}"
             )
 
 
@@ -267,10 +280,21 @@ class RecommendationServer:
             return 400, {"error": "n must be an integer"}
         if n < 1:
             return 400, {"error": f"n must be >= 1, got {n}"}
+        deadline_ms = self.config.deadline_ms
+        if "deadline_ms" in query:
+            try:
+                deadline_ms = float(query["deadline_ms"][0])
+            except ValueError:
+                return 400, {"error": "deadline_ms must be a number"}
+            if deadline_ms <= 0:
+                return 400, {
+                    "error": f"deadline_ms must be > 0, got {deadline_ms}"
+                }
 
         arrival = time.perf_counter()
         tier_cap = self.admission.admit()
         engine = self.swapper.acquire_current()
+        deadline_expired = False
         try:
             if tier_cap == TIER_EMPTY:
                 # Shed: answered inline from the empty rung, no queue slot.
@@ -278,17 +302,9 @@ class RecommendationServer:
                 shed = True
             else:
                 shed = False
-                loop = asyncio.get_running_loop()
-
-                def work():
-                    with span("serve.request"):
-                        fault_point("serve.request")
-                        return engine.recommend(user, n, max_tier=tier_cap)
-
-                try:
-                    result = await loop.run_in_executor(self._executor, work)
-                finally:
-                    self.admission.release()
+                result, deadline_expired = await self._score(
+                    engine, user, n, tier_cap, deadline_ms, arrival
+                )
         except ReproError as exc:
             self.errors += 1
             obs_incr("serve.errors")
@@ -307,6 +323,7 @@ class RecommendationServer:
             "tier": result.tier,
             "degraded": result.degraded,
             "shed": shed,
+            "deadline_expired": deadline_expired,
             "generation": engine.generation,
             "items": [[entry.item, entry.utility] for entry in result.items],
         }
@@ -316,6 +333,67 @@ class RecommendationServer:
         ):
             self.request_shutdown()
         return 200, payload
+
+    async def _score(
+        self,
+        engine,
+        user,
+        n: int,
+        tier_cap: str,
+        deadline_ms: Optional[float],
+        arrival: float,
+    ):
+        """Run scoring on the pool, bounded by the request's deadline.
+
+        Returns ``(result, deadline_expired)``.  On expiry the request is
+        answered inline from the rung *below* ``tier_cap`` — the thread
+        pool cannot cancel a running scoring call, so the abandoned
+        future keeps its own queue slot and generation ref until the
+        thread really finishes (released by its done callback).
+        """
+        loop = asyncio.get_running_loop()
+
+        def work():
+            with span("serve.request"):
+                fault_point("serve.request")
+                return engine.recommend(user, n, max_tier=tier_cap)
+
+        engine.acquire()
+        future = loop.run_in_executor(self._executor, work)
+        abandoned = False
+
+        def _settle(done) -> None:
+            self.admission.release()
+            engine.release_ref()
+            if abandoned and not done.cancelled():
+                # Retrieve the exception (if any) so an abandoned failure
+                # does not warn at GC time; the client already got its
+                # degraded answer.
+                if done.exception() is not None:
+                    obs_incr("serve.deadline.abandoned_error")
+
+        future.add_done_callback(_settle)
+
+        if deadline_ms is None:
+            return await future, False
+        budget_s = deadline_ms / 1000.0 - (time.perf_counter() - arrival)
+        try:
+            # shield(): wait_for must give up on the future without
+            # cancelling it — the executor thread is running regardless.
+            result = await asyncio.wait_for(
+                asyncio.shield(future), max(budget_s, 0.0)
+            )
+        except asyncio.TimeoutError:
+            # Set before the next loop iteration can run _settle.
+            abandoned = True
+            obs_incr("serve.deadline.expired")
+            rung = DEGRADATION_LADDER.index(tier_cap) + 1
+            fallback = DEGRADATION_LADDER[
+                min(rung, len(DEGRADATION_LADDER) - 1)
+            ]
+            return engine.recommend(user, n, max_tier=fallback), True
+        obs_incr("serve.deadline.met")
+        return result, False
 
     async def _handle_swap(self, query: Dict[str, list]) -> Tuple[int, dict]:
         if "path" not in query:

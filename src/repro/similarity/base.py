@@ -17,7 +17,7 @@ import abc
 from typing import Callable, Dict, FrozenSet, List, Optional, Type
 
 from repro.exceptions import SimilarityError
-from repro.graph.social_graph import SocialGraph
+from repro.graph.protocol import GraphLike
 from repro.types import UserId
 
 __all__ = [
@@ -40,7 +40,7 @@ class SimilarityMeasure(abc.ABC):
     name: str = ""
 
     @abc.abstractmethod
-    def similarity_row(self, graph: SocialGraph, user: UserId) -> Dict[UserId, float]:
+    def similarity_row(self, graph: GraphLike, user: UserId) -> Dict[UserId, float]:
         """``sim(u, .)``: non-zero similarities from ``user`` to other users.
 
         The returned mapping must not contain ``user`` itself and must not
@@ -50,7 +50,7 @@ class SimilarityMeasure(abc.ABC):
             NodeNotFoundError: if ``user`` is not in the graph.
         """
 
-    def similarity(self, graph: SocialGraph, u: UserId, v: UserId) -> float:
+    def similarity(self, graph: GraphLike, u: UserId, v: UserId) -> float:
         """``sim(u, v)``; zero when the users are not similar.
 
         The default implementation computes a full row; subclasses may
@@ -60,7 +60,7 @@ class SimilarityMeasure(abc.ABC):
             return 0.0
         return self.similarity_row(graph, u).get(v, 0.0)
 
-    def similarity_set(self, graph: SocialGraph, user: UserId) -> FrozenSet[UserId]:
+    def similarity_set(self, graph: GraphLike, user: UserId) -> FrozenSet[UserId]:
         """``sim(u)``: the set of users with *positive* similarity to ``user``.
 
         Rows are contractually free of zero entries, but the explicit
@@ -98,7 +98,7 @@ class SimilarityCache:
     def __init__(
         self,
         measure: SimilarityMeasure,
-        graph: SocialGraph,
+        graph: GraphLike,
         backend: str = "auto",
     ) -> None:
         from repro.compute.stats import ComputeStats, validate_backend
@@ -116,7 +116,7 @@ class SimilarityCache:
         return self._measure
 
     @property
-    def graph(self) -> SocialGraph:
+    def graph(self) -> GraphLike:
         return self._graph
 
     @property

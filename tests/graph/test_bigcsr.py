@@ -1,0 +1,361 @@
+"""Tests for the out-of-core CSR graph artifact (:mod:`repro.graph.bigcsr`)."""
+
+import json
+import os
+
+import numpy as np
+import pytest
+import scipy.sparse as sp
+
+from repro.cache.keys import graph_fingerprint
+from repro.exceptions import (
+    EdgeError,
+    GraphArtifactError,
+    NodeNotFoundError,
+)
+from repro.graph.bigcsr import (
+    BIGCSR_FORMAT_VERSION,
+    BigCSRGraph,
+    BigCSRWriter,
+    bigcsr_from_social_graph,
+    content_path,
+    open_bigcsr,
+)
+from repro.graph.protocol import GraphLike
+from repro.graph.social_graph import SocialGraph
+
+
+def random_social_graph(n=200, m=800, seed=7):
+    rng = np.random.default_rng(seed)
+    graph = SocialGraph()
+    graph.add_users(range(n))
+    edges = set()
+    while len(edges) < m:
+        u, v = (int(x) for x in rng.integers(0, n, 2))
+        if u != v:
+            edges.add((min(u, v), max(u, v)))
+    for u, v in edges:
+        graph.add_edge(u, v)
+    return graph
+
+
+@pytest.fixture
+def graph_pair(tmp_path):
+    social = random_social_graph()
+    big = bigcsr_from_social_graph(social, directory=str(tmp_path))
+    return social, big
+
+
+class TestRoundTrip:
+    def test_counts_match(self, graph_pair):
+        social, big = graph_pair
+        assert big.num_users == social.num_users
+        assert big.num_edges == social.num_edges
+        assert len(big) == len(social)
+
+    def test_adjacency_matrix_identical(self, graph_pair):
+        social, big = graph_pair
+        dense_matrix, dense_users = social.to_csr()
+        big_matrix, big_users = big.to_csr()
+        assert list(dense_users) == list(big_users)
+        assert (dense_matrix != big_matrix).nnz == 0
+        assert big_matrix.dtype == np.float64
+
+    def test_edges_canonical_order(self, graph_pair):
+        social, big = graph_pair
+        expected = sorted(
+            tuple(sorted(edge)) for edge in social.edges()
+        )
+        assert list(big.edges()) == expected
+
+    def test_per_user_queries(self, graph_pair):
+        social, big = graph_pair
+        for user in (0, 11, 199):
+            assert big.neighbors(user) == social.neighbors(user)
+            assert big.degree(user) == social.degree(user)
+        assert big.degrees() == social.degrees()
+        np.testing.assert_array_equal(
+            big.degree_array(), social.degree_array()
+        )
+
+    def test_has_edge(self, graph_pair):
+        social, big = graph_pair
+        u, v = next(iter(social.edges()))
+        assert big.has_edge(u, v) and big.has_edge(v, u)
+        assert not big.has_edge(0, 0)
+        assert not big.has_edge(0, 10**9)
+
+    def test_membership_and_iteration(self, graph_pair):
+        _, big = graph_pair
+        assert 0 in big and 199 in big
+        assert 200 not in big and -1 not in big and "0" not in big
+        assert True not in big  # bools are not user ids
+        assert list(iter(big))[:3] == [0, 1, 2]
+        assert list(big.users()) == list(range(200))
+        assert list(big.stable_user_order()) == list(range(200))
+
+    def test_missing_user_raises(self, graph_pair):
+        _, big = graph_pair
+        with pytest.raises(NodeNotFoundError):
+            big.neighbors(200)
+        with pytest.raises(NodeNotFoundError):
+            big.degree(-1)
+
+    def test_satisfies_graphlike(self, graph_pair):
+        social, big = graph_pair
+        assert isinstance(big, GraphLike)
+        assert isinstance(social, GraphLike)
+
+    def test_version_constant(self, graph_pair):
+        _, big = graph_pair
+        assert big.version == 0
+
+    def test_to_social_graph_round_trip(self, graph_pair):
+        social, big = graph_pair
+        back = big.to_social_graph()
+        assert graph_fingerprint(back) == graph_fingerprint(social)
+
+
+class TestFingerprint:
+    def test_matches_in_memory_fingerprint(self, graph_pair):
+        social, big = graph_pair
+        assert big.fingerprint == graph_fingerprint(social)
+
+    def test_graph_fingerprint_short_circuits(self, graph_pair):
+        _, big = graph_pair
+        assert graph_fingerprint(big) == big.fingerprint
+
+    def test_content_addressed_directory_name(self, graph_pair, tmp_path):
+        _, big = graph_pair
+        assert big.path == content_path(str(tmp_path), big.fingerprint)
+
+    def test_rebuild_reuses_existing_artifact(self, graph_pair, tmp_path):
+        social, big = graph_pair
+        again = bigcsr_from_social_graph(social, directory=str(tmp_path))
+        assert again.path == big.path
+
+    def test_budget_does_not_change_artifact(self, tmp_path):
+        social = random_social_graph(n=120, m=400, seed=3)
+        wide = bigcsr_from_social_graph(
+            social, path=str(tmp_path / "wide.bigcsr")
+        )
+        narrow = bigcsr_from_social_graph(
+            social,
+            path=str(tmp_path / "narrow.bigcsr"),
+            memory_budget_bytes=256,
+        )
+        assert narrow.fingerprint == wide.fingerprint
+        wide_matrix, _ = wide.to_csr()
+        narrow_matrix, _ = narrow.to_csr()
+        assert (wide_matrix != narrow_matrix).nnz == 0
+
+
+class TestWriterValidation:
+    def test_self_loop_rejected(self):
+        writer = BigCSRWriter(4)
+        with pytest.raises(EdgeError):
+            writer.add_edges(np.array([1]), np.array([1]))
+        writer.abort()
+
+    def test_out_of_range_rejected(self):
+        writer = BigCSRWriter(4)
+        with pytest.raises(NodeNotFoundError):
+            writer.add_edges(np.array([0]), np.array([4]))
+        writer.abort()
+
+    def test_duplicate_edge_fails_finalize(self, tmp_path):
+        writer = BigCSRWriter(4)
+        writer.add_edge(0, 1)
+        writer.add_edge(1, 0)  # same undirected edge, other orientation
+        with pytest.raises(GraphArtifactError, match="duplicate"):
+            writer.finalize(path=str(tmp_path / "dup.bigcsr"))
+
+    def test_non_integer_arrays_rejected(self):
+        writer = BigCSRWriter(4)
+        with pytest.raises(TypeError):
+            writer.add_edges(np.array([0.5]), np.array([1.5]))
+        writer.abort()
+
+    def test_double_finalize_rejected(self, tmp_path):
+        writer = BigCSRWriter(2)
+        writer.add_edge(0, 1)
+        writer.finalize(path=str(tmp_path / "one.bigcsr"))
+        with pytest.raises(ValueError):
+            writer.finalize(path=str(tmp_path / "two.bigcsr"))
+
+    def test_requires_exactly_one_destination(self, tmp_path):
+        writer = BigCSRWriter(2)
+        with pytest.raises(ValueError):
+            writer.finalize()
+        writer.abort()
+
+    def test_empty_graph(self, tmp_path):
+        writer = BigCSRWriter(3)
+        big = writer.finalize(path=str(tmp_path / "empty.bigcsr"))
+        reference = SocialGraph()
+        reference.add_users(range(3))
+        assert big.num_edges == 0
+        assert big.fingerprint == graph_fingerprint(reference)
+        matrix, users = big.to_csr()
+        assert matrix.shape == (3, 3) and matrix.nnz == 0
+
+    def test_spill_dir_cleaned_up(self, tmp_path):
+        writer = BigCSRWriter(10)
+        spill = writer._spill_dir
+        writer.add_edge(0, 1)
+        writer.finalize(path=str(tmp_path / "clean.bigcsr"))
+        assert not os.path.isdir(spill)
+
+    def test_noncontiguous_users_rejected(self, tmp_path):
+        graph = SocialGraph()
+        graph.add_users([0, 1, 5])
+        with pytest.raises(ValueError, match="relabel"):
+            bigcsr_from_social_graph(graph, directory=str(tmp_path))
+
+
+class TestArtifactIntegrity:
+    def test_reopen_with_verification(self, graph_pair):
+        _, big = graph_pair
+        reopened = open_bigcsr(big.path, verify=True)
+        assert reopened.fingerprint == big.fingerprint
+        assert reopened.num_edges == big.num_edges
+
+    def test_corrupt_buffer_detected(self, graph_pair):
+        _, big = graph_pair
+        indices_path = os.path.join(big.path, "indices.npy")
+        with open(indices_path, "r+b") as handle:
+            handle.seek(-4, os.SEEK_END)
+            handle.write(b"\xff\xff\xff\xff")
+        with pytest.raises(GraphArtifactError, match="checksum"):
+            open_bigcsr(big.path, verify=True)
+
+    def test_tampered_meta_detected(self, graph_pair):
+        _, big = graph_pair
+        meta_path = os.path.join(big.path, "meta.json")
+        with open(meta_path, encoding="utf-8") as handle:
+            meta = json.load(handle)
+        meta["num_edges"] = meta["num_edges"] + 1
+        with open(meta_path, "w", encoding="utf-8") as handle:
+            json.dump(meta, handle)
+        with pytest.raises(GraphArtifactError, match="checksum"):
+            open_bigcsr(big.path, verify=False)
+
+    def test_wrong_version_rejected(self, graph_pair):
+        _, big = graph_pair
+        meta_path = os.path.join(big.path, "meta.json")
+        with open(meta_path, encoding="utf-8") as handle:
+            meta = json.load(handle)
+        meta["version"] = BIGCSR_FORMAT_VERSION + 1
+        with open(meta_path, "w", encoding="utf-8") as handle:
+            json.dump(meta, handle)
+        with pytest.raises(GraphArtifactError, match="format"):
+            open_bigcsr(big.path, verify=False)
+
+    def test_missing_buffer_detected(self, graph_pair):
+        _, big = graph_pair
+        os.remove(os.path.join(big.path, "data.npy"))
+        with pytest.raises(GraphArtifactError):
+            open_bigcsr(big.path, verify=True)
+
+    def test_unreadable_meta(self, tmp_path):
+        bad = tmp_path / "bad.bigcsr"
+        bad.mkdir()
+        (bad / "meta.json").write_text("{not json")
+        with pytest.raises(GraphArtifactError):
+            open_bigcsr(str(bad))
+
+    def test_no_tmp_dirs_left_behind(self, graph_pair, tmp_path):
+        leftovers = [
+            name
+            for name in os.listdir(tmp_path)
+            if name.startswith(".bigcsr-tmp-")
+        ]
+        assert leftovers == []
+
+
+class TestMmapZeroCopy:
+    def test_buffers_are_memory_mapped(self, graph_pair):
+        """The csr_matrix must wrap (not copy) the on-disk buffers."""
+        _, big = graph_pair
+        matrix, _ = big.to_csr()
+        assert isinstance(big._indices, np.memmap)
+        assert np.shares_memory(matrix.indices, big._indices)
+        assert np.shares_memory(matrix.indptr, big._indptr)
+        assert np.shares_memory(matrix.data, big._data)
+
+    def test_to_csr_cached(self, graph_pair):
+        _, big = graph_pair
+        first, _ = big.to_csr()
+        second, _ = big.to_csr()
+        assert first is second
+
+    def test_spmv_matches_dense_path(self, graph_pair):
+        social, big = graph_pair
+        dense_matrix, _ = social.to_csr()
+        big_matrix, _ = big.to_csr()
+        vector = np.arange(big.num_users, dtype=np.float64)
+        np.testing.assert_allclose(big_matrix @ vector, dense_matrix @ vector)
+
+    def test_submatrix_selection(self, graph_pair):
+        social, big = graph_pair
+        subset = [3, 1, 7]
+        dense_sub, _ = social.to_csr(subset)
+        big_sub, users = big.to_csr(subset)
+        assert users == subset
+        assert isinstance(big_sub, sp.csr_matrix)
+        assert (dense_sub != big_sub).nnz == 0
+
+    def test_neighbor_array_view(self, graph_pair):
+        social, big = graph_pair
+        row = big.neighbor_array(11)
+        assert sorted(row.tolist()) == sorted(social.neighbors(11))
+        assert np.all(np.diff(row) > 0)
+
+    def test_iter_edge_blocks_covers_all_edges(self, graph_pair):
+        social, big = graph_pair
+        total = sum(
+            u_block.size for u_block, _ in big.iter_edge_blocks(block_rows=13)
+        )
+        assert total == social.num_edges
+
+
+class TestIndexDtype:
+    def test_small_graph_uses_int32(self, graph_pair):
+        _, big = graph_pair
+        matrix, _ = big.to_csr()
+        assert matrix.indices.dtype == np.int32
+        assert matrix.indptr.dtype == np.int32
+
+    def test_spmm_preserves_mmap(self, graph_pair):
+        """int32-on-disk means scipy keeps the maps through A @ A."""
+        _, big = graph_pair
+        matrix, _ = big.to_csr()
+        product = matrix[:16, :] @ matrix
+        assert product.shape == (16, big.num_users)
+
+
+class TestBigCSRGraphDirect:
+    def test_in_memory_construction(self):
+        indptr = np.array([0, 1, 2], dtype=np.int32)
+        indices = np.array([1, 0], dtype=np.int32)
+        data = np.ones(2)
+        graph = BigCSRGraph(
+            indptr, indices, data, num_edges=1, fingerprint="f" * 64
+        )
+        assert graph.num_users == 2
+        assert graph.has_edge(0, 1)
+        assert graph.average_degree() == 1.0
+        assert graph.max_degree() == 1
+        assert "num_users=2" in repr(graph)
+
+    def test_empty_direct(self):
+        graph = BigCSRGraph(
+            np.zeros(1, dtype=np.int32),
+            np.empty(0, dtype=np.int32),
+            np.empty(0),
+            num_edges=0,
+            fingerprint="f" * 64,
+        )
+        assert graph.average_degree() == 0.0
+        assert graph.max_degree() == 0
+        assert list(graph.edges()) == []

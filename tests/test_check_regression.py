@@ -1,0 +1,105 @@
+"""The benchmark regression gate: time normalization and the RSS gate."""
+
+import json
+
+import pytest
+
+from benchmarks.check_regression import main
+
+
+def write_run(path, benches):
+    """``benches``: name -> (mean_seconds, peak_rss_bytes-or-None)."""
+    payload = {
+        "benchmarks": [
+            {
+                "fullname": name,
+                "stats": {"mean": mean},
+                "extra_info": {}
+                if rss is None
+                else {"peak_rss_bytes": rss},
+            }
+            for name, (mean, rss) in benches.items()
+        ]
+    }
+    path.write_text(json.dumps(payload), encoding="utf-8")
+
+
+@pytest.fixture
+def run_files(tmp_path):
+    current = tmp_path / "current.json"
+    baseline = tmp_path / "baseline.json"
+
+    def run(current_benches, baseline_benches, *extra_args):
+        write_run(current, current_benches)
+        write_run(baseline, baseline_benches)
+        return main([str(current), "--baseline", str(baseline), *extra_args])
+
+    return run
+
+
+class TestTimeGate:
+    def test_clean_run_passes(self, run_files):
+        benches = {"mod.py::test_a": (1.0, None), "mod.py::test_b": (2.0, None)}
+        assert run_files(benches, benches) == 0
+
+    def test_uniform_slowdown_is_absorbed(self, run_files):
+        baseline = {"mod.py::a": (1.0, None), "mod.py::b": (2.0, None)}
+        current = {"mod.py::a": (3.0, None), "mod.py::b": (6.0, None)}
+        assert run_files(current, baseline) == 0
+
+    def test_relative_regression_fails(self, run_files):
+        baseline = {
+            "mod.py::a": (1.0, None),
+            "mod.py::b": (1.0, None),
+            "mod.py::c": (1.0, None),
+        }
+        current = {
+            "mod.py::a": (1.0, None),
+            "mod.py::b": (1.0, None),
+            "mod.py::c": (2.0, None),
+        }
+        assert run_files(current, baseline) == 1
+
+    def test_missing_required_pattern_fails(self, run_files):
+        benches = {"mod.py::test_a": (1.0, None)}
+        assert run_files(benches, benches, "--require", "absent_module") == 1
+
+
+class TestMemoryGate:
+    GiB = 2**30
+
+    def test_stable_rss_passes(self, run_files):
+        benches = {"scaling.py::million": (5.0, self.GiB)}
+        assert run_files(benches, benches, "--require", "scaling") == 0
+
+    def test_rss_regression_fails_only_when_required(self, run_files):
+        baseline = {"scaling.py::million": (5.0, self.GiB)}
+        current = {"scaling.py::million": (5.0, 2 * self.GiB)}
+        # Not --require'd: memory is reported but not gated.
+        assert run_files(current, baseline) == 0
+        assert run_files(current, baseline, "--require", "scaling") == 1
+
+    def test_rss_within_threshold_passes(self, run_files):
+        baseline = {"scaling.py::million": (5.0, self.GiB)}
+        current = {"scaling.py::million": (5.0, int(1.3 * self.GiB))}
+        assert run_files(current, baseline, "--require", "scaling") == 0
+
+    def test_mem_threshold_is_tunable(self, run_files):
+        baseline = {"scaling.py::million": (5.0, self.GiB)}
+        current = {"scaling.py::million": (5.0, int(1.3 * self.GiB))}
+        assert (
+            run_files(
+                current,
+                baseline,
+                "--require",
+                "scaling",
+                "--mem-threshold",
+                "0.1",
+            )
+            == 1
+        )
+
+    def test_baseline_without_rss_is_not_gated(self, run_files):
+        baseline = {"scaling.py::million": (5.0, None)}
+        current = {"scaling.py::million": (5.0, 10 * self.GiB)}
+        assert run_files(current, baseline, "--require", "scaling") == 0
