@@ -46,6 +46,7 @@ from __future__ import annotations
 
 import argparse
 import math
+import os
 import sys
 import time
 from contextlib import contextmanager
@@ -580,7 +581,50 @@ def build_parser() -> argparse.ArgumentParser:
         help="warm similarity kernels through a persistent "
         "SimilarityStore in this directory (initial load and every swap)",
     )
+    p_serve_run.add_argument(
+        "--workers",
+        type=_positive_int,
+        default=1,
+        help="worker processes; >1 starts the prefork supervisor over a "
+        "shared data port (default: 1, single-process)",
+    )
+    p_serve_run.add_argument(
+        "--control-port",
+        type=int,
+        default=0,
+        help="supervisor admin port for /stats, /admin/swap, "
+        "/admin/shutdown (0: ephemeral; only with --workers > 1)",
+    )
+    p_serve_run.add_argument(
+        "--response-cache-size",
+        type=int,
+        default=0,
+        help="per-process generation-keyed response-cache capacity "
+        "(default: 0, disabled; requests bypass with ?fresh=1)",
+    )
+    p_serve_run.add_argument(
+        "--socket-mode",
+        choices=("auto", "reuseport", "inherit"),
+        default="auto",
+        help="how prefork workers share the data port (default: auto — "
+        "SO_REUSEPORT where available, else an inherited listener)",
+    )
     _add_profile_argument(p_serve_run)
+
+    p_serve_swap = serve_sub.add_parser(
+        "swap",
+        help="hot-swap a running service to a new release artifact",
+    )
+    p_serve_swap.add_argument(
+        "--connect",
+        required=True,
+        metavar="HOST:PORT",
+        help="a single-process server's port, or a supervisor's "
+        "--control-port (the shared data port refuses swaps)",
+    )
+    p_serve_swap.add_argument(
+        "--release", required=True, help="the .npz artifact to swap to"
+    )
 
     p_serve_bench = serve_sub.add_parser(
         "bench",
@@ -621,6 +665,27 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help="exit non-zero unless at least one response was served "
         "from this tier",
+    )
+    p_serve_bench.add_argument(
+        "--capacity",
+        action="store_true",
+        help="capacity-planning report: sweep open-loop offered rates "
+        "and print offered QPS vs achieved tier mix / p99",
+    )
+    p_serve_bench.add_argument(
+        "--rates",
+        default=None,
+        metavar="R1,R2,...",
+        help="offered rates for --capacity (default: 0.25x, 0.5x, 1x, "
+        "2x, 4x of --rate)",
+    )
+    p_serve_bench.add_argument(
+        "--clients",
+        type=_positive_int,
+        default=1,
+        help="loadgen client processes (fork); >1 keeps one GIL-bound "
+        "client from capping the measured QPS of a multi-worker server "
+        "(requires --connect)",
     )
     p_serve_bench.add_argument(
         "--shutdown",
@@ -1282,6 +1347,7 @@ def _serve_build_server(args, dataset, release, path):
         max_requests=getattr(args, "max_requests", None),
         mmap_dir=getattr(args, "mmap_dir", None),
         deadline_ms=getattr(args, "deadline_ms", None),
+        response_cache_size=getattr(args, "response_cache_size", 0),
     )
     return RecommendationServer(
         HotSwapper(engine),
@@ -1320,6 +1386,8 @@ def _cmd_serve(args: argparse.Namespace) -> int:
 
     if args.serve_command == "run":
         dataset = _resolve_dataset(args)
+        if getattr(args, "workers", 1) > 1:
+            return _cmd_serve_supervisor(args, dataset)
         release, path = _serve_release(args, dataset)
         server = _serve_build_server(args, dataset, release, path)
 
@@ -1357,7 +1425,154 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         )
         return 0
 
+    if args.serve_command == "swap":
+        return _cmd_serve_swap(args)
+
     return _cmd_serve_bench(args)
+
+
+def _cmd_serve_supervisor(args: argparse.Namespace, dataset) -> int:
+    """``serve run --workers N``: the prefork supervisor path."""
+    import asyncio
+    import signal
+    import tempfile
+
+    from repro.serve import (
+        AdmissionPolicy,
+        ServerConfig,
+        ServingSupervisor,
+        SupervisorConfig,
+    )
+
+    release_path = args.release
+    if release_path is None:
+        # Workers load the artifact from disk (that is what makes the
+        # release pages shareable), so an in-process fit is staged to a
+        # temporary artifact first.
+        release, _ = _serve_release(args, dataset)
+        staging = tempfile.mkdtemp(prefix="repro-serve-")
+        release_path = os.path.join(staging, "release.npz")
+        release.save(release_path)
+        print(f"staged:      in-process fit -> {release_path}")
+
+    supervisor = ServingSupervisor(
+        release_path,
+        dataset.social,
+        server_config=ServerConfig(
+            host=args.host,
+            port=args.port,
+            n_default=args.n,
+            threads=args.threads,
+            max_requests=args.max_requests,
+            mmap_dir=args.mmap_dir,
+            deadline_ms=args.deadline_ms,
+            response_cache_size=args.response_cache_size,
+        ),
+        config=SupervisorConfig(
+            workers=args.workers,
+            socket_mode=args.socket_mode,
+            control_port=args.control_port,
+        ),
+        policy=AdmissionPolicy(
+            max_queue=args.max_queue,
+            cluster_at=args.cluster_at,
+            global_at=args.global_at,
+        ),
+        cache_dir=args.cache_dir,
+    )
+
+    async def _run() -> None:
+        loop = asyncio.get_running_loop()
+        for signum in (signal.SIGINT, signal.SIGTERM):
+            try:
+                loop.add_signal_handler(signum, supervisor.request_shutdown)
+            except (NotImplementedError, RuntimeError):
+                pass
+        await supervisor.start()
+        print(
+            f"serving on http://{args.host}:{supervisor.port} "
+            f"({args.workers} workers, "
+            f"{supervisor.config.resolved_socket_mode} socket sharing, "
+            f"generation {supervisor.generation})",
+            flush=True,
+        )
+        print(
+            f"control:     http://{supervisor.config.control_host}:"
+            f"{supervisor.control_port} (/stats, /admin/swap, "
+            f"/admin/shutdown)",
+            flush=True,
+        )
+        await supervisor.serve_until_shutdown()
+
+    asyncio.run(_run())
+    stats = supervisor.final_stats or {}
+    workers = stats.get("workers", {})
+    tiers = ", ".join(
+        f"{tier}={count}"
+        for tier, count in sorted(stats.get("tier_counts", {}).items())
+    )
+    print(
+        f"shutdown:    clean ({stats.get('requests_served', 0)} request(s) "
+        f"served, {stats.get('errors', 0)} error(s), "
+        f"{workers.get('restarts_total', 0)} worker restart(s))"
+    )
+    print(f"tiers:       [{tiers or 'none'}]")
+    print(f"generation:  {stats.get('generation', supervisor.generation)}")
+    return 0
+
+
+def _cmd_serve_swap(args: argparse.Namespace) -> int:
+    """``serve swap``: hot-swap a running service to a new artifact."""
+    import asyncio
+    from urllib.parse import quote
+
+    from repro.serve import http_request_json
+
+    host, _, port_text = args.connect.rpartition(":")
+    try:
+        port = int(port_text)
+    except ValueError:
+        print(
+            f"repro: error: --connect expects HOST:PORT, "
+            f"got {args.connect!r}",
+            file=sys.stderr,
+        )
+        return 2
+    release_path = os.path.abspath(args.release)
+
+    async def _swap():
+        return await http_request_json(
+            host, port, "POST", f"/admin/swap?path={quote(release_path)}"
+        )
+
+    try:
+        status, payload = asyncio.run(_swap())
+    except (OSError, ValueError) as exc:
+        print(f"repro: error: swap request failed: {exc}", file=sys.stderr)
+        return 2
+    if status != 200:
+        print(
+            f"repro: error: swap refused (HTTP {status}): "
+            f"{payload.get('error', payload)}",
+            file=sys.stderr,
+        )
+        return 1
+    print(
+        f"swap:        generation {payload['old_generation']} -> "
+        f"{payload['new_generation']} ({payload['path']})"
+    )
+    if "workers_swapped" in payload:
+        print(
+            f"workers:     {payload['workers_swapped']} swapped in place, "
+            f"{payload['workers_replaced']} replaced"
+        )
+    else:
+        print(
+            f"drain:       {payload['inflight_at_flip']} in flight at flip, "
+            f"drained={payload['drained']} "
+            f"in {payload['drain_seconds']:.3f}s"
+        )
+    return 0
 
 
 def _cmd_serve_bench(args: argparse.Namespace) -> int:
@@ -1369,21 +1584,76 @@ def _cmd_serve_bench(args: argparse.Namespace) -> int:
         LoadGenerator,
         http_get_json,
         http_request_json,
+        run_multiprocess,
     )
 
     dataset = _resolve_dataset(args)
     users = sorted(dataset.social.users())
-    generator = LoadGenerator(
-        users,
-        LoadgenConfig(
-            requests=args.requests,
-            mode=args.mode,
-            concurrency=args.concurrency,
-            rate=args.rate,
-            n=args.n,
-            seed=args.seed,
-        ),
-    )
+    clients = getattr(args, "clients", 1)
+    if clients > 1 and not args.connect:
+        print(
+            "repro: error: --clients > 1 requires --connect (the forked "
+            "client processes would starve a self-hosted server's loop)",
+            file=sys.stderr,
+        )
+        return 2
+
+    # One (label, offered_rate, config) row per load run: a single run
+    # for the plain bench, one open-loop run per offered rate for the
+    # --capacity sweep.  With several client processes each offers its
+    # share of the rate, so the union stream matches the labelled rate.
+    if args.capacity:
+        if args.rates:
+            try:
+                rates = [
+                    float(r) for r in args.rates.split(",") if r.strip()
+                ]
+            except ValueError:
+                print(
+                    f"repro: error: --rates expects comma-separated "
+                    f"numbers, got {args.rates!r}",
+                    file=sys.stderr,
+                )
+                return 2
+        else:
+            rates = [args.rate * m for m in (0.25, 0.5, 1.0, 2.0, 4.0)]
+        if not rates or any(rate <= 0 for rate in rates):
+            print(
+                "repro: error: --capacity needs at least one positive "
+                "offered rate",
+                file=sys.stderr,
+            )
+            return 2
+        runs = [
+            (
+                f"{rate:g}",
+                rate,
+                LoadgenConfig(
+                    requests=args.requests,
+                    mode="open",
+                    concurrency=args.concurrency,
+                    rate=rate / clients,
+                    n=args.n,
+                    seed=args.seed,
+                ),
+            )
+            for rate in rates
+        ]
+    else:
+        runs = [
+            (
+                args.mode,
+                None,
+                LoadgenConfig(
+                    requests=args.requests,
+                    mode=args.mode,
+                    concurrency=args.concurrency,
+                    rate=args.rate / clients,
+                    n=args.n,
+                    seed=args.seed,
+                ),
+            )
+        ]
 
     if args.connect:
         host, _, port_text = args.connect.rpartition(":")
@@ -1397,13 +1667,13 @@ def _cmd_serve_bench(args: argparse.Namespace) -> int:
             )
             return 2
 
-        async def _bench_remote():
+        async def _wait_ready():
             deadline = _time.monotonic() + args.wait_ready
             while True:
                 try:
                     status, _ = await http_get_json(host, port, "/health")
                     if status == 200:
-                        break
+                        return
                 except (OSError, ValueError):
                     pass
                 if _time.monotonic() >= deadline:
@@ -1412,16 +1682,25 @@ def _cmd_serve_bench(args: argparse.Namespace) -> int:
                         f"{args.wait_ready:g}s"
                     )
                 await asyncio.sleep(0.1)
-            report = await generator.run_async(host, port)
-            if args.shutdown:
-                await http_request_json(host, port, "POST", "/admin/shutdown")
-            return report
 
         try:
-            report = asyncio.run(_bench_remote())
+            asyncio.run(_wait_ready())
         except ConnectionError as exc:
             print(f"repro: error: {exc}", file=sys.stderr)
             return 2
+        reports = []
+        for label, rate, config in runs:
+            if clients > 1:
+                report = run_multiprocess(
+                    host, port, users, config, clients=clients
+                )
+            else:
+                report = LoadGenerator(users, config).run(host, port)
+            reports.append((label, rate, report))
+        if args.shutdown:
+            asyncio.run(
+                http_request_json(host, port, "POST", "/admin/shutdown")
+            )
         target = f"{host}:{port}"
     else:
         release, path = _serve_release(args, dataset)
@@ -1429,28 +1708,59 @@ def _cmd_serve_bench(args: argparse.Namespace) -> int:
 
         async def _bench_selfhost():
             await server.start()
-            report = await generator.run_async("127.0.0.1", server.port)
+            out = []
+            for label, rate, config in runs:
+                report = await LoadGenerator(users, config).run_async(
+                    "127.0.0.1", server.port
+                )
+                out.append((label, rate, report))
             server.request_shutdown()
             await server.serve_until_shutdown()
-            return report
+            return out
 
-        report = asyncio.run(_bench_selfhost())
+        reports = asyncio.run(_bench_selfhost())
         target = "self-hosted"
 
-    print(
-        f"loadgen:     {args.mode} loop, {args.requests} request(s), "
-        f"seed {args.seed}, target {target}"
-    )
-    print(f"result:      {report.summary()}")
-    print(f"p50:         {report.p50_ms:.2f} ms")
-    print(f"p99:         {report.p99_ms:.2f} ms")
-    print(f"qps:         {report.qps:,.1f}")
+    if args.capacity:
+        print(
+            f"capacity:    open-loop sweep, {args.requests} request(s) per "
+            f"rate, {clients} client(s), seed {args.seed}, target {target}"
+        )
+        header = (
+            f"{'offered/s':>10}  {'achieved/s':>10}  {'p50 ms':>8}  "
+            f"{'p99 ms':>8}  {'errors':>6}  tiers"
+        )
+        print(header)
+        for label, rate, report in reports:
+            tiers = ", ".join(
+                f"{tier}={count}"
+                for tier, count in sorted(report.tier_counts().items())
+            )
+            print(
+                f"{rate:>10g}  {report.qps:>10.1f}  {report.p50_ms:>8.2f}  "
+                f"{report.p99_ms:>8.2f}  {report.error_count:>6}  "
+                f"[{tiers or 'none'}]"
+            )
+    else:
+        _label, _rate, report = reports[0]
+        print(
+            f"loadgen:     {args.mode} loop, {args.requests} request(s), "
+            f"{clients} client(s), seed {args.seed}, target {target}"
+        )
+        print(f"result:      {report.summary()}")
+        print(f"p50:         {report.p50_ms:.2f} ms")
+        print(f"p99:         {report.p99_ms:.2f} ms")
+        print(f"qps:         {report.qps:,.1f}")
     if args.expect_tier is not None:
-        served = report.tier_counts().get(args.expect_tier, 0)
-        if served == 0 or report.error_count:
+        served = sum(
+            report.tier_counts().get(args.expect_tier, 0)
+            for _label, _rate, report in reports
+        )
+        errors = sum(report.error_count for _l, _r, report in reports)
+        if served == 0 or errors:
             print(
                 f"repro: error: expected tier {args.expect_tier!r} "
-                f"(served {served} of it, {report.error_count} error(s))",
+                f"(served {served} of it, {errors} error(s))",
                 file=sys.stderr,
             )
             return 1

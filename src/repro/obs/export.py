@@ -32,6 +32,8 @@ __all__ = [
     "TRACE_FORMAT_VERSION",
     "write_trace",
     "read_trace",
+    "snapshot_to_jsonable",
+    "snapshot_from_jsonable",
     "summary_dict",
     "write_summary",
     "summary_path_for",
@@ -208,6 +210,94 @@ def read_trace(path: str) -> Tuple[TelemetrySnapshot, Dict[str, object]]:
                     )
                 )
     return snapshot, meta
+
+
+def snapshot_to_jsonable(snapshot: TelemetrySnapshot) -> Dict[str, object]:
+    """A pure-JSON representation of ``snapshot``.
+
+    Round-trips through :func:`snapshot_from_jsonable` losslessly (up to
+    ``inf``/``nan`` gauges, which ride as strings like the trace format).
+    The serving supervisor ships per-worker snapshots over HTTP this way
+    and merges them with
+    :func:`~repro.obs.registry.merge_snapshots`.
+    """
+    return {
+        "counters": dict(sorted(snapshot.counters.items())),
+        "gauges": {
+            name: _finite(value)
+            for name, value in sorted(snapshot.gauges.items())
+        },
+        "span_totals": {
+            path: [count, total]
+            for path, (count, total) in sorted(snapshot.span_totals.items())
+        },
+        "span_errors": dict(sorted(snapshot.span_errors.items())),
+        "spans": [
+            {
+                "path": event.path,
+                "start": event.start,
+                "duration": event.duration,
+                "status": event.status,
+            }
+            for event in snapshot.spans
+        ],
+        "ledger": [
+            {
+                "release": entry.release,
+                "label": entry.label,
+                "epsilon": _finite(entry.epsilon),
+                "sensitivity": _finite(entry.sensitivity),
+                "composition": entry.composition,
+                "count": entry.count,
+            }
+            for entry in snapshot.ledger
+        ],
+    }
+
+
+def snapshot_from_jsonable(payload: Dict[str, object]) -> TelemetrySnapshot:
+    """Rebuild a :class:`TelemetrySnapshot` from
+    :func:`snapshot_to_jsonable` output."""
+    return TelemetrySnapshot(
+        counters={
+            name: int(value)
+            for name, value in payload.get("counters", {}).items()
+        },
+        gauges={
+            name: _unfinite(value)
+            for name, value in payload.get("gauges", {}).items()
+        },
+        span_totals={
+            path: (int(count), float(total))
+            for path, (count, total) in payload.get(
+                "span_totals", {}
+            ).items()
+        },
+        span_errors={
+            path: int(value)
+            for path, value in payload.get("span_errors", {}).items()
+        },
+        spans=[
+            SpanEvent(
+                path=record["path"],
+                start=float(record["start"]),
+                duration=float(record["duration"]),
+                status=record.get("status", "ok"),
+            )
+            for record in payload.get("spans", [])
+        ],
+        ledger=[
+            LedgerEntry(
+                release=record["release"],
+                label=record["label"],
+                epsilon=_unfinite(record["epsilon"]),
+                sensitivity=_unfinite(record["sensitivity"]),
+                composition=record.get("composition", "parallel"),
+                count=int(record.get("count", 1)),
+            )
+            for record in payload.get("ledger", [])
+        ],
+    )
 
 
 def summary_dict(

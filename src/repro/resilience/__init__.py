@@ -35,6 +35,7 @@ from repro.resilience.faults import (
     active_plan,
     bit_flip_file,
     fault_point,
+    reset_plans,
     truncate_file,
 )
 from repro.resilience.retry import RetryPolicy
@@ -45,6 +46,7 @@ __all__ = [
     "FaultSpec",
     "fault_point",
     "active_plan",
+    "reset_plans",
     "truncate_file",
     "bit_flip_file",
     "TIER_PERSONALIZED",

@@ -46,6 +46,7 @@ __all__ = [
     "FaultPlan",
     "fault_point",
     "active_plan",
+    "reset_plans",
     "truncate_file",
     "bit_flip_file",
 ]
@@ -189,6 +190,17 @@ _STACK: List[FaultPlan] = []
 def active_plan() -> Optional[FaultPlan]:
     """The innermost installed plan, or None."""
     return _STACK[-1] if _STACK else None
+
+
+def reset_plans() -> None:
+    """Uninstall every plan (a forked child clearing inherited state).
+
+    A ``fork``'d worker inherits the parent's installed-plan stack; a
+    plan meant to fault the parent (or one specific sibling) would
+    otherwise fire in every child.  Prefork workers call this once at
+    startup before installing their own per-worker plan, if any.
+    """
+    _STACK.clear()
 
 
 def fault_point(site: str, path: Optional[str] = None) -> None:

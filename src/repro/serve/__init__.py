@@ -17,9 +17,16 @@ cost.  This package turns that observation into a long-lived service:
 - :mod:`repro.serve.server` — the asyncio HTTP front end (stdlib
   streams, no dependencies) with ``/recommend``, ``/health``,
   ``/stats``, and admin swap/shutdown endpoints;
+- :mod:`repro.serve.rescache` — a generation-keyed LRU response cache:
+  repeat requests skip scoring, hot swaps invalidate for free because
+  the generation id is part of every key;
+- :mod:`repro.serve.supervisor` — the prefork supervisor: N forked
+  worker processes accepting on one shared data port (SO_REUSEPORT or
+  an inherited listener) over the same mmap'd release pages, with
+  swap fan-out, crash respawn, and merged ``/stats``;
 - :mod:`repro.serve.loadgen` — a deterministic seeded load generator
-  (closed- and open-loop) used by the tests, the serving benchmark,
-  and ``repro serve bench``.
+  (closed- and open-loop, single- or multi-process) used by the tests,
+  the serving benchmark, and ``repro serve bench``.
 
 Everything is stdlib + numpy; telemetry flows through :mod:`repro.obs`
 (``serve.tier.*``, ``serve.admission.*``, ``serve.swap.*`` counters and
@@ -37,8 +44,11 @@ from repro.serve.loadgen import (
     http_get_json,
     http_request_json,
     percentile,
+    run_multiprocess,
 )
+from repro.serve.rescache import ResponseCache
 from repro.serve.server import RecommendationServer, ServerConfig
+from repro.serve.supervisor import ServingSupervisor, SupervisorConfig
 from repro.serve.swap import HotSwapper, SwapResult
 
 __all__ = [
@@ -49,11 +59,15 @@ __all__ = [
     "SwapResult",
     "RecommendationServer",
     "ServerConfig",
+    "ResponseCache",
+    "ServingSupervisor",
+    "SupervisorConfig",
     "LoadgenConfig",
     "LoadGenerator",
     "LoadReport",
     "RequestRecord",
     "percentile",
+    "run_multiprocess",
     "http_get_json",
     "http_request_json",
 ]

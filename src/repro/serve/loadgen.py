@@ -21,8 +21,10 @@ nearest-rank percentiles (p50/p99), sustained QPS, and per-tier counts.
 from __future__ import annotations
 
 import asyncio
+import dataclasses
 import json
 import math
+import multiprocessing
 import random
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
@@ -32,6 +34,7 @@ __all__ = [
     "RequestRecord",
     "LoadReport",
     "LoadGenerator",
+    "run_multiprocess",
     "percentile",
     "http_get_json",
     "http_request_json",
@@ -275,6 +278,63 @@ class LoadGenerator:
         )
 
 
+def _client_main(host, port, users, config, queue) -> None:
+    """One loadgen client process: run a schedule, ship records back."""
+    report = LoadGenerator(users, config).run(host, port)
+    queue.put((report.records, report.wall_seconds))
+
+
+def run_multiprocess(
+    host: str,
+    port: int,
+    users: Sequence[object],
+    config: LoadgenConfig,
+    clients: int = 2,
+) -> LoadReport:
+    """Drive ``host:port`` from several loadgen *processes* at once.
+
+    A single asyncio client process is itself GIL-bound and can cap the
+    measured throughput of a multi-worker server below what the server
+    actually sustains; this fans the load out over ``clients`` forked
+    processes (client *i* runs ``config.requests // clients`` requests
+    under ``seed + i``, so the union schedule is deterministic) and
+    merges the records.  ``wall_seconds`` is the slowest client's wall
+    clock — all clients run concurrently, so that is the window in which
+    every record completed and QPS stays conservative.
+    """
+    if clients < 1:
+        raise ValueError(f"clients must be >= 1, got {clients}")
+    if clients == 1:
+        return LoadGenerator(users, config).run(host, port)
+    share, remainder = divmod(config.requests, clients)
+    ctx = multiprocessing.get_context("fork")
+    queue = ctx.SimpleQueue()
+    processes = []
+    for index in range(clients):
+        requests = share + (1 if index < remainder else 0)
+        if requests == 0:
+            continue
+        child_config = dataclasses.replace(
+            config, requests=requests, seed=config.seed + index
+        )
+        process = ctx.Process(
+            target=_client_main,
+            args=(host, port, list(users), child_config, queue),
+            daemon=True,
+        )
+        process.start()
+        processes.append(process)
+    records: List[RequestRecord] = []
+    wall = 0.0
+    for _ in processes:
+        client_records, client_wall = queue.get()
+        records.extend(client_records)
+        wall = max(wall, client_wall)
+    for process in processes:
+        process.join()
+    return LoadReport(records=records, wall_seconds=wall)
+
+
 async def http_request_json(
     host: str, port: int, method: str, target: str
 ) -> Tuple[int, dict]:
@@ -294,16 +354,37 @@ async def http_request_json(
             ).encode("ascii")
         )
         await writer.drain()
-        raw = await reader.read()
+        # Read headers, then exactly Content-Length body bytes.  Never
+        # wait for EOF: a prefork supervisor that respawns a worker while
+        # this request is in flight forks a duplicate of the connection
+        # fd into the child, deferring EOF until that worker exits.
+        try:
+            head = await reader.readuntil(b"\r\n\r\n")
+        except (asyncio.IncompleteReadError, asyncio.LimitOverrunError):
+            raise ValueError("malformed HTTP response (no header terminator)")
+        length = None
+        for line in head.split(b"\r\n")[1:]:
+            name, _, value = line.partition(b":")
+            if name.strip().lower() == b"content-length":
+                try:
+                    length = int(value.strip())
+                except ValueError:
+                    raise ValueError(
+                        f"malformed Content-Length {value.strip()!r}"
+                    )
+        if length is not None:
+            try:
+                body = await reader.readexactly(length)
+            except asyncio.IncompleteReadError:
+                raise ValueError("truncated HTTP response body")
+        else:
+            body = await reader.read()
     finally:
         writer.close()
         try:
             await writer.wait_closed()
-        except (ConnectionError, BrokenPipeError):
+        except OSError:
             pass
-    head, separator, body = raw.partition(b"\r\n\r\n")
-    if not separator:
-        raise ValueError("malformed HTTP response (no header terminator)")
     status_line = head.split(b"\r\n", 1)[0].decode("latin-1")
     parts = status_line.split()
     if len(parts) < 2 or not parts[1].isdigit():

@@ -1,0 +1,131 @@
+"""Generation-keyed response cache: repeat requests skip scoring.
+
+Serving a published release is pure post-processing, so for a fixed
+release generation the response to ``(user, n, tier)`` is a *constant*
+— the scoring path is deterministic end to end (the noise was drawn at
+publication, never at query time).  That makes response caching trivially
+sound: a cached entry can never go stale *within* a generation, and a
+hot swap invalidates the whole cache for free because the generation id
+is part of every key — no flush coordination, no TTLs, no races with
+the swap drain.
+
+:class:`ResponseCache` is a bounded LRU over
+``(generation, user, n, tier)`` keys.  The serving tier consults it
+*before* taking an admission-queue slot, so a hit costs one dict lookup
+on the event loop and never touches the scoring executor.  Entries are
+only written for clean scored responses: shed requests (the empty rung
+is cheaper than the lookup) and deadline-expired responses (degraded by
+timing, not by depth) are never cached, so a cached body is always
+bit-identical to what fresh scoring would produce for the same key.
+
+Requests may bypass the cache with ``?fresh=1``; the fresh result still
+refreshes the entry.  Counters: ``serve.rescache.{hit,miss,evict,
+bypass}`` (mirrored locally for ``/stats`` when telemetry is off).
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+from typing import Dict, Hashable, Optional, Tuple
+
+from repro.obs.registry import incr as obs_incr
+
+__all__ = ["ResponseCache", "CachedResponse"]
+
+# What one cache entry replays: (tier, degraded, items payload) — the
+# scored fields of a /recommend body.  Everything else in the body
+# (user, n, generation) is part of the key, and the flags a cached
+# response implies (shed=False, deadline_expired=False) are invariants
+# of the entries we admit.
+CachedResponse = Tuple[str, bool, list]
+
+
+class ResponseCache:
+    """A bounded, thread-safe LRU of scored ``/recommend`` responses.
+
+    Args:
+        capacity: maximum retained entries; the least recently used
+            entry is evicted (and counted) beyond it.
+
+    Keys are ``(generation, user, n, tier)`` tuples; stale generations
+    age out through normal LRU pressure and can be dropped eagerly with
+    :meth:`evict_other_generations` after a hot swap.
+    """
+
+    def __init__(self, capacity: int) -> None:
+        if capacity < 1:
+            raise ValueError(f"capacity must be >= 1, got {capacity}")
+        self.capacity = capacity
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+        self.bypasses = 0
+        self._lock = threading.Lock()
+        self._entries: "OrderedDict[Hashable, CachedResponse]" = OrderedDict()
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+    def get(self, key: Hashable) -> Optional[CachedResponse]:
+        """The cached response for ``key``, counting a hit or a miss."""
+        with self._lock:
+            entry = self._entries.get(key)
+            if entry is None:
+                self.misses += 1
+            else:
+                self._entries.move_to_end(key)
+                self.hits += 1
+        if entry is None:
+            obs_incr("serve.rescache.miss")
+        else:
+            obs_incr("serve.rescache.hit")
+        return entry
+
+    def put(self, key: Hashable, response: CachedResponse) -> None:
+        """Store (or refresh) ``key``, evicting LRU entries beyond capacity."""
+        evicted = 0
+        with self._lock:
+            self._entries[key] = response
+            self._entries.move_to_end(key)
+            while len(self._entries) > self.capacity:
+                self._entries.popitem(last=False)
+                self.evictions += 1
+                evicted += 1
+        if evicted:
+            obs_incr("serve.rescache.evict", evicted)
+
+    def note_bypass(self) -> None:
+        """Count one ``?fresh=1`` request that skipped the lookup."""
+        with self._lock:
+            self.bypasses += 1
+        obs_incr("serve.rescache.bypass")
+
+    def evict_other_generations(self, generation: int) -> int:
+        """Drop every entry not belonging to ``generation``.
+
+        Correctness never needs this — stale generations can't be looked
+        up again — but a hot swap calls it so the old generation's
+        entries stop occupying capacity the moment they become garbage.
+        """
+        with self._lock:
+            stale = [k for k in self._entries if k[0] != generation]
+            for key in stale:
+                del self._entries[key]
+            self.evictions += len(stale)
+        if stale:
+            obs_incr("serve.rescache.evict", len(stale))
+        return len(stale)
+
+    def stats(self) -> Dict[str, int]:
+        """Counter snapshot for ``/stats`` (works with telemetry off)."""
+        with self._lock:
+            return {
+                "size": len(self._entries),
+                "capacity": self.capacity,
+                "hits": self.hits,
+                "misses": self.misses,
+                "evictions": self.evictions,
+                "bypasses": self.bypasses,
+            }

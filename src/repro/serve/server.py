@@ -13,13 +13,29 @@ Endpoints:
   the empty rung) instead of erroring.  The response reports ``tier``,
   ``degraded``, and the serving ``generation``.
 - ``GET /health`` — liveness plus the current generation's provenance.
-- ``GET /stats`` — request totals, tier counts, queue depth/peak, and
-  (when telemetry is active) the ``serve.*`` counters.
+- ``GET /stats`` — request totals, tier counts, queue depth/peak,
+  uptime, generation, response-cache counters, and (when telemetry is
+  active) the ``serve.*`` counters; ``?snapshot=1`` embeds the full
+  :class:`~repro.obs.registry.TelemetrySnapshot` in JSON form so a
+  supervisor can merge per-worker registries.
 - ``POST /admin/swap?path=P`` — hot-swap to the release artifact at
   ``P``: load + verify in the background, atomically flip, drain the
   old generation (:mod:`repro.serve.swap`).
 - ``POST /admin/shutdown`` — graceful shutdown: stop accepting, drain
   in-flight requests, exit cleanly.
+
+A server may listen on two sockets at once: the *data* listener (the
+bound host/port, or an inherited/SO_REUSEPORT socket handed to
+:meth:`RecommendationServer.start`) and an optional loopback *control*
+listener (:meth:`RecommendationServer.start_control`) used by the
+prefork supervisor (:mod:`repro.serve.supervisor`).  A *managed* worker
+(one constructed with ``supervisor_notify``) serves ``/admin/*``
+differently per listener: on the control listener admin actions apply
+to this process (that is how the supervisor fans out), while on the
+shared data listener ``/admin/shutdown`` is forwarded to the supervisor
+(so ``repro serve bench --shutdown`` keeps working against the data
+port) and ``/admin/swap`` is refused with 409 — swapping one worker of
+a fleet behind a shared port would fork the serving generation.
 
 Per-request latency is recorded under the ``serve.request`` span and
 the ``serve.latency_total_s`` gauge; the ``serve.request`` fault site
@@ -31,13 +47,17 @@ from __future__ import annotations
 
 import asyncio
 import json
+import os
+import socket
 import time
 from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass
-from typing import Dict, Optional, Tuple
+from functools import partial
+from typing import Callable, Dict, Optional, Tuple
 from urllib.parse import parse_qs, urlsplit
 
 from repro.exceptions import ReproError
+from repro.obs.export import snapshot_to_jsonable
 from repro.obs.registry import add_gauge as obs_add_gauge
 from repro.obs.registry import get_telemetry
 from repro.obs.registry import incr as obs_incr
@@ -45,9 +65,15 @@ from repro.obs.spans import span
 from repro.resilience.degradation import DEGRADATION_LADDER, TIER_EMPTY
 from repro.resilience.faults import fault_point
 from repro.serve.admission import AdmissionController
+from repro.serve.rescache import ResponseCache
 from repro.serve.swap import HotSwapper
 
-__all__ = ["ServerConfig", "RecommendationServer"]
+__all__ = [
+    "ServerConfig",
+    "RecommendationServer",
+    "read_http_request",
+    "encode_response",
+]
 
 _REASONS = {
     200: "OK",
@@ -94,6 +120,15 @@ class ServerConfig:
             its queue slot.  Requests may override with
             ``?deadline_ms=``.  None: no deadline unless the request
             asks for one.
+        response_cache_size: capacity of the per-process
+            :class:`~repro.serve.rescache.ResponseCache` (0: disabled).
+            Entries are keyed by generation, so hot swaps invalidate
+            for free; requests bypass with ``?fresh=1``.
+        worker_slot: this process's slot under a prefork supervisor
+            (None outside one).  Reported by ``/stats`` so merged
+            multi-worker output stays attributable; never included in
+            ``/recommend`` bodies, which must be bit-identical across
+            workers.
     """
 
     host: str = "127.0.0.1"
@@ -104,6 +139,8 @@ class ServerConfig:
     drain_timeout_s: float = 30.0
     mmap_dir: Optional[str] = None
     deadline_ms: Optional[float] = None
+    response_cache_size: int = 0
+    worker_slot: Optional[int] = None
 
     def __post_init__(self) -> None:
         if self.n_default < 1:
@@ -117,6 +154,11 @@ class ServerConfig:
         if self.deadline_ms is not None and self.deadline_ms <= 0:
             raise ValueError(
                 f"deadline_ms must be > 0, got {self.deadline_ms}"
+            )
+        if self.response_cache_size < 0:
+            raise ValueError(
+                f"response_cache_size must be >= 0, "
+                f"got {self.response_cache_size}"
             )
 
 
@@ -132,6 +174,11 @@ class RecommendationServer:
         store: optional persistent
             :class:`~repro.cache.store.SimilarityStore`; swapped-in
             generations warm their similarity kernel through it.
+        supervisor_notify: set only on prefork-supervised workers — a
+            callable the worker uses to forward ``/admin/shutdown``
+            requests arriving on the shared data listener up to the
+            supervisor (see the module docstring for the per-listener
+            admin semantics).
     """
 
     def __init__(
@@ -141,17 +188,27 @@ class RecommendationServer:
         social,
         config: ServerConfig = ServerConfig(),
         store=None,
+        supervisor_notify: Optional[Callable[[str], None]] = None,
     ) -> None:
         self.swapper = swapper
         self.admission = admission
         self.social = social
         self.config = config
         self.store = store
+        self.supervisor_notify = supervisor_notify
         self.port: Optional[int] = None
+        self.control_port: Optional[int] = None
         self.requests_served = 0
         self.tier_counts: Dict[str, int] = {}
         self.errors = 0
+        self.rescache: Optional[ResponseCache] = (
+            ResponseCache(config.response_cache_size)
+            if config.response_cache_size > 0
+            else None
+        )
+        self._started = time.perf_counter()
         self._server: Optional[asyncio.AbstractServer] = None
+        self._control_server: Optional[asyncio.AbstractServer] = None
         self._executor = ThreadPoolExecutor(
             max_workers=config.threads, thread_name_prefix="serve"
         )
@@ -160,12 +217,34 @@ class RecommendationServer:
     # ------------------------------------------------------------------
     # lifecycle
     # ------------------------------------------------------------------
-    async def start(self) -> None:
-        """Bind and start accepting connections; sets :attr:`port`."""
-        self._server = await asyncio.start_server(
-            self._handle_connection, self.config.host, self.config.port
-        )
+    async def start(self, sock: Optional[socket.socket] = None) -> None:
+        """Bind and start accepting connections; sets :attr:`port`.
+
+        Args:
+            sock: an already-bound listening socket to serve instead of
+                binding ``config.host:config.port`` — how prefork
+                workers share one data port (an inherited listener or a
+                per-worker ``SO_REUSEPORT`` bind).
+        """
+        handler = partial(self._handle_connection, control=False)
+        if sock is not None:
+            self._server = await asyncio.start_server(handler, sock=sock)
+        else:
+            self._server = await asyncio.start_server(
+                handler, self.config.host, self.config.port
+            )
         self.port = self._server.sockets[0].getsockname()[1]
+
+    async def start_control(self, host: str = "127.0.0.1") -> None:
+        """Open the loopback control listener; sets :attr:`control_port`.
+
+        The supervisor's fan-out targets this ephemeral per-worker port:
+        admin requests arriving here always act on this process.
+        """
+        self._control_server = await asyncio.start_server(
+            partial(self._handle_connection, control=True), host, 0
+        )
+        self.control_port = self._control_server.sockets[0].getsockname()[1]
 
     async def serve_until_shutdown(self) -> None:
         """Run until ``/admin/shutdown`` (or ``max_requests``), then drain."""
@@ -182,6 +261,9 @@ class RecommendationServer:
         if self._server is not None:
             self._server.close()
             await self._server.wait_closed()
+        if self._control_server is not None:
+            self._control_server.close()
+            await self._control_server.wait_closed()
         # Drain: every admitted request still holds a queue slot; wait
         # for the pool to hand all of them back before tearing down.
         deadline = time.perf_counter() + self.config.drain_timeout_s
@@ -193,14 +275,17 @@ class RecommendationServer:
     # connection handling
     # ------------------------------------------------------------------
     async def _handle_connection(
-        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+        self,
+        reader: asyncio.StreamReader,
+        writer: asyncio.StreamWriter,
+        control: bool = False,
     ) -> None:
         try:
-            parsed = await self._read_request(reader)
+            parsed = await read_http_request(reader)
             if parsed is None:
                 return
             method, path, query = parsed
-            status, payload = await self._route(method, path, query)
+            status, payload = await self._route(method, path, query, control)
         except ValueError as exc:
             status, payload = 400, {"error": str(exc)}
         except Exception as exc:  # a handler bug must not kill the loop
@@ -208,7 +293,7 @@ class RecommendationServer:
             obs_incr("serve.errors")
             status, payload = 500, {"error": f"{type(exc).__name__}: {exc}"}
         try:
-            writer.write(_encode_response(status, payload))
+            writer.write(encode_response(status, payload))
             await writer.drain()
         except (ConnectionError, BrokenPipeError):
             pass
@@ -219,32 +304,13 @@ class RecommendationServer:
             except (ConnectionError, BrokenPipeError):
                 pass
 
-    async def _read_request(
-        self, reader: asyncio.StreamReader
-    ) -> Optional[Tuple[str, str, Dict[str, list]]]:
-        """Parse ``(method, path, query)``; None for an empty connection."""
-        line = await reader.readline()
-        if not line.strip():
-            return None
-        if len(line) > _MAX_REQUEST_LINE:
-            raise ValueError("request line too long")
-        parts = line.decode("latin-1").split()
-        if len(parts) < 2:
-            raise ValueError("malformed request line")
-        method, target = parts[0].upper(), parts[1]
-        for _ in range(_MAX_HEADER_LINES):
-            header = await reader.readline()
-            if header in (b"\r\n", b"\n", b""):
-                break
-        split = urlsplit(target)
-        return method, split.path, parse_qs(split.query)
-
     # ------------------------------------------------------------------
     # routing
     # ------------------------------------------------------------------
     async def _route(
-        self, method: str, path: str, query: Dict[str, list]
+        self, method: str, path: str, query: Dict[str, list], control: bool
     ) -> Tuple[int, dict]:
+        managed = self.supervisor_notify is not None
         if path == "/recommend":
             if method != "GET":
                 return 405, {"error": "use GET /recommend"}
@@ -258,14 +324,25 @@ class RecommendationServer:
                 "release": engine.describe(),
             }
         if path == "/stats":
-            return 200, self._stats_payload()
+            return 200, self._stats_payload(query)
         if path == "/admin/swap":
             if method != "POST":
                 return 405, {"error": "use POST /admin/swap"}
+            if managed and not control:
+                return 409, {
+                    "error": "managed worker: POST /admin/swap to the "
+                    "supervisor control port (swapping one worker would "
+                    "fork the serving generation)"
+                }
             return await self._handle_swap(query)
         if path == "/admin/shutdown":
             if method != "POST":
                 return 405, {"error": "use POST /admin/shutdown"}
+            if managed and not control:
+                # Forward to the supervisor: the whole fleet drains, not
+                # just whichever worker accepted this connection.
+                self.supervisor_notify("shutdown")
+                return 200, {"status": "shutting-down", "scope": "supervisor"}
             self.request_shutdown()
             return 200, {"status": "shutting-down"}
         return 404, {"error": f"no route {path!r}"}
@@ -290,25 +367,50 @@ class RecommendationServer:
                 return 400, {
                     "error": f"deadline_ms must be > 0, got {deadline_ms}"
                 }
+        fresh = query.get("fresh", ["0"])[0] not in ("", "0")
 
         arrival = time.perf_counter()
-        tier_cap = self.admission.admit()
         engine = self.swapper.acquire_current()
-        deadline_expired = False
         try:
-            if tier_cap == TIER_EMPTY:
-                # Shed: answered inline from the empty rung, no queue slot.
-                result = engine.recommend(user, n, max_tier=TIER_EMPTY)
-                shed = True
-            else:
+            cached = self._cache_lookup(engine.generation, user, n, fresh)
+            if cached is not None:
+                tier, degraded, items = cached
                 shed = False
-                result, deadline_expired = await self._score(
-                    engine, user, n, tier_cap, deadline_ms, arrival
-                )
-        except ReproError as exc:
-            self.errors += 1
-            obs_incr("serve.errors")
-            return 500, {"error": f"{type(exc).__name__}: {exc}"}
+                deadline_expired = False
+            else:
+                tier_cap = self.admission.admit()
+                deadline_expired = False
+                try:
+                    if tier_cap == TIER_EMPTY:
+                        # Shed: answered inline from the empty rung, no
+                        # queue slot.
+                        result = engine.recommend(user, n, max_tier=TIER_EMPTY)
+                        shed = True
+                    else:
+                        shed = False
+                        result, deadline_expired = await self._score(
+                            engine, user, n, tier_cap, deadline_ms, arrival
+                        )
+                except ReproError as exc:
+                    self.errors += 1
+                    obs_incr("serve.errors")
+                    return 500, {"error": f"{type(exc).__name__}: {exc}"}
+                tier, degraded = result.tier, result.degraded
+                items = [
+                    [entry.item, entry.utility] for entry in result.items
+                ]
+                if (
+                    self.rescache is not None
+                    and not shed
+                    and not deadline_expired
+                ):
+                    # Only clean scored responses are cached: a cached
+                    # body is bit-identical to fresh scoring for its
+                    # (generation, user, n, tier-cap) key.
+                    self.rescache.put(
+                        (engine.generation, user, n, tier_cap),
+                        (tier, degraded, items),
+                    )
         finally:
             engine.release_ref()
 
@@ -316,16 +418,16 @@ class RecommendationServer:
         obs_incr("serve.requests")
         obs_add_gauge("serve.latency_total_s", latency)
         self.requests_served += 1
-        self.tier_counts[result.tier] = self.tier_counts.get(result.tier, 0) + 1
+        self.tier_counts[tier] = self.tier_counts.get(tier, 0) + 1
         payload = {
             "user": user,
             "n": n,
-            "tier": result.tier,
-            "degraded": result.degraded,
+            "tier": tier,
+            "degraded": degraded,
             "shed": shed,
             "deadline_expired": deadline_expired,
             "generation": engine.generation,
-            "items": [[entry.item, entry.utility] for entry in result.items],
+            "items": items,
         }
         if (
             self.config.max_requests is not None
@@ -333,6 +435,27 @@ class RecommendationServer:
         ):
             self.request_shutdown()
         return 200, payload
+
+    def _cache_lookup(
+        self, generation: int, user, n: int, fresh: bool
+    ) -> Optional[Tuple[str, bool, list]]:
+        """A cached clean response for this request, or None to score.
+
+        The lookup key uses the tier the admission policy *would* grant
+        at the current depth — peeked without taking a queue slot, so a
+        hit never occupies admission capacity.  A peek at the empty rung
+        means the server is shedding; shed responses are never cached,
+        so skip straight to the (cheap, inline) shed path.
+        """
+        if self.rescache is None:
+            return None
+        if fresh:
+            self.rescache.note_bypass()
+            return None
+        tier_cap = self.admission.policy.tier_for_depth(self.admission.depth)
+        if tier_cap == TIER_EMPTY:
+            return None
+        return self.rescache.get((generation, user, n, tier_cap))
 
     async def _score(
         self,
@@ -417,6 +540,10 @@ class RecommendationServer:
                 "error": f"{type(exc).__name__}: {exc}",
                 "generation": self.swapper.generation,
             }
+        if self.rescache is not None:
+            # Generation-keyed entries can't be served stale, but drop
+            # the old generation eagerly so it stops holding capacity.
+            self.rescache.evict_other_generations(result.new_generation)
         return 200, {
             "old_generation": result.old_generation,
             "new_generation": result.new_generation,
@@ -426,7 +553,7 @@ class RecommendationServer:
             "drain_seconds": result.drain_seconds,
         }
 
-    def _stats_payload(self) -> dict:
+    def _stats_payload(self, query: Dict[str, list]) -> dict:
         payload = {
             "requests_served": self.requests_served,
             "errors": self.errors,
@@ -435,7 +562,15 @@ class RecommendationServer:
             "peak_depth": self.admission.peak_depth,
             "shed": self.admission.shed_count,
             "generation": self.swapper.generation,
+            "uptime_s": round(time.perf_counter() - self._started, 3),
         }
+        if self.config.worker_slot is not None:
+            payload["worker"] = {
+                "slot": self.config.worker_slot,
+                "pid": os.getpid(),
+            }
+        if self.rescache is not None:
+            payload["response_cache"] = self.rescache.stats()
         registry = get_telemetry()
         if registry is not None:
             counters = registry.snapshot().counters
@@ -444,10 +579,39 @@ class RecommendationServer:
                 for name, value in sorted(counters.items())
                 if name.startswith(("serve.", "fault.site.serve"))
             }
+            if "snapshot" in query:
+                payload["snapshot"] = snapshot_to_jsonable(registry.snapshot())
         return payload
 
 
-def _encode_response(status: int, payload: dict) -> bytes:
+async def read_http_request(
+    reader: asyncio.StreamReader,
+) -> Optional[Tuple[str, str, Dict[str, list]]]:
+    """Parse one minimal HTTP/1.1 request: ``(method, path, query)``.
+
+    Returns None for a connection closed before sending a request line.
+    Shared by the per-worker server and the supervisor front end so both
+    speak the same (deliberately tiny) dialect.
+    """
+    line = await reader.readline()
+    if not line.strip():
+        return None
+    if len(line) > _MAX_REQUEST_LINE:
+        raise ValueError("request line too long")
+    parts = line.decode("latin-1").split()
+    if len(parts) < 2:
+        raise ValueError("malformed request line")
+    method, target = parts[0].upper(), parts[1]
+    for _ in range(_MAX_HEADER_LINES):
+        header = await reader.readline()
+        if header in (b"\r\n", b"\n", b""):
+            break
+    split = urlsplit(target)
+    return method, split.path, parse_qs(split.query)
+
+
+def encode_response(status: int, payload: dict) -> bytes:
+    """One complete ``Connection: close`` HTTP/1.1 JSON response."""
     body = json.dumps(payload).encode("utf-8")
     head = (
         f"HTTP/1.1 {status} {_REASONS.get(status, 'Unknown')}\r\n"

@@ -9,6 +9,7 @@ from repro.cli import main
 from repro.obs import (
     LedgerEntry,
     Telemetry,
+    merge_snapshots,
     format_report,
     read_trace,
     span,
@@ -18,7 +19,11 @@ from repro.obs import (
     write_summary,
     write_trace,
 )
-from repro.obs.export import TRACE_FORMAT_VERSION
+from repro.obs.export import (
+    TRACE_FORMAT_VERSION,
+    snapshot_from_jsonable,
+    snapshot_to_jsonable,
+)
 
 
 @pytest.fixture
@@ -183,3 +188,24 @@ class TestObsReportCommand:
         path.write_text("not json\n")
         assert main(["obs", "report", str(path)]) == 2
         assert "repro: error:" in capsys.readouterr().err
+
+
+class TestJsonableSnapshot:
+    """The HTTP-shippable snapshot form the prefork supervisor merges."""
+
+    def test_round_trip_is_lossless(self, snapshot):
+        payload = snapshot_to_jsonable(snapshot)
+        wire = json.loads(json.dumps(payload))  # across a real HTTP body
+        assert snapshot_from_jsonable(wire) == snapshot
+
+    def test_round_tripped_snapshots_merge(self, snapshot):
+        wire = json.loads(json.dumps(snapshot_to_jsonable(snapshot)))
+        restored = snapshot_from_jsonable(wire)
+        merged = merge_snapshots([restored, snapshot])
+        assert merged.counters["hits"] == 2 * snapshot.counters["hits"]
+        for path, (count, total) in snapshot.span_totals.items():
+            assert merged.span_totals[path] == (2 * count, 2 * total)
+
+    def test_empty_payload_is_an_empty_snapshot(self):
+        restored = snapshot_from_jsonable({})
+        assert restored.counters == {} and restored.spans == []

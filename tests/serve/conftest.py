@@ -30,6 +30,8 @@ from repro.serve import (
     RecommendationServer,
     ServerConfig,
     ServingEngine,
+    ServingSupervisor,
+    SupervisorConfig,
     http_get_json,
     http_request_json,
 )
@@ -151,6 +153,132 @@ class ServerHarness:
         if self._thread.is_alive():
             self._thread.join(timeout_s)
         return not self._thread.is_alive()
+
+
+@pytest.fixture(scope="session")
+def serve_release_path(serve_release, tmp_path_factory):
+    """The shared release fitted once and saved as an on-disk artifact."""
+    path = tmp_path_factory.mktemp("releases") / "release-v1.npz"
+    serve_release.save(str(path))
+    return str(path)
+
+
+@pytest.fixture(scope="session")
+def serve_release_path_v2(serve_dataset, tmp_path_factory):
+    """A second artifact (different epsilon/noise) for swap tests."""
+    path = tmp_path_factory.mktemp("releases") / "release-v2.npz"
+    fit_release(serve_dataset, epsilon=1.5, seed=11).save(str(path))
+    return str(path)
+
+
+class SupervisorHarness:
+    """One ServingSupervisor fleet on a background event-loop thread."""
+
+    def __init__(self, supervisor: ServingSupervisor) -> None:
+        self.supervisor = supervisor
+        self.loop = None
+        self.error = None
+        self._ready = threading.Event()
+        self._thread = threading.Thread(
+            target=self._run, name="supervisor-harness", daemon=True
+        )
+
+    def _run(self) -> None:
+        try:
+            asyncio.run(self._main())
+        except BaseException as exc:  # surfaced by start()/stop()
+            self.error = exc
+            self._ready.set()
+
+    async def _main(self) -> None:
+        self.loop = asyncio.get_running_loop()
+        await self.supervisor.start()
+        self._ready.set()
+        await self.supervisor.serve_until_shutdown()
+
+    def start(self) -> "SupervisorHarness":
+        self._thread.start()
+        if not self._ready.wait(timeout=120.0):
+            raise RuntimeError("supervisor fleet did not come up within 120s")
+        if self.error is not None:
+            raise RuntimeError(f"supervisor failed to start: {self.error!r}")
+        return self
+
+    @property
+    def port(self) -> int:
+        return self.supervisor.port
+
+    @property
+    def control_port(self) -> int:
+        return self.supervisor.control_port
+
+    @property
+    def running(self) -> bool:
+        return self._thread.is_alive()
+
+    def get(self, target: str, control: bool = False):
+        port = self.control_port if control else self.port
+        return asyncio.run(http_get_json("127.0.0.1", port, target))
+
+    def post(self, target: str, control: bool = False):
+        port = self.control_port if control else self.port
+        return asyncio.run(
+            http_request_json("127.0.0.1", port, "POST", target)
+        )
+
+    def stop(self, timeout_s: float = 60.0) -> bool:
+        """Idempotent clean fleet shutdown; True when the loop exited."""
+        if self._thread.is_alive() and self.loop is not None:
+            try:
+                self.loop.call_soon_threadsafe(
+                    self.supervisor.request_shutdown
+                )
+            except RuntimeError:
+                pass  # loop already closed on its own
+        if self._thread.is_alive():
+            self._thread.join(timeout_s)
+        return not self._thread.is_alive()
+
+
+@pytest.fixture
+def make_supervisor(serve_dataset, serve_release_path, tmp_path):
+    """Factory building + starting a harnessed prefork fleet.
+
+    Every harness is stopped (and asserted to have drained cleanly) at
+    teardown; any workers a test left behind are killed as a backstop.
+    """
+    harnesses = []
+
+    def factory(
+        workers=2,
+        release_path=None,
+        server_config=None,
+        config=None,
+        policy=None,
+        worker_faults=None,
+        cache_dir=None,
+    ):
+        supervisor = ServingSupervisor(
+            release_path or serve_release_path,
+            serve_dataset.social,
+            server_config=server_config or ServerConfig(),
+            config=config
+            or SupervisorConfig(workers=workers, monitor_interval_s=0.05),
+            policy=policy,
+            cache_dir=cache_dir,
+            worker_faults=worker_faults,
+        )
+        harness = SupervisorHarness(supervisor)
+        harnesses.append(harness)
+        return harness.start()
+
+    yield factory
+    for harness in harnesses:
+        stopped = harness.stop()
+        for handle in harness.supervisor._workers:
+            if handle.process is not None and handle.process.is_alive():
+                handle.process.kill()
+        assert stopped, "supervisor thread failed to shut down"
 
 
 @pytest.fixture
