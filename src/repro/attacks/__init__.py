@@ -1,14 +1,77 @@
-"""Privacy attacks against social recommenders (paper Section 2.3).
+"""Privacy attacks against social recommenders — the red-team audit suite.
 
-:mod:`repro.attacks.sybil` implements the Sybil / profile-cloning inference
-attack the paper uses to motivate its adversary model: an attacker who can
-add a fake account next to a degree-one neighbor of the victim observes
-recommendations that are a direct function of the victim's private
-preference edges.  The attack recovers most of the victim's items from a
-non-private recommender and almost nothing from the private one — the
-empirical counterpart of Theorem 4.
+The package grew out of the paper's Section 2.3 sybil scenario into a
+full empirical privacy audit:
+
+- :mod:`repro.attacks.sybil` — the sybil / profile-cloning observation
+  channel: a fake account whose similarity set reduces to the victim,
+  so its recommendations are a function of the victim's private edges.
+- :mod:`repro.attacks.membership` — membership inference against
+  released noisy cluster averages: a likelihood-ratio test on
+  neighbouring datasets differing in one preference edge.
+- :mod:`repro.attacks.reconstruction` — per-edge recovery scores
+  (AUC / recovery@degree) from the victim's observation channel.
+- :mod:`repro.attacks.estimator` — Clopper–Pearson empirical-epsilon
+  lower bounds from attack trial outcomes.
+- :mod:`repro.attacks.audit` — the driver: both attacks across a
+  (target, measure, epsilon) grid, `eps_empirical` next to the privacy
+  ledger's composed `eps_analytical` per cell
+  (`repro attack audit --json` on the CLI).
+
+See ``docs/privacy_audit.md`` for the threat model and how to read the
+two epsilon columns.
 """
 
-from repro.attacks.sybil import SybilAttack, SybilAttackReport, run_attack_experiment
+from repro.attacks.audit import (
+    AUDIT_TARGETS,
+    AuditCell,
+    AuditReport,
+    format_audit_table,
+    run_privacy_audit,
+)
+from repro.attacks.estimator import (
+    EPS_SENTINEL,
+    EmpiricalEpsilon,
+    clopper_pearson_bounds,
+    empirical_epsilon_lower_bound,
+)
+from repro.attacks.membership import (
+    MembershipResult,
+    deterministic_membership_result,
+    run_membership_attack,
+    unit_laplace_draws,
+)
+from repro.attacks.reconstruction import (
+    ReconstructionResult,
+    edge_recovery_scores,
+    run_reconstruction_experiment,
+    victim_edge_mask,
+)
+from repro.attacks.sybil import (
+    SybilAttack,
+    SybilAttackReport,
+    run_attack_experiment,
+)
 
-__all__ = ["SybilAttack", "SybilAttackReport", "run_attack_experiment"]
+__all__ = [
+    "AUDIT_TARGETS",
+    "AuditCell",
+    "AuditReport",
+    "EPS_SENTINEL",
+    "EmpiricalEpsilon",
+    "MembershipResult",
+    "ReconstructionResult",
+    "SybilAttack",
+    "SybilAttackReport",
+    "clopper_pearson_bounds",
+    "deterministic_membership_result",
+    "edge_recovery_scores",
+    "empirical_epsilon_lower_bound",
+    "format_audit_table",
+    "run_attack_experiment",
+    "run_membership_attack",
+    "run_privacy_audit",
+    "run_reconstruction_experiment",
+    "unit_laplace_draws",
+    "victim_edge_mask",
+]

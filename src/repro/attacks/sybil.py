@@ -20,7 +20,9 @@ popularity and noise rather than the victim's individual edges.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional, Set, Tuple
+from typing import List, Optional, Sequence, Set, Tuple
+
+import numpy as np
 
 from repro.core.base import BaseRecommender
 from repro.exceptions import NodeNotFoundError, ReproError
@@ -139,6 +141,27 @@ class SybilAttack:
     # ------------------------------------------------------------------
     # inference
     # ------------------------------------------------------------------
+    def readout_scores(
+        self,
+        recommender: BaseRecommender,
+        observer: UserId,
+        items: Sequence[ItemId],
+    ) -> np.ndarray:
+        """The observation channel: observer utility per item, as a vector.
+
+        This is the attack's raw readout — a function of the victim's
+        private edges (plus whatever noise the mechanism injected) —
+        aligned with ``items``.  Items the recommender does not score
+        read as 0.0.  The audit suite's reconstruction attack
+        (:mod:`repro.attacks.reconstruction`) ranks this vector against
+        the victim's true edge set; :meth:`infer_items` is the paper's
+        top-N view of the same channel.
+        """
+        utilities = recommender.utilities(observer)
+        return np.array(
+            [float(utilities.get(item, 0.0)) for item in items]
+        )
+
     def infer_items(
         self, recommender: BaseRecommender, observer: UserId, top_n: int
     ) -> List[ItemId]:

@@ -253,12 +253,60 @@ def build_parser() -> argparse.ArgumentParser:
     p_cmp.add_argument("--repeats", type=int, default=3)
     p_cmp.add_argument("--sample-size", type=int, default=None)
 
-    p_attack = sub.add_parser("attack", help="Section 2.3 Sybil attack demo")
+    p_attack = sub.add_parser(
+        "attack", help="Section 2.3 Sybil attack demo / privacy audit suite"
+    )
     _add_dataset_arguments(p_attack)
     p_attack.add_argument("--measure", default="cn")
     p_attack.add_argument("--epsilon", type=_parse_epsilon, default=0.5)
     p_attack.add_argument("--victim", type=int, default=None)
     p_attack.add_argument("--top-n", type=int, default=50)
+    attack_sub = p_attack.add_subparsers(dest="attack_command")
+    p_audit = attack_sub.add_parser(
+        "audit",
+        help="red-team audit: empirical epsilon lower bounds vs the ledger",
+    )
+    _add_dataset_arguments(p_audit)
+    p_audit.add_argument(
+        "--measures", nargs="+", default=["cn"],
+        help="similarity measures to audit (default: cn)",
+    )
+    p_audit.add_argument(
+        "--eps", nargs="+", type=_parse_epsilon,
+        default=[0.1, 0.5, 1.0, 2.0], metavar="EPS",
+        help="epsilon sweep (default: 0.1 0.5 1.0 2.0)",
+    )
+    p_audit.add_argument(
+        "--target", nargs="+", choices=("private", "nou", "noe", "lrm", "gs"),
+        default=["private", "nou", "noe"],
+        help="mechanisms to attack (default: private nou noe)",
+    )
+    p_audit.add_argument(
+        "--trials", type=_positive_int, default=1000,
+        help="membership trials per world per cell (default: 1000)",
+    )
+    p_audit.add_argument(
+        "--repeats", type=_positive_int, default=3,
+        help="reconstruction releases per private cell (default: 3)",
+    )
+    p_audit.add_argument("--louvain-runs", type=_positive_int, default=5)
+    p_audit.add_argument(
+        "--backend", choices=("auto", "vectorized", "python"), default="auto"
+    )
+    p_audit.add_argument(
+        "--cache-dir", default=None,
+        help="persistent similarity-kernel store directory",
+    )
+    p_audit.add_argument(
+        "--json", nargs="?", const="-", default=None, metavar="PATH",
+        help="emit the audit report as JSON to PATH (or stdout with no PATH)",
+    )
+    p_audit.add_argument(
+        "--strict", action="store_true",
+        help="fail (privacy exit code) if any cell violates "
+        "eps_empirical <= eps_analytical",
+    )
+    _add_profile_argument(p_audit)
 
     p_analyze = sub.add_parser(
         "analyze", help="structural analysis of a dataset's social graph"
@@ -790,6 +838,8 @@ def _cmd_compare(args: argparse.Namespace) -> int:
 
 
 def _cmd_attack(args: argparse.Namespace) -> int:
+    if getattr(args, "attack_command", None) == "audit":
+        return _cmd_attack_audit(args)
     dataset = _resolve_dataset(args)
     measure_name = args.measure
     victim = args.victim
@@ -833,6 +883,57 @@ def _cmd_attack(args: argparse.Namespace) -> int:
         f"  private (eps={args.epsilon:g}):    recall={private.recall:.2f} "
         f"precision={private.precision:.2f}"
     )
+    return 0
+
+
+def _cmd_attack_audit(args: argparse.Namespace) -> int:
+    """Run the red-team privacy audit and report empirical vs analytical."""
+    import json
+
+    from repro.attacks.audit import format_audit_table, run_privacy_audit
+
+    dataset = _resolve_dataset(args)
+    store = None
+    if args.cache_dir:
+        from repro.cache.store import SimilarityStore
+
+        store = SimilarityStore(args.cache_dir)
+    # Dedupe targets preserving order (nargs="+" allows repeats).
+    targets = list(dict.fromkeys(args.target))
+    report = run_privacy_audit(
+        dataset,
+        measures=args.measures,
+        epsilons=args.eps,
+        targets=targets,
+        trials=args.trials,
+        repeats=args.repeats,
+        seed=args.seed,
+        backend=args.backend,
+        store=store,
+        louvain_runs=args.louvain_runs,
+    )
+    if args.json == "-":
+        print(json.dumps(report.to_jsonable(), indent=2))
+    else:
+        if args.json:
+            with open(args.json, "w") as handle:
+                json.dump(report.to_jsonable(), handle, indent=2)
+            print(f"audit report written to {args.json}")
+        print(format_audit_table(report))
+    violations = report.violations()
+    if violations:
+        for cell in violations:
+            print(
+                f"repro: audit violation: {cell.target}/{cell.measure} "
+                f"eps={cell.epsilon:g}: empirical {cell.eps_empirical:.4f} > "
+                f"analytical {cell.eps_analytical:.4f}",
+                file=sys.stderr,
+            )
+        if args.strict:
+            raise PrivacyError(
+                f"{len(violations)} audit cell(s) exceed the ledger's "
+                f"analytical epsilon"
+            )
     return 0
 
 

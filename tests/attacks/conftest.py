@@ -1,0 +1,23 @@
+"""Shared fixtures for the attack-suite tests."""
+
+import pytest
+
+from repro.attacks.audit import run_privacy_audit
+
+AUDIT_EPSILONS = (0.1, 0.5, 1.0, 2.0)
+AUDIT_SEED = 7
+
+
+@pytest.fixture(scope="session")
+def audit_report(lastfm_small):
+    """One full audit over the small dataset, shared across test files."""
+    return run_privacy_audit(
+        lastfm_small,
+        measures=["cn"],
+        epsilons=AUDIT_EPSILONS,
+        targets=["private", "nou", "noe"],
+        trials=600,
+        repeats=2,
+        seed=AUDIT_SEED,
+        louvain_runs=2,
+    )

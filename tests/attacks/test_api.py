@@ -1,0 +1,39 @@
+"""Drift guard for the attack package's public surface."""
+
+import repro.attacks as attacks
+
+EXPECTED_EXPORTS = [
+    "AUDIT_TARGETS",
+    "AuditCell",
+    "AuditReport",
+    "EPS_SENTINEL",
+    "EmpiricalEpsilon",
+    "MembershipResult",
+    "ReconstructionResult",
+    "SybilAttack",
+    "SybilAttackReport",
+    "clopper_pearson_bounds",
+    "deterministic_membership_result",
+    "edge_recovery_scores",
+    "empirical_epsilon_lower_bound",
+    "format_audit_table",
+    "run_attack_experiment",
+    "run_membership_attack",
+    "run_privacy_audit",
+    "run_reconstruction_experiment",
+    "unit_laplace_draws",
+    "victim_edge_mask",
+]
+
+
+def test_public_surface_is_pinned():
+    assert sorted(attacks.__all__) == EXPECTED_EXPORTS
+
+
+def test_every_export_resolves():
+    for name in attacks.__all__:
+        assert getattr(attacks, name) is not None
+
+
+def test_audit_targets_cover_all_mechanism_families():
+    assert attacks.AUDIT_TARGETS == ("private", "nou", "noe", "lrm", "gs")

@@ -1,0 +1,172 @@
+"""Unit and calibration tests for the empirical-epsilon estimator."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.attacks.estimator import (
+    EPS_SENTINEL,
+    clopper_pearson_bounds,
+    empirical_epsilon_lower_bound,
+)
+
+
+class TestClopperPearson:
+    def test_zero_successes_lower_is_zero(self):
+        lower, upper = clopper_pearson_bounds(np.array([0]), 10, 0.01)
+        assert lower[0] == 0.0
+        assert 0.0 < upper[0] < 1.0
+
+    def test_all_successes_upper_is_one(self):
+        lower, upper = clopper_pearson_bounds(np.array([10]), 10, 0.01)
+        assert upper[0] == 1.0
+        assert 0.0 < lower[0] < 1.0
+
+    def test_bounds_bracket_the_point_estimate(self):
+        k = np.arange(0, 21)
+        lower, upper = clopper_pearson_bounds(k, 20, 0.05)
+        rates = k / 20.0
+        assert np.all(lower <= rates + 1e-12)
+        assert np.all(upper >= rates - 1e-12)
+
+    def test_tighter_alpha_widens_the_interval(self):
+        k = np.array([7])
+        lo_loose, up_loose = clopper_pearson_bounds(k, 20, 0.1)
+        lo_tight, up_tight = clopper_pearson_bounds(k, 20, 1e-6)
+        assert lo_tight[0] < lo_loose[0]
+        assert up_tight[0] > up_loose[0]
+
+
+class TestDeterministicChannels:
+    def test_equal_constants_are_indistinguishable(self):
+        result = empirical_epsilon_lower_bound(
+            np.full(5, 0.25), np.full(3, 0.25)
+        )
+        assert result.epsilon == 0.0
+        assert result.deterministic
+        assert not result.clipped
+
+    def test_differing_constants_hit_the_sentinel(self):
+        result = empirical_epsilon_lower_bound(
+            np.full(4, 0.0), np.full(4, 1.0)
+        )
+        assert result.epsilon == EPS_SENTINEL
+        assert result.deterministic
+        assert result.clipped
+        assert result.direction == "greater"
+        assert result.tpr == 1.0 and result.fpr == 0.0
+
+    def test_downward_shift_reports_less_direction(self):
+        result = empirical_epsilon_lower_bound(
+            np.full(4, 1.0), np.full(4, 0.0)
+        )
+        assert result.epsilon == EPS_SENTINEL
+        assert result.direction == "less"
+
+    def test_custom_sentinel(self):
+        result = empirical_epsilon_lower_bound(
+            np.zeros(2), np.ones(2), sentinel=42.0
+        )
+        assert result.epsilon == 42.0
+
+
+class TestValidation:
+    def test_unknown_orientation(self):
+        with pytest.raises(ValueError, match="orientation"):
+            empirical_epsilon_lower_bound(
+                np.zeros(2), np.ones(2), orientation="sideways"
+            )
+
+    @pytest.mark.parametrize("bad", [0.0, 1.0, -0.5, 2.0])
+    def test_failure_probability_range(self, bad):
+        with pytest.raises(ValueError, match="failure_probability"):
+            empirical_epsilon_lower_bound(
+                np.zeros(2), np.ones(2), failure_probability=bad
+            )
+
+    def test_empty_world_rejected(self):
+        with pytest.raises(ValueError, match="at least one sample"):
+            empirical_epsilon_lower_bound(np.array([]), np.ones(2))
+
+    def test_nan_rejected(self):
+        with pytest.raises(ValueError, match="NaN"):
+            empirical_epsilon_lower_bound(
+                np.array([0.0, np.nan]), np.ones(2)
+            )
+
+
+class TestRandomChannels:
+    def test_well_separated_samples_certify_a_positive_bound(self):
+        rng = np.random.default_rng(0)
+        x0 = rng.normal(0.0, 0.1, size=500)
+        x1 = rng.normal(5.0, 0.1, size=500)
+        result = empirical_epsilon_lower_bound(x0, x1)
+        assert result.epsilon > 1.0
+        assert not result.deterministic
+        assert result.threshold is not None
+        assert result.tpr > result.fpr
+
+    def test_identical_distributions_certify_nothing(self):
+        rng = np.random.default_rng(1)
+        x0 = rng.normal(0.0, 1.0, size=300)
+        x1 = rng.normal(0.0, 1.0, size=300)
+        result = empirical_epsilon_lower_bound(x0, x1)
+        assert result.epsilon == 0.0
+        assert not result.deterministic
+
+    def test_greater_orientation_misses_a_downward_shift(self):
+        """The monotone families assume an upward shift; 'two-sided'
+        exists for channels of unknown sign."""
+        rng = np.random.default_rng(2)
+        x0 = rng.normal(5.0, 0.1, size=400)
+        x1 = rng.normal(0.0, 0.1, size=400)
+        one_sided = empirical_epsilon_lower_bound(x0, x1)
+        two_sided = empirical_epsilon_lower_bound(
+            x0, x1, orientation="two-sided"
+        )
+        assert one_sided.epsilon == 0.0
+        assert two_sided.epsilon > 1.0
+
+    def test_monotone_in_separation_under_common_draws(self):
+        """The audit's CRN discipline: one canonical unit draw, scaled
+        per epsilon.  The certified bound must be non-decreasing in the
+        configured epsilon."""
+        rng = np.random.default_rng(3)
+        draws0 = rng.laplace(0.0, 1.0, size=800)
+        draws1 = rng.laplace(0.0, 1.0, size=800)
+        bounds = []
+        for eps in (0.1, 0.5, 1.0, 2.0, 4.0):
+            scale = 1.0 / eps
+            bounds.append(
+                empirical_epsilon_lower_bound(
+                    scale * draws0, 1.0 + scale * draws1
+                ).epsilon
+            )
+        assert all(a <= b + 1e-12 for a, b in zip(bounds, bounds[1:]))
+        assert bounds[-1] > 0.0
+
+
+class TestCalibration:
+    """Satellite 1: the soundness pin for the whole audit suite."""
+
+    @given(
+        eps=st.floats(min_value=0.2, max_value=3.0),
+        seed=st.integers(min_value=0, max_value=2**32 - 1),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_pure_laplace_never_exceeds_true_epsilon(self, eps, seed):
+        """On Lap(1/eps) noise over a sensitivity-1 query — an exactly
+        eps-DP mechanism — the bound must stay at or below eps.  Each
+        example fails with probability <= 1e-6 by construction, so the
+        property holds without statistical flakes."""
+        rng = np.random.default_rng(seed)
+        scale = 1.0 / eps
+        x0 = rng.laplace(0.0, scale, size=400)
+        x1 = 1.0 + rng.laplace(0.0, scale, size=400)
+        result = empirical_epsilon_lower_bound(x0, x1)
+        assert not result.deterministic
+        assert 0.0 <= result.epsilon <= eps + 1e-9
+        assert math.isfinite(result.epsilon)

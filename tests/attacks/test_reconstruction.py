@@ -1,0 +1,106 @@
+"""Unit tests for the edge-reconstruction scoring and experiment."""
+
+import numpy as np
+import pytest
+
+from repro.attacks.reconstruction import (
+    edge_recovery_scores,
+    run_reconstruction_experiment,
+    victim_edge_mask,
+)
+from repro.core.private import PrivateSocialRecommender
+from repro.core.recommender import SocialRecommender
+from repro.graph.preference_graph import PreferenceGraph
+from repro.graph.social_graph import SocialGraph
+from repro.similarity.common_neighbors import CommonNeighbors
+
+
+class TestEdgeRecoveryScores:
+    def test_perfect_ranking(self):
+        scores = np.array([3.0, 2.0, 1.0, 0.5])
+        positives = np.array([True, True, False, False])
+        assert edge_recovery_scores(scores, positives) == (1.0, 1.0)
+
+    def test_inverted_ranking(self):
+        scores = np.array([0.5, 1.0, 2.0, 3.0])
+        positives = np.array([True, True, False, False])
+        auc, recovery = edge_recovery_scores(scores, positives)
+        assert auc == 0.0
+        assert recovery == 0.0
+
+    def test_constant_scores_are_chance(self):
+        auc, _ = edge_recovery_scores(
+            np.ones(6), np.array([True, False] * 3)
+        )
+        assert auc == 0.5
+
+    def test_shape_mismatch(self):
+        with pytest.raises(ValueError, match="disagree"):
+            edge_recovery_scores(np.ones(3), np.array([True, False]))
+
+    @pytest.mark.parametrize(
+        "positives", [np.zeros(4, dtype=bool), np.ones(4, dtype=bool)]
+    )
+    def test_degenerate_mask(self, positives):
+        with pytest.raises(ValueError, match="at least one"):
+            edge_recovery_scores(np.ones(4), positives)
+
+
+class TestVictimEdgeMask:
+    def test_indicator_over_fixed_item_order(self):
+        prefs = PreferenceGraph()
+        prefs.add_edge("v", "a")
+        prefs.add_edge("v", "c")
+        prefs.add_edge("u", "b")
+        mask = victim_edge_mask(prefs, "v", ["a", "b", "c"])
+        np.testing.assert_array_equal(mask, [True, False, True])
+
+    def test_unknown_victim_is_all_false(self):
+        prefs = PreferenceGraph()
+        prefs.add_edge("u", "a")
+        assert not victim_edge_mask(prefs, "ghost", ["a"]).any()
+
+
+class TestExperiment:
+    def test_nonprivate_channel_reconstructs_perfectly(self):
+        social = SocialGraph(
+            [("v", "anchor"), ("v", "f1"), ("f1", "f2"), ("v", "f2")]
+        )
+        prefs = PreferenceGraph()
+        prefs.add_edge("v", "secret-1")
+        prefs.add_edge("v", "secret-2")
+        prefs.add_edge("f1", "common-1")
+        result = run_reconstruction_experiment(
+            social,
+            prefs,
+            "v",
+            lambda: SocialRecommender(CommonNeighbors(), n=10),
+        )
+        assert result.auc == 1.0
+        assert result.recovery == 1.0
+        assert result.deterministic
+        assert result.repeats == 1
+        assert result.auc_per_repeat == (1.0,)
+
+    def test_private_channel_is_blunted(self, lastfm_small):
+        social, prefs = lastfm_small.social, lastfm_small.preferences
+        victim = max(
+            (u for u in social.users() if prefs.user_degree(u) > 0),
+            key=prefs.user_degree,
+        )
+        exact = run_reconstruction_experiment(
+            social,
+            prefs,
+            victim,
+            lambda: SocialRecommender(CommonNeighbors(), n=100),
+        )
+        private = run_reconstruction_experiment(
+            social,
+            prefs,
+            victim,
+            lambda: PrivateSocialRecommender(
+                CommonNeighbors(), epsilon=0.1, n=100, seed=5
+            ),
+        )
+        assert exact.auc == 1.0
+        assert private.auc < exact.auc

@@ -154,6 +154,44 @@ class TestEndToEnd:
         assert report.observer == "__sybil__"
         assert set(report.actual) == {"secret-1", "secret-2"}
 
+    def test_readout_scores_are_the_victims_edge_indicator(
+        self, victim_graph, victim_prefs
+    ):
+        """The audit-API port of the top-N readout: against the exact
+        recommender the observer's score vector is nonzero exactly on
+        the victim's private edges."""
+        attack = SybilAttack()
+        attacked, observer = attack.plan(victim_graph, "v")
+        recommender = SocialRecommender(CommonNeighbors(), n=10)
+        recommender.fit(attacked, victim_prefs)
+        items = victim_prefs.items()
+        scores = attack.readout_scores(recommender, observer, items)
+        assert scores.shape == (len(items),)
+        for item, score in zip(items, scores):
+            assert (score > 0) == (item in {"secret-1", "secret-2"})
+
+    def test_readout_scores_agree_with_infer_items(
+        self, victim_graph, victim_prefs
+    ):
+        attack = SybilAttack()
+        attacked, observer = attack.plan(victim_graph, "v")
+        recommender = SocialRecommender(CommonNeighbors(), n=10)
+        recommender.fit(attacked, victim_prefs)
+        items = victim_prefs.items()
+        scores = attack.readout_scores(recommender, observer, items)
+        positive = {item for item, s in zip(items, scores) if s > 0}
+        assert positive == set(attack.infer_items(recommender, observer, 10))
+
+    def test_readout_scores_default_unknown_items_to_zero(
+        self, victim_graph, victim_prefs
+    ):
+        attack = SybilAttack()
+        attacked, observer = attack.plan(victim_graph, "v")
+        recommender = SocialRecommender(CommonNeighbors(), n=10)
+        recommender.fit(attacked, victim_prefs)
+        scores = attack.readout_scores(recommender, observer, ["never-seen"])
+        assert list(scores) == [0.0]
+
     def test_victim_with_no_preferences(self, victim_graph):
         prefs = PreferenceGraph()
         prefs.add_users(victim_graph.users())

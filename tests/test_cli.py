@@ -44,6 +44,41 @@ class TestParser:
 
         assert math.isinf(args.epsilon)
 
+    def test_attack_audit_defaults(self):
+        args = build_parser().parse_args(["attack", "audit"])
+        assert args.attack_command == "audit"
+        assert args.measures == ["cn"]
+        assert args.eps == [0.1, 0.5, 1.0, 2.0]
+        assert args.target == ["private", "nou", "noe"]
+        assert args.trials == 1000
+        assert args.backend == "auto"
+        assert args.json is None
+        assert not args.strict
+
+    def test_attack_audit_eps_parsing(self):
+        import math
+
+        args = build_parser().parse_args(
+            ["attack", "audit", "--eps", "inf", "0.5"]
+        )
+        assert math.isinf(args.eps[0]) and args.eps[1] == 0.5
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["attack", "audit", "--eps", "abc"])
+
+    def test_attack_audit_json_flag_without_path_means_stdout(self):
+        args = build_parser().parse_args(["attack", "audit", "--json"])
+        assert args.json == "-"
+
+    def test_attack_audit_rejects_unknown_target(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(
+                ["attack", "audit", "--target", "bogus"]
+            )
+
+    def test_legacy_flat_attack_has_no_subcommand(self):
+        args = build_parser().parse_args(["attack", "--epsilon", "0.5"])
+        assert args.attack_command is None
+
 
 class TestCommands:
     def test_stats_command(self, capsys):
@@ -84,6 +119,43 @@ class TestCommands:
         out = capsys.readouterr().out
         assert "Sybil attack" in out
         assert "non-private" in out
+
+    def test_attack_audit_command(self, capsys):
+        argv = ["attack", "audit", "--scale", "0.06", "--seed", "101",
+                "--measures", "cn", "--eps", "0.5", "2.0", "--trials", "200",
+                "--repeats", "1", "--louvain-runs", "2", "--target",
+                "private", "nou", "--strict"]
+        assert main(argv) == 0
+        out = capsys.readouterr().out
+        assert "privacy audit" in out
+        assert "eps_empirical" in out
+        assert "unaccounted" in out
+        assert "all cells satisfy" in out
+
+    def test_attack_audit_json_stdout(self, capsys):
+        import json
+
+        argv = ["attack", "audit", "--scale", "0.06", "--seed", "101",
+                "--eps", "1.0", "--trials", "100", "--repeats", "1",
+                "--louvain-runs", "2", "--target", "private", "--json"]
+        assert main(argv) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["kind"] == "privacy-audit"
+        assert len(payload["cells"]) == 1
+
+    def test_attack_audit_json_file(self, tmp_path, capsys):
+        import json
+
+        path = str(tmp_path / "audit.json")
+        argv = ["attack", "audit", "--scale", "0.06", "--seed", "101",
+                "--eps", "1.0", "--trials", "100", "--repeats", "1",
+                "--louvain-runs", "2", "--target", "nou", "--json", path]
+        assert main(argv) == 0
+        out = capsys.readouterr().out
+        assert f"audit report written to {path}" in out
+        assert "privacy audit" in out
+        with open(path, encoding="utf-8") as handle:
+            assert json.load(handle)["version"] == 1
 
     def test_flixster_preset(self, capsys):
         assert main(["stats", "--dataset", "flixster", "--scale", "0.02"]) == 0
